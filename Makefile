@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Regenerate every table and figure from the paper's evaluation.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Replay the SC98 window and emit every figure plus CSV exports.
+figures:
+	$(GO) run ./cmd/ew-sc98 -fig all -out figures/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/forecast-timeout
+	$(GO) run ./examples/ramsey-grid
+	$(GO) run ./examples/condor-checkpoint
+	$(GO) run ./examples/applet-farm
+
+clean:
+	rm -rf figures/ test_output.txt bench_output.txt

@@ -1,0 +1,304 @@
+// Package everyware's root benchmark harness regenerates every table and
+// figure in the paper's evaluation (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Figure benchmarks replay the SC98 window under the discrete-event engine
+// and report the headline numbers as benchmark metrics; ablation
+// benchmarks reproduce the paper's qualitative claims. Run with:
+//
+//	go test -bench=. -benchmem
+package everyware
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"everyware/internal/gossip"
+	"everyware/internal/grid"
+	"everyware/internal/trace"
+	"everyware/internal/wire"
+)
+
+// replaySC98 caches one full 12-hour replay per seed: several figure
+// benchmarks report different views of the same experiment, exactly as
+// Figures 2, 3 and 4 are different views of the same twelve hours.
+var (
+	replayMu    sync.Mutex
+	replayCache = map[int64]*grid.Result{}
+)
+
+func replaySC98(seed int64) *grid.Result {
+	replayMu.Lock()
+	defer replayMu.Unlock()
+	if r, ok := replayCache[seed]; ok {
+		return r
+	}
+	r := grid.RunSC98(grid.ScenarioConfig{Seed: seed, AdaptiveTimeouts: true})
+	replayCache[seed] = r
+	return r
+}
+
+// BenchmarkFig2SustainedPerformance regenerates Figure 2: total sustained
+// application performance over the 12-hour window in 5-minute averages.
+// Paper landmarks: peak 2.39e9 ops/s (09:51-09:56), trough 1.1e9 at the
+// 11:00 judging, recovery to 2.0e9 by 11:10.
+func BenchmarkFig2SustainedPerformance(b *testing.B) {
+	var res *grid.Result
+	for i := 0; i < b.N; i++ {
+		res = grid.RunSC98(grid.ScenarioConfig{Seed: 1998, AdaptiveTimeouts: true})
+	}
+	peak, _ := res.PeakRate()
+	b.ReportMetric(peak, "peak_ops/s")
+	b.ReportMetric(res.MinRateBetween(grid.JudgingAt, grid.JudgingAt+15*time.Minute), "trough_ops/s")
+	b.ReportMetric(res.RateAt(grid.JudgingAt+12*time.Minute), "recovery_ops/s")
+}
+
+// BenchmarkFig3aPerInfraRate regenerates Figure 3a: sustained processing
+// rate by infrastructure. The metric per infrastructure is its peak
+// 5-minute rate; the NT Supercluster dominates, Java and NetSolve trail by
+// orders of magnitude.
+func BenchmarkFig3aPerInfraRate(b *testing.B) {
+	var res *grid.Result
+	for i := 0; i < b.N; i++ {
+		res = replaySC98(1998)
+	}
+	for _, in := range grid.Infras() {
+		s := res.Perf.Series(string(in))
+		peak := 0.0
+		for j := 0; j < s.Buckets(); j++ {
+			if v := s.Rate(j); v > peak {
+				peak = v
+			}
+		}
+		b.ReportMetric(peak, string(in)+"_peak_ops/s")
+	}
+}
+
+// BenchmarkFig3bHostCount regenerates Figure 3b: host count by
+// infrastructure (Condor largest and most volatile, NT a stable 64, the
+// rest smaller).
+func BenchmarkFig3bHostCount(b *testing.B) {
+	var res *grid.Result
+	for i := 0; i < b.N; i++ {
+		res = replaySC98(1998)
+	}
+	for _, in := range grid.Infras() {
+		means := res.Hosts.Series(string(in)).Means()
+		peak := 0.0
+		for _, v := range means {
+			if v > peak {
+				peak = v
+			}
+		}
+		b.ReportMetric(peak, string(in)+"_peak_hosts")
+	}
+}
+
+// BenchmarkFig3cTotalRate regenerates Figure 3c, which reproduces Figure 2
+// alongside the per-infrastructure series for comparison: despite
+// per-infrastructure volatility, the total stays comparatively uniform.
+func BenchmarkFig3cTotalRate(b *testing.B) {
+	var res *grid.Result
+	for i := 0; i < b.N; i++ {
+		res = replaySC98(1998)
+	}
+	rates := res.Total.Rates()
+	lastSteady := int(grid.JudgingAt / res.BucketWidth)
+	b.ReportMetric(trace.CoefficientOfVariation(rates[1:lastSteady]), "total_cv")
+	mean := 0.0
+	for _, v := range rates[1:lastSteady] {
+		mean += v
+	}
+	b.ReportMetric(mean/float64(lastSteady-1), "steady_mean_ops/s")
+}
+
+// BenchmarkFig4LogScale regenerates Figure 4: the Figure 3 data on a log
+// scale, exposing the full range of variability (the paper's series span
+// roughly 1e3..1e9 ops/s). The metric is the log10 span between the
+// largest and smallest nonzero per-infrastructure bucket rates.
+func BenchmarkFig4LogScale(b *testing.B) {
+	var res *grid.Result
+	for i := 0; i < b.N; i++ {
+		res = replaySC98(1998)
+	}
+	minRate, maxRate := 0.0, 0.0
+	for _, in := range grid.Infras() {
+		s := res.Perf.Series(string(in))
+		for j := 0; j < s.Buckets(); j++ {
+			v := s.Rate(j)
+			if v <= 0 {
+				continue
+			}
+			if minRate == 0 || v < minRate {
+				minRate = v
+			}
+			if v > maxRate {
+				maxRate = v
+			}
+		}
+	}
+	b.ReportMetric(log10(maxRate)-log10(minRate), "log10_span")
+	b.ReportMetric(maxRate, "max_ops/s")
+	b.ReportMetric(minRate, "min_ops/s")
+}
+
+func log10(v float64) float64 {
+	l := 0.0
+	for v >= 10 {
+		v /= 10
+		l++
+	}
+	for v > 0 && v < 1 {
+		v *= 10
+		l--
+	}
+	return l
+}
+
+// BenchmarkJavaInterpretedVsJIT regenerates the section 5.6 measurement:
+// an interpreted applet sustained 111,616 ops/s and a JIT-compiled one
+// 12,109,720 ops/s on a 300 MHz Pentium II (108.5x). Each sub-benchmark
+// replays a one-host Java scenario at the corresponding speed.
+func BenchmarkJavaInterpretedVsJIT(b *testing.B) {
+	run := func(b *testing.B, jitFraction float64, wantOps float64) {
+		prof, _ := grid.ProfileFor(grid.InfraJava)
+		prof.Hosts = 1
+		prof.JITFraction = jitFraction
+		prof.MeanUp = 0 // pin the applet up for the measurement
+		prof.SpeedJitter = 0
+		var res *grid.Result
+		for i := 0; i < b.N; i++ {
+			res = grid.RunSC98(grid.ScenarioConfig{
+				Seed:              7,
+				Duration:          time.Hour,
+				Profiles:          []grid.Profile{prof},
+				AdaptiveTimeouts:  true,
+				DisableJudging:    true,
+				DisableTestWindow: true,
+			})
+		}
+		// Average delivered rate over the steady buckets.
+		rates := res.Total.Rates()
+		sum := 0.0
+		for _, v := range rates[1 : len(rates)-1] {
+			sum += v
+		}
+		got := sum / float64(len(rates)-2)
+		b.ReportMetric(got, "ops/s")
+		b.ReportMetric(got/wantOps, "fraction_of_paper")
+	}
+	b.Run("interpreted", func(b *testing.B) { run(b, 0, grid.JavaInterpretedOpsPerSec) })
+	b.Run("jit", func(b *testing.B) { run(b, 1, grid.JavaJITOpsPerSec) })
+}
+
+// BenchmarkTimeoutDynamicVsStatic is the E7 ablation: the paper's claim
+// that dynamic time-out discovery was crucial — static time-outs misjudge
+// server availability under fluctuating load, causing needless retries.
+func BenchmarkTimeoutDynamicVsStatic(b *testing.B) {
+	run := func(b *testing.B, adaptive bool) {
+		var res *grid.Result
+		for i := 0; i < b.N; i++ {
+			res = grid.RunSC98(grid.ScenarioConfig{
+				Seed: 3, Duration: 3 * time.Hour, AdaptiveTimeouts: adaptive,
+			})
+		}
+		b.ReportMetric(float64(res.SpuriousTimeouts), "spurious_timeouts")
+		b.ReportMetric(float64(res.FailedReports), "failed_reports")
+		b.ReportMetric(res.LostOps, "lost_ops")
+	}
+	b.Run("dynamic", func(b *testing.B) { run(b, true) })
+	b.Run("static", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkGossipSyncScaling is the E8 ablation: each Gossip performs
+// pair-wise freshness comparisons, so synchronization cost grows
+// superlinearly with the number of registered components (N^2 comparisons
+// for N components, plus N state polls per round).
+func BenchmarkGossipSyncScaling(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("components_%d", n), func(b *testing.B) {
+			g := gossip.NewServer(gossip.ServerConfig{
+				ListenAddr:   "127.0.0.1:0",
+				SyncInterval: time.Hour, // rounds driven manually
+			})
+			if _, err := g.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			client := wire.NewClient(2 * time.Second)
+			defer client.Close()
+			var servers []*wire.Server
+			for i := 0; i < n; i++ {
+				srv := wire.NewServer()
+				srv.Logf = func(string, ...any) {}
+				addr, err := srv.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				servers = append(servers, srv)
+				agent := gossip.NewAgent(srv, addr)
+				if err := agent.Track("bench/state", gossip.CmpCounter, nil); err != nil {
+					b.Fatal(err)
+				}
+				agent.Set("bench/state", []byte(fmt.Sprintf("component %d", i)))
+				if err := agent.Register(client, g.Addr(), "bench/state", gossip.CmpCounter, 2*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+			defer func() {
+				for _, s := range servers {
+					s.Close()
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.SyncRound()
+			}
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkCondorSchedulerPlacement is the E9 ablation (section 5.4):
+// stateless schedulers executed inside the Condor pool die with
+// reclamation, and clients waste time locating viable servers; stationing
+// schedulers outside the pool performs better.
+func BenchmarkCondorSchedulerPlacement(b *testing.B) {
+	run := func(b *testing.B, inPool bool) {
+		var res *grid.CondorPlacementResult
+		for i := 0; i < b.N; i++ {
+			res = grid.RunCondorPlacement(grid.CondorPlacementConfig{
+				Seed: 11, SchedulerInPool: inPool,
+			})
+		}
+		b.ReportMetric(res.UsefulOps, "useful_ops")
+		b.ReportMetric(float64(res.SchedulerDeaths), "scheduler_deaths")
+		b.ReportMetric(res.WastedSeconds, "wasted_s")
+	}
+	b.Run("in_pool", func(b *testing.B) { run(b, true) })
+	b.Run("external", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkConsistencyCoefficient quantifies the section 7 "consistent"
+// criterion: the application draws power from the whole pool more
+// uniformly than any single infrastructure provides it.
+func BenchmarkConsistencyCoefficient(b *testing.B) {
+	var res *grid.Result
+	for i := 0; i < b.N; i++ {
+		res = replaySC98(1998)
+	}
+	lastSteady := int(grid.JudgingAt / res.BucketWidth)
+	totalCV := trace.CoefficientOfVariation(res.Total.Rates()[1:lastSteady])
+	b.ReportMetric(totalCV, "total_cv")
+	worst := 0.0
+	for _, in := range grid.Infras() {
+		cv := trace.CoefficientOfVariation(res.Perf.Series(string(in)).Rates()[1:lastSteady])
+		if cv > worst {
+			worst = cv
+		}
+		b.ReportMetric(cv, string(in)+"_cv")
+	}
+	b.ReportMetric(worst/totalCV, "uniformity_advantage")
+}

@@ -1,0 +1,101 @@
+// Command ew-client runs one EveryWare computational client: it contacts a
+// scheduling server for start-up parameters (no infrastructure-specific
+// environment needed, per section 5.1 of the paper), runs the assigned
+// Ramsey search heuristic, reports progress, and checkpoints verified
+// counter-examples through the Gossip and persistent state services.
+//
+// Usage:
+//
+//	ew-client -id client-7 -infra condor -sched host:9101 -gossip host:9001 -pstate host:9201
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"everyware/internal/core"
+)
+
+func main() {
+	id := flag.String("id", "", "client ID (defaults to the bound address)")
+	infra := flag.String("infra", "unix", "hosting infrastructure label")
+	scheds := flag.String("sched", "127.0.0.1:9101", "comma-separated scheduler addresses")
+	gossips := flag.String("gossip", "", "comma-separated Gossip addresses (optional)")
+	pstates := flag.String("pstate", "", "comma-separated persistent state manager addresses (optional)")
+	logs := flag.String("log", "", "comma-separated logging server addresses (optional)")
+	cycles := flag.Int("cycles", 0, "stop after this many cycles (0 = run until signalled)")
+	sample := flag.Int("sample-edges", 0, "bound per-step edge evaluations (0 = all)")
+	flag.Parse()
+
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		return strings.Split(s, ",")
+	}
+	comp := core.NewComponent(core.ComponentConfig{
+		ID:          *id,
+		Infra:       *infra,
+		Schedulers:  split(*scheds),
+		Gossips:     split(*gossips),
+		PStates:     split(*pstates),
+		LogServers:  split(*logs),
+		SampleEdges: *sample,
+	})
+	addr, err := comp.Start()
+	if err != nil {
+		log.Fatalf("ew-client: %v", err)
+	}
+	defer comp.Close()
+	fmt.Printf("ew-client: %s on %s (infra %s)\n", comp.Addr(), addr, *infra)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	start := time.Now()
+	lastOps := int64(0)
+	done := 0
+	for {
+		select {
+		case <-sig:
+			fmt.Println("ew-client: shutting down")
+			return
+		default:
+		}
+		n, err := comp.RunCycles(1)
+		if err != nil {
+			log.Printf("ew-client: cycle error: %v (retrying in 5s)", err)
+			time.Sleep(5 * time.Second)
+			continue
+		}
+		done += n
+		if comp.Runner().Stopped() {
+			fmt.Println("ew-client: scheduler directed stop")
+			return
+		}
+		if done%10 == 0 {
+			total := comp.Runner().Ops().Total()
+			rate := float64(total-lastOps) / time.Since(start).Seconds()
+			fmt.Printf("ew-client: %d cycles, %.3g ops/s sustained", done, rate)
+			if best := comp.Best(); best != nil {
+				fmt.Printf(", best known: R(%d) > %d", best.K, best.Coloring.N())
+			}
+			fmt.Println()
+			start, lastOps = time.Now(), total
+		}
+		if *cycles > 0 && done >= *cycles {
+			ce := comp.Best()
+			if ce != nil {
+				fmt.Printf("ew-client: finished %d cycles; best known: R(%d) > %d\n", done, ce.K, ce.Coloring.N())
+			} else {
+				fmt.Printf("ew-client: finished %d cycles\n", done)
+			}
+			return
+		}
+	}
+}

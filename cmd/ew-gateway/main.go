@@ -1,0 +1,81 @@
+// Command ew-gateway runs the Java-applet gateway of section 5.6 (mode
+// "serve"), or a simulated browser applet session against a gateway (mode
+// "applet"). The gateway lets browser visitors contribute cycles without
+// installing anything: applets fetch small work parcels and return
+// results, and the gateway carries the full EveryWare protocol on their
+// behalf.
+//
+// Usage:
+//
+//	ew-gateway -mode serve  -listen :9501 -sched host:9101
+//	ew-gateway -mode applet -gateway host:9501 -id visitor-7 -parcels 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"everyware/internal/applet"
+)
+
+func main() {
+	mode := flag.String("mode", "serve", "serve | applet")
+	listen := flag.String("listen", "127.0.0.1:9501", "gateway bind address (serve mode)")
+	scheds := flag.String("sched", "127.0.0.1:9101", "comma-separated scheduler addresses (serve mode)")
+	gateway := flag.String("gateway", "127.0.0.1:9501", "gateway address (applet mode)")
+	id := flag.String("id", "", "applet/visitor ID (applet mode)")
+	parcels := flag.Int("parcels", 10, "parcels to compute before leaving (applet mode)")
+	flag.Parse()
+
+	switch *mode {
+	case "serve":
+		g, err := applet.NewGateway(applet.GatewayConfig{
+			ListenAddr: *listen,
+			Schedulers: strings.Split(*scheds, ","),
+		})
+		if err != nil {
+			log.Fatalf("ew-gateway: %v", err)
+		}
+		addr, err := g.Start()
+		if err != nil {
+			log.Fatalf("ew-gateway: %v", err)
+		}
+		fmt.Printf("ew-gateway: serving applets on %s (schedulers %s)\n", addr, *scheds)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		ticker := time.NewTicker(15 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-sig:
+				g.Close()
+				return
+			case <-ticker.C:
+				p, r, f := g.Stats()
+				fmt.Printf("ew-gateway: %d parcels out, %d returned, %d counter-examples\n", p, r, f)
+			}
+		}
+	case "applet":
+		if *id == "" {
+			*id = fmt.Sprintf("visitor-%d", os.Getpid())
+		}
+		a := applet.NewApplet(*id, *gateway)
+		defer a.Close()
+		start := time.Now()
+		found, err := a.RunParcels(*parcels)
+		if err != nil {
+			log.Fatalf("ew-gateway: applet: %v", err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("applet %s: %d parcels, %d counter-examples, %d integer ops (%.3g ops/s)\n",
+			*id, *parcels, found, a.Ops(), float64(a.Ops())/elapsed.Seconds())
+	default:
+		log.Fatalf("ew-gateway: unknown mode %q", *mode)
+	}
+}

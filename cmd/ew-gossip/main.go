@@ -1,0 +1,68 @@
+// Command ew-gossip runs one EveryWare Gossip process: a member of the
+// distributed state exchange pool. Station a few at well-known addresses;
+// later Gossips join the pool by pointing -join at any of them, and the
+// pool partitions synchronization responsibility among itself via the NWS
+// clique protocol.
+//
+// Usage:
+//
+//	ew-gossip -listen :9001
+//	ew-gossip -listen :9002 -join host1:9001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"everyware/internal/gossip"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9001", "bind address")
+	advertise := flag.String("advertise", "", "advertised address (defaults to bind address)")
+	join := flag.String("join", "", "comma-separated well-known Gossip addresses to join")
+	sync := flag.Duration("sync", time.Second, "state synchronization interval")
+	verbose := flag.Bool("v", false, "log diagnostics")
+	flag.Parse()
+
+	cfg := gossip.ServerConfig{
+		ListenAddr:    *listen,
+		AdvertiseAddr: *advertise,
+		SyncInterval:  *sync,
+	}
+	if *join != "" {
+		cfg.WellKnown = strings.Split(*join, ",")
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv := gossip.NewServer(cfg)
+	addr, err := srv.Start()
+	if err != nil {
+		log.Fatalf("ew-gossip: %v", err)
+	}
+	fmt.Printf("ew-gossip: serving on %s (pool: %v)\n", addr, cfg.WellKnown)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("ew-gossip: shutting down")
+			srv.Close()
+			return
+		case <-ticker.C:
+			v := srv.PoolView()
+			fmt.Printf("ew-gossip: pool seq=%d leader=%s members=%d registrations=%d\n",
+				v.Seq, v.Leader, len(v.Members), len(srv.Registrations()))
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command ew-legion runs the Legion substrate translator: a single
+// monitoring point that bridges lingua franca messages to method
+// invocations on the combined scheduler + persistent-state service object
+// (the SC98 configuration of section 5.3).
+//
+// Usage:
+//
+//	ew-legion -listen :9601 -n 17 -k 4 -dir ./legion-state
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	// Register the counter-example validator for the embedded manager.
+	_ "everyware/internal/core"
+	"everyware/internal/legion"
+	"everyware/internal/pstate"
+	"everyware/internal/sched"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9601", "bind address")
+	n := flag.Int("n", 17, "vertices to color")
+	k := flag.Int("k", 4, "clique size to avoid")
+	dir := flag.String("dir", "./legion-state", "persistent state directory")
+	flag.Parse()
+
+	sv := sched.NewServer(sched.ServerConfig{N: *n, K: *k})
+	defer sv.Close()
+	ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: *dir})
+	if err != nil {
+		log.Fatalf("ew-legion: %v", err)
+	}
+	defer ps.Close()
+
+	tr := legion.NewTranslator()
+	if err := tr.Register(legion.NewServicesObject(sv, ps)); err != nil {
+		log.Fatalf("ew-legion: %v", err)
+	}
+	addr, err := tr.Start(*listen)
+	if err != nil {
+		log.Fatalf("ew-legion: %v", err)
+	}
+	defer tr.Close()
+	fmt.Printf("ew-legion: translator on %s, object %q (methods: report, store, fetch)\n",
+		addr, legion.ServicesObjectName)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(15 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("ew-legion: shutting down")
+			return
+		case <-ticker.C:
+			for _, st := range tr.Stats() {
+				fmt.Printf("ew-legion: %s.%s calls=%d errors=%d\n", st.Object, st.Method, st.Calls, st.Errors)
+			}
+		}
+	}
+}

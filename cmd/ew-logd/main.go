@@ -1,0 +1,60 @@
+// Command ew-logd runs the EveryWare distributed logging server.
+// Scheduling servers forward client performance reports here before
+// discarding them; the recorded stream is what the evaluation figures are
+// computed from.
+//
+// Usage:
+//
+//	ew-logd -listen :9301 -file everyware.log -max-file-bytes 104857600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"everyware/internal/logsvc"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9301", "bind address")
+	file := flag.String("file", "", "append entries to this file (optional)")
+	maxBytes := flag.Int64("max-file-bytes", 0, "stop file appends beyond this size (0 = unlimited)")
+	ring := flag.Int("ring", 65536, "in-memory ring buffer entries")
+	flag.Parse()
+
+	srv, err := logsvc.NewServer(logsvc.ServerConfig{
+		ListenAddr:   *listen,
+		File:         *file,
+		MaxFileBytes: *maxBytes,
+		MaxEntries:   *ring,
+	})
+	if err != nil {
+		log.Fatalf("ew-logd: %v", err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		log.Fatalf("ew-logd: %v", err)
+	}
+	fmt.Printf("ew-logd: serving on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("ew-logd: shutting down")
+			srv.Close()
+			return
+		case <-ticker.C:
+			appended, dropped := srv.Stats()
+			fmt.Printf("ew-logd: %d entries (%d dropped by file quota)\n", appended, dropped)
+		}
+	}
+}

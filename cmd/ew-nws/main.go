@@ -1,0 +1,90 @@
+// Command ew-nws runs the Network Weather Service in one of two modes:
+//
+//   - memory: the measurement memory and forecasting daemon that
+//     EveryWare components query for short-term resource performance
+//     predictions;
+//   - sensor: a host sensor that periodically measures local CPU
+//     availability and network round-trip times to peers, reporting to a
+//     memory.
+//
+// Usage:
+//
+//	ew-nws -mode memory -listen :9401
+//	ew-nws -mode sensor -name hostA -memory host:9401 -peers host2:9001,host3:9101
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"everyware/internal/nws"
+)
+
+func main() {
+	mode := flag.String("mode", "memory", "memory | sensor")
+	listen := flag.String("listen", "127.0.0.1:9401", "memory bind address")
+	name := flag.String("name", "", "sensor host name")
+	memory := flag.String("memory", "127.0.0.1:9401", "memory address (sensor mode)")
+	peers := flag.String("peers", "", "comma-separated peer addresses to measure RTT to")
+	period := flag.Duration("period", 10*time.Second, "sensor measurement period")
+	flag.Parse()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	switch *mode {
+	case "memory":
+		m := nws.NewMemory()
+		addr, err := m.Start(*listen)
+		if err != nil {
+			log.Fatalf("ew-nws: %v", err)
+		}
+		fmt.Printf("ew-nws: memory serving on %s\n", addr)
+		ticker := time.NewTicker(30 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-sig:
+				m.Close()
+				return
+			case <-ticker.C:
+				keys := m.Keys()
+				fmt.Printf("ew-nws: %d series tracked\n", len(keys))
+				for _, k := range keys {
+					if f, ok := m.Forecast(k); ok {
+						fmt.Printf("  %s/%s: %.4g (%s, %d samples)\n",
+							k.Resource, k.Event, f.Value, f.Method, f.Samples)
+					}
+				}
+			}
+		}
+	case "sensor":
+		if *name == "" {
+			host, _ := os.Hostname()
+			*name = host
+		}
+		var peerList []string
+		if *peers != "" {
+			peerList = strings.Split(*peers, ",")
+		}
+		s := nws.NewSensor(nws.SensorConfig{
+			Name:       *name,
+			MemoryAddr: *memory,
+			Peers:      peerList,
+			Period:     *period,
+		})
+		s.Start()
+		fmt.Printf("ew-nws: sensor %q reporting to %s every %v (peers: %v)\n",
+			*name, *memory, *period, peerList)
+		<-sig
+		s.Close()
+	default:
+		log.Fatalf("ew-nws: unknown mode %q", *mode)
+	}
+}

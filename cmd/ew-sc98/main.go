@@ -1,0 +1,203 @@
+// Command ew-sc98 replays the SC98 High-Performance Computing Challenge
+// evaluation window and regenerates every table and figure from the
+// paper's results section (Figures 2, 3a-c, 4a-c, the section 5.6 Java
+// measurements, and the qualitative claims reproduced as ablations).
+//
+// Usage:
+//
+//	ew-sc98 -fig 2                 # Figure 2: sustained total rate
+//	ew-sc98 -fig 3a -csv           # Figure 3a as CSV
+//	ew-sc98 -fig 4                 # Figure 4: log-scale series
+//	ew-sc98 -fig java              # section 5.6 JIT vs interpreted
+//	ew-sc98 -fig timeouts          # dynamic vs static time-out ablation
+//	ew-sc98 -fig condor            # scheduler placement ablation
+//	ew-sc98 -fig consistency       # the "consistent" Grid criterion
+//	ew-sc98 -fig all               # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"everyware/internal/grid"
+	"everyware/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "2 | 3a | 3b | 3c | 4 | java | timeouts | condor | consistency | all")
+	seed := flag.Int64("seed", 1998, "scenario seed")
+	duration := flag.Duration("duration", grid.SC98Duration, "window length")
+	csv := flag.Bool("csv", false, "emit CSV instead of charts")
+	out := flag.String("out", "", "also export all figure CSVs to this directory")
+	flag.Parse()
+
+	needReplay := map[string]bool{"2": true, "3a": true, "3b": true, "3c": true, "4": true,
+		"consistency": true, "all": true}
+	var res *grid.Result
+	if needReplay[*fig] {
+		fmt.Fprintf(os.Stderr, "ew-sc98: replaying the 12-hour SC98 window (seed %d)...\n", *seed)
+		res = grid.RunSC98(grid.ScenarioConfig{Seed: *seed, Duration: *duration, AdaptiveTimeouts: true})
+		if *out != "" {
+			if err := res.ExportFigureData(*out); err != nil {
+				log.Fatalf("ew-sc98: export: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "ew-sc98: figure CSVs written to %s\n", *out)
+		}
+	}
+
+	switch *fig {
+	case "2":
+		figure2(res, *csv)
+	case "3a":
+		figure3a(res, *csv, false)
+	case "3b":
+		figure3b(res, *csv, false)
+	case "3c":
+		figure2(res, *csv) // Figure 3c reproduces Figure 2 for comparison
+	case "4":
+		figure3a(res, *csv, true)
+		figure3b(res, *csv, true)
+		figure4c(res)
+	case "java":
+		javaTable()
+	case "timeouts":
+		timeoutAblation(*seed)
+	case "condor":
+		condorAblation(*seed)
+	case "consistency":
+		consistency(res)
+	case "all":
+		figure2(res, *csv)
+		figure3a(res, *csv, false)
+		figure3b(res, *csv, false)
+		figure4c(res)
+		javaTable()
+		timeoutAblation(*seed)
+		condorAblation(*seed)
+		consistency(res)
+	default:
+		log.Fatalf("ew-sc98: unknown figure %q", *fig)
+	}
+}
+
+func figure2(res *grid.Result, csv bool) {
+	fmt.Println("== Figure 2: Sustained Application Performance (5-minute averages) ==")
+	rates := res.Total.Rates()
+	if csv {
+		fmt.Println("time,ops_per_sec")
+		for i, r := range rates {
+			fmt.Printf("%s,%.6g\n", res.Total.BucketTime(i).Format("15:04:05"), r)
+		}
+	} else {
+		fmt.Print(trace.RenderASCII("total ops/s", rates, 12, false))
+	}
+	peak, at := res.PeakRate()
+	fmt.Printf("peak sustained rate: %.3g ops/s at %s (paper: 2.39e9 between 09:51 and 09:56)\n",
+		peak, at.Format("15:04"))
+	fmt.Printf("judging trough:      %.3g ops/s (paper: 1.1e9)\n",
+		res.MinRateBetween(grid.JudgingAt, grid.JudgingAt+15*time.Minute))
+	fmt.Printf("recovery by 11:12:   %.3g ops/s (paper: 2.0e9 by 11:10)\n\n",
+		res.RateAt(grid.JudgingAt+12*time.Minute))
+}
+
+func figure3a(res *grid.Result, csv, logScale bool) {
+	title := "Figure 3a: Sustained Processing Rate by Infrastructure"
+	if logScale {
+		title = "Figure 4a: Rate by Infrastructure (log scale)"
+	}
+	fmt.Printf("== %s ==\n", title)
+	if csv {
+		res.Perf.WriteCSV(os.Stdout, "rate")
+	} else {
+		for _, in := range grid.Infras() {
+			s := res.Perf.Series(string(in))
+			fmt.Print(trace.RenderASCII(string(in)+" ops/s", s.Rates(), 6, logScale))
+		}
+	}
+	fmt.Println()
+}
+
+func figure3b(res *grid.Result, csv, logScale bool) {
+	title := "Figure 3b: Host Count by Infrastructure"
+	if logScale {
+		title = "Figure 4b: Host Count by Infrastructure (log scale)"
+	}
+	fmt.Printf("== %s ==\n", title)
+	if csv {
+		res.Hosts.WriteCSV(os.Stdout, "mean")
+	} else {
+		for _, in := range grid.Infras() {
+			s := res.Hosts.Series(string(in))
+			fmt.Print(trace.RenderASCII(string(in)+" hosts", s.Means(), 5, logScale))
+		}
+	}
+	fmt.Println()
+}
+
+func figure4c(res *grid.Result) {
+	fmt.Println("== Figure 4c: Total Program Performance (log scale) ==")
+	fmt.Print(trace.RenderASCII("log10 total ops/s", res.Total.Rates(), 10, true))
+	fmt.Println()
+}
+
+func javaTable() {
+	fmt.Println("== Section 5.6: Java applet performance (300 MHz Pentium II) ==")
+	fmt.Printf("%-22s %18s\n", "configuration", "integer ops/s")
+	fmt.Printf("%-22s %18.0f\n", "interpreted applet", grid.JavaInterpretedOpsPerSec)
+	fmt.Printf("%-22s %18.0f\n", "JIT-compiled applet", grid.JavaJITOpsPerSec)
+	fmt.Printf("speedup: %.1fx (paper: 12,109,720 / 111,616 = 108.5x)\n\n",
+		grid.JavaJITOpsPerSec/grid.JavaInterpretedOpsPerSec)
+}
+
+func timeoutAblation(seed int64) {
+	fmt.Println("== Section 2.2 ablation: dynamic vs static time-out discovery ==")
+	dyn := grid.RunSC98(grid.ScenarioConfig{Seed: seed, Duration: 3 * time.Hour, AdaptiveTimeouts: true})
+	stat := grid.RunSC98(grid.ScenarioConfig{Seed: seed, Duration: 3 * time.Hour, AdaptiveTimeouts: false})
+	fmt.Printf("%-10s %16s %16s %14s\n", "mode", "spurious t/o", "failed reports", "lost ops")
+	fmt.Printf("%-10s %16d %16d %14.3g\n", "dynamic", dyn.SpuriousTimeouts, dyn.FailedReports, dyn.LostOps)
+	fmt.Printf("%-10s %16d %16d %14.3g\n", "static", stat.SpuriousTimeouts, stat.FailedReports, stat.LostOps)
+	fmt.Println("(the paper: static time-outs caused needless retries and reconfigurations)")
+	fmt.Println()
+}
+
+func condorAblation(seed int64) {
+	fmt.Println("== Section 5.4 ablation: scheduler placement vs Condor reclamation ==")
+	in := grid.RunCondorPlacement(grid.CondorPlacementConfig{Seed: seed, SchedulerInPool: true})
+	out := grid.RunCondorPlacement(grid.CondorPlacementConfig{Seed: seed, SchedulerInPool: false})
+	fmt.Printf("%-14s %14s %14s %14s %12s\n", "placement", "useful ops", "sched deaths", "locate events", "wasted (s)")
+	fmt.Printf("%-14s %14.4g %14d %14d %12.0f\n", "in Condor pool", in.UsefulOps, in.SchedulerDeaths, in.LocateEvents, in.WastedSeconds)
+	fmt.Printf("%-14s %14.4g %14d %14d %12.0f\n", "external", out.UsefulOps, out.SchedulerDeaths, out.LocateEvents, out.WastedSeconds)
+	fmt.Printf("external advantage: %.1f%% more useful work\n\n",
+		100*(out.UsefulOps-in.UsefulOps)/in.UsefulOps)
+}
+
+func consistency(res *grid.Result) {
+	fmt.Println("== Section 7 'consistent' criterion: uniformity of delivered power ==")
+	// Drop warm-up and post-judging buckets: the criterion concerns the
+	// steady pre-competition window.
+	rates := res.Total.Rates()
+	lastSteady := int(grid.JudgingAt / res.BucketWidth)
+	if lastSteady > len(rates) {
+		lastSteady = len(rates)
+	}
+	if lastSteady < 2 {
+		fmt.Println("(window too short for a steady-state analysis)")
+		return
+	}
+	steady := rates[1:lastSteady]
+	fmt.Printf("%-10s %22s\n", "series", "coeff. of variation")
+	fmt.Printf("%-10s %22.3f\n", "total", trace.CoefficientOfVariation(steady))
+	worst := 0.0
+	for _, in := range grid.Infras() {
+		s := res.Perf.Series(string(in))
+		cv := trace.CoefficientOfVariation(s.Rates()[1:lastSteady])
+		fmt.Printf("%-10s %22.3f\n", in, cv)
+		worst = math.Max(worst, cv)
+	}
+	fmt.Printf("total draws power %.1fx more uniformly than the most variable infrastructure\n\n",
+		worst/math.Max(trace.CoefficientOfVariation(steady), 1e-9))
+}

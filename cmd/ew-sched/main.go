@@ -1,0 +1,66 @@
+// Command ew-sched runs one EveryWare scheduling server. Clients report
+// progress to it and receive control directives; the server migrates work
+// from forecast-slow clients to forecast-fast ones and verifies every
+// counter-example reported.
+//
+// Usage:
+//
+//	ew-sched -listen :9101 -n 17 -k 4 -log host:9301
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"everyware/internal/sched"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9101", "bind address")
+	n := flag.Int("n", 17, "vertices to color (searching R(k) counter-examples on n vertices)")
+	k := flag.Int("k", 4, "clique size to avoid")
+	steps := flag.Int64("steps", 2000, "heuristic steps per client report")
+	logAddr := flag.String("log", "", "logging server address (optional)")
+	migrate := flag.Float64("migrate-below", 0.25, "migrate work from clients forecast below this fraction of the pool median (0 disables)")
+	flag.Parse()
+
+	srv := sched.NewServer(sched.ServerConfig{
+		ListenAddr:           *listen,
+		N:                    *n,
+		K:                    *k,
+		DefaultSteps:         *steps,
+		LogAddr:              *logAddr,
+		MigrateBelowFraction: *migrate,
+	})
+	addr, err := srv.Start()
+	if err != nil {
+		log.Fatalf("ew-sched: %v", err)
+	}
+	fmt.Printf("ew-sched: serving on %s (R(%d) counter-examples on %d vertices)\n", addr, *k, *n)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("ew-sched: shutting down")
+			srv.Close()
+			return
+		case <-ticker.C:
+			reports, migrations, clients := srv.Stats()
+			fmt.Printf("ew-sched: clients=%d reports=%d migrations=%d found=%d\n",
+				clients, reports, migrations, len(srv.Found()))
+			for _, ce := range srv.Found() {
+				fmt.Printf("ew-sched: counter-example R(%d) > %d by %s\n",
+					ce.K, ce.Coloring.N(), ce.Finder)
+			}
+		}
+	}
+}

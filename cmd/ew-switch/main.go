@@ -1,0 +1,168 @@
+// Command ew-switch demonstrates the Globus "light switch" of Figure 5: a
+// single point of control that activates and deactivates the
+// Globus-enabled application components.
+//
+// It assembles the full workflow on one machine: an MDS directory, a GASS
+// binary repository, gatekeepers for three platforms, and an EveryWare
+// service constellation. Flipping the switch on queries the MDS,
+// authenticates against each gatekeeper, stages the platform binary via
+// GASS ($(ARCH) substitution), and launches real in-process EveryWare
+// compute clients via GRAM; they search for Ramsey counter-examples until
+// the switch is flipped off.
+//
+// Usage:
+//
+//	ew-switch -per-site 2 -run 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"everyware/internal/core"
+	"everyware/internal/globus"
+	"everyware/internal/wire"
+)
+
+func main() {
+	perSite := flag.Int("per-site", 2, "max clients per gatekeeper")
+	runFor := flag.Duration("run", 10*time.Second, "how long to leave the switch on")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "ew-switch-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// EveryWare services the launched clients will use.
+	dep, err := core.StartDeployment(core.DeploymentConfig{
+		N: 17, K: 4, StepsPerCycle: 1500, PStateDir: dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	// Globus substrate: directory, repository, gatekeepers.
+	mds := globus.NewMDS()
+	if _, err := mds.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer mds.Close()
+	gass := globus.NewGASS(0)
+	if _, err := gass.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer gass.Close()
+	archs := []string{"x86-nt", "sparc-solaris", "alpha-unix"}
+	for _, arch := range archs {
+		// The repository holds "pre-compiled binaries" per platform; the
+		// in-process launcher only needs them to exist.
+		if err := gass.Put("clients/"+arch+"/ew-client", []byte("ew-client image for "+arch)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A launcher that starts a real EveryWare component per GRAM job.
+	var mu sync.Mutex
+	components := map[string]*core.Component{}
+	mkLauncher := func(site, infra string) globus.Launcher {
+		return func(job *globus.Job) (globus.Process, error) {
+			comp := core.NewComponent(dep.NewComponentConfig(
+				fmt.Sprintf("%s-job%d", site, job.ID), infra))
+			if _, err := comp.Start(); err != nil {
+				return nil, err
+			}
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := comp.RunCycles(1); err != nil {
+						return
+					}
+				}
+			}()
+			mu.Lock()
+			components[fmt.Sprintf("%s/%d", site, job.ID)] = comp
+			mu.Unlock()
+			var once sync.Once
+			proc := procFunc(func() {
+				once.Do(func() {
+					close(stop)
+					<-done
+					comp.Close()
+				})
+			})
+			return proc, nil
+		}
+	}
+
+	sites := []struct{ name, arch, infra string }{
+		{"ncsa-nt-cluster", "x86-nt", "nt"},
+		{"sdsc-sparc", "sparc-solaris", "unix"},
+		{"utk-alpha", "alpha-unix", "netsolve"},
+	}
+	var gatekeepers []*globus.Gatekeeper
+	for _, s := range sites {
+		gk := globus.NewGatekeeper(globus.GatekeeperConfig{
+			Name: s.name, Arch: s.arch, Nodes: *perSite,
+			Credential: "sc98-demo", Launch: mkLauncher(s.name, s.infra),
+		})
+		if _, err := gk.Start("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		defer gk.Close()
+		gatekeepers = append(gatekeepers, gk)
+		mds.Register(gk.Record())
+	}
+
+	wc := wire.NewClient(2 * time.Second)
+	defer wc.Close()
+	sw := globus.NewLightSwitch(wc, mds.Addr(), gass.Addr(), "rich", "sc98-demo", "clients/$(ARCH)/ew-client")
+	sw.MaxPerSite = *perSite
+
+	fmt.Println("flipping the switch ON...")
+	launched, err := sw.On()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range launched {
+		fmt.Printf("  launched job %d at %s (%s) via %s\n", l.JobID, l.Site, l.Arch, l.Gatekeeper)
+	}
+	fmt.Printf("%d clients drawing power; running for %v...\n", len(launched), *runFor)
+	time.Sleep(*runFor)
+
+	fmt.Println("flipping the switch OFF...")
+	n := sw.Off()
+	fmt.Printf("cancelled %d jobs\n", n)
+
+	totalOps := int64(0)
+	mu.Lock()
+	for _, comp := range components {
+		if comp.Runner() != nil {
+			totalOps += comp.Runner().Ops().Total()
+		}
+	}
+	mu.Unlock()
+	fmt.Printf("useful work delivered while on: %d integer ops\n", totalOps)
+	found := 0
+	for _, s := range dep.Schedulers() {
+		found += len(s.Found())
+	}
+	fmt.Printf("counter-examples verified by the schedulers: %d\n", found)
+}
+
+type procFunc func()
+
+func (f procFunc) Stop() { f() }

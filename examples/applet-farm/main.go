@@ -1,0 +1,77 @@
+// Applet-farm: the section 5.6 browser path.
+//
+// At SC98, anyone with a Java-enabled browser could contribute cycles to
+// the Ramsey search by visiting a page — "a campus coffee shop at UCSD"
+// appears in the paper's conclusions. This example starts the EveryWare
+// scheduling service, an applet gateway, and a handful of simulated
+// browser visitors. Each visitor fetches small work parcels, computes
+// them, and leaves; the gateway speaks full EveryWare on their behalf, so
+// the schedulers see ordinary clients under the "java" infrastructure.
+//
+// Run with:
+//
+//	go run ./examples/applet-farm
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"everyware/internal/applet"
+	"everyware/internal/core"
+)
+
+func main() {
+	dep, err := core.StartDeployment(core.DeploymentConfig{
+		N: 5, K: 3, StepsPerCycle: 2500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	gw, err := applet.NewGateway(applet.GatewayConfig{
+		ListenAddr: "127.0.0.1:0",
+		Schedulers: dep.SchedAddrs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := gw.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	fmt.Printf("gateway on %s bridging to schedulers %v\n", gw.Addr(), dep.SchedAddrs)
+
+	// Five browser visitors, each computing a short session of parcels.
+	var wg sync.WaitGroup
+	results := make([]string, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := applet.NewApplet(fmt.Sprintf("visitor-%d", i), gw.Addr())
+			defer a.Close()
+			found, err := a.RunParcels(6)
+			if err != nil {
+				results[i] = fmt.Sprintf("visitor-%d: error: %v", i, err)
+				return
+			}
+			results[i] = fmt.Sprintf("visitor-%d: 6 parcels, %d counter-examples, %d integer ops",
+				i, found, a.Ops())
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range results {
+		fmt.Println(r)
+	}
+
+	parcels, returns, founds := gw.Stats()
+	fmt.Printf("gateway: %d parcels out, %d returned, %d counter-examples\n", parcels, returns, founds)
+	for _, s := range dep.Schedulers() {
+		for _, ce := range s.Found() {
+			fmt.Printf("scheduler verified: R(%d) > %d by %s\n", ce.K, ce.Coloring.N(), ce.Finder)
+		}
+	}
+}

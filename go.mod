@@ -1,0 +1,3 @@
+module everyware
+
+go 1.22

@@ -1,0 +1,18 @@
+package applet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: parcel decoders survive arbitrary bytes from rogue applets.
+func TestQuickDecodersNeverPanic(t *testing.T) {
+	f := func(raw []byte) bool {
+		DecodeParcel(raw)
+		DecodeParcelResult(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

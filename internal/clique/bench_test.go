@@ -1,0 +1,39 @@
+package clique
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMessageEncodeDecode(b *testing.B) {
+	members := make([]string, 16)
+	for i := range members {
+		members[i] = fmt.Sprintf("host-%02d:9000", i)
+	}
+	msg := &Message{
+		Kind:  KindToken,
+		From:  members[0],
+		View:  View{Seq: 12, Leader: members[0], Members: members},
+		Token: &Token{Origin: members[0], Seq: 12, Members: members, Visited: members[:8]},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := EncodeMessage(msg)
+		if _, err := DecodeMessage(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortedUnion(b *testing.B) {
+	a := make([]string, 32)
+	c := make([]string, 32)
+	for i := range a {
+		a[i] = fmt.Sprintf("a-%02d", i)
+		c[i] = fmt.Sprintf("c-%02d", i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sortedUnion(a, c)
+	}
+}

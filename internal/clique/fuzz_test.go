@@ -1,0 +1,18 @@
+package clique
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the clique message decoder survives arbitrary bytes from the
+// network.
+func TestQuickDecodeMessageNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		DecodeMessage(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

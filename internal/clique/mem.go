@@ -1,0 +1,143 @@
+package clique
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemNetwork is an in-process message fabric for tests and simulation. It
+// supports deterministic partition injection: endpoints are assigned to
+// partition groups, and Send fails with ErrUnreachable across group
+// boundaries — modelling the SC98 network partitions the clique protocol
+// had to survive.
+type MemNetwork struct {
+	mu        sync.Mutex
+	endpoints map[string]*MemTransport
+	group     map[string]int // partition group per endpoint; default 0
+}
+
+// NewMemNetwork returns an empty fabric with all endpoints connected.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{
+		endpoints: make(map[string]*MemTransport),
+		group:     make(map[string]int),
+	}
+}
+
+// Endpoint creates (or returns) the transport with the given ID.
+func (n *MemNetwork) Endpoint(id string) *MemTransport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.endpoints[id]; ok {
+		return t
+	}
+	t := &MemTransport{net: n, id: id, inbox: make(chan *Message, 256), done: make(chan struct{})}
+	go t.loop()
+	n.endpoints[id] = t
+	return t
+}
+
+// SetPartition assigns id to a partition group. Messages flow only within
+// a group. Group 0 is the default connected component.
+func (n *MemNetwork) SetPartition(id string, group int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group[id] = group
+}
+
+// Heal moves every endpoint back to group 0.
+func (n *MemNetwork) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.group {
+		n.group[id] = 0
+	}
+}
+
+// Kill removes the endpoint entirely, modelling host failure.
+func (n *MemNetwork) Kill(id string) {
+	n.mu.Lock()
+	t, ok := n.endpoints[id]
+	if ok {
+		delete(n.endpoints, id)
+	}
+	n.mu.Unlock()
+	if ok {
+		t.close()
+	}
+}
+
+func (n *MemNetwork) send(from, to string, msg *Message) error {
+	n.mu.Lock()
+	dst, ok := n.endpoints[to]
+	sameGroup := n.group[from] == n.group[to]
+	n.mu.Unlock()
+	if !ok || !sameGroup {
+		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+	select {
+	case dst.inbox <- msg:
+		return nil
+	case <-dst.done:
+		return fmt.Errorf("%w: %s closed", ErrUnreachable, to)
+	}
+}
+
+// MemTransport is one endpoint on a MemNetwork.
+type MemTransport struct {
+	net   *MemNetwork
+	id    string
+	inbox chan *Message
+	done  chan struct{}
+
+	hmu     sync.RWMutex
+	handler func(*Message)
+
+	closeOnce sync.Once
+}
+
+// Self returns the endpoint ID.
+func (t *MemTransport) Self() string { return t.id }
+
+// Send delivers msg to peer `to`, failing across partitions.
+func (t *MemTransport) Send(to string, msg *Message) error {
+	return t.net.send(t.id, to, msg)
+}
+
+// SetHandler installs the receive callback.
+func (t *MemTransport) SetHandler(h func(*Message)) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.handler = h
+}
+
+func (t *MemTransport) loop() {
+	for {
+		select {
+		case msg := <-t.inbox:
+			t.hmu.RLock()
+			h := t.handler
+			t.hmu.RUnlock()
+			if h != nil {
+				h(msg)
+			}
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func (t *MemTransport) close() {
+	t.closeOnce.Do(func() { close(t.done) })
+}
+
+// Close removes the endpoint from its network.
+func (t *MemTransport) Close() error {
+	t.net.mu.Lock()
+	if t.net.endpoints[t.id] == t {
+		delete(t.net.endpoints, t.id)
+	}
+	t.net.mu.Unlock()
+	t.close()
+	return nil
+}

@@ -1,0 +1,174 @@
+package clique
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"everyware/internal/wire"
+)
+
+// MsgClique is the lingua franca message type carrying clique protocol
+// messages between daemons.
+const MsgClique wire.MsgType = 10
+
+// encodeStrings appends a length-prefixed string list.
+func encodeStrings(e *wire.Encoder, ss []string) {
+	e.PutUint32(uint32(len(ss)))
+	for _, s := range ss {
+		e.PutString(s)
+	}
+}
+
+func decodeStrings(d *wire.Decoder) ([]string, error) {
+	n, err := d.Count(4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func encodeView(e *wire.Encoder, v View) {
+	e.PutUint64(v.Seq)
+	e.PutString(v.Leader)
+	encodeStrings(e, v.Members)
+}
+
+func decodeView(d *wire.Decoder) (View, error) {
+	var v View
+	var err error
+	if v.Seq, err = d.Uint64(); err != nil {
+		return v, err
+	}
+	if v.Leader, err = d.String(); err != nil {
+		return v, err
+	}
+	v.Members, err = decodeStrings(d)
+	return v, err
+}
+
+// EncodeMessage serializes a clique Message into lingua franca payload
+// bytes.
+func EncodeMessage(m *Message) []byte {
+	var e wire.Encoder
+	e.PutUint8(uint8(m.Kind))
+	e.PutString(m.From)
+	encodeView(&e, m.View)
+	if m.Token != nil {
+		e.PutBool(true)
+		e.PutString(m.Token.Origin)
+		e.PutUint64(m.Token.Seq)
+		encodeStrings(&e, m.Token.Members)
+		encodeStrings(&e, m.Token.Visited)
+		encodeStrings(&e, m.Token.Failed)
+	} else {
+		e.PutBool(false)
+	}
+	return e.Bytes()
+}
+
+// DecodeMessage parses payload bytes produced by EncodeMessage.
+func DecodeMessage(payload []byte) (*Message, error) {
+	d := wire.NewDecoder(payload)
+	var m Message
+	k, err := d.Uint8()
+	if err != nil {
+		return nil, err
+	}
+	m.Kind = Kind(k)
+	if m.From, err = d.String(); err != nil {
+		return nil, err
+	}
+	if m.View, err = decodeView(d); err != nil {
+		return nil, err
+	}
+	hasToken, err := d.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasToken {
+		t := &Token{}
+		if t.Origin, err = d.String(); err != nil {
+			return nil, err
+		}
+		if t.Seq, err = d.Uint64(); err != nil {
+			return nil, err
+		}
+		if t.Members, err = decodeStrings(d); err != nil {
+			return nil, err
+		}
+		if t.Visited, err = decodeStrings(d); err != nil {
+			return nil, err
+		}
+		if t.Failed, err = decodeStrings(d); err != nil {
+			return nil, err
+		}
+		m.Token = t
+	}
+	return &m, nil
+}
+
+// TCPTransport carries the clique protocol over the lingua franca. The
+// transport attaches to an existing wire.Server (so a Gossip daemon serves
+// clique traffic on its ordinary service port) and sends via a shared
+// wire.Client.
+type TCPTransport struct {
+	self    string
+	client  *wire.Client
+	timeout time.Duration
+
+	hmu     sync.RWMutex
+	handler func(*Message)
+}
+
+// NewTCPTransport registers clique handling on srv and returns a transport
+// whose ID is selfAddr (the server's public address). sendTimeout bounds
+// each Send; unreachable peers surface as ErrUnreachable.
+func NewTCPTransport(srv *wire.Server, selfAddr string, client *wire.Client, sendTimeout time.Duration) *TCPTransport {
+	t := &TCPTransport{self: selfAddr, client: client, timeout: sendTimeout}
+	srv.Register(MsgClique, wire.HandlerFunc(func(_ string, req *wire.Packet) (*wire.Packet, error) {
+		m, err := DecodeMessage(req.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("clique: decode: %w", err)
+		}
+		t.hmu.RLock()
+		h := t.handler
+		t.hmu.RUnlock()
+		if h != nil {
+			h(m)
+		}
+		return &wire.Packet{Type: MsgClique}, nil // bare ack
+	}))
+	return t
+}
+
+// Self returns the transport's advertised address.
+func (t *TCPTransport) Self() string { return t.self }
+
+// Send delivers msg to the peer daemon at `to`, returning ErrUnreachable on
+// connect failure or ack timeout.
+func (t *TCPTransport) Send(to string, msg *Message) error {
+	req := &wire.Packet{Type: MsgClique, Payload: EncodeMessage(msg)}
+	if _, err := t.client.Call(to, req, t.timeout); err != nil {
+		return fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+	}
+	return nil
+}
+
+// SetHandler installs the receive callback.
+func (t *TCPTransport) SetHandler(h func(*Message)) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.handler = h
+}
+
+// Close is a no-op; the owning daemon closes the server and client.
+func (t *TCPTransport) Close() error { return nil }

@@ -1,0 +1,424 @@
+// Package core is the EveryWare toolkit facade: it assembles the three
+// toolkit components — the lingua franca (everyware/internal/wire), the
+// forecasting services (everyware/internal/forecast), and the distributed
+// state exchange service (everyware/internal/gossip) — together with the
+// application-specific services (scheduling, persistent state, logging)
+// into deployable application components, exactly as Figure 1 of the paper
+// wires them.
+//
+// The paper classifies program state three ways (section 3.1.2); the
+// toolkit reflects the taxonomy directly:
+//
+//   - local state lives in ordinary process memory and may be lost;
+//   - volatile-but-replicated state is published through the Gossip
+//     service (Component.Publish / OnReplicated);
+//   - persistent state is check-pointed through the persistent state
+//     managers, which validate it before storing
+//     (Component.Checkpoint).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"everyware/internal/forecast"
+	"everyware/internal/gossip"
+	"everyware/internal/logsvc"
+	"everyware/internal/pstate"
+	"everyware/internal/ramsey"
+	"everyware/internal/sched"
+	"everyware/internal/wire"
+)
+
+// CounterExampleClass is the persistent-state object class for Ramsey
+// counter-examples. The class validator re-verifies every stored witness —
+// the paper's run-time sanity check.
+const CounterExampleClass = "ramsey/counterexample"
+
+// BestStateKey is the Gossip key under which components replicate the best
+// counter-example found so far.
+const BestStateKey = "ramsey/best"
+
+// SchedulerRosterKey is the Gossip key under which scheduler birth and
+// death information circulates (section 5.4 of the paper): clients learn
+// the currently viable scheduling servers from the Gossip service instead
+// of a static list.
+const SchedulerRosterKey = "everyware/schedulers"
+
+// EncodeRoster serializes a scheduler address list for Gossip transport.
+func EncodeRoster(addrs []string) []byte {
+	var e wire.Encoder
+	e.PutUint32(uint32(len(addrs)))
+	for _, a := range addrs {
+		e.PutString(a)
+	}
+	return e.Bytes()
+}
+
+// DecodeRoster parses an encoded scheduler address list.
+func DecodeRoster(p []byte) ([]string, error) {
+	d := wire.NewDecoder(p)
+	n, err := d.Count(4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		a, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func init() {
+	err := pstate.RegisterValidator(CounterExampleClass, func(name string, data []byte) error {
+		ce, err := ramsey.DecodeCounterExample(data)
+		if err != nil {
+			return fmt.Errorf("core: undecodable counter-example: %w", err)
+		}
+		return ce.Verify()
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// ComponentConfig wires one application component into the EveryWare
+// services.
+type ComponentConfig struct {
+	// ID uniquely identifies the component (defaults to its bound
+	// address).
+	ID string
+	// Infra labels the hosting infrastructure for the evaluation
+	// breakdown ("unix", "condor", ...).
+	Infra string
+	// ListenAddr is the component's lingua franca bind address (":0"
+	// works).
+	ListenAddr string
+	// Schedulers, Gossips, PStates and LogServers list the service
+	// addresses. Schedulers is required for compute components; the rest
+	// are optional.
+	Schedulers []string
+	Gossips    []string
+	PStates    []string
+	LogServers []string
+	// SampleEdges bounds heuristic step cost (passed to the searcher).
+	SampleEdges int
+	// CallTimeout bounds service calls (default 2s; report time-outs are
+	// discovered dynamically regardless).
+	CallTimeout time.Duration
+	// WorkCheckpointKey, if set, replicates the client's in-progress work
+	// unit through the Gossip service after every cycle — the
+	// volatile-but-replicated checkpointing that let Condor-hosted
+	// clients survive vanilla-universe kills (section 5.4). Components
+	// sharing a key form a restart group: a new component can resume the
+	// last replicated unit via ResumeFromCheckpoint.
+	WorkCheckpointKey string
+	// EliteShareKey, if set, replicates the client's best in-progress
+	// coloring through the Gossip service and adopts a substantially
+	// fitter replicated elite — the pool-wide pruning cooperation of
+	// section 3 ("processes communicate and synchronize as they prune the
+	// search space").
+	EliteShareKey string
+}
+
+// Component is one EveryWare application process: a lingua franca server,
+// a Gossip agent, a scheduling runner, and clients for the persistent
+// state and logging services.
+type Component struct {
+	cfg       ComponentConfig
+	srv       *wire.Server
+	client    *wire.Client
+	agent     *gossip.Agent
+	runner    *sched.Runner
+	forecasts *forecast.Registry
+	addr      string
+
+	mu      sync.Mutex
+	started bool
+	bestN   int
+}
+
+// NewComponent constructs an unstarted component.
+func NewComponent(cfg ComponentConfig) *Component {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	c := &Component{
+		cfg:       cfg,
+		srv:       wire.NewServer(),
+		client:    wire.NewClient(cfg.CallTimeout),
+		forecasts: forecast.NewRegistry(),
+	}
+	c.srv.Logf = func(string, ...any) {}
+	return c
+}
+
+// Start binds the component's server, joins the Gossip service, and
+// prepares the scheduling runner. It returns the component's address.
+func (c *Component) Start() (string, error) {
+	addr, err := c.srv.Listen(c.cfg.ListenAddr)
+	if err != nil {
+		return "", err
+	}
+	c.addr = addr
+	if c.cfg.ID == "" {
+		c.cfg.ID = addr
+	}
+	c.agent = gossip.NewAgent(c.srv, addr)
+	if err := c.agent.Track(BestStateKey, ramsey.BestComparator, nil); err != nil {
+		return "", err
+	}
+	for _, g := range c.cfg.Gossips {
+		if err := c.agent.Register(c.client, g, BestStateKey, ramsey.BestComparator, c.cfg.CallTimeout); err == nil {
+			break // one responsible Gossip suffices; the pool replicates
+		}
+	}
+	if len(c.cfg.Schedulers) > 0 {
+		runner, err := sched.NewRunner(sched.RunnerConfig{
+			ClientID:    c.cfg.ID,
+			Infra:       c.cfg.Infra,
+			Schedulers:  c.cfg.Schedulers,
+			SampleEdges: c.cfg.SampleEdges,
+			OnFound:     c.onFound,
+		}, c.client)
+		if err != nil {
+			return "", err
+		}
+		c.runner = runner
+		// Subscribe to scheduler birth/death circulated via Gossip: a
+		// fresher roster replaces the static list.
+		err = c.OnReplicated(SchedulerRosterKey, gossip.CmpCounter, func(s gossip.Stamped) {
+			if roster, err := DecodeRoster(s.Data); err == nil && len(roster) > 0 {
+				runner.SetSchedulers(roster)
+			}
+		})
+		if err != nil && len(c.cfg.Gossips) > 0 {
+			return "", err
+		}
+		if c.cfg.WorkCheckpointKey != "" {
+			if err := c.OnReplicated(c.cfg.WorkCheckpointKey, gossip.CmpCounter, nil); err != nil {
+				return "", err
+			}
+		}
+		if c.cfg.EliteShareKey != "" {
+			if err := c.OnReplicated(c.cfg.EliteShareKey, ramsey.EliteComparator, nil); err != nil {
+				return "", err
+			}
+		}
+	}
+	c.mu.Lock()
+	c.started = true
+	c.mu.Unlock()
+	return addr, nil
+}
+
+// Addr returns the component's bound address.
+func (c *Component) Addr() string { return c.addr }
+
+// Agent exposes the component's Gossip agent (replicated state access).
+func (c *Component) Agent() *gossip.Agent { return c.agent }
+
+// Runner exposes the scheduling runner (nil for service-only components).
+func (c *Component) Runner() *sched.Runner { return c.runner }
+
+// Close shuts the component down.
+func (c *Component) Close() {
+	c.srv.Close()
+	c.client.Close()
+}
+
+// onFound handles a verified counter-example: replicate it via Gossip
+// (volatile-but-replicated) and checkpoint it via the persistent state
+// managers (persistent), logging the event.
+func (c *Component) onFound(ce *ramsey.CounterExample) {
+	data := ce.Encode()
+	c.mu.Lock()
+	better := ce.Coloring.N() > c.bestN
+	if better {
+		c.bestN = ce.Coloring.N()
+	}
+	c.mu.Unlock()
+	if better {
+		c.agent.SetStamped(gossip.Stamped{
+			Key:    BestStateKey,
+			Unix:   time.Now().UnixNano(),
+			Origin: c.addr,
+			Data:   data,
+		})
+	}
+	name := fmt.Sprintf("ramsey/R%d/best", ce.K)
+	if err := c.Checkpoint(name, CounterExampleClass, data); err == nil {
+		c.Log("info", "checkpointed counter-example: R(%d) > %d", ce.K, ce.Coloring.N())
+	}
+}
+
+// Publish replicates volatile state under key through the Gossip service.
+func (c *Component) Publish(key string, data []byte) {
+	c.agent.Set(key, data)
+}
+
+// OnReplicated installs a callback fired when a fresher copy of key
+// arrives from the Gossip service.
+func (c *Component) OnReplicated(key, comparator string, fn func(gossip.Stamped)) error {
+	if err := c.agent.Track(key, comparator, fn); err != nil {
+		return err
+	}
+	for _, g := range c.cfg.Gossips {
+		if err := c.agent.Register(c.client, g, key, comparator, c.cfg.CallTimeout); err == nil {
+			return nil
+		}
+	}
+	if len(c.cfg.Gossips) == 0 {
+		return nil
+	}
+	return fmt.Errorf("core: no reachable Gossip for key %q", key)
+}
+
+// Checkpoint stores persistent state at every configured persistent state
+// manager (the paper stationed them at multiple trusted sites). It
+// succeeds if at least one manager accepted the object; a validation
+// rejection at any manager is reported even if others were unreachable,
+// since it means the object itself is bad.
+func (c *Component) Checkpoint(name, class string, data []byte) error {
+	if len(c.cfg.PStates) == 0 {
+		return fmt.Errorf("core: no persistent state managers configured")
+	}
+	stored := 0
+	var lastErr error
+	for _, addr := range c.cfg.PStates {
+		pc := pstate.NewClient(c.client, addr, c.cfg.CallTimeout)
+		if _, err := pc.Store(name, class, data); err == nil {
+			stored++
+		} else {
+			lastErr = err
+		}
+	}
+	if stored > 0 {
+		return nil
+	}
+	return lastErr
+}
+
+// Recover fetches persistent state from the first manager that has it.
+func (c *Component) Recover(name string) (*pstate.Object, error) {
+	for _, addr := range c.cfg.PStates {
+		pc := pstate.NewClient(c.client, addr, c.cfg.CallTimeout)
+		if o, found, err := pc.Fetch(name); err == nil && found {
+			return o, nil
+		}
+	}
+	return nil, fmt.Errorf("core: %q not found at any persistent state manager", name)
+}
+
+// Log forwards a message to the first reachable logging server (best
+// effort).
+func (c *Component) Log(level, format string, args ...any) {
+	for _, addr := range c.cfg.LogServers {
+		lc := logsvc.NewClient(c.client, addr, c.cfg.ID, c.cfg.CallTimeout)
+		if lc.Log(level, format, args...) == nil {
+			return
+		}
+	}
+}
+
+// RunCycles drives the scheduling runner for up to n cycles, stopping
+// early on DirStop or if every scheduler becomes unreachable. It returns
+// the number of completed cycles.
+func (c *Component) RunCycles(n int) (int, error) {
+	if c.runner == nil {
+		return 0, fmt.Errorf("core: component has no schedulers configured")
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.runner.Cycle(); err != nil {
+			return i, err
+		}
+		c.checkpointWork()
+		c.shareElite()
+		if c.runner.Stopped() {
+			return i + 1, nil
+		}
+	}
+	return n, nil
+}
+
+// checkpointWork replicates the current work unit via Gossip when a
+// checkpoint key is configured.
+func (c *Component) checkpointWork() {
+	if c.cfg.WorkCheckpointKey == "" {
+		return
+	}
+	w := c.runner.Work()
+	if w.ID == 0 {
+		return
+	}
+	c.agent.Set(c.cfg.WorkCheckpointKey, sched.EncodeWorkUnit(w))
+}
+
+// shareElite publishes the client's best in-progress coloring and adopts
+// a replicated elite that is at least 20% fitter.
+func (c *Component) shareElite() {
+	if c.cfg.EliteShareKey == "" || c.runner == nil {
+		return
+	}
+	best, conflicts := c.runner.BestState()
+	if best == nil || conflicts == 0 {
+		return // no search yet, or already a counter-example
+	}
+	w := c.runner.Work()
+	if s, ok := c.agent.Get(c.cfg.EliteShareKey); ok && len(s.Data) > 0 {
+		e, err := ramsey.DecodeElite(s.Data)
+		if err == nil && e.K == w.K && e.Coloring.N() == best.N() &&
+			float64(e.Conflicts) < 0.8*float64(conflicts) {
+			if c.runner.RestoreState(e.Coloring) == nil {
+				best, conflicts = c.runner.BestState()
+			}
+		}
+	}
+	mine := &ramsey.Elite{Conflicts: conflicts, K: w.K, Coloring: best}
+	c.agent.SetStamped(gossip.Stamped{
+		Key:    c.cfg.EliteShareKey,
+		Unix:   time.Now().UnixNano(),
+		Origin: c.addr,
+		Data:   mine.Encode(),
+	})
+}
+
+// ResumeFromCheckpoint installs the most recently replicated work unit
+// from the component's checkpoint key (delivered via Gossip) as the
+// runner's next work. It reports whether a checkpoint was available.
+func (c *Component) ResumeFromCheckpoint() (bool, error) {
+	if c.cfg.WorkCheckpointKey == "" || c.runner == nil {
+		return false, fmt.Errorf("core: no checkpoint key or runner configured")
+	}
+	s, ok := c.agent.Get(c.cfg.WorkCheckpointKey)
+	if !ok || len(s.Data) == 0 {
+		return false, nil
+	}
+	w, err := sched.DecodeWorkUnit(s.Data)
+	if err != nil {
+		return false, fmt.Errorf("core: corrupt work checkpoint: %w", err)
+	}
+	return true, c.runner.Adopt(w)
+}
+
+// Best returns the best counter-example currently replicated to this
+// component (nil if none yet).
+func (c *Component) Best() *ramsey.CounterExample {
+	s, ok := c.agent.Get(BestStateKey)
+	if !ok || len(s.Data) == 0 {
+		return nil
+	}
+	ce, err := ramsey.DecodeCounterExample(s.Data)
+	if err != nil {
+		return nil
+	}
+	return ce
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"everyware/internal/gossip"
+	"everyware/internal/logsvc"
+	"everyware/internal/pstate"
+	"everyware/internal/ramsey"
+	"everyware/internal/sched"
+	"everyware/internal/wire"
+)
+
+// DeploymentConfig sizes a local EveryWare service constellation — the
+// "S", "G", "P" and "L" boxes of Figure 1 — for examples, tests, and
+// single-machine runs. Every service binds an ephemeral localhost port.
+type DeploymentConfig struct {
+	// Gossips is the state-exchange pool size (default 1).
+	Gossips int
+	// Schedulers is the scheduling server count (default 1).
+	Schedulers int
+	// N, K define the search problem (default 17, 4).
+	N, K int
+	// Heuristics restricts the work generator (default: all).
+	Heuristics []ramsey.Heuristic
+	// StepsPerCycle is the per-report step budget (default 2000).
+	StepsPerCycle int64
+	// PStateDir enables a persistent state manager rooted there.
+	PStateDir string
+	// ExtraPStateDirs starts additional persistent state managers, one
+	// per directory — the paper stationed managers at multiple trusted
+	// sites and components checkpoint to all of them.
+	ExtraPStateDirs []string
+	// LogFile enables a logging server appending there ("" = memory
+	// only; a logging server runs regardless).
+	LogFile string
+	// SyncInterval tunes the Gossip pool (default 200ms for local runs).
+	SyncInterval time.Duration
+}
+
+// Deployment is a running local constellation.
+type Deployment struct {
+	GossipAddrs []string
+	SchedAddrs  []string
+	PStateAddr  string
+	PStateAddrs []string
+	LogAddr     string
+
+	gossips []*gossip.Server
+	scheds  []*sched.Server
+	ps      *pstate.Server
+	extraPS []*pstate.Server
+	logs    *logsvc.Server
+
+	rosterSrv   *wire.Server
+	rosterAgent *gossip.Agent
+	rosterWC    *wire.Client
+}
+
+// StartDeployment launches the requested services.
+func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	if cfg.Gossips <= 0 {
+		cfg.Gossips = 1
+	}
+	if cfg.Schedulers <= 0 {
+		cfg.Schedulers = 1
+	}
+	if cfg.N == 0 {
+		cfg.N = 17
+	}
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	if cfg.SyncInterval == 0 {
+		cfg.SyncInterval = 200 * time.Millisecond
+	}
+	d := &Deployment{}
+	ok := false
+	defer func() {
+		if !ok {
+			d.Close()
+		}
+	}()
+
+	// Logging server first so other services can reference it.
+	ls, err := logsvc.NewServer(logsvc.ServerConfig{ListenAddr: "127.0.0.1:0", File: cfg.LogFile})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ls.Start(); err != nil {
+		return nil, err
+	}
+	d.logs = ls
+	d.LogAddr = ls.Addr()
+
+	// Gossip pool: later members bootstrap off the first (well-known)
+	// address.
+	for i := 0; i < cfg.Gossips; i++ {
+		g := gossip.NewServer(gossip.ServerConfig{
+			ListenAddr:   "127.0.0.1:0",
+			WellKnown:    append([]string(nil), d.GossipAddrs...),
+			SyncInterval: cfg.SyncInterval,
+			Heartbeat:    cfg.SyncInterval,
+		})
+		addr, err := g.Start()
+		if err != nil {
+			return nil, fmt.Errorf("core: gossip %d: %w", i, err)
+		}
+		d.gossips = append(d.gossips, g)
+		d.GossipAddrs = append(d.GossipAddrs, addr)
+	}
+
+	for i := 0; i < cfg.Schedulers; i++ {
+		s := sched.NewServer(sched.ServerConfig{
+			ListenAddr:   "127.0.0.1:0",
+			N:            cfg.N,
+			K:            cfg.K,
+			Heuristics:   cfg.Heuristics,
+			DefaultSteps: cfg.StepsPerCycle,
+			LogAddr:      d.LogAddr,
+		})
+		addr, err := s.Start()
+		if err != nil {
+			return nil, fmt.Errorf("core: scheduler %d: %w", i, err)
+		}
+		d.scheds = append(d.scheds, s)
+		d.SchedAddrs = append(d.SchedAddrs, addr)
+	}
+
+	// Publish the scheduler roster through the Gossip service so clients
+	// can learn the viable schedulers dynamically (section 5.4).
+	d.rosterSrv = wire.NewServer()
+	d.rosterSrv.Logf = func(string, ...any) {}
+	rosterAddr, err := d.rosterSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	d.rosterAgent = gossip.NewAgent(d.rosterSrv, rosterAddr)
+	if err := d.rosterAgent.Track(SchedulerRosterKey, gossip.CmpCounter, nil); err != nil {
+		return nil, err
+	}
+	d.rosterWC = wire.NewClient(2 * time.Second)
+	if err := d.rosterAgent.Register(d.rosterWC, d.GossipAddrs[0], SchedulerRosterKey, gossip.CmpCounter, 2*time.Second); err != nil {
+		return nil, fmt.Errorf("core: roster registration: %w", err)
+	}
+	d.PublishRoster()
+
+	if cfg.PStateDir != "" {
+		ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: cfg.PStateDir})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ps.Start(); err != nil {
+			return nil, err
+		}
+		d.ps = ps
+		d.PStateAddr = ps.Addr()
+		d.PStateAddrs = append(d.PStateAddrs, ps.Addr())
+	}
+	for i, dir := range cfg.ExtraPStateDirs {
+		ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: dir})
+		if err != nil {
+			return nil, fmt.Errorf("core: extra pstate %d: %w", i, err)
+		}
+		if _, err := ps.Start(); err != nil {
+			return nil, fmt.Errorf("core: extra pstate %d: %w", i, err)
+		}
+		d.extraPS = append(d.extraPS, ps)
+		d.PStateAddrs = append(d.PStateAddrs, ps.Addr())
+	}
+	ok = true
+	return d, nil
+}
+
+// Schedulers exposes the running scheduling servers (e.g. to read Found).
+func (d *Deployment) Schedulers() []*sched.Server { return d.scheds }
+
+// GossipServers exposes the running Gossip pool.
+func (d *Deployment) GossipServers() []*gossip.Server { return d.gossips }
+
+// PState exposes the primary persistent state manager (nil if not
+// configured).
+func (d *Deployment) PState() *pstate.Server { return d.ps }
+
+// PStates exposes every running persistent state manager.
+func (d *Deployment) PStates() []*pstate.Server {
+	out := []*pstate.Server{}
+	if d.ps != nil {
+		out = append(out, d.ps)
+	}
+	return append(out, d.extraPS...)
+}
+
+// LogServer exposes the logging server.
+func (d *Deployment) LogServer() *logsvc.Server { return d.logs }
+
+// NewComponentConfig returns a ComponentConfig wired to this deployment.
+func (d *Deployment) NewComponentConfig(id, infra string) ComponentConfig {
+	cfg := ComponentConfig{
+		ID:         id,
+		Infra:      infra,
+		Schedulers: append([]string(nil), d.SchedAddrs...),
+		Gossips:    append([]string(nil), d.GossipAddrs...),
+		LogServers: []string{d.LogAddr},
+	}
+	if len(d.PStateAddrs) > 0 {
+		cfg.PStates = append([]string(nil), d.PStateAddrs...)
+	}
+	return cfg
+}
+
+// PublishRoster re-announces the current scheduler list through the
+// Gossip service (called automatically at start; call again after adding
+// or removing schedulers).
+func (d *Deployment) PublishRoster() {
+	if d.rosterAgent != nil {
+		d.rosterAgent.Set(SchedulerRosterKey, EncodeRoster(d.SchedAddrs))
+	}
+}
+
+// Close stops every service.
+func (d *Deployment) Close() {
+	for _, g := range d.gossips {
+		g.Close()
+	}
+	for _, s := range d.scheds {
+		s.Close()
+	}
+	if d.ps != nil {
+		d.ps.Close()
+	}
+	for _, ps := range d.extraPS {
+		ps.Close()
+	}
+	if d.logs != nil {
+		d.logs.Close()
+	}
+	if d.rosterSrv != nil {
+		d.rosterSrv.Close()
+	}
+	if d.rosterWC != nil {
+		d.rosterWC.Close()
+	}
+}

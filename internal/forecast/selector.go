@@ -1,0 +1,153 @@
+package forecast
+
+import (
+	"math"
+	"sync"
+)
+
+// Forecast is a prediction produced by a Selector, annotated with the
+// technique that produced it and that technique's tracked error.
+type Forecast struct {
+	// Value is the predicted next measurement.
+	Value float64
+	// Method is the name of the winning technique.
+	Method string
+	// MSE is the winner's cumulative mean squared error.
+	MSE float64
+	// MAE is the winner's cumulative mean absolute error.
+	MAE float64
+	// Samples is the number of measurements observed.
+	Samples int
+}
+
+// Selector runs a battery of forecasting methods over one measurement
+// stream, tracks each method's accumulated prediction error, and forecasts
+// with the method that has been most accurate so far — the core of the NWS
+// methodology. Selector is safe for concurrent use.
+type Selector struct {
+	mu      sync.Mutex
+	methods []Method
+	sqErr   []float64 // cumulative squared error per method
+	absErr  []float64 // cumulative absolute error per method
+	scored  int       // updates for which errors were recorded
+	samples int
+	last    float64
+}
+
+// NewSelector returns a Selector over the given battery; if battery is
+// empty the DefaultBattery is used.
+func NewSelector(battery ...Method) *Selector {
+	if len(battery) == 0 {
+		battery = DefaultBattery()
+	}
+	return &Selector{
+		methods: battery,
+		sqErr:   make([]float64, len(battery)),
+		absErr:  make([]float64, len(battery)),
+	}
+}
+
+// Update feeds measurement v to every method, first scoring each method's
+// standing prediction against v.
+func (s *Selector) Update(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	anyPredicted := false
+	for i, m := range s.methods {
+		if p, ok := m.Predict(); ok {
+			e := p - v
+			s.sqErr[i] += e * e
+			if e < 0 {
+				e = -e
+			}
+			s.absErr[i] += e
+			anyPredicted = true
+		}
+	}
+	if anyPredicted {
+		s.scored++
+	}
+	for _, m := range s.methods {
+		m.Update(v)
+	}
+	s.samples++
+	s.last = v
+}
+
+// Samples reports how many measurements the Selector has seen.
+func (s *Selector) Samples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// Last returns the most recent measurement (0, false before any Update).
+func (s *Selector) Last() (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last, s.samples > 0
+}
+
+// Forecast returns the prediction of the method with the lowest mean
+// squared error so far. ok is false until at least one measurement has
+// been observed.
+func (s *Selector) Forecast() (Forecast, bool) {
+	return s.forecast(false)
+}
+
+// ForecastMAE is Forecast using mean absolute error as the selection
+// criterion; the NWS exposes both because MAE-selected predictors resist
+// outliers better.
+func (s *Selector) ForecastMAE() (Forecast, bool) {
+	return s.forecast(true)
+}
+
+func (s *Selector) forecast(useMAE bool) (Forecast, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.samples == 0 {
+		return Forecast{}, false
+	}
+	best := -1
+	bestErr := math.Inf(1)
+	for i, m := range s.methods {
+		if _, ok := m.Predict(); !ok {
+			continue
+		}
+		var e float64
+		if useMAE {
+			e = s.absErr[i]
+		} else {
+			e = s.sqErr[i]
+		}
+		if e < bestErr {
+			bestErr = e
+			best = i
+		}
+	}
+	if best < 0 {
+		return Forecast{}, false
+	}
+	v, _ := s.methods[best].Predict()
+	n := float64(max(s.scored, 1))
+	return Forecast{
+		Value:   v,
+		Method:  s.methods[best].Name(),
+		MSE:     s.sqErr[best] / n,
+		MAE:     s.absErr[best] / n,
+		Samples: s.samples,
+	}, true
+}
+
+// Errors returns per-method cumulative (MSE, MAE) pairs keyed by method
+// name, for diagnostics and the forecasting benchmarks.
+func (s *Selector) Errors() map[string][2]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][2]float64, len(s.methods))
+	n := float64(max(s.scored, 1))
+	for i, m := range s.methods {
+		out[m.Name()] = [2]float64{s.sqErr[i] / n, s.absErr[i] / n}
+	}
+	return out
+}

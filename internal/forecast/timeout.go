@@ -1,0 +1,62 @@
+package forecast
+
+import "time"
+
+// TimeoutPolicy derives message time-out intervals from response-time
+// forecasts. The paper found dynamic time-out discovery "crucial to
+// overall program stability": statically determined time-outs caused the
+// system to misjudge server availability under the SC98 exhibit floor's
+// fluctuating network load, triggering needless retries and
+// reconfigurations.
+type TimeoutPolicy struct {
+	// Registry supplies response-time forecasts.
+	Registry *Registry
+	// Multiplier scales the forecast response time; the slack absorbs
+	// forecast error. Typical value 4.
+	Multiplier float64
+	// Pad is added after scaling to cover fixed costs.
+	Pad time.Duration
+	// Min and Max clamp the derived timeout.
+	Min, Max time.Duration
+	// Default is used while a key has no measurements yet.
+	Default time.Duration
+}
+
+// NewTimeoutPolicy returns a policy with the standard EveryWare
+// parameters: 4x forecast + 50 ms pad, clamped to [100 ms, 30 s], 5 s
+// default before first measurement.
+func NewTimeoutPolicy(r *Registry) *TimeoutPolicy {
+	return &TimeoutPolicy{
+		Registry:   r,
+		Multiplier: 4,
+		Pad:        50 * time.Millisecond,
+		Min:        100 * time.Millisecond,
+		Max:        30 * time.Second,
+		Default:    5 * time.Second,
+	}
+}
+
+// Timeout returns the adaptive time-out interval for the event key: the
+// forecast response time scaled and clamped, or Default if no data exists.
+func (p *TimeoutPolicy) Timeout(key Key) time.Duration {
+	f, ok := p.Registry.Forecast(key)
+	if !ok || f.Value <= 0 {
+		return p.Default
+	}
+	d := time.Duration(f.Value*p.Multiplier*float64(time.Second)) + p.Pad
+	if d < p.Min {
+		d = p.Min
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	return d
+}
+
+// Observe records a measured response time for key so subsequent Timeout
+// calls adapt. Timed-out attempts should be recorded at the timeout value
+// itself (the response took at least that long), which pushes the next
+// interval up.
+func (p *TimeoutPolicy) Observe(key Key, d time.Duration) {
+	p.Registry.RecordDuration(key, d)
+}

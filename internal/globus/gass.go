@@ -1,0 +1,165 @@
+package globus
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"everyware/internal/wire"
+)
+
+// GASS is the Global Access to Secondary Storage server: a simple file
+// server that binds a port and transfers files to or from its store. At
+// SC98 a GASS server on a well-known host acted as the repository of
+// pre-compiled computational client binary images for the various
+// platforms; GRAM job requests referenced repository paths instead of
+// gatekeeper-local files.
+type GASS struct {
+	srv *wire.Server
+
+	mu    sync.Mutex
+	files map[string][]byte
+	quota int64
+	used  int64
+}
+
+// NewGASS constructs a GASS server with the given payload quota
+// (0 = unlimited).
+func NewGASS(quota int64) *GASS {
+	g := &GASS{srv: wire.NewServer(), files: make(map[string][]byte), quota: quota}
+	g.srv.Logf = func(string, ...any) {}
+	g.srv.Register(MsgGASSPut, wire.HandlerFunc(g.handlePut))
+	g.srv.Register(MsgGASSGet, wire.HandlerFunc(g.handleGet))
+	g.srv.Register(MsgGASSList, wire.HandlerFunc(g.handleList))
+	return g
+}
+
+// Start binds the listener and returns the bound address.
+func (g *GASS) Start(addr string) (string, error) { return g.srv.Listen(addr) }
+
+// Addr returns the bound address.
+func (g *GASS) Addr() string { return g.srv.Addr() }
+
+// Close stops the daemon.
+func (g *GASS) Close() { g.srv.Close() }
+
+// Put stores data under path (in-process use).
+func (g *GASS) Put(path string, data []byte) error {
+	if path == "" {
+		return fmt.Errorf("globus: empty GASS path")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delta := int64(len(data)) - int64(len(g.files[path]))
+	if g.quota > 0 && g.used+delta > g.quota {
+		return fmt.Errorf("globus: GASS quota exceeded")
+	}
+	g.files[path] = append([]byte(nil), data...)
+	g.used += delta
+	return nil
+}
+
+// Get fetches the file at path.
+func (g *GASS) Get(path string) ([]byte, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	data, ok := g.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Paths returns all stored paths.
+func (g *GASS) Paths() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.files))
+	for p := range g.files {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (g *GASS) handlePut(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	path, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	data, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Put(path, data); err != nil {
+		return nil, err
+	}
+	return &wire.Packet{Type: MsgGASSPut}, nil
+}
+
+func (g *GASS) handleGet(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	path, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	data, ok := g.Get(path)
+	var e wire.Encoder
+	e.PutBool(ok)
+	e.PutBytes(data)
+	return &wire.Packet{Type: MsgGASSGet, Payload: e.Bytes()}, nil
+}
+
+func (g *GASS) handleList(_ string, _ *wire.Packet) (*wire.Packet, error) {
+	paths := g.Paths()
+	var e wire.Encoder
+	e.PutUint32(uint32(len(paths)))
+	for _, p := range paths {
+		e.PutString(p)
+	}
+	return &wire.Packet{Type: MsgGASSList, Payload: e.Bytes()}, nil
+}
+
+// GASSClient provides typed access to a remote GASS server.
+type GASSClient struct {
+	wc      *wire.Client
+	addr    string
+	timeout time.Duration
+}
+
+// NewGASSClient returns a client for the GASS server at addr.
+func NewGASSClient(wc *wire.Client, addr string, timeout time.Duration) *GASSClient {
+	return &GASSClient{wc: wc, addr: addr, timeout: timeout}
+}
+
+// Put stores data under path.
+func (c *GASSClient) Put(path string, data []byte) error {
+	var e wire.Encoder
+	e.PutString(path)
+	e.PutBytes(data)
+	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgGASSPut, Payload: e.Bytes()}, c.timeout)
+	return err
+}
+
+// Get fetches the file at path; found is false if absent.
+func (c *GASSClient) Get(path string) (data []byte, found bool, err error) {
+	var e wire.Encoder
+	e.PutString(path)
+	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgGASSGet, Payload: e.Bytes()}, c.timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	d := wire.NewDecoder(resp.Payload)
+	found, err = d.Bool()
+	if err != nil {
+		return nil, false, err
+	}
+	raw, err := d.Bytes()
+	if err != nil {
+		return nil, false, err
+	}
+	if !found {
+		return nil, false, nil
+	}
+	return append([]byte(nil), raw...), true, nil
+}

@@ -1,0 +1,120 @@
+package globus
+
+import (
+	"fmt"
+	"time"
+
+	"everyware/internal/wire"
+)
+
+// LightSwitch is the single point of control of Figure 5: one operation
+// activates the Globus-enabled application components everywhere the user
+// is authorized, and one deactivates them. Flipping the switch on runs
+// the SC98 workflow:
+//
+//  1. query the MDS for candidate execution sites,
+//  2. exercise the lightweight authenticate-only operation against each
+//     listed gatekeeper,
+//  3. submit a GRAM job per free node, referencing the platform's binary
+//     image in the GASS repository via $(ARCH) substitution.
+type LightSwitch struct {
+	// MDSAddr, GASSAddr locate the directory and repository services.
+	MDSAddr  string
+	GASSAddr string
+	// User and Credential authenticate submissions.
+	User       string
+	Credential string
+	// BinaryPath is the GASS path template, e.g.
+	// "clients/$(ARCH)/ew-client".
+	BinaryPath string
+	// Args are passed to every job.
+	Args []string
+	// MaxPerSite bounds submissions per gatekeeper (0 = all free nodes).
+	MaxPerSite int
+	// Timeout bounds each service call (default 3s).
+	Timeout time.Duration
+
+	wc   *wire.Client
+	jobs []launchedJob
+}
+
+type launchedJob struct {
+	gatekeeper string
+	id         uint64
+}
+
+// Launched describes one job started by On.
+type Launched struct {
+	Site       string
+	Arch       string
+	Gatekeeper string
+	JobID      uint64
+}
+
+// NewLightSwitch constructs a switch using wc for transport.
+func NewLightSwitch(wc *wire.Client, mdsAddr, gassAddr, user, credential, binaryPath string) *LightSwitch {
+	return &LightSwitch{
+		MDSAddr:    mdsAddr,
+		GASSAddr:   gassAddr,
+		User:       user,
+		Credential: credential,
+		BinaryPath: binaryPath,
+		Timeout:    3 * time.Second,
+		wc:         wc,
+	}
+}
+
+// On activates the application: discovers sites, authenticates, and
+// launches clients. It returns the launched jobs; sites that fail
+// authentication or staging are skipped, not fatal (federated resources
+// come and go).
+func (s *LightSwitch) On() ([]Launched, error) {
+	mds := NewMDSClient(s.wc, s.MDSAddr, s.Timeout)
+	records, err := mds.Query("")
+	if err != nil {
+		return nil, fmt.Errorf("globus: MDS query: %w", err)
+	}
+	var launched []Launched
+	for _, rec := range records {
+		gram := NewGRAMClient(s.wc, rec.Gatekeeper, s.Timeout)
+		ok, arch, free, err := gram.Authenticate(s.Credential)
+		if err != nil || !ok || free <= 0 {
+			continue
+		}
+		n := free
+		if s.MaxPerSite > 0 && n > s.MaxPerSite {
+			n = s.MaxPerSite
+		}
+		for i := 0; i < n; i++ {
+			id, status, err := gram.Submit(JobRequest{
+				User:       s.User,
+				Credential: s.Credential,
+				BinaryPath: s.BinaryPath,
+				GASSAddr:   s.GASSAddr,
+				Args:       s.Args,
+			})
+			if err != nil || status == JobFailed {
+				break // site out of capacity or staging broken; move on
+			}
+			s.jobs = append(s.jobs, launchedJob{gatekeeper: rec.Gatekeeper, id: id})
+			launched = append(launched, Launched{
+				Site: rec.Name, Arch: arch, Gatekeeper: rec.Gatekeeper, JobID: id,
+			})
+		}
+	}
+	return launched, nil
+}
+
+// Off deactivates the application: cancels every job On launched. It
+// returns the number of jobs successfully cancelled.
+func (s *LightSwitch) Off() int {
+	cancelled := 0
+	for _, j := range s.jobs {
+		gram := NewGRAMClient(s.wc, j.gatekeeper, s.Timeout)
+		if gram.Cancel(j.id) == nil {
+			cancelled++
+		}
+	}
+	s.jobs = nil
+	return cancelled
+}

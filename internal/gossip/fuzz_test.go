@@ -1,0 +1,29 @@
+package gossip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"everyware/internal/wire"
+)
+
+// Property: protocol decoders survive arbitrary bytes.
+func TestQuickDecodersNeverPanic(t *testing.T) {
+	f := func(raw []byte) bool {
+		DecodeStamped(raw)
+		DecodeRegistration(raw)
+		DecodeRegistrations(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRegistrationsRejectsHugeCount(t *testing.T) {
+	var e wire.Encoder
+	e.PutUint32(1 << 30) // claims a billion registrations in 4 bytes
+	if _, err := DecodeRegistrations(e.Bytes()); err == nil {
+		t.Fatal("huge count must be rejected")
+	}
+}

@@ -1,0 +1,124 @@
+package gossip
+
+import (
+	"everyware/internal/wire"
+)
+
+// Lingua franca message types used by the state exchange service
+// (range 20-29).
+const (
+	// MsgRegister registers a component with a Gossip
+	// (payload: Registration).
+	MsgRegister wire.MsgType = 20
+	// MsgGetState asks a component for its current copy of a key
+	// (payload: key string; response: Stamped).
+	MsgGetState wire.MsgType = 21
+	// MsgPutState pushes a fresh copy of a key to a stale component
+	// (payload: Stamped).
+	MsgPutState wire.MsgType = 22
+	// MsgShareReg replicates registration tables between Gossips
+	// (payload: []Registration).
+	MsgShareReg wire.MsgType = 23
+	// MsgPoolInfo reports a Gossip's current pool view and registration
+	// count (diagnostics; payload: none).
+	MsgPoolInfo wire.MsgType = 24
+	// MsgDeregister removes a component's registration cleanly
+	// (payload: Registration).
+	MsgDeregister wire.MsgType = 25
+)
+
+// EncodeStamped serializes a Stamped value.
+func EncodeStamped(s Stamped) []byte {
+	var e wire.Encoder
+	e.PutString(s.Key)
+	e.PutUint64(s.Counter)
+	e.PutInt64(s.Unix)
+	e.PutString(s.Origin)
+	e.PutBytes(s.Data)
+	return e.Bytes()
+}
+
+// DecodeStamped parses a Stamped value.
+func DecodeStamped(p []byte) (Stamped, error) {
+	d := wire.NewDecoder(p)
+	var s Stamped
+	var err error
+	if s.Key, err = d.String(); err != nil {
+		return s, err
+	}
+	if s.Counter, err = d.Uint64(); err != nil {
+		return s, err
+	}
+	if s.Unix, err = d.Int64(); err != nil {
+		return s, err
+	}
+	if s.Origin, err = d.String(); err != nil {
+		return s, err
+	}
+	data, err := d.Bytes()
+	if err != nil {
+		return s, err
+	}
+	s.Data = append([]byte(nil), data...) // copy out of the packet buffer
+	return s, nil
+}
+
+// EncodeRegistration serializes one Registration.
+func EncodeRegistration(r Registration) []byte {
+	var e wire.Encoder
+	encodeRegistrationInto(&e, r)
+	return e.Bytes()
+}
+
+func encodeRegistrationInto(e *wire.Encoder, r Registration) {
+	e.PutString(r.Addr)
+	e.PutString(r.Key)
+	e.PutString(r.Comparator)
+}
+
+// DecodeRegistration parses one Registration.
+func DecodeRegistration(p []byte) (Registration, error) {
+	d := wire.NewDecoder(p)
+	return decodeRegistrationFrom(d)
+}
+
+func decodeRegistrationFrom(d *wire.Decoder) (Registration, error) {
+	var r Registration
+	var err error
+	if r.Addr, err = d.String(); err != nil {
+		return r, err
+	}
+	if r.Key, err = d.String(); err != nil {
+		return r, err
+	}
+	r.Comparator, err = d.String()
+	return r, err
+}
+
+// EncodeRegistrations serializes a registration table.
+func EncodeRegistrations(rs []Registration) []byte {
+	var e wire.Encoder
+	e.PutUint32(uint32(len(rs)))
+	for _, r := range rs {
+		encodeRegistrationInto(&e, r)
+	}
+	return e.Bytes()
+}
+
+// DecodeRegistrations parses a registration table.
+func DecodeRegistrations(p []byte) ([]Registration, error) {
+	d := wire.NewDecoder(p)
+	n, err := d.Count(12)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Registration, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := decodeRegistrationFrom(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

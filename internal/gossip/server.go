@@ -1,0 +1,416 @@
+package gossip
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"everyware/internal/clique"
+	"everyware/internal/forecast"
+	"everyware/internal/wire"
+)
+
+// ServerConfig parameterizes a Gossip process.
+type ServerConfig struct {
+	// ListenAddr is the bind address (":0" for ephemeral).
+	ListenAddr string
+	// AdvertiseAddr overrides the advertised address (defaults to the
+	// bound address; needed behind NAT or in tests).
+	AdvertiseAddr string
+	// WellKnown lists Gossip addresses stationed at well-known locations;
+	// a new Gossip registers itself with the pool through them.
+	WellKnown []string
+	// SyncInterval is the period of state synchronization rounds.
+	SyncInterval time.Duration
+	// MaxFailures is how many consecutive poll failures evict a component
+	// registration.
+	MaxFailures int
+	// Heartbeat and TokenTimeout tune the underlying clique protocol.
+	Heartbeat    time.Duration
+	TokenTimeout time.Duration
+	// Logf receives diagnostics (defaults to discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *ServerConfig) fill() {
+	if c.SyncInterval == 0 {
+		c.SyncInterval = time.Second
+	}
+	if c.MaxFailures == 0 {
+		c.MaxFailures = 3
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = c.SyncInterval
+	}
+	if c.TokenTimeout == 0 {
+		c.TokenTimeout = 4 * c.Heartbeat
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// regKey identifies one registration.
+type regKey struct {
+	addr string
+	key  string
+}
+
+// Server is one Gossip process: a member of the distributed state exchange
+// pool. It polls its responsible components for fresh state, pushes
+// updates to stale ones, evicts dead components, and uses
+// dynamically-benchmarked response-time forecasts to set its message
+// time-outs (the paper's dynamic time-out discovery).
+type Server struct {
+	cfg    ServerConfig
+	srv    *wire.Server
+	client *wire.Client
+	member *clique.Member
+	addr   string
+
+	timeout *forecast.TimeoutPolicy
+
+	mu       sync.Mutex
+	regs     map[regKey]Registration
+	failures map[regKey]int
+	rounds   uint64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewServer constructs a Gossip process; call Start to join the pool.
+func NewServer(cfg ServerConfig) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		srv:      wire.NewServer(),
+		client:   wire.NewClient(2 * time.Second),
+		regs:     make(map[regKey]Registration),
+		failures: make(map[regKey]int),
+		timeout:  forecast.NewTimeoutPolicy(forecast.NewRegistry()),
+		done:     make(chan struct{}),
+	}
+	s.srv.Logf = cfg.Logf
+	s.srv.Register(MsgRegister, wire.HandlerFunc(s.handleRegister))
+	s.srv.Register(MsgDeregister, wire.HandlerFunc(s.handleDeregister))
+	s.srv.Register(MsgShareReg, wire.HandlerFunc(s.handleShareReg))
+	s.srv.Register(MsgPoolInfo, wire.HandlerFunc(s.handlePoolInfo))
+	return s
+}
+
+// Start binds the listener, joins the Gossip pool via the clique protocol,
+// and begins synchronization rounds. It returns the advertised address.
+func (s *Server) Start() (string, error) {
+	bound, err := s.srv.Listen(s.cfg.ListenAddr)
+	if err != nil {
+		return "", err
+	}
+	s.addr = bound
+	if s.cfg.AdvertiseAddr != "" {
+		s.addr = s.cfg.AdvertiseAddr
+	}
+	tr := clique.NewTCPTransport(s.srv, s.addr, s.client, 2*time.Second)
+	s.member = clique.New(clique.Config{
+		Peers:             s.cfg.WellKnown,
+		HeartbeatInterval: s.cfg.Heartbeat,
+		TokenTimeout:      s.cfg.TokenTimeout,
+	}, tr)
+	s.member.Start()
+	s.wg.Add(1)
+	go s.syncLoop()
+	return s.addr, nil
+}
+
+// Addr returns the advertised address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close leaves the pool and stops the daemon.
+func (s *Server) Close() {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	close(s.done)
+	s.wg.Wait()
+	if s.member != nil {
+		s.member.Stop()
+	}
+	s.srv.Close()
+	s.client.Close()
+}
+
+// PoolView returns the current clique view of the Gossip pool.
+func (s *Server) PoolView() clique.View { return s.member.View() }
+
+// Registrations returns a snapshot of the registration table.
+func (s *Server) Registrations() []Registration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Registration, 0, len(s.regs))
+	for _, r := range s.regs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+func (s *Server) handleRegister(_ string, req *wire.Packet) (*wire.Packet, error) {
+	r, err := DecodeRegistration(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	s.addRegistration(r)
+	// Replicate the registration across the pool (volatile-but-replicated
+	// state): forward to every other pool member, best effort.
+	view := s.member.View()
+	payload := EncodeRegistrations([]Registration{r})
+	for _, peer := range view.Members {
+		if peer == s.addr {
+			continue
+		}
+		go func(peer string) {
+			_, _ = s.client.Call(peer, &wire.Packet{Type: MsgShareReg, Payload: payload}, 2*time.Second)
+		}(peer)
+	}
+	return &wire.Packet{Type: MsgRegister}, nil
+}
+
+func (s *Server) handleDeregister(_ string, req *wire.Packet) (*wire.Packet, error) {
+	r, err := DecodeRegistration(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	k := regKey{addr: r.Addr, key: r.Key}
+	delete(s.regs, k)
+	delete(s.failures, k)
+	s.mu.Unlock()
+	return &wire.Packet{Type: MsgDeregister}, nil
+}
+
+func (s *Server) handleShareReg(_ string, req *wire.Packet) (*wire.Packet, error) {
+	rs, err := DecodeRegistrations(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rs {
+		s.addRegistration(r)
+	}
+	return &wire.Packet{Type: MsgShareReg}, nil
+}
+
+func (s *Server) handlePoolInfo(_ string, _ *wire.Packet) (*wire.Packet, error) {
+	view := s.member.View()
+	s.mu.Lock()
+	n := len(s.regs)
+	rounds := s.rounds
+	s.mu.Unlock()
+	var e wire.Encoder
+	e.PutUint64(view.Seq)
+	e.PutString(view.Leader)
+	e.PutUint32(uint32(len(view.Members)))
+	for _, m := range view.Members {
+		e.PutString(m)
+	}
+	e.PutUint32(uint32(n))
+	e.PutUint64(rounds)
+	return &wire.Packet{Type: MsgPoolInfo, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) addRegistration(r Registration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := regKey{addr: r.Addr, key: r.Key}
+	s.regs[k] = r
+	s.failures[k] = 0
+}
+
+func (s *Server) syncLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.SyncInterval)
+	defer tick.Stop()
+	round := 0
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.SyncRound()
+			round++
+			// Anti-entropy: periodically replicate the full registration
+			// table across the pool, so Gossips that joined after a
+			// component registered still learn about it.
+			if round%antiEntropyEvery == 0 {
+				s.ShareRegistrations()
+			}
+		}
+	}
+}
+
+// antiEntropyEvery is the number of sync rounds between full
+// registration-table exchanges.
+const antiEntropyEvery = 5
+
+// ShareRegistrations pushes the full registration table to every pool
+// peer (best effort). Exposed for tests.
+func (s *Server) ShareRegistrations() {
+	regs := s.Registrations()
+	if len(regs) == 0 {
+		return
+	}
+	payload := EncodeRegistrations(regs)
+	view := s.member.View()
+	for _, peer := range view.Members {
+		if peer == s.addr {
+			continue
+		}
+		go func(peer string) {
+			_, _ = s.client.Call(peer, &wire.Packet{Type: MsgShareReg, Payload: payload}, 2*time.Second)
+		}(peer)
+	}
+}
+
+// responsible reports whether this Gossip owns key under the current pool
+// partitioning: keys are hashed onto the sorted member list, so the
+// synchronization workload is evenly distributed and rebalances
+// dynamically as the clique view changes.
+func (s *Server) responsible(key string, view clique.View) bool {
+	if len(view.Members) <= 1 {
+		return true
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	idx := int(h.Sum32()) % len(view.Members)
+	if idx < 0 {
+		idx += len(view.Members)
+	}
+	return view.Members[idx] == s.addr
+}
+
+// SyncRound performs one synchronization pass over all responsible keys.
+// Exposed so tests and the simulation can drive rounds deterministically.
+func (s *Server) SyncRound() {
+	view := s.member.View()
+	// Group live registrations by key.
+	s.mu.Lock()
+	byKey := make(map[string][]Registration)
+	for _, r := range s.regs {
+		byKey[r.Key] = append(byKey[r.Key], r)
+	}
+	s.rounds++
+	s.mu.Unlock()
+
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		if s.responsible(k, view) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		regs := byKey[key]
+		sort.Slice(regs, func(i, j int) bool { return regs[i].Addr < regs[j].Addr })
+		s.syncKey(key, regs)
+	}
+}
+
+// syncKey polls every holder of key, identifies the freshest copy by
+// pairwise comparison, and pushes it to the stale holders.
+func (s *Server) syncKey(key string, regs []Registration) {
+	cmp, ok := LookupComparator(regs[0].Comparator)
+	if !ok {
+		cmp, _ = LookupComparator(CmpCounter)
+	}
+	type copyOf struct {
+		reg   Registration
+		stamp Stamped
+	}
+	var copies []copyOf
+	var e wire.Encoder
+	e.PutString(key)
+	getPayload := e.Bytes()
+	for _, r := range regs {
+		fkey := forecast.Key{Resource: r.Addr, Event: "get_state"}
+		to := s.timeout.Timeout(fkey)
+		start := time.Now()
+		resp, err := s.client.Call(r.Addr, &wire.Packet{Type: MsgGetState, Payload: getPayload}, to)
+		if err != nil {
+			s.timeout.Observe(fkey, to) // a timeout took at least this long
+			s.recordFailure(r)
+			continue
+		}
+		s.timeout.Observe(fkey, time.Since(start))
+		s.clearFailure(r)
+		st, derr := DecodeStamped(resp.Payload)
+		if derr != nil {
+			s.cfg.Logf("gossip: bad state from %s: %v", r.Addr, derr)
+			continue
+		}
+		copies = append(copies, copyOf{reg: r, stamp: st})
+	}
+	if len(copies) == 0 {
+		return
+	}
+	// Pairwise freshness comparison, as in the paper (N^2 comparisons for
+	// N components): the freshest copy is the one no other copy beats.
+	freshest := 0
+	for i := range copies {
+		beaten := false
+		for j := range copies {
+			if i != j && cmp(copies[j].stamp, copies[i].stamp) > 0 {
+				beaten = true
+				break
+			}
+		}
+		if !beaten {
+			freshest = i
+			break
+		}
+	}
+	win := copies[freshest].stamp
+	if win.Counter == 0 && len(win.Data) == 0 {
+		return // nobody has real state yet
+	}
+	putPayload := EncodeStamped(win)
+	for i, c := range copies {
+		if i == freshest || cmp(win, c.stamp) <= 0 {
+			continue
+		}
+		fkey := forecast.Key{Resource: c.reg.Addr, Event: "put_state"}
+		to := s.timeout.Timeout(fkey)
+		start := time.Now()
+		_, err := s.client.Call(c.reg.Addr, &wire.Packet{Type: MsgPutState, Payload: putPayload}, to)
+		if err != nil {
+			s.timeout.Observe(fkey, to)
+			s.recordFailure(c.reg)
+			continue
+		}
+		s.timeout.Observe(fkey, time.Since(start))
+	}
+}
+
+func (s *Server) recordFailure(r Registration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := regKey{addr: r.Addr, key: r.Key}
+	s.failures[k]++
+	if s.failures[k] >= s.cfg.MaxFailures {
+		delete(s.regs, k)
+		delete(s.failures, k)
+		s.cfg.Logf("gossip: evicted %s/%s after %d failures", r.Addr, r.Key, s.cfg.MaxFailures)
+	}
+}
+
+func (s *Server) clearFailure(r Registration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failures[regKey{addr: r.Addr, key: r.Key}] = 0
+}

@@ -1,0 +1,139 @@
+package grid
+
+import (
+	"math/rand"
+	"time"
+
+	"everyware/internal/simgrid"
+)
+
+// Section 5.4 of the paper: since the EveryWare schedulers are stateless
+// they were initially executed *inside* the Condor pool, but "the overhead
+// associated with managing the location transparency of rapidly moving
+// (birthing and dying) schedulers proved prohibitive" — clients only learn
+// of a scheduler's death when they attempt to contact it, and then spend
+// appreciable time locating a viable one. The team moved the schedulers
+// outside the pools, where failure is much rarer, and overall performance
+// improved. This file reproduces that experiment as a simulation.
+
+// CondorPlacementConfig parameterizes the placement experiment.
+type CondorPlacementConfig struct {
+	// Seed drives all stochastic processes.
+	Seed int64
+	// Duration of the run (default 6h).
+	Duration time.Duration
+	// Clients in the Condor pool (default 100).
+	Clients int
+	// SchedulerInPool selects the placement under test: true runs the
+	// scheduler on a Condor-managed host that gets reclaimed (killing the
+	// scheduler); false stations it outside the pool.
+	SchedulerInPool bool
+	// SchedulerMeanUp/MeanDown model the in-pool scheduler's lifetime and
+	// the gap until a replacement scheduler is up and announced via the
+	// Gossip protocol (defaults 15m / 2m).
+	SchedulerMeanUp, SchedulerMeanDown time.Duration
+	// LocateCost is the time a client wastes per failed contact before
+	// learning (via Gossip circulation) of the currently viable scheduler
+	// (default 90s: repeated adaptive time-outs plus a Gossip circulation round).
+	LocateCost time.Duration
+	// CycleTime is the client report period (default 60s).
+	CycleTime time.Duration
+	// OpsPerSec is the per-client work rate (default Condor profile's).
+	OpsPerSec float64
+}
+
+func (c *CondorPlacementConfig) fill() {
+	if c.Duration == 0 {
+		c.Duration = 6 * time.Hour
+	}
+	if c.Clients == 0 {
+		c.Clients = 100
+	}
+	if c.SchedulerMeanUp == 0 {
+		c.SchedulerMeanUp = 15 * time.Minute
+	}
+	if c.SchedulerMeanDown == 0 {
+		c.SchedulerMeanDown = 2 * time.Minute
+	}
+	if c.LocateCost == 0 {
+		c.LocateCost = 90 * time.Second
+	}
+	if c.CycleTime == 0 {
+		c.CycleTime = 60 * time.Second
+	}
+	if c.OpsPerSec == 0 {
+		c.OpsPerSec = 3.5e6
+	}
+}
+
+// CondorPlacementResult reports the outcome of one placement run.
+type CondorPlacementResult struct {
+	// UsefulOps is the total work delivered.
+	UsefulOps float64
+	// LocateEvents counts client attempts that hit a dead scheduler.
+	LocateEvents int64
+	// WastedSeconds is total client time spent locating viable schedulers.
+	WastedSeconds float64
+	// SchedulerDeaths counts reclamations of the in-pool scheduler.
+	SchedulerDeaths int64
+}
+
+// RunCondorPlacement replays the section 5.4 experiment for one placement.
+func RunCondorPlacement(cfg CondorPlacementConfig) *CondorPlacementResult {
+	cfg.fill()
+	start := SC98Start
+	end := start.Add(cfg.Duration)
+	eng := simgrid.NewEngine(start)
+	res := &CondorPlacementResult{}
+
+	// Scheduler availability timeline.
+	schedUp := true
+	var schedToggle time.Time
+	schedRNG := rand.New(rand.NewSource(simgrid.SubSeed(cfg.Seed, 1<<20)))
+	if cfg.SchedulerInPool {
+		var toggle func()
+		toggle = func() {
+			schedUp = !schedUp
+			if !schedUp {
+				res.SchedulerDeaths++
+			}
+			var d time.Duration
+			if schedUp {
+				d = simgrid.Exp(schedRNG, cfg.SchedulerMeanUp, time.Minute)
+			} else {
+				d = simgrid.Exp(schedRNG, cfg.SchedulerMeanDown, 15*time.Second)
+			}
+			schedToggle = eng.Now().Add(d)
+			eng.Schedule(schedToggle, toggle)
+		}
+		first := simgrid.Exp(schedRNG, cfg.SchedulerMeanUp, time.Minute)
+		eng.Schedule(start.Add(first), toggle)
+	}
+
+	// Clients: compute a cycle, then contact the scheduler. If the
+	// scheduler is dead, the client pays LocateCost (it discovers the
+	// death only at contact time, then hunts for a viable server).
+	for i := 0; i < cfg.Clients; i++ {
+		rng := rand.New(rand.NewSource(simgrid.SubSeed(cfg.Seed, i)))
+		speed := cfg.OpsPerSec * simgrid.LogNormal(rng, 0.25)
+		var cycle func()
+		cycle = func() {
+			t := eng.Now()
+			if !t.Before(end) {
+				return
+			}
+			ops := speed * cfg.CycleTime.Seconds()
+			wait := time.Duration(0)
+			if cfg.SchedulerInPool && !schedUp {
+				res.LocateEvents++
+				wait = time.Duration(float64(cfg.LocateCost) * simgrid.LogNormal(rng, 0.3))
+				res.WastedSeconds += wait.Seconds()
+			}
+			res.UsefulOps += ops
+			eng.After(cfg.CycleTime+wait, cycle)
+		}
+		eng.Schedule(start.Add(time.Duration(rng.Float64()*float64(cfg.CycleTime))), cycle)
+	}
+	eng.Run(end)
+	return res
+}

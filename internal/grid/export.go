@@ -1,0 +1,78 @@
+package grid
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"everyware/internal/trace"
+)
+
+// ExportFigureData writes every evaluation series as CSV files under dir
+// (created if needed):
+//
+//	fig2_total_rate.csv      time, ops_per_sec            (Figures 2, 3c, 4c)
+//	fig3a_rate_by_infra.csv  time, <infra columns>        (Figures 3a, 4a)
+//	fig3b_hosts_by_infra.csv time, <infra columns>        (Figures 3b, 4b)
+//	summary.csv              per-series descriptive statistics
+//
+// The log-scale Figure 4 panels are presentations of the same data; plot
+// the CSVs with a log axis.
+func (r *Result) ExportFigureData(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Figure 2 / 3c / 4c: total rate.
+	f, err := os.Create(filepath.Join(dir, "fig2_total_rate.csv"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "time,ops_per_sec")
+	for i := 0; i < r.Total.Buckets(); i++ {
+		fmt.Fprintf(f, "%s,%.6g\n", r.Total.BucketTime(i).Format("15:04:05"), r.Total.Rate(i))
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Figure 3a / 4a: per-infrastructure rates.
+	f, err = os.Create(filepath.Join(dir, "fig3a_rate_by_infra.csv"))
+	if err != nil {
+		return err
+	}
+	if err := r.Perf.WriteCSV(f, "rate"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Figure 3b / 4b: per-infrastructure host counts.
+	f, err = os.Create(filepath.Join(dir, "fig3b_hosts_by_infra.csv"))
+	if err != nil {
+		return err
+	}
+	if err := r.Hosts.WriteCSV(f, "mean"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Summary statistics per series.
+	f, err = os.Create(filepath.Join(dir, "summary.csv"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "series,n,min,max,mean,median,p95,cv")
+	emit := func(name string, vs []float64) {
+		s := trace.Summarize(vs)
+		fmt.Fprintf(f, "%s,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.4f\n",
+			name, s.N, s.Min, s.Max, s.Mean, s.Median, s.P95, s.CV)
+	}
+	emit("total_rate", r.Total.Rates())
+	for _, in := range Infras() {
+		emit(string(in)+"_rate", r.Perf.Series(string(in)).Rates())
+		emit(string(in)+"_hosts", r.Hosts.Series(string(in)).Means())
+	}
+	return f.Close()
+}

@@ -1,0 +1,145 @@
+// Package grid models the SC98 Computational Grid testbed: the seven
+// infrastructures the EveryWare Ramsey application drew power from
+// (section 5 of the paper), each with its own host speeds, availability
+// churn, and communication characteristics.
+//
+// The paper's absolute rates came from 1998 hardware; the profiles here
+// are calibrated so the *shape* of the evaluation figures holds — which
+// infrastructure contributes what, how host counts fluctuate, and how the
+// total collapses and recovers around the competition judging. The models
+// are driven by the discrete-event engine in everyware/internal/simgrid
+// and exercise the real forecasting and scheduling policy code.
+package grid
+
+import "time"
+
+// Infra names the infrastructures of the SC98 experiment.
+type Infra string
+
+// The seven infrastructures (Figure 3's legend).
+const (
+	InfraUnix     Infra = "unix"
+	InfraGlobus   Infra = "globus"
+	InfraLegion   Infra = "legion"
+	InfraCondor   Infra = "condor"
+	InfraNT       Infra = "nt"
+	InfraJava     Infra = "java"
+	InfraNetSolve Infra = "netsolve"
+)
+
+// Infras lists all infrastructures in the order the paper's legends use.
+func Infras() []Infra {
+	return []Infra{InfraLegion, InfraCondor, InfraNT, InfraGlobus, InfraUnix, InfraJava, InfraNetSolve}
+}
+
+// Measured Java applet rates from section 5.6 of the paper (300 MHz
+// Pentium II): the interpreted applet sustained 111,616 integer ops/s; the
+// JIT-compiled version 12,109,720 ops/s.
+const (
+	JavaInterpretedOpsPerSec = 111_616.0
+	JavaJITOpsPerSec         = 12_109_720.0
+)
+
+// Profile describes one infrastructure's host pool.
+type Profile struct {
+	// Name is the infrastructure.
+	Name Infra
+	// Hosts is the pool size.
+	Hosts int
+	// OpsPerSec is the per-host sustained useful-work rate when idle
+	// (integer ops/s, as the application counts them).
+	OpsPerSec float64
+	// SpeedJitter is the lognormal sigma of per-host speed variation.
+	SpeedJitter float64
+	// JITFraction (Java only): fraction of applet hosts running a JIT; the
+	// rest run interpreted at JavaInterpretedOpsPerSec.
+	JITFraction float64
+	// MeanUp and MeanDown parameterize the host availability renewal
+	// process. MeanUp 0 means always available (dedicated-style access,
+	// though the application never requested dedicated time).
+	MeanUp, MeanDown time.Duration
+	// LatencyBase is the typical report round-trip to the scheduling
+	// servers under no load.
+	LatencyBase time.Duration
+	// LatencyJitter is the lognormal sigma of response-time variation.
+	LatencyJitter float64
+	// CycleTime is the compute phase between progress reports.
+	CycleTime time.Duration
+	// ClaimFraction is the share of this pool claimed by competing
+	// HPC-challenge projects during the judging spike (the paper: "our
+	// application suddenly lost computational power as resources were
+	// claimed by other applications").
+	ClaimFraction float64
+}
+
+// SC98Profiles returns the calibrated testbed. Peak aggregate capacity is
+// ~2.45e9 ops/s, matching the scale of Figure 2 (peak 2.39e9 sustained):
+//
+//   - NT Superclusters (NCSA + UCSD, via CygWin port): 64 hosts, the
+//     single largest contributor.
+//   - Unix (NPACI high-performance sites): 30 stable fast hosts.
+//   - Condor: the largest host count (~100) but workstation-class speeds
+//     and aggressive reclamation churn (vanilla universe: guests killed
+//     without warning).
+//   - Legion and Globus: mid-size pools with batch-queue style
+//     availability.
+//   - NetSolve: a small stable brokered pool.
+//   - Java: many slow browser applets coming and going; mostly
+//     interpreted, some JIT (section 5.6 rates).
+func SC98Profiles() []Profile {
+	return []Profile{
+		{
+			Name: InfraNT, Hosts: 64, OpsPerSec: 16e6, SpeedJitter: 0.05,
+			MeanUp: 150 * time.Minute, MeanDown: 12 * time.Minute,
+			LatencyBase: 120 * time.Millisecond, LatencyJitter: 0.4,
+			CycleTime: 45 * time.Second, ClaimFraction: 0.55,
+		},
+		{
+			Name: InfraUnix, Hosts: 30, OpsPerSec: 17e6, SpeedJitter: 0.10,
+			MeanUp: 240 * time.Minute, MeanDown: 10 * time.Minute,
+			LatencyBase: 80 * time.Millisecond, LatencyJitter: 0.3,
+			CycleTime: 45 * time.Second, ClaimFraction: 0.30,
+		},
+		{
+			Name: InfraCondor, Hosts: 100, OpsPerSec: 3.5e6, SpeedJitter: 0.25,
+			MeanUp: 40 * time.Minute, MeanDown: 25 * time.Minute,
+			LatencyBase: 180 * time.Millisecond, LatencyJitter: 0.5,
+			CycleTime: 60 * time.Second, ClaimFraction: 0.45,
+		},
+		{
+			Name: InfraLegion, Hosts: 15, OpsPerSec: 16e6, SpeedJitter: 0.10,
+			MeanUp: 120 * time.Minute, MeanDown: 15 * time.Minute,
+			LatencyBase: 200 * time.Millisecond, LatencyJitter: 0.4,
+			CycleTime: 45 * time.Second, ClaimFraction: 0.35,
+		},
+		{
+			Name: InfraGlobus, Hosts: 12, OpsPerSec: 16e6, SpeedJitter: 0.10,
+			MeanUp: 90 * time.Minute, MeanDown: 20 * time.Minute,
+			LatencyBase: 150 * time.Millisecond, LatencyJitter: 0.4,
+			CycleTime: 45 * time.Second, ClaimFraction: 0.40,
+		},
+		{
+			Name: InfraNetSolve, Hosts: 6, OpsPerSec: 7e6, SpeedJitter: 0.10,
+			MeanUp: 300 * time.Minute, MeanDown: 10 * time.Minute,
+			LatencyBase: 140 * time.Millisecond, LatencyJitter: 0.3,
+			CycleTime: 45 * time.Second, ClaimFraction: 0.25,
+		},
+		{
+			Name: InfraJava, Hosts: 30, OpsPerSec: JavaJITOpsPerSec, SpeedJitter: 0.15,
+			JITFraction: 0.3,
+			MeanUp:      20 * time.Minute, MeanDown: 30 * time.Minute,
+			LatencyBase: 350 * time.Millisecond, LatencyJitter: 0.6,
+			CycleTime: 90 * time.Second, ClaimFraction: 0.20,
+		},
+	}
+}
+
+// ProfileFor returns the SC98 profile for one infrastructure.
+func ProfileFor(name Infra) (Profile, bool) {
+	for _, p := range SC98Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

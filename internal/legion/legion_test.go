@@ -1,0 +1,219 @@
+package legion
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"everyware/internal/pstate"
+	"everyware/internal/ramsey"
+	"everyware/internal/sched"
+	"everyware/internal/wire"
+)
+
+func startTranslator(t *testing.T) *Translator {
+	t.Helper()
+	tr := NewTranslator()
+	if _, err := tr.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	return tr
+}
+
+func TestInvokeOverWire(t *testing.T) {
+	tr := startTranslator(t)
+	obj := NewObject("math").Define("concat", func(args [][]byte) ([][]byte, error) {
+		out := []byte{}
+		for _, a := range args {
+			out = append(out, a...)
+		}
+		return [][]byte{out}, nil
+	})
+	if err := tr.Register(obj); err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewClient(time.Second)
+	defer wc.Close()
+	c := NewClient(wc, tr.Addr(), time.Second)
+	res, err := c.Invoke("math", "concat", []byte("foo"), []byte("bar"))
+	if err != nil || len(res) != 1 || string(res[0]) != "foobar" {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+}
+
+func TestInvokeUnknownObjectAndMethod(t *testing.T) {
+	tr := startTranslator(t)
+	if err := tr.Register(NewObject("x").Define("m", func([][]byte) ([][]byte, error) { return nil, nil })); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Invoke("nope", "m", nil); err == nil {
+		t.Fatal("unknown object must fail")
+	}
+	if _, err := tr.Invoke("x", "nope", nil); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+}
+
+func TestRegisterDuplicateObjectFails(t *testing.T) {
+	tr := startTranslator(t)
+	if err := tr.Register(NewObject("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(NewObject("dup")); err == nil {
+		t.Fatal("duplicate object must fail")
+	}
+}
+
+func TestTranslatorMonitorsAllTraffic(t *testing.T) {
+	tr := startTranslator(t)
+	obj := NewObject("svc").
+		Define("ok", func([][]byte) ([][]byte, error) { return nil, nil }).
+		Define("bad", func([][]byte) ([][]byte, error) { return nil, errors.New("boom") })
+	if err := tr.Register(obj); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tr.Invoke("svc", "ok", nil)
+	}
+	tr.Invoke("svc", "bad", nil)
+	tr.Invoke("svc", "missing", nil)
+	stats := tr.Stats()
+	byKey := map[string]InvokeStat{}
+	for _, s := range stats {
+		byKey[s.Object+"."+s.Method] = s
+	}
+	if s := byKey["svc.ok"]; s.Calls != 3 || s.Errors != 0 {
+		t.Fatalf("ok stat = %+v", s)
+	}
+	if s := byKey["svc.bad"]; s.Calls != 1 || s.Errors != 1 {
+		t.Fatalf("bad stat = %+v", s)
+	}
+	if s := byKey["svc.missing"]; s.Calls != 1 || s.Errors != 1 {
+		t.Fatalf("missing stat = %+v", s)
+	}
+}
+
+func TestObjectMethodsSorted(t *testing.T) {
+	o := NewObject("o").
+		Define("b", func([][]byte) ([][]byte, error) { return nil, nil }).
+		Define("a", func([][]byte) ([][]byte, error) { return nil, nil })
+	m := o.Methods()
+	if len(m) != 2 || m[0] != "a" || m[1] != "b" {
+		t.Fatalf("methods = %v", m)
+	}
+}
+
+// The SC98 configuration: scheduler and persistent state manager as a
+// single passive Legion object, driven through the translator.
+func TestServicesObjectEndToEnd(t *testing.T) {
+	sv := sched.NewServer(sched.ServerConfig{N: 5, K: 3})
+	defer sv.Close()
+	ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	tr := startTranslator(t)
+	if err := tr.Register(NewServicesObject(sv, ps)); err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewClient(time.Second)
+	defer wc.Close()
+	c := NewClient(wc, tr.Addr(), time.Second)
+
+	// Scheduling through the translator.
+	rep := sched.Report{ClientID: "legion-client", Infra: "legion"}
+	res, err := c.Invoke(ServicesObjectName, "report", sched.EncodeReport(rep))
+	if err != nil || len(res) != 1 {
+		t.Fatalf("report: %v, %v", res, err)
+	}
+	dr, err := sched.DecodeDirective(res[0])
+	if err != nil || dr.Kind != sched.DirNewWork {
+		t.Fatalf("directive = %+v, %v", dr, err)
+	}
+
+	// Persistent state through the translator.
+	pent, _ := ramsey.Paley(5)
+	data := pent.Encode()
+	if _, err := c.Invoke(ServicesObjectName, "store", []byte("obj"), []byte(""), data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Invoke(ServicesObjectName, "fetch", []byte("obj"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("fetch: %v, %v", got, err)
+	}
+	col, err := ramsey.DecodeColoring(got[0])
+	if err != nil || !col.Equal(pent) {
+		t.Fatalf("round trip through Legion object failed: %v", err)
+	}
+
+	// The translator saw every message.
+	total := int64(0)
+	for _, s := range tr.Stats() {
+		total += s.Calls
+	}
+	if total != 3 {
+		t.Fatalf("monitored calls = %d, want 3", total)
+	}
+}
+
+func TestServicesObjectArgValidation(t *testing.T) {
+	sv := sched.NewServer(sched.ServerConfig{N: 5, K: 3})
+	defer sv.Close()
+	ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	tr := startTranslator(t)
+	if err := tr.Register(NewServicesObject(sv, ps)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Invoke(ServicesObjectName, "report", nil); err == nil {
+		t.Fatal("report with no args must fail")
+	}
+	if _, err := tr.Invoke(ServicesObjectName, "store", [][]byte{[]byte("one")}); err == nil {
+		t.Fatal("store with 1 arg must fail")
+	}
+	if res, err := tr.Invoke(ServicesObjectName, "fetch", [][]byte{[]byte("missing")}); err != nil || len(res) != 1 || res[0] != nil {
+		t.Fatalf("fetch missing = %v, %v", res, err)
+	}
+}
+
+func TestInvokeConcurrent(t *testing.T) {
+	tr := startTranslator(t)
+	obj := NewObject("c").Define("echo", func(args [][]byte) ([][]byte, error) {
+		return args, nil
+	})
+	if err := tr.Register(obj); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			wc := wire.NewClient(time.Second)
+			defer wc.Close()
+			c := NewClient(wc, tr.Addr(), time.Second)
+			for i := 0; i < 25; i++ {
+				want := fmt.Sprintf("g%d-%d", g, i)
+				res, err := c.Invoke("c", "echo", []byte(want))
+				if err != nil {
+					done <- err
+					return
+				}
+				if len(res) != 1 || string(res[0]) != want {
+					done <- fmt.Errorf("got %q want %q", res, want)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package logsvc
+
+import (
+	"testing"
+	"time"
+
+	"everyware/internal/wire"
+)
+
+func BenchmarkAppendInProcess(b *testing.B) {
+	s, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	en := Entry{Unix: 1, Source: "client", Level: "perf", Line: "ops=123456 rate=2.5e6"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(en)
+	}
+}
+
+func BenchmarkLogOverWire(b *testing.B) {
+	s, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	wc := wire.NewClient(time.Second)
+	defer wc.Close()
+	c := NewClient(wc, s.Addr(), "bench", time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Log("perf", "ops=%d", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package logsvc implements the EveryWare distributed logging service
+// (section 3.1.3 of the paper).
+//
+// Scheduling servers base decisions partly on the performance information
+// clients report; before that information is discarded it is forwarded to
+// a logging server so it can be recorded. Running logging as a separate
+// service lets the application limit and control the storage load it
+// generates (the same footprint concern as the persistent state
+// managers). The recorded stream is also what the evaluation section's
+// figures are computed from.
+package logsvc
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"everyware/internal/wire"
+)
+
+// Lingua franca message types for the logging service (range 40-49).
+const (
+	// MsgAppend appends one entry (payload: Entry).
+	MsgAppend wire.MsgType = 40
+	// MsgTail returns the most recent n entries (payload: n uint32).
+	MsgTail wire.MsgType = 41
+	// MsgStats reports entry/drop counts.
+	MsgStats wire.MsgType = 42
+)
+
+// Entry is one log record.
+type Entry struct {
+	// Unix is the origin timestamp in nanoseconds.
+	Unix int64
+	// Source identifies the reporting component (e.g. a client address).
+	Source string
+	// Level is a free-form severity/category ("info", "perf", "error").
+	Level string
+	// Line is the message text.
+	Line string
+}
+
+// EncodeEntry serializes one entry.
+func EncodeEntry(en Entry) []byte {
+	var e wire.Encoder
+	encodeEntryInto(&e, en)
+	return e.Bytes()
+}
+
+func encodeEntryInto(e *wire.Encoder, en Entry) {
+	e.PutInt64(en.Unix)
+	e.PutString(en.Source)
+	e.PutString(en.Level)
+	e.PutString(en.Line)
+}
+
+// DecodeEntry parses one entry.
+func DecodeEntry(p []byte) (Entry, error) {
+	return decodeEntryFrom(wire.NewDecoder(p))
+}
+
+func decodeEntryFrom(d *wire.Decoder) (Entry, error) {
+	var en Entry
+	var err error
+	if en.Unix, err = d.Int64(); err != nil {
+		return en, err
+	}
+	if en.Source, err = d.String(); err != nil {
+		return en, err
+	}
+	if en.Level, err = d.String(); err != nil {
+		return en, err
+	}
+	en.Line, err = d.String()
+	return en, err
+}
+
+// ServerConfig parameterizes a logging server.
+type ServerConfig struct {
+	// ListenAddr is the bind address (":0" for ephemeral).
+	ListenAddr string
+	// MaxEntries bounds the in-memory ring buffer (default 65536).
+	MaxEntries int
+	// File, if set, appends entries as text lines to this path.
+	File string
+	// MaxFileBytes stops file appends beyond this size (0 = unlimited) —
+	// the storage-load control the paper calls out.
+	MaxFileBytes int64
+}
+
+// Server is one logging daemon.
+type Server struct {
+	cfg ServerConfig
+	srv *wire.Server
+
+	mu        sync.Mutex
+	ring      []Entry
+	next      int
+	full      bool
+	appended  int64
+	dropped   int64
+	fileBytes int64
+	f         *os.File
+}
+
+// NewServer creates a logging server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 65536
+	}
+	s := &Server{cfg: cfg, srv: wire.NewServer(), ring: make([]Entry, cfg.MaxEntries)}
+	s.srv.Logf = func(string, ...any) {}
+	if cfg.File != "" {
+		f, err := os.OpenFile(cfg.File, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.f = f
+		s.fileBytes = st.Size()
+	}
+	s.srv.Register(MsgAppend, wire.HandlerFunc(s.handleAppend))
+	s.srv.Register(MsgTail, wire.HandlerFunc(s.handleTail))
+	s.srv.Register(MsgStats, wire.HandlerFunc(s.handleStats))
+	return s, nil
+}
+
+// Start binds the listener and returns the bound address.
+func (s *Server) Start() (string, error) { return s.srv.Listen(s.cfg.ListenAddr) }
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close stops the daemon and closes the log file.
+func (s *Server) Close() {
+	s.srv.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// Append records one entry directly (in-process use).
+func (s *Server) Append(en Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ring[s.next] = en
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+	s.appended++
+	if s.f != nil {
+		line := fmt.Sprintf("%d\t%s\t%s\t%s\n", en.Unix, en.Source, en.Level, en.Line)
+		if s.cfg.MaxFileBytes > 0 && s.fileBytes+int64(len(line)) > s.cfg.MaxFileBytes {
+			s.dropped++
+			return
+		}
+		if n, err := s.f.WriteString(line); err == nil {
+			s.fileBytes += int64(n)
+		}
+	}
+}
+
+// Tail returns the most recent n entries, oldest first.
+func (s *Server) Tail(n int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := s.next
+	if s.full {
+		size = len(s.ring)
+	}
+	if n > size {
+		n = size
+	}
+	out := make([]Entry, 0, n)
+	start := s.next - n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}
+
+// Stats returns (entries appended, file lines dropped by quota).
+func (s *Server) Stats() (appended, dropped int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended, s.dropped
+}
+
+func (s *Server) handleAppend(_ string, req *wire.Packet) (*wire.Packet, error) {
+	en, err := DecodeEntry(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	s.Append(en)
+	return &wire.Packet{Type: MsgAppend}, nil
+}
+
+func (s *Server) handleTail(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	entries := s.Tail(int(n))
+	var e wire.Encoder
+	e.PutUint32(uint32(len(entries)))
+	for _, en := range entries {
+		encodeEntryInto(&e, en)
+	}
+	return &wire.Packet{Type: MsgTail, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) handleStats(_ string, _ *wire.Packet) (*wire.Packet, error) {
+	appended, dropped := s.Stats()
+	var e wire.Encoder
+	e.PutInt64(appended)
+	e.PutInt64(dropped)
+	return &wire.Packet{Type: MsgStats, Payload: e.Bytes()}, nil
+}
+
+// Client reports log entries to a logging server.
+type Client struct {
+	wc      *wire.Client
+	addr    string
+	source  string
+	timeout time.Duration
+	// Now is injectable for simulation.
+	Now func() time.Time
+}
+
+// NewClient returns a logging client reporting as source.
+func NewClient(wc *wire.Client, addr, source string, timeout time.Duration) *Client {
+	return &Client{wc: wc, addr: addr, source: source, timeout: timeout, Now: time.Now}
+}
+
+// Log appends one entry.
+func (c *Client) Log(level, format string, args ...any) error {
+	en := Entry{
+		Unix:   c.Now().UnixNano(),
+		Source: c.source,
+		Level:  level,
+		Line:   fmt.Sprintf(format, args...),
+	}
+	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgAppend, Payload: EncodeEntry(en)}, c.timeout)
+	return err
+}
+
+// Tail fetches the most recent n entries from the server.
+func (c *Client) Tail(n int) ([]Entry, error) {
+	var e wire.Encoder
+	e.PutUint32(uint32(n))
+	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgTail, Payload: e.Bytes()}, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp.Payload)
+	cnt, err := d.Count(20)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		en, err := decodeEntryFrom(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, en)
+	}
+	return out, nil
+}

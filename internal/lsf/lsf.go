@@ -1,0 +1,264 @@
+// Package lsf models the Load Sharing Facility batch system that managed
+// the NT Superclusters at NCSA and UCSD (section 5.5 of the paper),
+// including the subtle behaviour that bit the EveryWare team: worker
+// processes were designed to sleep for a randomized time at start-up (to
+// avoid presenting an instantaneous load spike to a scheduler), but "LSF
+// seemed to interpret the lack of cpu usage by assuming the process is
+// dead, reclaiming the processor" — so the team had to shorten the sleep,
+// sacrificing reduced scheduler load for effective Supercluster use.
+//
+// The model runs under the discrete-event engine: jobs are queued,
+// dispatched to free nodes, and a monitor reclaims any job that shows no
+// CPU activity for longer than the idle threshold.
+package lsf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"everyware/internal/simgrid"
+)
+
+// JobState is an LSF job's lifecycle state.
+type JobState uint8
+
+// Job states.
+const (
+	// Queued: waiting for a free node.
+	Queued JobState = iota + 1
+	// Running: dispatched to a node.
+	Running
+	// Reclaimed: killed by the idle monitor (interpreted as dead).
+	Reclaimed
+	// Finished: ran to its configured end.
+	Finished
+)
+
+// String renders a state.
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Reclaimed:
+		return "reclaimed"
+	case Finished:
+		return "finished"
+	default:
+		return "unknown"
+	}
+}
+
+// JobSpec describes one batch job's activity profile. The EveryWare
+// worker's profile is: sleep StartupSleep (no CPU activity), then busy
+// until RunFor elapses.
+type JobSpec struct {
+	// ID is queue-unique.
+	ID string
+	// StartupSleep is the initial CPU-idle period (the randomized
+	// scheduler-load-spreading sleep).
+	StartupSleep time.Duration
+	// RunFor is the total time the job wants on the node (0 = forever).
+	RunFor time.Duration
+}
+
+// jobRec tracks one job.
+type jobRec struct {
+	spec     JobSpec
+	state    JobState
+	node     int
+	started  time.Time
+	lastBusy time.Time
+}
+
+// ClusterConfig parameterizes an LSF-managed cluster.
+type ClusterConfig struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// IdleKillAfter is how long a dispatched job may show no CPU activity
+	// before LSF reclaims the node (default 90s — generous, yet shorter
+	// than an unluckily long randomized start-up sleep).
+	IdleKillAfter time.Duration
+	// MonitorPeriod is how often the idle monitor sweeps (default 30s).
+	MonitorPeriod time.Duration
+}
+
+func (c *ClusterConfig) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 64
+	}
+	if c.IdleKillAfter == 0 {
+		c.IdleKillAfter = 90 * time.Second
+	}
+	if c.MonitorPeriod == 0 {
+		c.MonitorPeriod = 30 * time.Second
+	}
+}
+
+// Cluster is an LSF-managed batch cluster under the discrete-event
+// engine.
+type Cluster struct {
+	cfg ClusterConfig
+	eng *simgrid.Engine
+
+	mu         sync.Mutex
+	jobs       map[string]*jobRec
+	queue      []string
+	nodeFree   []bool
+	reclaims   int64
+	dispatches int64
+}
+
+// NewCluster builds a cluster on eng and starts the idle monitor.
+func NewCluster(eng *simgrid.Engine, cfg ClusterConfig) *Cluster {
+	cfg.fill()
+	c := &Cluster{
+		cfg:      cfg,
+		eng:      eng,
+		jobs:     make(map[string]*jobRec),
+		nodeFree: make([]bool, cfg.Nodes),
+	}
+	for i := range c.nodeFree {
+		c.nodeFree[i] = true
+	}
+	var monitor func()
+	monitor = func() {
+		c.sweep()
+		eng.After(cfg.MonitorPeriod, monitor)
+	}
+	eng.After(cfg.MonitorPeriod, monitor)
+	return c
+}
+
+// Submit queues a job.
+func (c *Cluster) Submit(spec JobSpec) error {
+	c.mu.Lock()
+	if _, dup := c.jobs[spec.ID]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("lsf: job %q already submitted", spec.ID)
+	}
+	c.jobs[spec.ID] = &jobRec{spec: spec, state: Queued, node: -1}
+	c.queue = append(c.queue, spec.ID)
+	c.mu.Unlock()
+	c.dispatch()
+	return nil
+}
+
+// dispatch places queued jobs on free nodes.
+func (c *Cluster) dispatch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) > 0 {
+		node := -1
+		for i, free := range c.nodeFree {
+			if free {
+				node = i
+				break
+			}
+		}
+		if node < 0 {
+			return
+		}
+		id := c.queue[0]
+		c.queue = c.queue[1:]
+		j := c.jobs[id]
+		if j == nil || j.state != Queued {
+			continue
+		}
+		now := c.eng.Now()
+		j.state = Running
+		j.node = node
+		j.started = now
+		// The job is CPU-idle during its start-up sleep: lastBusy stays at
+		// dispatch time until the sleep ends.
+		j.lastBusy = now
+		c.nodeFree[node] = false
+		c.dispatches++
+		if j.spec.RunFor > 0 {
+			id := id
+			end := now.Add(j.spec.StartupSleep + j.spec.RunFor)
+			c.eng.Schedule(end, func() { c.finish(id) })
+		}
+	}
+}
+
+// sweep is the idle monitor: any running job whose CPU has been idle
+// longer than IdleKillAfter is presumed dead and its node reclaimed.
+func (c *Cluster) sweep() {
+	c.mu.Lock()
+	now := c.eng.Now()
+	for _, j := range c.jobs {
+		if j.state != Running {
+			continue
+		}
+		// The job is busy once its start-up sleep has elapsed.
+		sleepEnds := j.started.Add(j.spec.StartupSleep)
+		idleSince := j.lastBusy
+		if now.After(sleepEnds) {
+			idleSince = sleepEnds // has been busy since the sleep ended
+			j.lastBusy = now
+		}
+		if now.Sub(idleSince) > c.cfg.IdleKillAfter && now.Before(sleepEnds) {
+			j.state = Reclaimed
+			c.nodeFree[j.node] = true
+			j.node = -1
+			c.reclaims++
+		}
+	}
+	c.mu.Unlock()
+	c.dispatch()
+}
+
+// finish completes a job that ran its course.
+func (c *Cluster) finish(id string) {
+	c.mu.Lock()
+	j := c.jobs[id]
+	if j != nil && j.state == Running {
+		j.state = Finished
+		c.nodeFree[j.node] = true
+		j.node = -1
+	}
+	c.mu.Unlock()
+	c.dispatch()
+}
+
+// State returns a job's current state.
+func (c *Cluster) State(id string) (JobState, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return 0, false
+	}
+	return j.state, true
+}
+
+// Stats returns (dispatches, reclaims, queued, running).
+func (c *Cluster) Stats() (dispatches, reclaims int64, queued, running int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, j := range c.jobs {
+		switch j.state {
+		case Queued:
+			queued++
+		case Running:
+			running++
+		}
+	}
+	return c.dispatches, c.reclaims, queued, running
+}
+
+// JobIDs returns all submitted job IDs, sorted.
+func (c *Cluster) JobIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.jobs))
+	for id := range c.jobs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

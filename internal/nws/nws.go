@@ -1,0 +1,260 @@
+// Package nws implements the Network Weather Service as a deployable Grid
+// service: sensors that periodically measure resource performance
+// (network round-trip times between hosts, local compute availability),
+// a measurement memory, and a forecast API — the "distributed dynamic
+// performance forecasting service for Computational Grids" the EveryWare
+// application components consult to anticipate load changes (sections 2.2
+// and 3.1 of the paper; references [38], [39]).
+//
+// The forecasting mathematics lives in everyware/internal/forecast (the
+// library EveryWare links into every component); this package wraps it in
+// the service form: sensors report measurements over the lingua franca to
+// a memory daemon, and any component can ask the memory for the current
+// best forecast of any tracked series.
+package nws
+
+import (
+	"sync"
+	"time"
+
+	"everyware/internal/forecast"
+	"everyware/internal/wire"
+)
+
+// Lingua franca message types for the NWS (range 90-99).
+const (
+	// MsgReport stores one measurement (payload: resource, event, value).
+	MsgReport wire.MsgType = 90
+	// MsgForecast returns the best current forecast for a series.
+	MsgForecast wire.MsgType = 91
+	// MsgSeries returns the most recent raw measurements of a series.
+	MsgSeries wire.MsgType = 92
+	// MsgKeys enumerates tracked series.
+	MsgKeys wire.MsgType = 93
+)
+
+// Memory is the NWS measurement memory and forecaster daemon. It keeps a
+// bounded raw-series ring per key alongside the forecasting battery.
+type Memory struct {
+	srv *wire.Server
+	reg *forecast.Registry
+
+	mu     sync.Mutex
+	series map[forecast.Key][]float64
+	// KeepRaw bounds raw measurements retained per key (default 256).
+	KeepRaw int
+}
+
+// NewMemory constructs a memory daemon; call Start to serve.
+func NewMemory() *Memory {
+	m := &Memory{
+		srv:     wire.NewServer(),
+		reg:     forecast.NewRegistry(),
+		series:  make(map[forecast.Key][]float64),
+		KeepRaw: 256,
+	}
+	m.srv.Logf = func(string, ...any) {}
+	m.srv.Register(MsgReport, wire.HandlerFunc(m.handleReport))
+	m.srv.Register(MsgForecast, wire.HandlerFunc(m.handleForecast))
+	m.srv.Register(MsgSeries, wire.HandlerFunc(m.handleSeries))
+	m.srv.Register(MsgKeys, wire.HandlerFunc(m.handleKeys))
+	return m
+}
+
+// Start binds the listener and returns the bound address.
+func (m *Memory) Start(addr string) (string, error) { return m.srv.Listen(addr) }
+
+// Addr returns the bound address.
+func (m *Memory) Addr() string { return m.srv.Addr() }
+
+// Close stops the daemon.
+func (m *Memory) Close() { m.srv.Close() }
+
+// Report stores one measurement (in-process use).
+func (m *Memory) Report(key forecast.Key, v float64) {
+	m.reg.Record(key, v)
+	m.mu.Lock()
+	s := append(m.series[key], v)
+	if len(s) > m.KeepRaw {
+		s = s[len(s)-m.KeepRaw:]
+	}
+	m.series[key] = s
+	m.mu.Unlock()
+}
+
+// Forecast returns the best current prediction for key.
+func (m *Memory) Forecast(key forecast.Key) (forecast.Forecast, bool) {
+	return m.reg.Forecast(key)
+}
+
+// Series returns up to n recent raw measurements for key, oldest first.
+func (m *Memory) Series(key forecast.Key, n int) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.series[key]
+	if n > len(s) {
+		n = len(s)
+	}
+	out := make([]float64, n)
+	copy(out, s[len(s)-n:])
+	return out
+}
+
+// Keys returns tracked series keys, sorted.
+func (m *Memory) Keys() []forecast.Key { return m.reg.Keys() }
+
+func decodeKey(d *wire.Decoder) (forecast.Key, error) {
+	var k forecast.Key
+	var err error
+	if k.Resource, err = d.String(); err != nil {
+		return k, err
+	}
+	k.Event, err = d.String()
+	return k, err
+}
+
+func (m *Memory) handleReport(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	key, err := decodeKey(d)
+	if err != nil {
+		return nil, err
+	}
+	v, err := d.Float64()
+	if err != nil {
+		return nil, err
+	}
+	m.Report(key, v)
+	return &wire.Packet{Type: MsgReport}, nil
+}
+
+func (m *Memory) handleForecast(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	key, err := decodeKey(d)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := m.Forecast(key)
+	var e wire.Encoder
+	e.PutBool(ok)
+	e.PutFloat64(f.Value)
+	e.PutString(f.Method)
+	e.PutFloat64(f.MSE)
+	e.PutFloat64(f.MAE)
+	e.PutUint32(uint32(f.Samples))
+	return &wire.Packet{Type: MsgForecast, Payload: e.Bytes()}, nil
+}
+
+func (m *Memory) handleSeries(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	key, err := decodeKey(d)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	vs := m.Series(key, int(n))
+	var e wire.Encoder
+	e.PutUint32(uint32(len(vs)))
+	for _, v := range vs {
+		e.PutFloat64(v)
+	}
+	return &wire.Packet{Type: MsgSeries, Payload: e.Bytes()}, nil
+}
+
+func (m *Memory) handleKeys(_ string, _ *wire.Packet) (*wire.Packet, error) {
+	keys := m.Keys()
+	var e wire.Encoder
+	e.PutUint32(uint32(len(keys)))
+	for _, k := range keys {
+		e.PutString(k.Resource)
+		e.PutString(k.Event)
+	}
+	return &wire.Packet{Type: MsgKeys, Payload: e.Bytes()}, nil
+}
+
+// Client provides typed access to a remote Memory.
+type Client struct {
+	wc      *wire.Client
+	addr    string
+	timeout time.Duration
+}
+
+// NewClient returns a Client for the memory at addr.
+func NewClient(wc *wire.Client, addr string, timeout time.Duration) *Client {
+	return &Client{wc: wc, addr: addr, timeout: timeout}
+}
+
+func encodeKey(e *wire.Encoder, k forecast.Key) {
+	e.PutString(k.Resource)
+	e.PutString(k.Event)
+}
+
+// Report stores one measurement.
+func (c *Client) Report(key forecast.Key, v float64) error {
+	var e wire.Encoder
+	encodeKey(&e, key)
+	e.PutFloat64(v)
+	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgReport, Payload: e.Bytes()}, c.timeout)
+	return err
+}
+
+// Forecast fetches the best current prediction for key.
+func (c *Client) Forecast(key forecast.Key) (forecast.Forecast, bool, error) {
+	var e wire.Encoder
+	encodeKey(&e, key)
+	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgForecast, Payload: e.Bytes()}, c.timeout)
+	if err != nil {
+		return forecast.Forecast{}, false, err
+	}
+	d := wire.NewDecoder(resp.Payload)
+	ok, err := d.Bool()
+	if err != nil {
+		return forecast.Forecast{}, false, err
+	}
+	var f forecast.Forecast
+	if f.Value, err = d.Float64(); err != nil {
+		return f, false, err
+	}
+	if f.Method, err = d.String(); err != nil {
+		return f, false, err
+	}
+	if f.MSE, err = d.Float64(); err != nil {
+		return f, false, err
+	}
+	if f.MAE, err = d.Float64(); err != nil {
+		return f, false, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return f, false, err
+	}
+	f.Samples = int(n)
+	return f, ok, nil
+}
+
+// Series fetches up to n recent raw measurements for key.
+func (c *Client) Series(key forecast.Key, n int) ([]float64, error) {
+	var e wire.Encoder
+	encodeKey(&e, key)
+	e.PutUint32(uint32(n))
+	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgSeries, Payload: e.Bytes()}, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp.Payload)
+	cnt, err := d.Count(8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		v, err := d.Float64()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

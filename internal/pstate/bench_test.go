@@ -1,0 +1,49 @@
+package pstate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"everyware/internal/wire"
+)
+
+func BenchmarkStoreFetchOverWire(b *testing.B) {
+	s, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	wc := wire.NewClient(time.Second)
+	defer wc.Close()
+	c := NewClient(wc, s.Addr(), time.Second)
+	data := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("obj-%d", i%64)
+		if _, err := c.Store(name, "", data); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.Fetch(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreInProcess(b *testing.B) {
+	s, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	data := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Store(fmt.Sprintf("obj-%d", i%64), "", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package pstate
+
+import (
+	"fmt"
+	"time"
+
+	"everyware/internal/wire"
+)
+
+// Client provides typed access to a persistent state manager over the
+// lingua franca.
+type Client struct {
+	wc      *wire.Client
+	addr    string
+	timeout time.Duration
+}
+
+// NewClient returns a Client for the manager at addr.
+func NewClient(wc *wire.Client, addr string, timeout time.Duration) *Client {
+	return &Client{wc: wc, addr: addr, timeout: timeout}
+}
+
+// Store validates and stores data under name/class, returning the new
+// version assigned by the manager.
+func (c *Client) Store(name, class string, data []byte) (uint64, error) {
+	var e wire.Encoder
+	e.PutString(name)
+	e.PutString(class)
+	e.PutBytes(data)
+	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgStore, Payload: e.Bytes()}, c.timeout)
+	if err != nil {
+		return 0, err
+	}
+	return wire.NewDecoder(resp.Payload).Uint64()
+}
+
+// Fetch retrieves an object; found is false if the name is absent.
+func (c *Client) Fetch(name string) (o *Object, found bool, err error) {
+	var e wire.Encoder
+	e.PutString(name)
+	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgFetch, Payload: e.Bytes()}, c.timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	d := wire.NewDecoder(resp.Payload)
+	found, err = d.Bool()
+	if err != nil || !found {
+		return nil, false, err
+	}
+	var obj Object
+	if obj.Name, err = d.String(); err != nil {
+		return nil, false, err
+	}
+	if obj.Class, err = d.String(); err != nil {
+		return nil, false, err
+	}
+	if obj.Version, err = d.Uint64(); err != nil {
+		return nil, false, err
+	}
+	data, err := d.Bytes()
+	if err != nil {
+		return nil, false, err
+	}
+	obj.Data = append([]byte(nil), data...)
+	return &obj, true, nil
+}
+
+// List enumerates stored object names.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgList}, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp.Payload)
+	n, err := d.Count(4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := d.String()
+		if err != nil {
+			return nil, fmt.Errorf("pstate: truncated list: %w", err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Delete removes an object.
+func (c *Client) Delete(name string) error {
+	var e wire.Encoder
+	e.PutString(name)
+	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgDelete, Payload: e.Bytes()}, c.timeout)
+	return err
+}
+
+// Usage reports (bytes stored, quota) at the manager.
+func (c *Client) Usage() (used, quota int64, err error) {
+	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgUsage}, c.timeout)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := wire.NewDecoder(resp.Payload)
+	if used, err = d.Int64(); err != nil {
+		return 0, 0, err
+	}
+	quota, err = d.Int64()
+	return used, quota, err
+}

@@ -1,0 +1,62 @@
+// Package pstate implements the EveryWare persistent state managers
+// (section 3.1.2 of the paper).
+//
+// Persistent state must survive the loss of all active processes in the
+// application. The paper ran these managers at "trusted" sites (tape
+// backup, industrial file system security) and gave them three jobs:
+// limit the application's file system footprint (many sites restrict
+// guest disk usage), keep persistent state in trusted storage, and run
+// run-time sanity checks on every store — e.g. verifying that a claimed
+// Ramsey counter-example really is one before accepting it.
+package pstate
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Validator checks an object before it is stored. The paper's example: the
+// persistent state manager verifies a stored object is a genuine Ramsey
+// counter-example for the given problem size.
+type Validator func(name string, data []byte) error
+
+// validators is the process-global class -> validator registry; like
+// gossip comparators, validators are selected by class name so every
+// manager process enforces the same rules.
+var (
+	valMu      sync.RWMutex
+	validators = map[string]Validator{}
+)
+
+// RegisterValidator installs a validator for an object class. Storing an
+// object of a class with no validator succeeds unchecked (classless bulk
+// state); registering twice fails.
+func RegisterValidator(class string, v Validator) error {
+	valMu.Lock()
+	defer valMu.Unlock()
+	if _, dup := validators[class]; dup {
+		return fmt.Errorf("pstate: validator for class %q already registered", class)
+	}
+	validators[class] = v
+	return nil
+}
+
+// LookupValidator resolves a class validator.
+func LookupValidator(class string) (Validator, bool) {
+	valMu.RLock()
+	defer valMu.RUnlock()
+	v, ok := validators[class]
+	return v, ok
+}
+
+// Object is one versioned persistent object.
+type Object struct {
+	// Name is the application-unique object name.
+	Name string
+	// Class selects the validator.
+	Class string
+	// Version increases by one on every accepted store.
+	Version uint64
+	// Data is the opaque payload.
+	Data []byte
+}

@@ -1,0 +1,317 @@
+package pstate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"everyware/internal/wire"
+)
+
+// Lingua franca message types for the persistent state service
+// (range 30-39).
+const (
+	// MsgStore stores an object (payload: name, class, data; response:
+	// new version).
+	MsgStore wire.MsgType = 30
+	// MsgFetch retrieves an object by name (payload: name; response:
+	// found, Object).
+	MsgFetch wire.MsgType = 31
+	// MsgList enumerates object names (response: sorted names).
+	MsgList wire.MsgType = 32
+	// MsgDelete removes an object by name.
+	MsgDelete wire.MsgType = 33
+	// MsgUsage reports bytes stored and the quota.
+	MsgUsage wire.MsgType = 34
+)
+
+// ServerConfig parameterizes a persistent state manager.
+type ServerConfig struct {
+	// ListenAddr is the bind address (":0" for ephemeral).
+	ListenAddr string
+	// Dir is the storage directory (created if missing).
+	Dir string
+	// MaxBytes bounds total payload bytes stored — the application's
+	// dynamically schedulable disk footprint. 0 means unlimited.
+	MaxBytes int64
+	// Logf receives diagnostics (defaults to discard).
+	Logf func(format string, args ...any)
+}
+
+// Server is one persistent state manager daemon.
+type Server struct {
+	cfg ServerConfig
+	srv *wire.Server
+
+	mu      sync.Mutex
+	objects map[string]*Object
+	used    int64
+}
+
+// NewServer creates a manager storing under cfg.Dir, loading any objects a
+// previous incarnation left there (state must survive process loss).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("pstate: storage directory required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, srv: wire.NewServer(), objects: make(map[string]*Object)}
+	s.srv.Logf = cfg.Logf
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.srv.Register(MsgStore, wire.HandlerFunc(s.handleStore))
+	s.srv.Register(MsgFetch, wire.HandlerFunc(s.handleFetch))
+	s.srv.Register(MsgList, wire.HandlerFunc(s.handleList))
+	s.srv.Register(MsgDelete, wire.HandlerFunc(s.handleDelete))
+	s.srv.Register(MsgUsage, wire.HandlerFunc(s.handleUsage))
+	return s, nil
+}
+
+// Start binds the listener and returns the bound address.
+func (s *Server) Start() (string, error) { return s.srv.Listen(s.cfg.ListenAddr) }
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close stops the daemon. Stored state remains on disk.
+func (s *Server) Close() { s.srv.Close() }
+
+// fileFor maps an object name to its storage path. Names are hashed so
+// arbitrary application keys cannot escape the directory.
+func (s *Server) fileFor(name string) string {
+	h := sha256.Sum256([]byte(name))
+	return filepath.Join(s.cfg.Dir, hex.EncodeToString(h[:16])+".obj")
+}
+
+// encodeObject lays out an object file: name, class, version, data.
+func encodeObject(o *Object) []byte {
+	var e wire.Encoder
+	e.PutString(o.Name)
+	e.PutString(o.Class)
+	e.PutUint64(o.Version)
+	e.PutBytes(o.Data)
+	return e.Bytes()
+}
+
+func decodeObject(p []byte) (*Object, error) {
+	d := wire.NewDecoder(p)
+	var o Object
+	var err error
+	if o.Name, err = d.String(); err != nil {
+		return nil, err
+	}
+	if o.Class, err = d.String(); err != nil {
+		return nil, err
+	}
+	if o.Version, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	data, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	o.Data = append([]byte(nil), data...)
+	return &o, nil
+}
+
+func (s *Server) load() error {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".obj") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(s.cfg.Dir, ent.Name()))
+		if err != nil {
+			s.cfg.Logf("pstate: skipping unreadable %s: %v", ent.Name(), err)
+			continue
+		}
+		o, err := decodeObject(raw)
+		if err != nil {
+			s.cfg.Logf("pstate: skipping corrupt %s: %v", ent.Name(), err)
+			continue
+		}
+		s.objects[o.Name] = o
+		s.used += int64(len(o.Data))
+	}
+	return nil
+}
+
+// persist writes the object file atomically (temp file + rename) so a
+// crash mid-write never corrupts previously stored state.
+func (s *Server) persist(o *Object) error {
+	path := s.fileFor(o.Name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, encodeObject(o), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Store validates and stores data under name/class, returning the new
+// version. Exposed for in-process use by the simulation.
+func (s *Server) Store(name, class string, data []byte) (uint64, error) {
+	if name == "" {
+		return 0, fmt.Errorf("pstate: empty object name")
+	}
+	// Run-time sanity check before anything touches disk.
+	if v, ok := LookupValidator(class); ok {
+		if err := v(name, data); err != nil {
+			return 0, fmt.Errorf("pstate: validation failed for %q: %w", name, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.objects[name]
+	delta := int64(len(data))
+	if prev != nil {
+		delta -= int64(len(prev.Data))
+	}
+	if s.cfg.MaxBytes > 0 && s.used+delta > s.cfg.MaxBytes {
+		return 0, fmt.Errorf("pstate: quota exceeded (%d + %d > %d bytes)", s.used, delta, s.cfg.MaxBytes)
+	}
+	o := &Object{Name: name, Class: class, Version: 1, Data: append([]byte(nil), data...)}
+	if prev != nil {
+		o.Version = prev.Version + 1
+	}
+	if err := s.persist(o); err != nil {
+		return 0, err
+	}
+	s.objects[name] = o
+	s.used += delta
+	return o.Version, nil
+}
+
+// Fetch returns the stored object, or nil if absent.
+func (s *Server) Fetch(name string) *Object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.objects[name]
+	if o == nil {
+		return nil
+	}
+	cp := *o
+	cp.Data = append([]byte(nil), o.Data...)
+	return &cp
+}
+
+// Names returns all stored object names, sorted.
+func (s *Server) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.objects))
+	for n := range s.objects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes an object.
+func (s *Server) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[name]
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(s.fileFor(name)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	s.used -= int64(len(o.Data))
+	delete(s.objects, name)
+	return nil
+}
+
+// Usage returns (bytes stored, quota).
+func (s *Server) Usage() (int64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used, s.cfg.MaxBytes
+}
+
+func (s *Server) handleStore(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	name, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	class, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	data, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	ver, err := s.Store(name, class, data)
+	if err != nil {
+		return nil, err
+	}
+	var e wire.Encoder
+	e.PutUint64(ver)
+	return &wire.Packet{Type: MsgStore, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) handleFetch(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	name, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	o := s.Fetch(name)
+	var e wire.Encoder
+	if o == nil {
+		e.PutBool(false)
+	} else {
+		e.PutBool(true)
+		e.PutString(o.Name)
+		e.PutString(o.Class)
+		e.PutUint64(o.Version)
+		e.PutBytes(o.Data)
+	}
+	return &wire.Packet{Type: MsgFetch, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) handleList(_ string, _ *wire.Packet) (*wire.Packet, error) {
+	names := s.Names()
+	var e wire.Encoder
+	e.PutUint32(uint32(len(names)))
+	for _, n := range names {
+		e.PutString(n)
+	}
+	return &wire.Packet{Type: MsgList, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) handleDelete(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	name, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Delete(name); err != nil {
+		return nil, err
+	}
+	return &wire.Packet{Type: MsgDelete}, nil
+}
+
+func (s *Server) handleUsage(_ string, _ *wire.Packet) (*wire.Packet, error) {
+	used, quota := s.Usage()
+	var e wire.Encoder
+	e.PutInt64(used)
+	e.PutInt64(quota)
+	return &wire.Packet{Type: MsgUsage, Payload: e.Bytes()}, nil
+}

@@ -1,0 +1,152 @@
+package ramsey
+
+import "sync/atomic"
+
+// OpCounter tallies the integer test and arithmetic operations the search
+// performs. The paper instrumented every client this way — one counter
+// increment per integer operation, excluding the instrumentation itself
+// and the EveryWare interface code — so all reported rates are
+// conservative estimates of useful work delivered to the application.
+// OpCounter is safe for concurrent use.
+type OpCounter struct {
+	n atomic.Int64
+}
+
+// Add records n integer operations.
+func (o *OpCounter) Add(n int64) {
+	if o != nil {
+		o.n.Add(n)
+	}
+}
+
+// Total returns the operations recorded so far.
+func (o *OpCounter) Total() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.n.Load()
+}
+
+// Reset zeroes the counter and returns the previous total.
+func (o *OpCounter) Reset() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.n.Swap(0)
+}
+
+// CountMonoCliques returns the number of monochromatic k-cliques in c,
+// summed over both colors. ops, if non-nil, accumulates the integer
+// operation count of the traversal.
+func CountMonoCliques(c *Coloring, k int, ops *OpCounter) int {
+	if k < 2 {
+		return 0
+	}
+	total := 0
+	for col := Red; col <= Blue; col++ {
+		total += countCliquesColor(c, k, col, ops)
+	}
+	return total
+}
+
+// countCliquesColor counts k-cliques within one color class.
+func countCliquesColor(c *Coloring, k int, col Color, ops *OpCounter) int {
+	n := c.n
+	cand := newBitset(n)
+	count := 0
+	work := int64(0)
+	for v := 0; v < n; v++ {
+		// Only extend with vertices > v to count each clique once.
+		cand.intersect(c.adj[col][v], maskAbove(n, v))
+		work += int64(len(cand))
+		count += extendClique(c, col, cand, k-1, v+1, &work)
+	}
+	ops.Add(work)
+	return count
+}
+
+// maskAbove returns the bitset of all vertices strictly greater than v.
+func maskAbove(n, v int) bitset {
+	b := newBitset(n)
+	for w := range b {
+		b[w] = ^uint64(0)
+	}
+	// Clear bits 0..v and bits >= n.
+	for i := 0; i <= v; i++ {
+		b.clear(i)
+	}
+	for i := n; i < len(b)<<6; i++ {
+		b.clear(i)
+	}
+	return b
+}
+
+// extendClique counts (depth)-cliques among cand, all mutually adjacent in
+// color col, considering only vertices >= from.
+func extendClique(c *Coloring, col Color, cand bitset, depth, from int, work *int64) int {
+	if depth == 0 {
+		return 1
+	}
+	if cand.count() < depth {
+		*work += int64(len(cand))
+		return 0
+	}
+	count := 0
+	sub := newBitset(c.n)
+	for v := cand.firstFrom(from); v >= 0; v = cand.firstFrom(v + 1) {
+		sub.intersect(cand, c.adj[col][v])
+		*work += int64(len(sub)) + 2
+		count += extendClique(c, col, sub, depth-1, v+1, work)
+	}
+	return count
+}
+
+// CountMonoCliquesThroughEdge counts monochromatic k-cliques that contain
+// edge (i, j) in the edge's current color. This is the incremental kernel
+// of the local-search heuristics: flipping edge (i, j) destroys exactly
+// these cliques and creates the cliques counted for the opposite color.
+func CountMonoCliquesThroughEdge(c *Coloring, i, j, k int, ops *OpCounter) int {
+	return countThroughEdgeColor(c, i, j, k, c.Color(i, j), ops)
+}
+
+// countThroughEdgeColor counts k-cliques of the given color containing
+// edge (i, j) — whether or not (i, j) currently has that color, the count
+// assumes it does, which lets the heuristics evaluate hypothetical flips.
+func countThroughEdgeColor(c *Coloring, i, j, k int, col Color, ops *OpCounter) int {
+	if k < 2 {
+		return 0
+	}
+	if k == 2 {
+		return 1
+	}
+	cand := newBitset(c.n)
+	cand.intersect(c.adj[col][i], c.adj[col][j])
+	cand.clear(i)
+	cand.clear(j)
+	work := int64(len(cand) + 2)
+	n := extendClique(c, col, cand, k-2, 0, &work)
+	ops.Add(work)
+	return n
+}
+
+// FlipDelta returns the net change in monochromatic k-clique count if edge
+// (i, j) were flipped: cliques gained in the new color minus cliques lost
+// in the current color.
+func FlipDelta(c *Coloring, i, j, k int, ops *OpCounter) int {
+	cur := c.Color(i, j)
+	other := Red
+	if cur == Red {
+		other = Blue
+	}
+	lost := countThroughEdgeColor(c, i, j, k, cur, ops)
+	gained := countThroughEdgeColor(c, i, j, k, other, ops)
+	return gained - lost
+}
+
+// IsCounterExample reports whether c proves a Ramsey lower bound: it is a
+// counter-example for R(k) if it contains no monochromatic k-clique. This
+// is the sanity check the persistent state manager runs before storing any
+// claimed counter-example (section 3.1.2).
+func IsCounterExample(c *Coloring, k int) bool {
+	return CountMonoCliques(c, k, nil) == 0
+}

@@ -1,0 +1,20 @@
+package ramsey
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: decoders survive arbitrary bytes (the persistent state
+// manager and Gossip comparators feed them untrusted data).
+func TestQuickDecodersNeverPanic(t *testing.T) {
+	f := func(raw []byte) bool {
+		DecodeColoring(raw)
+		DecodeCounterExample(raw)
+		DecodeElite(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

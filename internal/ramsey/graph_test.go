@@ -1,0 +1,187 @@
+package ramsey
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeIndexBijection(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 17, 43} {
+		c := NewColoring(n)
+		seen := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				idx := c.edgeIndex(i, j)
+				if idx < 0 || idx >= c.Edges() {
+					t.Fatalf("n=%d edge (%d,%d): index %d out of range", n, i, j, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("n=%d: duplicate index %d", n, idx)
+				}
+				seen[idx] = true
+				gi, gj := c.EdgeAt(idx)
+				if gi != i || gj != j {
+					t.Fatalf("EdgeAt(%d) = (%d,%d), want (%d,%d)", idx, gi, gj, i, j)
+				}
+			}
+		}
+		if len(seen) != c.Edges() {
+			t.Fatalf("n=%d: %d indices, want %d", n, len(seen), c.Edges())
+		}
+	}
+}
+
+func TestEdgeIndexSymmetric(t *testing.T) {
+	c := NewColoring(10)
+	if c.edgeIndex(3, 7) != c.edgeIndex(7, 3) {
+		t.Fatal("edge index must be symmetric")
+	}
+	c.Set(7, 3, Blue)
+	if c.Color(3, 7) != Blue {
+		t.Fatal("Set must be orientation independent")
+	}
+}
+
+func TestSetFlipAndAdjacency(t *testing.T) {
+	c := NewColoring(6)
+	if c.Color(0, 1) != Red {
+		t.Fatal("new coloring must be all Red")
+	}
+	c.Set(0, 1, Blue)
+	if c.Color(0, 1) != Blue {
+		t.Fatal("Set(Blue) failed")
+	}
+	if !c.Neighbors(0, Blue).has(1) || c.Neighbors(0, Red).has(1) {
+		t.Fatal("adjacency sets out of sync after Set")
+	}
+	got := c.Flip(0, 1)
+	if got != Red || c.Color(0, 1) != Red {
+		t.Fatal("Flip back to Red failed")
+	}
+	if c.Neighbors(1, Blue).has(0) || !c.Neighbors(1, Red).has(0) {
+		t.Fatal("adjacency sets out of sync after Flip")
+	}
+}
+
+func TestSetSameColorIsNoop(t *testing.T) {
+	c := NewColoring(4)
+	c.Set(1, 2, Red)
+	if c.Color(1, 2) != Red {
+		t.Fatal("noop Set changed color")
+	}
+}
+
+func TestSelfEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self edge must panic")
+		}
+	}()
+	NewColoring(4).Set(2, 2, Blue)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := RandomColoring(9, rng)
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatal("clone differs")
+	}
+	d.Flip(0, 1)
+	if c.Equal(d) {
+		t.Fatal("clone shares storage")
+	}
+	if c.Color(0, 1) == d.Color(0, 1) {
+		t.Fatal("flip leaked into original")
+	}
+}
+
+func TestEncodeDecodeColoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 5, 17, 30} {
+		c := RandomColoring(n, rng)
+		got, err := DecodeColoring(c.Encode())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(c) {
+			t.Fatalf("n=%d: decode mismatch", n)
+		}
+		// Adjacency must be coherent too.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if got.Color(i, j) != c.Color(i, j) {
+					t.Fatalf("n=%d: color (%d,%d) mismatch", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeColoringRejectsGarbage(t *testing.T) {
+	if _, err := DecodeColoring(nil); err == nil {
+		t.Fatal("nil must fail")
+	}
+	if _, err := DecodeColoring([]byte{0, 0, 0, 1}); err == nil {
+		t.Fatal("n=1 must fail")
+	}
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		c := RandomColoring(n, rng)
+		got, err := DecodeColoring(c.Encode())
+		return err == nil && got.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaley5HasNoMonoTriangle(t *testing.T) {
+	c, err := Paley(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt := CountMonoCliques(c, 3, nil); cnt != 0 {
+		t.Fatalf("Paley(5) has %d mono triangles, want 0 (R(3)=6)", cnt)
+	}
+}
+
+func TestPaley17HasNoMonoK4(t *testing.T) {
+	c, err := Paley(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt := CountMonoCliques(c, 4, nil); cnt != 0 {
+		t.Fatalf("Paley(17) has %d mono K4s, want 0 (R(4)=18)", cnt)
+	}
+}
+
+func TestPaleyRejectsBadModulus(t *testing.T) {
+	for _, q := range []int{4, 6, 7, 9, 11, 15} {
+		if _, err := Paley(q); err == nil {
+			t.Fatalf("Paley(%d) must fail", q)
+		}
+	}
+}
+
+func TestPaleyIsSelfComplementaryBalanced(t *testing.T) {
+	c, _ := Paley(13)
+	red, blue := 0, 0
+	for i := 0; i < 13; i++ {
+		for j := i + 1; j < 13; j++ {
+			if c.Color(i, j) == Red {
+				red++
+			} else {
+				blue++
+			}
+		}
+	}
+	if red != blue {
+		t.Fatalf("Paley(13): %d red vs %d blue edges, want equal", red, blue)
+	}
+}

@@ -1,0 +1,154 @@
+package ramsey
+
+import (
+	"sync"
+)
+
+// The paper's future work (section 6): "to search for R(6), we will need
+// to parallelize some of the individual heuristics, each of which we will
+// implement as a computational client within the application."
+// ParallelSearch is that extension: a portfolio of heuristic searchers
+// running concurrently over one problem, periodically sharing their best
+// coloring so a worker that has fallen far behind restarts from the
+// portfolio's elite state — the in-process analogue of the scheduler's
+// work migration.
+
+// ParallelResult reports the outcome of a ParallelSearch.
+type ParallelResult struct {
+	// Found reports whether a counter-example was discovered.
+	Found bool
+	// Coloring is the witness (nil when !Found).
+	Coloring *Coloring
+	// Worker is the index of the discovering worker (-1 when !Found).
+	Worker int
+	// Steps is the total heuristic steps across all workers.
+	Steps int64
+	// Ops is the total useful integer operations across all workers.
+	Ops int64
+	// BestConflicts is the lowest monochromatic clique count reached.
+	BestConflicts int
+}
+
+// sharedBest is the elite state exchanged between workers.
+type sharedBest struct {
+	mu       sync.Mutex
+	conflict int
+	coloring *Coloring
+}
+
+func (s *sharedBest) offer(c *Coloring, conflicts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.coloring == nil || conflicts < s.conflict {
+		s.conflict = conflicts
+		s.coloring = c.Clone()
+	}
+}
+
+func (s *sharedBest) snapshot() (*Coloring, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.coloring == nil {
+		return nil, 0
+	}
+	return s.coloring.Clone(), s.conflict
+}
+
+// ParallelSearch runs `workers` searchers concurrently, each with a seed
+// derived from cfg.Seed, until one finds a counter-example or every worker
+// exhausts budget steps. Every shareEvery steps a worker publishes its
+// best coloring and adopts the portfolio's elite if it is more than 20%
+// behind. workers < 1 and shareEvery < 1 are normalized to 1 and 500.
+func ParallelSearch(cfg SearchConfig, workers int, budget, shareEvery int64) (ParallelResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if shareEvery < 1 {
+		shareEvery = 500
+	}
+	if err := cfg.fill(); err != nil {
+		return ParallelResult{}, err
+	}
+	type outcome struct {
+		found    bool
+		coloring *Coloring
+		worker   int
+		steps    int64
+		best     int
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []outcome
+		stop    = make(chan struct{})
+		once    sync.Once
+		elite   sharedBest
+		ops     OpCounter
+	)
+	heurs := Heuristics()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcfg := cfg
+			wcfg.Seed = cfg.Seed + int64(w)*7919
+			// Diversify the portfolio across heuristics.
+			wcfg.Heuristic = heurs[w%len(heurs)]
+			s, err := NewSearcher(wcfg, &ops)
+			if err != nil {
+				return
+			}
+			var steps int64
+			for steps < budget {
+				select {
+				case <-stop:
+					mu.Lock()
+					_, bc := s.Best()
+					results = append(results, outcome{steps: steps, best: bc, worker: w})
+					mu.Unlock()
+					return
+				default:
+				}
+				chunk := shareEvery
+				if rem := budget - steps; rem < chunk {
+					chunk = rem
+				}
+				found := s.Run(chunk)
+				steps += chunk
+				if found {
+					best, _ := s.Best()
+					mu.Lock()
+					results = append(results, outcome{found: true, coloring: best, worker: w, steps: steps, best: 0})
+					mu.Unlock()
+					once.Do(func() { close(stop) })
+					return
+				}
+				// Share: publish our best, adopt the elite if far behind.
+				cur, cnt := s.Best()
+				elite.offer(cur, cnt)
+				if ec, ecnt := elite.snapshot(); ec != nil && float64(ecnt) < 0.8*float64(s.Conflicts()) {
+					_ = s.Restore(ec)
+				}
+			}
+			mu.Lock()
+			_, bc := s.Best()
+			results = append(results, outcome{steps: steps, best: bc, worker: w})
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res := ParallelResult{Worker: -1, Ops: ops.Total(), BestConflicts: -1}
+	for _, o := range results {
+		res.Steps += o.steps
+		if o.found && !res.Found {
+			res.Found = true
+			res.Coloring = o.coloring
+			res.Worker = o.worker
+			res.BestConflicts = 0
+		}
+		if !res.Found && (res.BestConflicts < 0 || o.best < res.BestConflicts) {
+			res.BestConflicts = o.best
+		}
+	}
+	return res, nil
+}

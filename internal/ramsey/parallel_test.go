@@ -1,0 +1,71 @@
+package ramsey
+
+import (
+	"testing"
+)
+
+func TestParallelSearchFindsR3(t *testing.T) {
+	res, err := ParallelSearch(SearchConfig{N: 5, K: 3, Seed: 1}, 4, 20000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("no counter-example: %+v", res)
+	}
+	if res.Worker < 0 || res.Worker >= 4 {
+		t.Fatalf("worker = %d", res.Worker)
+	}
+	if !IsCounterExample(res.Coloring, 3) {
+		t.Fatal("witness fails verification")
+	}
+	if res.Ops <= 0 || res.Steps <= 0 {
+		t.Fatalf("accounting: %+v", res)
+	}
+}
+
+func TestParallelSearchSingleWorkerEqualsSequentialShape(t *testing.T) {
+	res, err := ParallelSearch(SearchConfig{N: 5, K: 3, Seed: 5}, 1, 20000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Skip("single worker missed within budget (stochastic)")
+	}
+	if res.Worker != 0 {
+		t.Fatalf("worker = %d", res.Worker)
+	}
+}
+
+func TestParallelSearchRespectsBudget(t *testing.T) {
+	// K6 has no R(3) counter-example, so the search must exhaust its
+	// budget and stop.
+	res, err := ParallelSearch(SearchConfig{N: 6, K: 3, Seed: 2}, 3, 300, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("impossible counter-example claimed")
+	}
+	if res.Steps > 3*300 {
+		t.Fatalf("budget exceeded: %d steps", res.Steps)
+	}
+	if res.BestConflicts <= 0 {
+		t.Fatalf("best conflicts = %d, want positive (R(3)=6)", res.BestConflicts)
+	}
+}
+
+func TestParallelSearchInvalidConfig(t *testing.T) {
+	if _, err := ParallelSearch(SearchConfig{N: 1, K: 3}, 2, 100, 10); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+}
+
+func TestParallelSearchNormalizesParams(t *testing.T) {
+	res, err := ParallelSearch(SearchConfig{N: 5, K: 3, Seed: 3}, 0, 20000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Skip("missed within budget (stochastic)")
+	}
+}

@@ -1,0 +1,265 @@
+package ramsey
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Heuristic names the search algorithm a computational client runs. The
+// schedulers issue different control directives based on the type of
+// algorithm the client is executing (section 3.1.1), so the heuristic is
+// part of the work-unit description.
+type Heuristic string
+
+// The heuristics implemented by the prototype.
+const (
+	// HeurMinConflicts greedily flips the edge whose flip most reduces the
+	// monochromatic clique count, with sideways moves on plateaus.
+	HeurMinConflicts Heuristic = "min_conflicts"
+	// HeurTabu is min-conflicts with a tabu list forbidding recent flips.
+	HeurTabu Heuristic = "tabu"
+	// HeurAnneal is simulated annealing over random edge flips.
+	HeurAnneal Heuristic = "anneal"
+)
+
+// Heuristics lists all implemented heuristic names.
+func Heuristics() []Heuristic {
+	return []Heuristic{HeurMinConflicts, HeurTabu, HeurAnneal}
+}
+
+// SearchConfig parameterizes one search client.
+type SearchConfig struct {
+	// N is the number of vertices to color.
+	N int
+	// K is the clique size to avoid (searching a counter-example for R(K)).
+	K int
+	// Heuristic selects the algorithm.
+	Heuristic Heuristic
+	// Seed makes the stochastic search reproducible.
+	Seed int64
+	// TabuTenure is the number of iterations a flipped edge stays tabu
+	// (HeurTabu only; default 2*N).
+	TabuTenure int
+	// InitTemp and CoolRate parameterize annealing (defaults 2.0, 0.9995).
+	InitTemp float64
+	CoolRate float64
+	// SampleEdges bounds how many candidate edges a min-conflicts /tabu
+	// step evaluates (0 = all edges). Sampling keeps per-step cost bounded
+	// on large graphs.
+	SampleEdges int
+}
+
+func (c *SearchConfig) fill() error {
+	if c.N < 2 {
+		return fmt.Errorf("ramsey: N must be >= 2, got %d", c.N)
+	}
+	if c.K < 3 {
+		return fmt.Errorf("ramsey: K must be >= 3, got %d", c.K)
+	}
+	switch c.Heuristic {
+	case HeurMinConflicts, HeurTabu, HeurAnneal:
+	case "":
+		c.Heuristic = HeurMinConflicts
+	default:
+		return fmt.Errorf("ramsey: unknown heuristic %q", c.Heuristic)
+	}
+	if c.TabuTenure <= 0 {
+		c.TabuTenure = 2 * c.N
+	}
+	if c.InitTemp <= 0 {
+		c.InitTemp = 2.0
+	}
+	if c.CoolRate <= 0 || c.CoolRate >= 1 {
+		c.CoolRate = 0.9995
+	}
+	return nil
+}
+
+// Searcher runs one heuristic search incrementally. Clients call Step in a
+// loop, reporting progress to their scheduler between batches; the
+// scheduler can stop, migrate, or re-seed the search at any step boundary
+// because the full search state is capturable as a Coloring.
+type Searcher struct {
+	cfg      SearchConfig
+	rng      *rand.Rand
+	coloring *Coloring
+	current  int // current mono clique count
+	best     *Coloring
+	bestCnt  int
+	iters    int64
+	temp     float64
+	tabu     map[int]int64 // edge index -> iteration when tabu expires
+	ops      *OpCounter
+}
+
+// NewSearcher creates a search from cfg, starting at a random coloring.
+func NewSearcher(cfg SearchConfig, ops *OpCounter) (*Searcher, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if ops == nil {
+		ops = &OpCounter{}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	col := RandomColoring(cfg.N, rng)
+	s := &Searcher{
+		cfg:      cfg,
+		rng:      rng,
+		coloring: col,
+		temp:     cfg.InitTemp,
+		tabu:     make(map[int]int64),
+		ops:      ops,
+	}
+	s.current = CountMonoCliques(col, cfg.K, ops)
+	s.best = col.Clone()
+	s.bestCnt = s.current
+	return s, nil
+}
+
+// Restore replaces the current coloring (e.g. with migrated work from
+// another client) and re-evaluates.
+func (s *Searcher) Restore(c *Coloring) error {
+	if c.N() != s.cfg.N {
+		return fmt.Errorf("ramsey: restore size %d != configured %d", c.N(), s.cfg.N)
+	}
+	s.coloring = c.Clone()
+	s.current = CountMonoCliques(s.coloring, s.cfg.K, s.ops)
+	if s.current < s.bestCnt {
+		s.best = s.coloring.Clone()
+		s.bestCnt = s.current
+	}
+	return nil
+}
+
+// Conflicts returns the current monochromatic clique count (0 means a
+// counter-example has been found).
+func (s *Searcher) Conflicts() int { return s.current }
+
+// Best returns the best coloring seen and its clique count.
+func (s *Searcher) Best() (*Coloring, int) { return s.best.Clone(), s.bestCnt }
+
+// Current returns a copy of the working coloring.
+func (s *Searcher) Current() *Coloring { return s.coloring.Clone() }
+
+// Iterations returns the number of Step calls so far.
+func (s *Searcher) Iterations() int64 { return s.iters }
+
+// Ops returns the search's operation counter.
+func (s *Searcher) Ops() *OpCounter { return s.ops }
+
+// Found reports whether the current coloring is a counter-example.
+func (s *Searcher) Found() bool { return s.current == 0 }
+
+// Step performs one heuristic move. It returns true when a counter-example
+// has been found.
+func (s *Searcher) Step() bool {
+	if s.current == 0 {
+		return true
+	}
+	s.iters++
+	switch s.cfg.Heuristic {
+	case HeurAnneal:
+		s.stepAnneal()
+	case HeurTabu:
+		s.stepGreedy(true)
+	default:
+		s.stepGreedy(false)
+	}
+	if s.current < s.bestCnt {
+		s.bestCnt = s.current
+		s.best = s.coloring.Clone()
+	}
+	return s.current == 0
+}
+
+// Run executes up to maxSteps steps, returning true if a counter-example
+// was found.
+func (s *Searcher) Run(maxSteps int64) bool {
+	for i := int64(0); i < maxSteps; i++ {
+		if s.Step() {
+			return true
+		}
+	}
+	return s.current == 0
+}
+
+// candidateEdges yields the edge indices a greedy step will evaluate.
+func (s *Searcher) candidateEdges() []int {
+	e := s.coloring.Edges()
+	if s.cfg.SampleEdges <= 0 || s.cfg.SampleEdges >= e {
+		all := make([]int, e)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	out := make([]int, s.cfg.SampleEdges)
+	for i := range out {
+		out[i] = s.rng.Intn(e)
+	}
+	return out
+}
+
+func (s *Searcher) stepGreedy(useTabu bool) {
+	bestDelta := math.MaxInt32
+	var bestEdges []int
+	for _, idx := range s.candidateEdges() {
+		if useTabu {
+			if exp, ok := s.tabu[idx]; ok && exp > s.iters {
+				continue
+			}
+		}
+		i, j := s.coloring.EdgeAt(idx)
+		d := FlipDelta(s.coloring, i, j, s.cfg.K, s.ops)
+		if d < bestDelta {
+			bestDelta = d
+			bestEdges = bestEdges[:0]
+			bestEdges = append(bestEdges, idx)
+		} else if d == bestDelta {
+			bestEdges = append(bestEdges, idx)
+		}
+	}
+	if len(bestEdges) == 0 {
+		// Everything tabu: random restart move.
+		s.randomFlip()
+		return
+	}
+	// Plateau/random tie-break; accept worsening moves occasionally to
+	// escape local minima (min-conflicts noise strategy).
+	idx := bestEdges[s.rng.Intn(len(bestEdges))]
+	if bestDelta > 0 && !useTabu && s.rng.Float64() > 0.05 {
+		// Reject the uphill move 95% of the time; take a random walk
+		// instead.
+		s.randomFlip()
+		return
+	}
+	i, j := s.coloring.EdgeAt(idx)
+	s.coloring.Flip(i, j)
+	s.current += bestDelta
+	if useTabu {
+		s.tabu[idx] = s.iters + int64(s.cfg.TabuTenure)
+	}
+}
+
+func (s *Searcher) randomFlip() {
+	idx := s.rng.Intn(s.coloring.Edges())
+	i, j := s.coloring.EdgeAt(idx)
+	d := FlipDelta(s.coloring, i, j, s.cfg.K, s.ops)
+	s.coloring.Flip(i, j)
+	s.current += d
+}
+
+func (s *Searcher) stepAnneal() {
+	idx := s.rng.Intn(s.coloring.Edges())
+	i, j := s.coloring.EdgeAt(idx)
+	d := FlipDelta(s.coloring, i, j, s.cfg.K, s.ops)
+	if d <= 0 || s.rng.Float64() < math.Exp(-float64(d)/s.temp) {
+		s.coloring.Flip(i, j)
+		s.current += d
+	}
+	s.temp *= s.cfg.CoolRate
+	if s.temp < 0.01 {
+		s.temp = s.cfg.InitTemp // reheat
+	}
+}

@@ -1,0 +1,234 @@
+package ramsey
+
+import (
+	"testing"
+)
+
+func TestSearchConfigValidation(t *testing.T) {
+	if _, err := NewSearcher(SearchConfig{N: 1, K: 3}, nil); err == nil {
+		t.Fatal("N=1 must fail")
+	}
+	if _, err := NewSearcher(SearchConfig{N: 5, K: 2}, nil); err == nil {
+		t.Fatal("K=2 must fail")
+	}
+	if _, err := NewSearcher(SearchConfig{N: 5, K: 3, Heuristic: "bogus"}, nil); err == nil {
+		t.Fatal("unknown heuristic must fail")
+	}
+	s, err := NewSearcher(SearchConfig{N: 5, K: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Heuristic != HeurMinConflicts {
+		t.Fatal("default heuristic must be min_conflicts")
+	}
+}
+
+// R(3) = 6, so K5 admits a triangle-free 2-coloring (the pentagon).
+// Every heuristic should find one quickly.
+func TestAllHeuristicsFindR3CounterExample(t *testing.T) {
+	for _, h := range Heuristics() {
+		h := h
+		t.Run(string(h), func(t *testing.T) {
+			found := false
+			for seed := int64(0); seed < 5 && !found; seed++ {
+				s, err := NewSearcher(SearchConfig{N: 5, K: 3, Heuristic: h, Seed: seed}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				found = s.Run(20000)
+				if found {
+					best, cnt := s.Best()
+					if cnt != 0 {
+						t.Fatalf("found=true but best count=%d", cnt)
+					}
+					if !IsCounterExample(best, 3) {
+						t.Fatal("claimed counter-example fails verification")
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("heuristic %s found no K5 R(3) counter-example in 5 seeds", h)
+			}
+		})
+	}
+}
+
+// Finding a 17-vertex R(4) counter-example is the realistic small-scale
+// workload (R(4) = 18). min_conflicts with restarts should get there.
+func TestMinConflictsFindsR4CounterExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	found := false
+	for seed := int64(0); seed < 10 && !found; seed++ {
+		s, err := NewSearcher(SearchConfig{N: 17, K: 4, Heuristic: HeurTabu, Seed: seed}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found = s.Run(40000)
+	}
+	if !found {
+		t.Skip("no 17-vertex counter-example within budget (stochastic); covered by Paley(17) construction test")
+	}
+}
+
+func TestSearcherBestNeverWorsens(t *testing.T) {
+	s, err := NewSearcher(SearchConfig{N: 8, K: 3, Heuristic: HeurAnneal, Seed: 42}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prev := s.Best()
+	for i := 0; i < 500; i++ {
+		s.Step()
+		_, cur := s.Best()
+		if cur > prev {
+			t.Fatalf("best worsened: %d -> %d at step %d", prev, cur, i)
+		}
+		prev = cur
+		if cur == 0 {
+			break
+		}
+	}
+}
+
+func TestSearcherConflictsTracksTrueCount(t *testing.T) {
+	s, err := NewSearcher(SearchConfig{N: 7, K: 3, Heuristic: HeurMinConflicts, Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s.Step()
+		want := CountMonoCliques(s.coloring, 3, nil)
+		if s.Conflicts() != want {
+			t.Fatalf("step %d: incremental count %d != recount %d", i, s.Conflicts(), want)
+		}
+	}
+}
+
+func TestSearcherRestore(t *testing.T) {
+	s, err := NewSearcher(SearchConfig{N: 5, K: 3, Seed: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pent, _ := Paley(5)
+	if err := s.Restore(pent); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Found() || s.Conflicts() != 0 {
+		t.Fatal("restore of a counter-example must report found")
+	}
+	if err := s.Restore(NewColoring(9)); err == nil {
+		t.Fatal("size mismatch must fail")
+	}
+}
+
+func TestSearcherRecordsOpsAndIterations(t *testing.T) {
+	var o OpCounter
+	s, err := NewSearcher(SearchConfig{N: 8, K: 4, Heuristic: HeurAnneal, Seed: 1}, &o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50)
+	if s.Iterations() == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	if o.Total() <= 0 {
+		t.Fatal("no ops recorded")
+	}
+}
+
+func TestSearcherDeterministicForSeed(t *testing.T) {
+	run := func() (*Coloring, int) {
+		s, err := NewSearcher(SearchConfig{N: 8, K: 3, Heuristic: HeurTabu, Seed: 77}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(300)
+		return s.Current(), s.Conflicts()
+	}
+	c1, n1 := run()
+	c2, n2 := run()
+	if n1 != n2 || !c1.Equal(c2) {
+		t.Fatal("same seed must give identical trajectories")
+	}
+}
+
+func TestSearcherSampledEdges(t *testing.T) {
+	s, err := NewSearcher(SearchConfig{N: 12, K: 4, Heuristic: HeurMinConflicts, Seed: 5, SampleEdges: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	want := CountMonoCliques(s.coloring, 4, nil)
+	if s.Conflicts() != want {
+		t.Fatalf("sampled search count drifted: %d != %d", s.Conflicts(), want)
+	}
+}
+
+func TestCounterExampleVerifyAndEncode(t *testing.T) {
+	pent, _ := Paley(5)
+	ce := &CounterExample{K: 3, Coloring: pent, Finder: "client-1"}
+	if err := ce.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if ce.Bound() != 6 {
+		t.Fatalf("bound = %d, want 6", ce.Bound())
+	}
+	got, err := DecodeCounterExample(ce.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != 3 || got.Finder != "client-1" || !got.Coloring.Equal(pent) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	bad := &CounterExample{K: 3, Coloring: NewColoring(6)}
+	if err := bad.Verify(); err == nil {
+		t.Fatal("all-red K6 must fail verification for R(3)")
+	}
+}
+
+func TestBestComparatorPrefersLargerN(t *testing.T) {
+	mk := func(n int) []byte {
+		c := NewColoring(n)
+		return (&CounterExample{K: 3, Coloring: c}).Encode()
+	}
+	cmp, ok := lookupBest(t)
+	if !ok {
+		t.Fatal("comparator not registered")
+	}
+	a := stamped(mk(8))
+	b := stamped(mk(5))
+	if cmp(a, b) <= 0 {
+		t.Fatal("larger counter-example must be fresher")
+	}
+	if cmp(b, a) >= 0 {
+		t.Fatal("smaller counter-example must be staler")
+	}
+	garbage := stamped([]byte{1, 2, 3})
+	if cmp(b, garbage) <= 0 {
+		t.Fatal("real state must beat garbage")
+	}
+}
+
+// The production problem size (section 3): searching for R(5)
+// counter-examples on 43 vertices. A handful of steps must run correctly
+// at that scale with sampled edge evaluation.
+func TestSearcherAtR5ProductionScale(t *testing.T) {
+	var ops OpCounter
+	s, err := NewSearcher(SearchConfig{N: 43, K: 5, Heuristic: HeurTabu, Seed: 1, SampleEdges: 8}, &ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Conflicts()
+	if before <= 0 {
+		t.Fatal("random K43 must contain monochromatic K5s")
+	}
+	s.Run(10)
+	want := CountMonoCliques(s.Current(), 5, nil)
+	if s.Conflicts() != want {
+		t.Fatalf("incremental count %d != full recount %d at n=43", s.Conflicts(), want)
+	}
+	if ops.Total() <= 0 {
+		t.Fatal("no ops recorded")
+	}
+}

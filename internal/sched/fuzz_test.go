@@ -1,0 +1,39 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: protocol decoders survive arbitrary bytes.
+func TestQuickDecodersNeverPanic(t *testing.T) {
+	f := func(raw []byte) bool {
+		DecodeWorkUnit(raw)
+		DecodeReport(raw)
+		DecodeDirective(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a scheduler handling arbitrary (decodable) reports never
+// panics and always answers with a valid directive kind.
+func TestQuickHandleArbitraryReports(t *testing.T) {
+	s := NewServer(ServerConfig{N: 9, K: 3})
+	f := func(id, infra string, workID uint64, ops int64, elapsed float64, conflicts uint8, found bool, state []byte) bool {
+		dr := s.Handle(Report{
+			ClientID: id, Infra: infra, WorkID: workID, Ops: ops,
+			ElapsedSec: elapsed, Conflicts: int(conflicts), Found: found, State: state,
+		})
+		switch dr.Kind {
+		case DirContinue, DirNewWork, DirStop:
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

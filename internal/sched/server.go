@@ -1,0 +1,384 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"everyware/internal/forecast"
+	"everyware/internal/logsvc"
+	"everyware/internal/ramsey"
+	"everyware/internal/wire"
+)
+
+// ServerConfig parameterizes a scheduling server.
+type ServerConfig struct {
+	// ListenAddr is the bind address (":0" for ephemeral).
+	ListenAddr string
+	// Problem is the search target: counter-examples for R(K) on N
+	// vertices.
+	N, K int
+	// Heuristics cycles work units through these algorithms (defaults to
+	// all implemented heuristics).
+	Heuristics []ramsey.Heuristic
+	// DefaultSteps is the per-report step budget handed to clients
+	// (default 2000).
+	DefaultSteps int64
+	// StepsByHeuristic overrides the budget per algorithm — the paper's
+	// "different control directives based on the type of algorithm the
+	// client is executing".
+	StepsByHeuristic map[ramsey.Heuristic]int64
+	// MigrateBelowFraction: a client whose forecast rate falls below this
+	// fraction of the pool median has its workload migrated (default
+	// 0.25; 0 disables migration).
+	MigrateBelowFraction float64
+	// MinClientsForMigration is the smallest pool that triggers migration
+	// decisions (default 3).
+	MinClientsForMigration int
+	// StaleAfter expires clients that stop reporting (default 30s).
+	StaleAfter time.Duration
+	// MedianRefresh bounds how often the pool median rate is recomputed
+	// (default 2s; migration decisions between refreshes reuse the cached
+	// value).
+	MedianRefresh time.Duration
+	// StopWhenFound, if set, directs every client to stop once a verified
+	// counter-example has been recorded — the application has met its
+	// goal (a new bound) and releases the non-dedicated resources.
+	StopWhenFound bool
+	// LogAddr, if set, forwards performance reports to a logging server.
+	LogAddr string
+	// SampleEdges is passed through to work units (bounds per-step cost).
+	SampleEdges int
+	// Now is injectable for simulation.
+	Now func() time.Time
+}
+
+func (c *ServerConfig) fill() {
+	if c.N == 0 {
+		c.N = 17
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if len(c.Heuristics) == 0 {
+		c.Heuristics = ramsey.Heuristics()
+	}
+	if c.DefaultSteps == 0 {
+		c.DefaultSteps = 2000
+	}
+	if c.MigrateBelowFraction == 0 {
+		c.MigrateBelowFraction = 0.25
+	}
+	if c.MinClientsForMigration == 0 {
+		c.MinClientsForMigration = 3
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 30 * time.Second
+	}
+	if c.MedianRefresh == 0 {
+		c.MedianRefresh = 2 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// clientRecord tracks one reporting client.
+type clientRecord struct {
+	id       string
+	infra    string
+	lastSeen time.Time
+	work     WorkUnit
+	lastRate float64
+}
+
+// Server is one scheduling server.
+type Server struct {
+	cfg       ServerConfig
+	srv       *wire.Server
+	wc        *wire.Client
+	forecasts *forecast.Registry
+
+	mu        sync.Mutex
+	clients   map[string]*clientRecord
+	migrated  []WorkUnit // stashed in-progress work awaiting a fast client
+	nextID    uint64
+	nextSeed  int64
+	nextHeur  int
+	found     []*ramsey.CounterExample
+	reports   int64
+	migration int64
+
+	// Median-rate cache: recomputing the pool median on every report is
+	// O(clients x forecast battery); the median moves slowly, so it is
+	// refreshed at most once per MedianRefresh.
+	medianCache   float64
+	medianValidAt time.Time
+}
+
+// NewServer creates a scheduling server; call Start to serve.
+func NewServer(cfg ServerConfig) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:       cfg,
+		srv:       wire.NewServer(),
+		wc:        wire.NewClient(2 * time.Second),
+		forecasts: forecast.NewRegistry(),
+		clients:   make(map[string]*clientRecord),
+	}
+	s.srv.Logf = func(string, ...any) {}
+	s.srv.Register(MsgReport, wire.HandlerFunc(s.handleReport))
+	s.srv.Register(MsgStats, wire.HandlerFunc(s.handleStats))
+	return s
+}
+
+// Start binds the listener and returns the bound address.
+func (s *Server) Start() (string, error) { return s.srv.Listen(s.cfg.ListenAddr) }
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close stops the daemon.
+func (s *Server) Close() {
+	s.srv.Close()
+	s.wc.Close()
+}
+
+// Found returns the counter-examples reported so far.
+func (s *Server) Found() []*ramsey.CounterExample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*ramsey.CounterExample, len(s.found))
+	copy(out, s.found)
+	return out
+}
+
+// Stats returns (reports handled, migrations performed, live clients).
+func (s *Server) Stats() (reports, migrations int64, clients int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reports, s.migration, len(s.clients)
+}
+
+// newWorkLocked mints a fresh work unit.
+func (s *Server) newWorkLocked() WorkUnit {
+	s.nextID++
+	s.nextSeed++
+	h := s.cfg.Heuristics[s.nextHeur%len(s.cfg.Heuristics)]
+	s.nextHeur++
+	return WorkUnit{
+		ID:        s.nextID,
+		N:         s.cfg.N,
+		K:         s.cfg.K,
+		Heuristic: string(h),
+		Seed:      s.nextSeed,
+		Steps:     s.stepsFor(h),
+	}
+}
+
+func (s *Server) stepsFor(h ramsey.Heuristic) int64 {
+	if v, ok := s.cfg.StepsByHeuristic[h]; ok && v > 0 {
+		return v
+	}
+	return s.cfg.DefaultSteps
+}
+
+// Handle processes one report and returns the scheduler's directive. It is
+// exported so the SC98 simulation can drive the same policy code without a
+// network.
+func (s *Server) Handle(r Report) Directive {
+	now := s.cfg.Now()
+	// Record the client's measured computational rate for forecasting.
+	rate := 0.0
+	if r.ElapsedSec > 0 {
+		rate = float64(r.Ops) / r.ElapsedSec
+	}
+	key := forecast.Key{Resource: r.ClientID, Event: "rate"}
+	if r.WorkID != 0 {
+		s.forecasts.Record(key, rate)
+	}
+	s.forwardPerf(r, rate)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reports++
+	s.expireStaleLocked(now)
+
+	rec := s.clients[r.ClientID]
+	if rec == nil {
+		rec = &clientRecord{id: r.ClientID, infra: r.Infra}
+		s.clients[r.ClientID] = rec
+	}
+	rec.lastSeen = now
+	rec.lastRate = rate
+
+	// Goal reached: wind the application down.
+	if s.cfg.StopWhenFound && len(s.found) > 0 && !(r.Found && len(r.State) > 0) {
+		delete(s.clients, r.ClientID)
+		return Directive{Kind: DirStop}
+	}
+
+	// A found counter-example completes the unit: verify and record.
+	if r.Found && len(r.State) > 0 {
+		if col, err := ramsey.DecodeColoring(r.State); err == nil {
+			ce := &ramsey.CounterExample{K: s.cfg.K, Coloring: col, Finder: r.ClientID}
+			if ce.Verify() == nil {
+				s.found = append(s.found, ce)
+			}
+		}
+		if s.cfg.StopWhenFound && len(s.found) > 0 {
+			delete(s.clients, r.ClientID)
+			return Directive{Kind: DirStop}
+		}
+		w := s.newWorkLocked()
+		rec.work = w
+		return Directive{Kind: DirNewWork, Work: w, Steps: w.Steps}
+	}
+
+	// First contact or unit mismatch: hand out work. Migrated work goes to
+	// provably fast clients; everyone else gets fresh units.
+	if r.WorkID == 0 || r.WorkID != rec.work.ID {
+		w := s.takeWorkLocked(r.ClientID)
+		rec.work = w
+		return Directive{Kind: DirNewWork, Work: w, Steps: w.Steps}
+	}
+
+	// Migration decision, per the paper: forecast this client's rate; if
+	// it is predicted slow relative to the pool, move its workload to a
+	// faster machine (by stashing the in-progress state for reassignment)
+	// and give the slow client a fresh exploratory unit.
+	if s.cfg.MigrateBelowFraction > 0 && len(s.clients) >= s.cfg.MinClientsForMigration {
+		myForecast := rate
+		if f, ok := s.forecasts.Forecast(key); ok {
+			myForecast = f.Value
+		}
+		med := s.medianForecastLocked()
+		if med > 0 && myForecast < s.cfg.MigrateBelowFraction*med {
+			if len(r.State) > 0 && r.Conflicts > 0 {
+				stash := rec.work
+				stash.State = append([]byte(nil), r.State...)
+				s.migrated = append(s.migrated, stash)
+				s.migration++
+			}
+			w := s.newWorkLocked()
+			rec.work = w
+			return Directive{Kind: DirNewWork, Work: w, Steps: w.Steps}
+		}
+		// Fast client with migrated work pending: reassign it.
+		if len(s.migrated) > 0 && myForecast >= med {
+			w := s.migrated[0]
+			s.migrated = s.migrated[1:]
+			s.nextID++
+			w.ID = s.nextID
+			w.Steps = s.stepsFor(ramsey.Heuristic(w.Heuristic))
+			rec.work = w
+			return Directive{Kind: DirNewWork, Work: w, Steps: w.Steps}
+		}
+	}
+	return Directive{Kind: DirContinue, Steps: s.stepsFor(ramsey.Heuristic(rec.work.Heuristic))}
+}
+
+// takeWorkLocked prefers migrated work, else mints a fresh unit.
+func (s *Server) takeWorkLocked(clientID string) WorkUnit {
+	if len(s.migrated) > 0 {
+		w := s.migrated[0]
+		s.migrated = s.migrated[1:]
+		s.nextID++
+		w.ID = s.nextID
+		w.Steps = s.stepsFor(ramsey.Heuristic(w.Heuristic))
+		return w
+	}
+	return s.newWorkLocked()
+}
+
+// medianForecastLocked returns the pool's median forecast rate, cached
+// for MedianRefresh.
+func (s *Server) medianForecastLocked() float64 {
+	now := s.cfg.Now()
+	if !s.medianValidAt.IsZero() && now.Sub(s.medianValidAt) < s.cfg.MedianRefresh {
+		return s.medianCache
+	}
+	s.medianCache = s.computeMedianLocked()
+	s.medianValidAt = now
+	return s.medianCache
+}
+
+// computeMedianLocked computes the median over all clients' forecast
+// rates.
+func (s *Server) computeMedianLocked() float64 {
+	rates := make([]float64, 0, len(s.clients))
+	for id, rec := range s.clients {
+		f, ok := s.forecasts.Forecast(forecast.Key{Resource: id, Event: "rate"})
+		switch {
+		case ok:
+			rates = append(rates, f.Value)
+		case rec.lastRate > 0:
+			rates = append(rates, rec.lastRate)
+		}
+	}
+	if len(rates) == 0 {
+		return 0
+	}
+	sort.Float64s(rates)
+	n := len(rates)
+	if n%2 == 1 {
+		return rates[n/2]
+	}
+	return (rates[n/2-1] + rates[n/2]) / 2
+}
+
+// expireStaleLocked drops clients that stopped reporting and re-queues
+// their in-progress work.
+func (s *Server) expireStaleLocked(now time.Time) {
+	for id, rec := range s.clients {
+		if now.Sub(rec.lastSeen) <= s.cfg.StaleAfter {
+			continue
+		}
+		if len(rec.work.State) > 0 {
+			s.migrated = append(s.migrated, rec.work)
+		}
+		delete(s.clients, id)
+	}
+}
+
+// forwardPerf sends the report's performance information to the logging
+// service before it is discarded (section 3.1.3).
+func (s *Server) forwardPerf(r Report, rate float64) {
+	if s.cfg.LogAddr == "" {
+		return
+	}
+	en := logsvc.Entry{
+		Unix:   s.cfg.Now().UnixNano(),
+		Source: r.ClientID,
+		Level:  "perf",
+		Line:   perfLine(r, rate),
+	}
+	go func() {
+		_, _ = s.wc.Call(s.cfg.LogAddr,
+			&wire.Packet{Type: logsvc.MsgAppend, Payload: logsvc.EncodeEntry(en)}, 2*time.Second)
+	}()
+}
+
+func perfLine(r Report, rate float64) string {
+	return fmt.Sprintf("infra=%s ops=%d rate=%.1f conflicts=%d", r.Infra, r.Ops, rate, r.Conflicts)
+}
+
+func (s *Server) handleReport(_ string, req *wire.Packet) (*wire.Packet, error) {
+	r, err := DecodeReport(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	dr := s.Handle(r)
+	return &wire.Packet{Type: MsgReport, Payload: EncodeDirective(dr)}, nil
+}
+
+func (s *Server) handleStats(_ string, _ *wire.Packet) (*wire.Packet, error) {
+	reports, migrations, clients := s.Stats()
+	var e wire.Encoder
+	e.PutInt64(reports)
+	e.PutInt64(migrations)
+	e.PutUint32(uint32(clients))
+	e.PutUint32(uint32(len(s.Found())))
+	return &wire.Packet{Type: MsgStats, Payload: e.Bytes()}, nil
+}

@@ -1,0 +1,38 @@
+package simgrid
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(t0)
+		for j := 0; j < 1000; j++ {
+			d := time.Duration(j%60) * time.Second
+			e.Schedule(t0.Add(d), func() {})
+		}
+		e.Run(t0.Add(time.Hour))
+	}
+}
+
+func BenchmarkEngineSelfScheduling(b *testing.B) {
+	e := NewEngine(t0)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(time.Second, tick)
+	}
+	e.After(time.Second, tick)
+	b.ResetTimer()
+	horizon := t0
+	for i := 0; i < b.N; i++ {
+		horizon = horizon.Add(1000 * time.Second)
+		e.Run(horizon)
+	}
+	if count == 0 {
+		b.Fatal("no ticks")
+	}
+}

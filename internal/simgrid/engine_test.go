@@ -1,0 +1,160 @@
+package simgrid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(1998, 11, 11, 23, 36, 56, 0, time.UTC)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine(t0)
+	var order []int
+	e.Schedule(t0.Add(3*time.Second), func() { order = append(order, 3) })
+	e.Schedule(t0.Add(1*time.Second), func() { order = append(order, 1) })
+	e.Schedule(t0.Add(2*time.Second), func() { order = append(order, 2) })
+	n := e.Run(t0.Add(time.Minute))
+	if n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine(t0)
+	var order []int
+	at := t0.Add(time.Second)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(at, func() { order = append(order, i) })
+	}
+	e.Run(t0.Add(time.Minute))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestHorizonStopsExecution(t *testing.T) {
+	e := NewEngine(t0)
+	ran := 0
+	e.Schedule(t0.Add(time.Second), func() { ran++ })
+	e.Schedule(t0.Add(time.Hour), func() { ran++ })
+	e.Run(t0.Add(time.Minute))
+	if ran != 1 {
+		t.Fatalf("ran = %d", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	if !e.Now().Equal(t0.Add(time.Minute)) {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine(t0)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.After(time.Second, tick)
+		}
+	}
+	e.After(time.Second, tick)
+	e.Run(t0.Add(time.Hour))
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+	if !e.Now().Equal(t0.Add(time.Hour)) {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestPastEventRunsNow(t *testing.T) {
+	e := NewEngine(t0)
+	e.Schedule(t0.Add(5*time.Second), func() {
+		e.Schedule(t0, func() {}) // in the past: clamped to now
+	})
+	e.Run(t0.Add(time.Minute))
+	if e.Pending() != 0 {
+		t.Fatal("past event never ran")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(t0)
+	ran := 0
+	e.Schedule(t0.Add(time.Second), func() { ran++; e.Halt() })
+	e.Schedule(t0.Add(2*time.Second), func() { ran++ })
+	e.Run(t0.Add(time.Minute))
+	if ran != 1 {
+		t.Fatalf("ran = %d after halt", ran)
+	}
+}
+
+func TestExpRespectsMinAndMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var sum time.Duration
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		d := Exp(rng, time.Minute, time.Second)
+		if d < time.Second {
+			t.Fatalf("d = %v below min", d)
+		}
+		sum += d
+	}
+	mean := sum / trials
+	if mean < 50*time.Second || mean > 70*time.Second {
+		t.Fatalf("empirical mean %v far from 1m", mean)
+	}
+	if Exp(rng, 0, time.Second) != time.Second {
+		t.Fatal("zero mean must return min")
+	}
+}
+
+func TestLogNormalMedianNearOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	above := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if LogNormal(rng, 0.5) > 1 {
+			above++
+		}
+	}
+	if above < trials*4/10 || above > trials*6/10 {
+		t.Fatalf("median skewed: %d/%d above 1", above, trials)
+	}
+	if LogNormal(rng, 0) != 1 {
+		t.Fatal("sigma 0 must return exactly 1")
+	}
+}
+
+func TestSubSeedIndependence(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := SubSeed(42, i)
+		if seen[s] {
+			t.Fatalf("duplicate subseed at %d", i)
+		}
+		seen[s] = true
+	}
+	if SubSeed(42, 1) == SubSeed(43, 1) {
+		t.Fatal("different parents must differ")
+	}
+}
+
+func TestQuickSubSeedDeterministic(t *testing.T) {
+	f := func(parent int64, idx uint8) bool {
+		return SubSeed(parent, int(idx)) == SubSeed(parent, int(idx))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func BenchmarkCodecEncode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e Encoder
+		e.PutUint64(uint64(i))
+		e.PutString("gossip@host:9001")
+		e.PutFloat64(3.14)
+		e.PutBytes(make([]byte, 64))
+	}
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	var e Encoder
+	e.PutUint64(42)
+	e.PutString("gossip@host:9001")
+	e.PutFloat64(3.14)
+	e.PutBytes(make([]byte, 64))
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		if _, err := d.Uint64(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.String(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Float64(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Bytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketWriteRead(b *testing.B) {
+	payload := make([]byte, 256)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WritePacket(&buf, &Packet{Type: 7, Tag: uint64(i), Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadPacket(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoopbackRoundTrip measures one full lingua franca
+// request/response over real TCP loopback — the cost every EveryWare
+// service call pays.
+func BenchmarkLoopbackRoundTrip(b *testing.B) {
+	s := NewServer()
+	s.Logf = func(string, ...any) {}
+	const msgEcho MsgType = 200
+	s.Register(msgEcho, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
+		return &Packet{Type: msgEcho, Payload: req.Payload}, nil
+	}))
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(time.Second)
+	defer c.Close()
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(addr, &Packet{Type: msgEcho, Payload: payload}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

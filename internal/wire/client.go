@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"sync"
+	"time"
+)
+
+// Client maintains cached connections to remote services and retries one
+// reconnect on a broken connection. EveryWare components use a Client to
+// talk to schedulers, Gossips, persistent state managers, and logging
+// servers without re-dialing per request.
+type Client struct {
+	mu          sync.Mutex
+	conns       map[string]*Conn
+	DialTimeout time.Duration
+}
+
+// NewClient returns a Client with the given connect timeout.
+func NewClient(dialTimeout time.Duration) *Client {
+	return &Client{conns: make(map[string]*Conn), DialTimeout: dialTimeout}
+}
+
+func (c *Client) conn(addr string) (*Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc, ok := c.conns[addr]; ok {
+		return cc, nil
+	}
+	cc, err := Dial(addr, c.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[addr] = cc
+	return cc, nil
+}
+
+func (c *Client) drop(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc, ok := c.conns[addr]; ok {
+		cc.Close()
+		delete(c.conns, addr)
+	}
+}
+
+// Call sends req to addr and waits up to timeout for the correlated
+// response. A transport failure drops the cached connection and retries
+// once on a fresh connection; a timeout is returned without retry (the
+// caller's forecaster owns retry policy).
+func (c *Client) Call(addr string, req *Packet, timeout time.Duration) (*Packet, error) {
+	cc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cc.Call(req, timeout)
+	if err == nil {
+		return resp, nil
+	}
+	if IsTimeout(err) {
+		return nil, err
+	}
+	if _, isRemote := err.(*RemoteError); isRemote {
+		return nil, err
+	}
+	// Broken connection: redial once.
+	c.drop(addr)
+	cc, derr := c.conn(addr)
+	if derr != nil {
+		return nil, derr
+	}
+	return cc.Call(req, timeout)
+}
+
+// Ping measures one request/response round trip to addr. The duration is
+// the raw material of the dynamic-benchmarking forecasters.
+func (c *Client) Ping(addr string, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	_, err := c.Call(addr, &Packet{Type: MsgPing}, timeout)
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// Close closes all cached connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr, cc := range c.conns {
+		cc.Close()
+		delete(c.conns, addr)
+	}
+}

@@ -1,0 +1,203 @@
+// Package wire implements the EveryWare lingua franca: a portable message
+// layer that lets processes running under different Grid infrastructures
+// and operating systems communicate.
+//
+// The layer follows the design constraints described in section 2.1 of the
+// paper: stream-oriented TCP with rudimentary packet semantics layered on
+// top to provide message typing and record boundaries, a self-contained
+// portable data encoding (the paper deliberately avoided XDR), and
+// timeout-bounded receive and connect operations instead of keep-alives or
+// non-blocking I/O.
+//
+// Encoding is big-endian throughout. Strings and byte slices are
+// length-prefixed with a uint32. Floats are encoded as IEEE-754 bits.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec errors.
+var (
+	// ErrShortBuffer is returned by decode operations when the buffer does
+	// not contain enough bytes for the requested value.
+	ErrShortBuffer = errors.New("wire: short buffer")
+	// ErrStringTooLong is returned when a string or byte-slice length
+	// prefix exceeds MaxPayload.
+	ErrStringTooLong = errors.New("wire: string exceeds maximum length")
+)
+
+// Encoder serializes primitive values into a growable byte buffer using the
+// lingua franca's portable encoding. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with capacity preallocated for n bytes.
+func NewEncoder(n int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, n)}
+}
+
+// Bytes returns the encoded buffer. The slice is owned by the Encoder and
+// is invalidated by further Put calls.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards all encoded data, retaining the underlying storage.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutUint8 appends a single byte.
+func (e *Encoder) PutUint8(v uint8) { e.buf = append(e.buf, v) }
+
+// PutUint32 appends a big-endian uint32.
+func (e *Encoder) PutUint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// PutUint64 appends a big-endian uint64.
+func (e *Encoder) PutUint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// PutInt64 appends a big-endian int64 (two's complement).
+func (e *Encoder) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutFloat64 appends an IEEE-754 encoded float64.
+func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
+
+// PutBool appends a bool as a single 0/1 byte.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutUint8(1)
+	} else {
+		e.PutUint8(0)
+	}
+}
+
+// PutString appends a uint32 length prefix followed by the string bytes.
+func (e *Encoder) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes appends a uint32 length prefix followed by the raw bytes.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Decoder deserializes values previously written by an Encoder.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a Decoder reading from buf. The Decoder does not copy
+// buf; the caller must not mutate it while decoding.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining reports the number of undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) need(n int) error {
+	if d.Remaining() < n {
+		return fmt.Errorf("%w: need %d bytes, have %d", ErrShortBuffer, n, d.Remaining())
+	}
+	return nil
+}
+
+// Uint8 decodes a single byte.
+func (d *Decoder) Uint8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+// Uint32 decodes a big-endian uint32.
+func (d *Decoder) Uint32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// Uint64 decodes a big-endian uint64.
+func (d *Decoder) Uint64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Int64 decodes a big-endian int64.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Float64 decodes an IEEE-754 float64.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
+
+// Bool decodes a single byte as a bool (non-zero is true).
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint8()
+	return v != 0, err
+}
+
+// String decodes a length-prefixed string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Bytes()
+	return string(b), err
+}
+
+// Count decodes a uint32 element count and validates it against the
+// bytes actually remaining: each element needs at least minBytesPerItem
+// encoded bytes, so a count larger than Remaining()/minBytesPerItem is
+// malformed. Every list decoder must use Count (not Uint32) so untrusted
+// length prefixes cannot drive huge allocations.
+func (d *Decoder) Count(minBytesPerItem int) (int, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if minBytesPerItem < 1 {
+		minBytesPerItem = 1
+	}
+	if int64(n)*int64(minBytesPerItem) > int64(d.Remaining()) {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining payload", ErrShortBuffer, n)
+	}
+	return int(n), nil
+}
+
+// Bytes decodes a length-prefixed byte slice. The returned slice aliases
+// the Decoder's buffer.
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxPayload {
+		return nil, ErrStringTooLong
+	}
+	if err := d.need(int(n)); err != nil {
+		return nil, err
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}

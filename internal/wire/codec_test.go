@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var e Encoder
+	e.PutUint8(7)
+	e.PutUint32(0xDEADBEEF)
+	e.PutUint64(1<<63 + 12345)
+	e.PutInt64(-987654321)
+	e.PutFloat64(3.14159265358979)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutString("ramsey")
+	e.PutBytes([]byte{1, 2, 3})
+	e.PutString("")
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Uint8(); err != nil || v != 7 {
+		t.Fatalf("Uint8 = %d, %v", v, err)
+	}
+	if v, err := d.Uint32(); err != nil || v != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %x, %v", v, err)
+	}
+	if v, err := d.Uint64(); err != nil || v != 1<<63+12345 {
+		t.Fatalf("Uint64 = %d, %v", v, err)
+	}
+	if v, err := d.Int64(); err != nil || v != -987654321 {
+		t.Fatalf("Int64 = %d, %v", v, err)
+	}
+	if v, err := d.Float64(); err != nil || v != 3.14159265358979 {
+		t.Fatalf("Float64 = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != true {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != false {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.String(); err != nil || v != "ramsey" {
+		t.Fatalf("String = %q, %v", v, err)
+	}
+	if v, err := d.Bytes(); err != nil || !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v, %v", v, err)
+	}
+	if v, err := d.String(); err != nil || v != "" {
+		t.Fatalf("empty String = %q, %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Uint32(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Uint32 on short buffer: err = %v, want ErrShortBuffer", err)
+	}
+	// Truncated string: length prefix says 10 bytes but only 1 follows.
+	var e Encoder
+	e.PutUint32(10)
+	e.PutUint8('x')
+	d = NewDecoder(e.Bytes())
+	if _, err := d.String(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated String: err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestDecoderRejectsHugeLength(t *testing.T) {
+	var e Encoder
+	e.PutUint32(MaxPayload + 1)
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Bytes(); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("huge length: err = %v, want ErrStringTooLong", err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	var e Encoder
+	e.PutUint64(42)
+	if e.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", e.Len())
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", e.Len())
+	}
+	e.PutUint32(1)
+	if e.Len() != 4 {
+		t.Fatalf("Len after reuse = %d, want 4", e.Len())
+	}
+}
+
+func TestFloatSpecialValues(t *testing.T) {
+	for _, v := range []float64{0, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		var e Encoder
+		e.PutFloat64(v)
+		got, err := NewDecoder(e.Bytes()).Float64()
+		if err != nil || got != v {
+			t.Fatalf("Float64(%v) round trip = %v, %v", v, got, err)
+		}
+	}
+	var e Encoder
+	e.PutFloat64(math.NaN())
+	got, err := NewDecoder(e.Bytes()).Float64()
+	if err != nil || !math.IsNaN(got) {
+		t.Fatalf("NaN round trip = %v, %v", got, err)
+	}
+}
+
+// Property: any (string, uint64, float64, bytes) tuple survives a round trip.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(s string, u uint64, fl float64, b []byte, ok bool) bool {
+		var e Encoder
+		e.PutString(s)
+		e.PutUint64(u)
+		e.PutFloat64(fl)
+		e.PutBytes(b)
+		e.PutBool(ok)
+		d := NewDecoder(e.Bytes())
+		s2, err1 := d.String()
+		u2, err2 := d.Uint64()
+		fl2, err3 := d.Float64()
+		b2, err4 := d.Bytes()
+		ok2, err5 := d.Bool()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			return false
+		}
+		sameFloat := fl2 == fl || (math.IsNaN(fl) && math.IsNaN(fl2))
+		return s2 == s && u2 == u && sameFloat && bytes.Equal(b2, b) && ok2 == ok && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding never reads past the encoded length even with
+// arbitrary trailing garbage.
+func TestQuickDecoderIgnoresTrailingGarbage(t *testing.T) {
+	f := func(s string, garbage []byte) bool {
+		var e Encoder
+		e.PutString(s)
+		buf := append(e.Bytes(), garbage...)
+		d := NewDecoder(buf)
+		s2, err := d.String()
+		return err == nil && s2 == s && d.Remaining() == len(garbage)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountRejectsImplausibleLengths(t *testing.T) {
+	// A count claiming more elements than the remaining bytes could hold
+	// must error instead of driving a huge allocation (found by the
+	// decode fuzz tests).
+	var e Encoder
+	e.PutUint32(1 << 31)
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Count(4); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+	// A plausible count passes.
+	e.Reset()
+	e.PutUint32(2)
+	e.PutString("a")
+	e.PutString("b")
+	d = NewDecoder(e.Bytes())
+	n, err := d.Count(4)
+	if err != nil || n != 2 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	// Zero minBytesPerItem is normalized, not a division hazard.
+	e.Reset()
+	e.PutUint32(3)
+	e.PutUint8(1)
+	e.PutUint8(2)
+	e.PutUint8(3)
+	d = NewDecoder(e.Bytes())
+	if n, err := d.Count(0); err != nil || n != 3 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conn wraps a stream connection with packet semantics and the
+// timeout-bounded operations the lingua franca requires. All sends and
+// receives are safe for concurrent use; writes are serialized by a mutex
+// and reads by a second mutex, matching the paper's request/response
+// discipline.
+type Conn struct {
+	nc      net.Conn
+	wmu     sync.Mutex
+	rmu     sync.Mutex
+	tagSeq  atomic.Uint64
+	oneShot sync.Once
+}
+
+// NewConn wraps nc. The caller retains responsibility for closing via
+// Close exactly once.
+func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+
+// Dial connects to addr with a bounded connect time. The paper implemented
+// connect timeouts with a forked watchdog and later setitimer; Go's dialer
+// deadline provides the same semantics portably.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}
+
+// Close closes the underlying connection. Safe to call more than once.
+func (c *Conn) Close() error {
+	var err error
+	c.oneShot.Do(func() { err = c.nc.Close() })
+	return err
+}
+
+// RemoteAddr reports the remote endpoint.
+func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
+
+// LocalAddr reports the local endpoint.
+func (c *Conn) LocalAddr() string { return c.nc.LocalAddr().String() }
+
+// NextTag returns a fresh correlation tag, unique within this Conn.
+func (c *Conn) NextTag() uint64 { return c.tagSeq.Add(1) }
+
+// Send writes p with a write deadline of timeout (0 means no deadline).
+func (c *Conn) Send(p *Packet, timeout time.Duration) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if timeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		defer c.nc.SetWriteDeadline(time.Time{})
+	}
+	return WritePacket(c.nc, p)
+}
+
+// Recv reads the next packet with a read deadline of timeout (0 means
+// block indefinitely). This is the portable receive-with-timeout the paper
+// built from select(); a deadline expiry surfaces as a net timeout error.
+func (c *Conn) Recv(timeout time.Duration) (*Packet, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if timeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		defer c.nc.SetReadDeadline(time.Time{})
+	}
+	return ReadPacket(c.nc)
+}
+
+// Call performs one request/response exchange: it sends req with a fresh
+// tag and waits up to timeout for the packet bearing that tag, discarding
+// any stale responses from earlier timed-out calls on the same connection.
+// A MsgError response is converted to a *RemoteError.
+func (c *Conn) Call(req *Packet, timeout time.Duration) (*Packet, error) {
+	tag := c.NextTag()
+	req.Tag = tag
+	deadline := time.Now().Add(timeout)
+	if err := c.Send(req, timeout); err != nil {
+		return nil, err
+	}
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, &TimeoutError{Op: "call", Addr: c.RemoteAddr()}
+		}
+		resp, err := c.Recv(remain)
+		if err != nil {
+			if IsTimeout(err) {
+				return nil, &TimeoutError{Op: "call", Addr: c.RemoteAddr()}
+			}
+			return nil, err
+		}
+		if resp.Tag != tag {
+			continue // stale response from an abandoned earlier call
+		}
+		if resp.Type == MsgError {
+			return nil, DecodeError(resp)
+		}
+		return resp, nil
+	}
+}
+
+// TimeoutError reports a lingua franca operation that exceeded its
+// dynamically or statically configured time-out interval.
+type TimeoutError struct {
+	Op   string
+	Addr string
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("wire: %s to %s timed out", e.Op, e.Addr)
+}
+
+// Timeout marks the error as a timeout for net.Error-style checks.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// IsTimeout reports whether err represents an I/O timeout, from either the
+// packet layer or the underlying net stack.
+func IsTimeout(err error) bool {
+	type timeouter interface{ Timeout() bool }
+	for err != nil {
+		if t, ok := err.(timeouter); ok {
+			return t.Timeout()
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ReadPacket on arbitrary bytes returns an error or a valid
+// packet — never panics, never over-reads.
+func TestQuickReadPacketNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		p, err := ReadPacket(bytes.NewReader(raw))
+		if err != nil {
+			return true
+		}
+		return p != nil && len(p.Payload) <= MaxPayload
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Decoder rejects truncated data with errors, not panics,
+// for every primitive in sequence.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		d := NewDecoder(raw)
+		d.Uint8()
+		d.Uint32()
+		d.Uint64()
+		d.Float64()
+		d.Bool()
+		d.String()
+		d.Bytes()
+		return d.Remaining() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants for the packet layer. The header delineates record
+// boundaries within each stream-oriented TCP connection and carries the
+// message type, mirroring the netperf-inspired packet semantics of the NWS
+// implementation that the paper's lingua franca was built from.
+const (
+	// Magic identifies an EveryWare packet stream ("EVWR").
+	Magic = 0x45565752
+	// Version of the packet layer protocol.
+	Version = 1
+	// HeaderSize is the fixed encoded size of a packet header:
+	// magic(4) + version(1) + type(4) + tag(8) + length(4).
+	HeaderSize = 4 + 1 + 4 + 8 + 4
+	// MaxPayload bounds a single packet body (16 MiB). Larger application
+	// state must be chunked by the caller.
+	MaxPayload = 16 << 20
+)
+
+// Packet layer errors.
+var (
+	// ErrBadMagic indicates the stream does not carry EveryWare packets.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrBadVersion indicates an incompatible packet-layer version.
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	// ErrPayloadTooLarge indicates a declared payload above MaxPayload.
+	ErrPayloadTooLarge = errors.New("wire: payload too large")
+)
+
+// MsgType identifies the application-level meaning of a packet. Each
+// EveryWare service defines its own message types; types are globally
+// partitioned by convention (see the service packages).
+type MsgType uint32
+
+// Reserved message types used by the packet layer itself.
+const (
+	// MsgInvalid is never sent; the zero value catches uninitialized use.
+	MsgInvalid MsgType = 0
+	// MsgError carries a service error string back to a caller.
+	MsgError MsgType = 1
+	// MsgPing and MsgPong implement liveness probes and round-trip-time
+	// dynamic benchmarks.
+	MsgPing MsgType = 2
+	MsgPong MsgType = 3
+)
+
+// Packet is one typed, delimited message on a lingua franca stream. Tag
+// correlates a response with its request: a reply carries the request's
+// tag. Payload encoding is message-type specific (see Codec).
+type Packet struct {
+	Type    MsgType
+	Tag     uint64
+	Payload []byte
+}
+
+// ErrorPacket constructs a MsgError reply carrying msg, correlated to tag.
+func ErrorPacket(tag uint64, msg string) *Packet {
+	var e Encoder
+	e.PutString(msg)
+	return &Packet{Type: MsgError, Tag: tag, Payload: e.Bytes()}
+}
+
+// DecodeError extracts the error string from a MsgError packet.
+func DecodeError(p *Packet) error {
+	if p.Type != MsgError {
+		return nil
+	}
+	d := NewDecoder(p.Payload)
+	s, err := d.String()
+	if err != nil {
+		return fmt.Errorf("wire: malformed error packet: %w", err)
+	}
+	return &RemoteError{Msg: s}
+}
+
+// RemoteError is an error string reported by a remote service via a
+// MsgError packet.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
+
+// WritePacket encodes p with its header and writes it to w in a single
+// Write call so concurrent writers interleave only at packet granularity.
+func WritePacket(w io.Writer, p *Packet) error {
+	if len(p.Payload) > MaxPayload {
+		return ErrPayloadTooLarge
+	}
+	buf := make([]byte, HeaderSize+len(p.Payload))
+	binary.BigEndian.PutUint32(buf[0:], Magic)
+	buf[4] = Version
+	binary.BigEndian.PutUint32(buf[5:], uint32(p.Type))
+	binary.BigEndian.PutUint64(buf[9:], p.Tag)
+	binary.BigEndian.PutUint32(buf[17:], uint32(len(p.Payload)))
+	copy(buf[HeaderSize:], p.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadPacket reads one packet from r, validating the header. It blocks
+// until a full packet arrives, the reader errors, or a deadline set on the
+// underlying connection expires.
+func ReadPacket(r io.Reader) (*Packet, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrBadVersion, hdr[4], Version)
+	}
+	p := &Packet{
+		Type: MsgType(binary.BigEndian.Uint32(hdr[5:])),
+		Tag:  binary.BigEndian.Uint64(hdr[9:]),
+	}
+	n := binary.BigEndian.Uint32(hdr[17:])
+	if n > MaxPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	if n > 0 {
+		p.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, p.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Packet{Type: 42, Tag: 7, Payload: []byte("hello grid")}
+	if err := WritePacket(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadPacket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Tag != in.Tag || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestPacketEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePacket(&buf, &Packet{Type: MsgPing, Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadPacket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgPing || len(out.Payload) != 0 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestPacketBadMagic(t *testing.T) {
+	raw := make([]byte, HeaderSize)
+	binary.BigEndian.PutUint32(raw, 0x12345678)
+	_, err := ReadPacket(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestPacketBadVersion(t *testing.T) {
+	raw := make([]byte, HeaderSize)
+	binary.BigEndian.PutUint32(raw, Magic)
+	raw[4] = 99
+	_, err := ReadPacket(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestPacketOversizedDeclaredLength(t *testing.T) {
+	raw := make([]byte, HeaderSize)
+	binary.BigEndian.PutUint32(raw, Magic)
+	raw[4] = Version
+	binary.BigEndian.PutUint32(raw[17:], MaxPayload+1)
+	_, err := ReadPacket(bytes.NewReader(raw))
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestWriteRejectsOversizedPayload(t *testing.T) {
+	p := &Packet{Type: 1, Payload: make([]byte, MaxPayload+1)}
+	if err := WritePacket(io.Discard, p); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestPacketTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePacket(&buf, &Packet{Type: 9, Payload: []byte("truncate me")}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadPacket(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncated at %d bytes: expected error", cut)
+		}
+	}
+}
+
+func TestErrorPacketRoundTrip(t *testing.T) {
+	p := ErrorPacket(5, "disk full")
+	if p.Tag != 5 || p.Type != MsgError {
+		t.Fatalf("bad error packet: %+v", p)
+	}
+	err := DecodeError(p)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "disk full" {
+		t.Fatalf("DecodeError = %v", err)
+	}
+	if DecodeError(&Packet{Type: MsgPong}) != nil {
+		t.Fatal("DecodeError on non-error packet should be nil")
+	}
+}
+
+// Property: every packet survives a stream round trip, and consecutive
+// packets on one stream stay delimited.
+func TestQuickPacketStream(t *testing.T) {
+	f := func(t1, t2 uint32, tag1, tag2 uint64, p1, p2 []byte) bool {
+		var buf bytes.Buffer
+		a := &Packet{Type: MsgType(t1), Tag: tag1, Payload: p1}
+		b := &Packet{Type: MsgType(t2), Tag: tag2, Payload: p2}
+		if WritePacket(&buf, a) != nil || WritePacket(&buf, b) != nil {
+			return false
+		}
+		a2, err1 := ReadPacket(&buf)
+		b2, err2 := ReadPacket(&buf)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a2.Type == a.Type && a2.Tag == a.Tag && bytes.Equal(a2.Payload, p1) &&
+			b2.Type == b.Type && b2.Tag == b.Tag && bytes.Equal(b2.Payload, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes one request packet and returns the response packet, or
+// an error which the server converts into a MsgError reply. Handlers must
+// be safe for concurrent use.
+type Handler interface {
+	Handle(remote string, req *Packet) (*Packet, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(remote string, req *Packet) (*Packet, error)
+
+// Handle calls f.
+func (f HandlerFunc) Handle(remote string, req *Packet) (*Packet, error) {
+	return f(remote, req)
+}
+
+// Server is a lingua franca service endpoint: it accepts TCP connections
+// and dispatches packets to handlers registered per message type. Every
+// EveryWare daemon (Gossip, scheduler, persistent state manager, logging
+// server) is built on this type.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[MsgType]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	// Logf receives diagnostic messages; defaults to log.Printf. Settable
+	// before Serve for tests that want silence.
+	Logf func(format string, args ...any)
+	// IdleTimeout closes connections with no traffic for this long.
+	// Zero means no idle limit.
+	IdleTimeout time.Duration
+	// Observe, if set, receives the service time of every handled request
+	// keyed by message type — the paper's dynamic benchmarking hook: "we
+	// identified each place in the server code where a request-response
+	// pair occurred, and tagged each of these events". Typically wired to
+	// a forecast.Registry. Must be safe for concurrent use.
+	Observe func(t MsgType, d time.Duration)
+}
+
+// NewServer returns a Server with no handlers registered. MsgPing is
+// answered automatically (with MsgPong) unless overridden.
+func NewServer() *Server {
+	s := &Server{
+		handlers: make(map[MsgType]Handler),
+		conns:    make(map[net.Conn]struct{}),
+		Logf:     log.Printf,
+	}
+	s.Register(MsgPing, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
+		return &Packet{Type: MsgPong, Payload: req.Payload}, nil
+	}))
+	return s
+}
+
+// Register installs h for message type t, replacing any previous handler.
+func (s *Server) Register(t MsgType, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[t] = h
+}
+
+// Listen binds to addr ("host:port"; use ":0" for an ephemeral port) and
+// begins accepting in a background goroutine. It returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address, or "" before Listen.
+func (s *Server) Addr() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.RLock()
+			closed := s.closed
+			s.mu.RUnlock()
+			if !closed {
+				s.Logf("wire: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+	remote := nc.RemoteAddr().String()
+	for {
+		if s.IdleTimeout > 0 {
+			if err := nc.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
+		}
+		req, err := ReadPacket(nc)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !IsTimeout(err) {
+				s.Logf("wire: read from %s: %v", remote, err)
+			}
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[req.Type]
+		s.mu.RUnlock()
+		var resp *Packet
+		if !ok {
+			resp = ErrorPacket(req.Tag, "no handler for message type")
+		} else {
+			var handleStart time.Time
+			if s.Observe != nil {
+				handleStart = time.Now()
+			}
+			r, herr := h.Handle(remote, req)
+			if s.Observe != nil {
+				s.Observe(req.Type, time.Since(handleStart))
+			}
+			switch {
+			case herr != nil:
+				resp = ErrorPacket(req.Tag, herr.Error())
+			case r == nil:
+				continue // one-way message; no reply
+			default:
+				resp = r
+				resp.Tag = req.Tag
+			}
+		}
+		if err := WritePacket(nc, resp); err != nil {
+			s.Logf("wire: write to %s: %v", remote, err)
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all live connections, and waits for the
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
