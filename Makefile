@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench figures examples clean
+.PHONY: all build vet test test-race bench figures examples chaos clean
 
 all: build vet test
 
@@ -23,6 +23,13 @@ bench:
 # Replay the SC98 window and emit every figure plus CSV exports.
 figures:
 	$(GO) run ./cmd/ew-sc98 -fig all -out figures/
+
+# Chaos soak: a mini SC98 over real localhost daemons with seeded fault
+# injection (drops, duplicates, resets, torn writes, delays, a Gossip
+# partition/heal), race detector on, plus the standalone chaos binary run.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|UnderFaults' -v ./internal/faults/
+	$(GO) run ./cmd/ew-sc98 -fig chaos
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -12,6 +12,7 @@
 //	ew-sc98 -fig timeouts          # dynamic vs static time-out ablation
 //	ew-sc98 -fig condor            # scheduler placement ablation
 //	ew-sc98 -fig consistency       # the "consistent" Grid criterion
+//	ew-sc98 -fig chaos             # mini SC98 over real daemons + fault injection
 //	ew-sc98 -fig all               # everything
 package main
 
@@ -23,16 +24,22 @@ import (
 	"os"
 	"time"
 
+	"everyware/internal/faults"
 	"everyware/internal/grid"
 	"everyware/internal/trace"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "2 | 3a | 3b | 3c | 4 | java | timeouts | condor | consistency | all")
+	fig := flag.String("fig", "all", "2 | 3a | 3b | 3c | 4 | java | timeouts | condor | consistency | chaos | all")
 	seed := flag.Int64("seed", 1998, "scenario seed")
 	duration := flag.Duration("duration", grid.SC98Duration, "window length")
 	csv := flag.Bool("csv", false, "emit CSV instead of charts")
 	out := flag.String("out", "", "also export all figure CSVs to this directory")
+	drop := flag.Float64("chaos-drop", 0.05, "chaos: per-message drop probability")
+	dup := flag.Float64("chaos-dup", 0.02, "chaos: per-message duplicate probability")
+	reset := flag.Float64("chaos-reset", 0.03, "chaos: per-message connection-reset probability")
+	torn := flag.Float64("chaos-torn", 0.02, "chaos: per-message torn-write probability")
+	delay := flag.Float64("chaos-delay", 0.03, "chaos: per-message delay probability")
 	flag.Parse()
 
 	needReplay := map[string]bool{"2": true, "3a": true, "3b": true, "3c": true, "4": true,
@@ -70,6 +77,11 @@ func main() {
 		condorAblation(*seed)
 	case "consistency":
 		consistency(res)
+	case "chaos":
+		chaosRun(*seed, faults.Config{
+			Drop: *drop, Dup: *dup, Reset: *reset, Torn: *torn,
+			Delay: *delay, MaxDelay: 10 * time.Millisecond,
+		})
 	case "all":
 		figure2(res, *csv)
 		figure3a(res, *csv, false)
@@ -82,6 +94,50 @@ func main() {
 	default:
 		log.Fatalf("ew-sc98: unknown figure %q", *fig)
 	}
+}
+
+// chaosRun stands up a miniature SC98 deployment — Gossip pool, scheduler
+// pair, persistent state manager, compute components — over real localhost
+// daemons, injects seeded message faults into every inter-process call,
+// partitions and heals the Gossip pool mid-run, and reports what survived.
+// The process exits non-zero if the toolkit failed to deliver useful work
+// or the clique did not re-merge after the heal.
+func chaosRun(seed int64, fc faults.Config) {
+	dir, err := os.MkdirTemp("", "ew-chaos-*")
+	if err != nil {
+		log.Fatalf("ew-sc98: chaos: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Println("== Chaos: mini SC98 over real daemons with fault injection ==")
+	fmt.Printf("seed %d; rates drop=%.0f%% dup=%.0f%% reset=%.0f%% torn=%.0f%% delay=%.0f%%\n",
+		seed, 100*fc.Drop, 100*fc.Dup, 100*fc.Reset, 100*fc.Torn, 100*fc.Delay)
+	res, err := faults.RunScenario(faults.ScenarioConfig{
+		Seed:          seed,
+		Faults:        fc,
+		Dir:           dir,
+		PartitionHeal: true,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ew-sc98: chaos: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		log.Fatalf("ew-sc98: chaos: %v", err)
+	}
+	fmt.Printf("%-24s %d\n", "useful ops delivered", res.Ops)
+	fmt.Printf("%-24s %d\n", "scheduling cycles", res.CompletedCycles)
+	fmt.Printf("%-24s %d\n", "component errors", res.ComponentErrs)
+	fmt.Printf("%-24s split=%v merged=%v\n", "gossip partition", res.PoolSplit, res.PoolMerged)
+	st := res.Stats
+	fmt.Printf("%-24s sent=%d delivered=%d dropped=%d delayed=%d dup=%d reset=%d torn=%d refused=%d\n",
+		"injector", st.Messages, st.Delivered, st.Dropped, st.Delayed, st.Duplicated, st.Resets, st.Torn, st.Refused)
+	if res.Ops == 0 {
+		log.Fatal("ew-sc98: chaos: no useful work delivered")
+	}
+	if !res.PoolMerged {
+		log.Fatal("ew-sc98: chaos: gossip pool did not re-merge after the heal")
+	}
+	fmt.Println("chaos run survived: work delivered and the pool re-merged")
+	fmt.Println()
 }
 
 func figure2(res *grid.Result, csv bool) {

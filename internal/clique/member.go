@@ -342,11 +342,32 @@ func (m *Member) onToken(msg *Message) {
 	self := m.tr.Self()
 	m.mu.Lock()
 	if t.Seq < m.view.Seq {
+		mine := m.view.Clone()
 		m.mu.Unlock()
-		return // stale
+		// A stale token means its origin runs an older configuration than
+		// ours — typically it was declared failed and dropped from the view
+		// while it still believes it leads. Both sides are then stable but
+		// split: its probes skip us (its view contains us), and our view may
+		// not contain it at all. Nudge the origin with our view so the
+		// normal merge path reunifies the configurations.
+		if t.Origin != self {
+			_ = m.tr.Send(t.Origin, &Message{Kind: KindProbeAck, From: self, View: mine})
+		}
+		return
 	}
+	// A token for a configuration newer than our view whose origin we do
+	// not even have as a member means we missed the view-update broadcast
+	// (it was dropped or its send failed). Relaying alone would leave us
+	// stranded forever: the origin's view contains us, so its merge
+	// probes skip us, and with an empty home list we probe nobody. Nudge
+	// the origin with our view so it re-announces the configuration.
+	stranded := t.Seq > m.view.Seq && !m.view.Contains(t.Origin) && t.Origin != self
+	mine := m.view.Clone()
 	m.lastHeard = time.Now()
 	m.mu.Unlock()
+	if stranded {
+		_ = m.tr.Send(t.Origin, &Message{Kind: KindProbeAck, From: self, View: mine})
+	}
 	if t.Origin == self {
 		m.commitToken(t)
 		return

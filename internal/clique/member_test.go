@@ -305,3 +305,87 @@ func TestCliqueSequentialKills(t *testing.T) {
 			fmt.Sprintf("survivors after killing %s", ids[kill]))
 	}
 }
+
+// TestTokenRelayRecoversMissedViewUpdate: a member that missed the
+// view-update broadcast (dropped message) keeps relaying tokens for the
+// new configuration while stuck in a stale singleton view. In the
+// well-known-server topology its home list is empty, so it probes
+// nobody; the leader's view contains it, so merge probes skip it. The
+// relay-time nudge to the token origin must recover it.
+func TestTokenRelayRecoversMissedViewUpdate(t *testing.T) {
+	net := NewMemNetwork()
+	// Join-through topology: "c" is the well-known member (no peers of
+	// its own); "a" and "b" join through it. Union leader is "a", so the
+	// stranded member "c" is a follower with an empty home list.
+	peersOf := map[string][]string{"c": nil, "a": {"c"}, "b": {"c", "a"}}
+	ids := []string{"a", "b", "c"}
+	members := make(map[string]*Member, len(ids))
+	for _, id := range []string{"c", "a", "b"} {
+		cfg := fastConfig(peersOf[id])
+		members[id] = New(cfg, net.Endpoint(id))
+		members[id].Start()
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			m.Stop()
+		}
+	})
+	all := []*Member{members["a"], members["b"], members["c"]}
+	eventually(t, 5*time.Second, func() bool { return agreeOn(all, ids) }, "initial formation")
+
+	// Simulate the missed broadcast: throw "c" back to its boot view, as
+	// if every KindViewUpdate to it had been dropped.
+	mc := members["c"]
+	mc.mu.Lock()
+	mc.view = View{Seq: 0, Leader: "c", Members: []string{"c"}}
+	mc.mu.Unlock()
+
+	eventually(t, 5*time.Second, func() bool { return agreeOn(all, ids) },
+		"token relay should recover the member that missed the view update")
+}
+
+// TestStaleTokenNudgeReunifiesSplitConfigurations: the pool leader "a"
+// (minimum ID, last joiner) is dropped from the view by "b" and "c" (as
+// happens when its token handling stalls long enough to be declared
+// failed), but "a" still believes it leads the full clique at an older
+// sequence. Its tokens are stale to "b"/"c" and silently discarded; "a"
+// probes nobody (its view contains everyone); the new leader "b" probes
+// nobody either (well-known first member, home list is just itself). The
+// stale-token nudge is the only path that reunifies the configurations.
+func TestStaleTokenNudgeReunifiesSplitConfigurations(t *testing.T) {
+	net := NewMemNetwork()
+	// Join-through topology in which the union leader is the LAST joiner:
+	// "b" is the well-known member, "c" joins through it, then "a".
+	peersOf := map[string][]string{"b": nil, "c": {"b"}, "a": {"b", "c"}}
+	ids := []string{"a", "b", "c"}
+	members := make(map[string]*Member, len(ids))
+	for _, id := range []string{"b", "c", "a"} {
+		members[id] = New(fastConfig(peersOf[id]), net.Endpoint(id))
+		members[id].Start()
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			m.Stop()
+		}
+	})
+	all := []*Member{members["a"], members["b"], members["c"]}
+	eventually(t, 5*time.Second, func() bool { return agreeOn(all, ids) }, "initial formation")
+
+	// Split the configurations: "b" and "c" advance two sequences without
+	// "a" (the commit that declared it failed plus one more) and elect "b";
+	// "a" stays behind believing it still leads the full membership.
+	base := members["a"].View().Seq
+	for _, id := range []string{"b", "c"} {
+		m := members[id]
+		m.mu.Lock()
+		m.view = View{Seq: base + 2, Leader: "b", Members: []string{"b", "c"}}
+		m.mu.Unlock()
+	}
+	ma := members["a"]
+	ma.mu.Lock()
+	ma.view = View{Seq: base, Leader: "a", Members: []string{"a", "b", "c"}}
+	ma.mu.Unlock()
+
+	eventually(t, 5*time.Second, func() bool { return agreeOn(all, ids) },
+		"stale-token nudge should reunify the split configurations")
+}

@@ -12,6 +12,11 @@ import (
 // messages between daemons.
 const MsgClique wire.MsgType = 10
 
+// The clique protocol is built to absorb duplicate and lost tokens
+// (sequence numbers discard stale deliveries), so its messages are safe to
+// retransmit when a connection dies mid-call.
+func init() { wire.RegisterIdempotent(MsgClique) }
+
 // encodeStrings appends a length-prefixed string list.
 func encodeStrings(e *wire.Encoder, ss []string) {
 	e.PutUint32(uint32(len(ss)))
@@ -127,27 +132,64 @@ type TCPTransport struct {
 
 	hmu     sync.RWMutex
 	handler func(*Message)
+
+	inbox     chan *Message
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // NewTCPTransport registers clique handling on srv and returns a transport
 // whose ID is selfAddr (the server's public address). sendTimeout bounds
 // each Send; unreachable peers surface as ErrUnreachable.
+//
+// Inbound messages are acknowledged immediately and processed from a
+// bounded queue on a dedicated goroutine. Clique handlers send downstream
+// (token relays, merge nudges); if the ack waited for the handler, every
+// token hop would hold its sender's RPC open for the whole downstream
+// cascade, and under load the clique serializes into lockstep chains that
+// stall far longer than the token timeout. When the queue overflows, the
+// message is dropped — the protocol is built to absorb lost messages.
 func NewTCPTransport(srv *wire.Server, selfAddr string, client *wire.Client, sendTimeout time.Duration) *TCPTransport {
-	t := &TCPTransport{self: selfAddr, client: client, timeout: sendTimeout}
+	t := &TCPTransport{
+		self:    selfAddr,
+		client:  client,
+		timeout: sendTimeout,
+		inbox:   make(chan *Message, 256),
+		done:    make(chan struct{}),
+	}
 	srv.Register(MsgClique, wire.HandlerFunc(func(_ string, req *wire.Packet) (*wire.Packet, error) {
 		m, err := DecodeMessage(req.Payload)
 		if err != nil {
 			return nil, fmt.Errorf("clique: decode: %w", err)
 		}
-		t.hmu.RLock()
-		h := t.handler
-		t.hmu.RUnlock()
-		if h != nil {
-			h(m)
+		select {
+		case t.inbox <- m:
+		default: // backlogged: shed load, the protocol recovers
 		}
 		return &wire.Packet{Type: MsgClique}, nil // bare ack
 	}))
+	t.wg.Add(1)
+	go t.deliver()
 	return t
+}
+
+// deliver drains the inbox into the installed handler.
+func (t *TCPTransport) deliver() {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.done:
+			return
+		case m := <-t.inbox:
+			t.hmu.RLock()
+			h := t.handler
+			t.hmu.RUnlock()
+			if h != nil {
+				h(m)
+			}
+		}
+	}
 }
 
 // Self returns the transport's advertised address.
@@ -170,5 +212,10 @@ func (t *TCPTransport) SetHandler(h func(*Message)) {
 	t.handler = h
 }
 
-// Close is a no-op; the owning daemon closes the server and client.
-func (t *TCPTransport) Close() error { return nil }
+// Close stops the delivery goroutine. The owning daemon closes the
+// server and client.
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() { close(t.done) })
+	t.wg.Wait()
+	return nil
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -111,6 +112,21 @@ type ComponentConfig struct {
 	// CallTimeout bounds service calls (default 2s; report time-outs are
 	// discovered dynamically regardless).
 	CallTimeout time.Duration
+	// Dialer overrides how outbound connections are opened (fault
+	// injection, tests). Nil means wire.Dial.
+	Dialer wire.DialFunc
+	// Retry, if set, governs the component's retransmission policy:
+	// bounded attempts with forecast-driven back-off, never blindly
+	// resending non-idempotent requests.
+	Retry *wire.RetryPolicy
+	// MaxServiceFailures marks a Gossip or persistent state manager dead
+	// after this many consecutive call failures (default 3); dead services
+	// are skipped while an alternative is alive and re-probed after
+	// ServiceCooldown.
+	MaxServiceFailures int
+	// ServiceCooldown is how long a dead service address is skipped
+	// (default 10s).
+	ServiceCooldown time.Duration
 	// WorkCheckpointKey, if set, replicates the client's in-progress work
 	// unit through the Gossip service after every cycle — the
 	// volatile-but-replicated checkpointing that let Condor-hosted
@@ -136,11 +152,13 @@ type Component struct {
 	agent     *gossip.Agent
 	runner    *sched.Runner
 	forecasts *forecast.Registry
+	health    *wire.HealthTracker
 	addr      string
 
 	mu      sync.Mutex
 	started bool
 	bestN   int
+	tracked map[string]string // Gossip key -> comparator name, for rejoin
 }
 
 // NewComponent constructs an unstarted component.
@@ -156,7 +174,11 @@ func NewComponent(cfg ComponentConfig) *Component {
 		srv:       wire.NewServer(),
 		client:    wire.NewClient(cfg.CallTimeout),
 		forecasts: forecast.NewRegistry(),
+		health:    wire.NewHealthTracker(cfg.MaxServiceFailures, cfg.ServiceCooldown),
+		tracked:   make(map[string]string),
 	}
+	c.client.Dialer = cfg.Dialer
+	c.client.Retry = cfg.Retry
 	c.srv.Logf = func(string, ...any) {}
 	return c
 }
@@ -176,18 +198,16 @@ func (c *Component) Start() (string, error) {
 	if err := c.agent.Track(BestStateKey, ramsey.BestComparator, nil); err != nil {
 		return "", err
 	}
-	for _, g := range c.cfg.Gossips {
-		if err := c.agent.Register(c.client, g, BestStateKey, ramsey.BestComparator, c.cfg.CallTimeout); err == nil {
-			break // one responsible Gossip suffices; the pool replicates
-		}
-	}
+	c.registerKey(BestStateKey, ramsey.BestComparator)
 	if len(c.cfg.Schedulers) > 0 {
 		runner, err := sched.NewRunner(sched.RunnerConfig{
-			ClientID:    c.cfg.ID,
-			Infra:       c.cfg.Infra,
-			Schedulers:  c.cfg.Schedulers,
-			SampleEdges: c.cfg.SampleEdges,
-			OnFound:     c.onFound,
+			ClientID:             c.cfg.ID,
+			Infra:                c.cfg.Infra,
+			Schedulers:           c.cfg.Schedulers,
+			SampleEdges:          c.cfg.SampleEdges,
+			OnFound:              c.onFound,
+			MaxSchedulerFailures: c.cfg.MaxServiceFailures,
+			SchedulerCooldown:    c.cfg.ServiceCooldown,
 		}, c.client)
 		if err != nil {
 			return "", err
@@ -229,6 +249,10 @@ func (c *Component) Agent() *gossip.Agent { return c.agent }
 // Runner exposes the scheduling runner (nil for service-only components).
 func (c *Component) Runner() *sched.Runner { return c.runner }
 
+// Health exposes the component's service health tracker (Gossip and
+// persistent state fail-over state).
+func (c *Component) Health() *wire.HealthTracker { return c.health }
+
 // Close shuts the component down.
 func (c *Component) Close() {
 	c.srv.Close()
@@ -265,21 +289,54 @@ func (c *Component) Publish(key string, data []byte) {
 	c.agent.Set(key, data)
 }
 
+// registerKey registers a tracked key with one reachable Gossip, skipping
+// addresses the health tracker currently marks dead, and remembers the key
+// for Reregister. It reports whether any Gossip accepted the registration.
+func (c *Component) registerKey(key, comparator string) bool {
+	c.mu.Lock()
+	c.tracked[key] = comparator
+	c.mu.Unlock()
+	for _, g := range c.health.Filter(c.cfg.Gossips) {
+		if err := c.agent.Register(c.client, g, key, comparator, c.cfg.CallTimeout); err == nil {
+			c.health.Success(g)
+			return true // one responsible Gossip suffices; the pool replicates
+		}
+		c.health.Failure(g)
+	}
+	return false
+}
+
 // OnReplicated installs a callback fired when a fresher copy of key
 // arrives from the Gossip service.
 func (c *Component) OnReplicated(key, comparator string, fn func(gossip.Stamped)) error {
 	if err := c.agent.Track(key, comparator, fn); err != nil {
 		return err
 	}
-	for _, g := range c.cfg.Gossips {
-		if err := c.agent.Register(c.client, g, key, comparator, c.cfg.CallTimeout); err == nil {
-			return nil
-		}
-	}
-	if len(c.cfg.Gossips) == 0 {
+	if c.registerKey(key, comparator) || len(c.cfg.Gossips) == 0 {
 		return nil
 	}
 	return fmt.Errorf("core: no reachable Gossip for key %q", key)
+}
+
+// Reregister re-registers every tracked key with the Gossip service,
+// clearing dead marks first — the rejoin path a component takes after a
+// partition heals or when fresher pool information arrives. It returns the
+// number of keys successfully re-registered.
+func (c *Component) Reregister() int {
+	c.health.Reset(c.cfg.Gossips...)
+	c.mu.Lock()
+	keys := make(map[string]string, len(c.tracked))
+	for k, cmp := range c.tracked {
+		keys[k] = cmp
+	}
+	c.mu.Unlock()
+	n := 0
+	for k, cmp := range keys {
+		if c.registerKey(k, cmp) {
+			n++
+		}
+	}
+	return n
 }
 
 // Checkpoint stores persistent state at every configured persistent state
@@ -293,11 +350,18 @@ func (c *Component) Checkpoint(name, class string, data []byte) error {
 	}
 	stored := 0
 	var lastErr error
-	for _, addr := range c.cfg.PStates {
+	for _, addr := range c.health.Filter(c.cfg.PStates) {
 		pc := pstate.NewClient(c.client, addr, c.cfg.CallTimeout)
 		if _, err := pc.Store(name, class, data); err == nil {
+			c.health.Success(addr)
 			stored++
 		} else {
+			var remote *wire.RemoteError
+			if !errors.As(err, &remote) {
+				// Only transport failures count against the manager's
+				// health; a validation rejection is the object's fault.
+				c.health.Failure(addr)
+			}
 			lastErr = err
 		}
 	}
@@ -307,11 +371,18 @@ func (c *Component) Checkpoint(name, class string, data []byte) error {
 	return lastErr
 }
 
-// Recover fetches persistent state from the first manager that has it.
+// Recover fetches persistent state from the first manager that has it,
+// skipping managers currently marked dead while any alternative is alive.
 func (c *Component) Recover(name string) (*pstate.Object, error) {
-	for _, addr := range c.cfg.PStates {
+	for _, addr := range c.health.Filter(c.cfg.PStates) {
 		pc := pstate.NewClient(c.client, addr, c.cfg.CallTimeout)
-		if o, found, err := pc.Fetch(name); err == nil && found {
+		o, found, err := pc.Fetch(name)
+		if err != nil {
+			c.health.Failure(addr)
+			continue
+		}
+		c.health.Success(addr)
+		if found {
 			return o, nil
 		}
 	}

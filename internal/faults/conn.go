@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// netDial is indirected for tests.
+var netDial = func(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// wrap decorates nc with the injector's fault schedule for the
+// from->to stream. Faults are injected at write granularity: the lingua
+// franca writes one frame per Write call, so a verdict perturbs exactly
+// one protocol message.
+func (in *Injector) wrap(nc net.Conn, from, to string) net.Conn {
+	return &faultConn{Conn: nc, in: in, from: from, to: to, stream: from + "->" + to}
+}
+
+type faultConn struct {
+	net.Conn
+	in     *Injector
+	from   string
+	to     string
+	stream string
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.in.Partitioned(c.from, c.to) {
+		c.Conn.Close()
+		return 0, fmt.Errorf("faults: %s partitioned", c.stream)
+	}
+	c.in.messages.Add(1)
+	act, delay := c.in.verdict(c.stream)
+	switch act {
+	case ActDrop:
+		c.in.dropped.Add(1)
+		// Swallow the frame: the sender sees success, the receiver sees
+		// silence — the shape of a message lost in the network.
+		return len(b), nil
+	case ActDelay:
+		c.in.delayed.Add(1)
+		time.Sleep(delay)
+	case ActDup:
+		c.in.duplicated.Add(1)
+		if n, err := c.Conn.Write(b); err != nil {
+			return n, err
+		}
+	case ActReset:
+		c.in.resets.Add(1)
+		c.Conn.Close()
+		return 0, fmt.Errorf("faults: %s reset", c.stream)
+	case ActTorn:
+		c.in.torn.Add(1)
+		cut := len(b) / 2
+		if cut < 1 {
+			cut = 1
+		}
+		n, _ := c.Conn.Write(b[:cut])
+		c.Conn.Close()
+		return n, fmt.Errorf("faults: %s torn after %d/%d bytes", c.stream, n, len(b))
+	}
+	c.in.delivered.Add(1)
+	return c.Conn.Write(b)
+}
+
+// WrapListener decorates ln so every accepted connection injects the
+// label's inbound fault schedule into its outbound (response) frames.
+// All accepted connections share one stream, label+"#in": per-stream
+// determinism then holds for the sequence of verdicts, though which
+// connection consumes which verdict depends on request interleaving.
+func (in *Injector) WrapListener(ln net.Listener, label string) net.Listener {
+	return &faultListener{Listener: ln, in: in, label: label}
+}
+
+type faultListener struct {
+	net.Listener
+	in    *Injector
+	label string
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{
+		Conn:   nc,
+		in:     l.in,
+		from:   l.label,
+		to:     l.label, // responses: partition checks are a no-op
+		stream: l.label + "#in",
+	}, nil
+}

@@ -1,0 +1,280 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"everyware/internal/core"
+	"everyware/internal/gossip"
+	"everyware/internal/pstate"
+	"everyware/internal/sched"
+	"everyware/internal/wire"
+)
+
+// ScenarioConfig parameterizes a miniature SC98 run under chaos: real
+// localhost daemons — a Gossip pool over the clique protocol, scheduling
+// servers, a persistent state manager — and compute components doing
+// Ramsey search, with every inter-process call routed through a seeded
+// fault injector.
+type ScenarioConfig struct {
+	// Seed drives every fault schedule (and is reported back, so a
+	// failing run can be replayed exactly).
+	Seed int64
+	// Faults sets the per-message fault probabilities. Seed is taken
+	// from the Seed field above.
+	Faults Config
+	// Gossips, Schedulers, Components size the deployment
+	// (defaults 3, 2, 3).
+	Gossips    int
+	Schedulers int
+	Components int
+	// Cycles is the per-component scheduling cycle budget (default 6).
+	Cycles int
+	// Dir is the persistent state manager's storage directory (required).
+	Dir string
+	// PartitionHeal, when true, isolates the last Gossip from its pool
+	// peers mid-run, verifies the clique splits, heals the cut, and
+	// verifies the pool re-merges.
+	PartitionHeal bool
+	// Logf receives progress diagnostics (defaults to discard).
+	Logf func(format string, args ...any)
+}
+
+// ScenarioResult summarizes a chaos run.
+type ScenarioResult struct {
+	// Ops is the total useful work delivered by all components — the
+	// paper's evaluation metric. A healthy degradation ladder keeps this
+	// non-zero at SC98-floor fault rates.
+	Ops int64
+	// CompletedCycles counts scheduling cycles finished across all
+	// components; ComponentErrs counts components that gave up early.
+	CompletedCycles int
+	ComponentErrs   int
+	// PoolSplit and PoolMerged report the partition experiment: the
+	// isolated Gossip left the pool view, then rejoined after the heal.
+	PoolSplit  bool
+	PoolMerged bool
+	// Stats snapshots the injector counters at the end of the run.
+	Stats Stats
+}
+
+func (c *ScenarioConfig) fill() {
+	if c.Gossips == 0 {
+		c.Gossips = 3
+	}
+	if c.Schedulers == 0 {
+		c.Schedulers = 2
+	}
+	if c.Components == 0 {
+		c.Components = 3
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 6
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// retryPolicy is the degradation ladder the scenario arms every process
+// with: a few bounded attempts with fast back-off (test-scaled).
+func retryPolicy() *wire.RetryPolicy {
+	return &wire.RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+}
+
+// RunScenario builds the deployment, unleashes the injector, runs the
+// workload (with an optional partition/heal experiment on the Gossip
+// pool), and reports what survived. The injector is disabled during
+// bootstrap so startup races don't mask the steady-state behaviour under
+// test.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	cfg.fill()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("faults: scenario requires a storage directory")
+	}
+	fcfg := cfg.Faults
+	fcfg.Seed = cfg.Seed
+	in := New(fcfg)
+	in.SetEnabled(false) // clean bootstrap; chaos starts with the workload
+
+	// Persistent state manager (no faults on its own outbound side — it
+	// has none; clients reach it through their injected dialers).
+	ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: cfg.Dir})
+	if err != nil {
+		return nil, err
+	}
+	psAddr, err := ps.Start()
+	if err != nil {
+		return nil, err
+	}
+	defer ps.Close()
+	in.RegisterName(psAddr, "pstate")
+
+	// Scheduling servers.
+	schedAddrs := make([]string, 0, cfg.Schedulers)
+	for i := 0; i < cfg.Schedulers; i++ {
+		ss := sched.NewServer(sched.ServerConfig{ListenAddr: "127.0.0.1:0", DefaultSteps: 400})
+		addr, err := ss.Start()
+		if err != nil {
+			return nil, err
+		}
+		defer ss.Close()
+		in.RegisterName(addr, fmt.Sprintf("sched%d", i+1))
+		schedAddrs = append(schedAddrs, addr)
+	}
+
+	// Gossip pool: g1 is the well-known member; the rest join through it.
+	// All pool and component traffic dials through the injector.
+	gossips := make([]*gossip.Server, 0, cfg.Gossips)
+	gossipAddrs := make([]string, 0, cfg.Gossips)
+	for i := 0; i < cfg.Gossips; i++ {
+		label := fmt.Sprintf("g%d", i+1)
+		g := gossip.NewServer(gossip.ServerConfig{
+			ListenAddr:   "127.0.0.1:0",
+			WellKnown:    append([]string(nil), gossipAddrs...),
+			SyncInterval: 40 * time.Millisecond,
+			Heartbeat:    25 * time.Millisecond,
+			MaxFailures:  20,
+			// Short calls keep the clique snappy: TokenTimeout floors at
+			// 2x this, so partition detection and re-merge stay sub-second
+			// even when injected faults stall individual token hops.
+			CallTimeout: 250 * time.Millisecond,
+			Dialer:      in.Dialer(label),
+			Retry:       retryPolicy(),
+		})
+		addr, err := g.Start()
+		if err != nil {
+			return nil, err
+		}
+		defer g.Close()
+		in.RegisterName(addr, label)
+		gossips = append(gossips, g)
+		gossipAddrs = append(gossipAddrs, addr)
+	}
+	if !waitFor(15*time.Second, func() bool {
+		for _, g := range gossips {
+			if len(g.PoolView().Members) != cfg.Gossips {
+				return false
+			}
+		}
+		return true
+	}) {
+		for i, g := range gossips {
+			cfg.Logf("gossip %d view=%+v", i+1, g.PoolView())
+		}
+		return nil, fmt.Errorf("faults: gossip pool never formed")
+	}
+	cfg.Logf("pool formed: %d gossips, %d schedulers", cfg.Gossips, cfg.Schedulers)
+
+	// Compute components.
+	comps := make([]*core.Component, 0, cfg.Components)
+	for i := 0; i < cfg.Components; i++ {
+		label := fmt.Sprintf("c%d", i+1)
+		comp := core.NewComponent(core.ComponentConfig{
+			ID:                 label,
+			Infra:              "chaos",
+			Schedulers:         schedAddrs,
+			Gossips:            gossipAddrs,
+			PStates:            []string{psAddr},
+			Dialer:             in.Dialer(label),
+			Retry:              retryPolicy(),
+			MaxServiceFailures: 3,
+			ServiceCooldown:    200 * time.Millisecond,
+			WorkCheckpointKey:  "chaos/work/" + label,
+		})
+		addr, err := comp.Start()
+		if err != nil {
+			return nil, err
+		}
+		defer comp.Close()
+		in.RegisterName(addr, label)
+		comps = append(comps, comp)
+	}
+
+	// Chaos on. Run the workload.
+	in.SetEnabled(true)
+	res := &ScenarioResult{}
+	var cycles, errs atomic.Int64
+	var wg sync.WaitGroup
+	for _, comp := range comps {
+		wg.Add(1)
+		go func(comp *core.Component) {
+			defer wg.Done()
+			done := 0
+			for done < cfg.Cycles {
+				n, err := comp.RunCycles(1)
+				done += n
+				cycles.Add(int64(n))
+				if err != nil {
+					// Every scheduler looked dead this cycle: back off,
+					// clear the dead marks, and keep trying for the full
+					// budget — graceful degradation, not abandonment.
+					errs.Add(1)
+					time.Sleep(50 * time.Millisecond)
+					comp.Runner().Health().Reset()
+				}
+				if comp.Runner().Stopped() {
+					break
+				}
+			}
+		}(comp)
+	}
+
+	// Partition experiment: cut the last Gossip off from its pool peers
+	// while the workload runs, then heal and require a re-merge.
+	if cfg.PartitionHeal && cfg.Gossips >= 2 {
+		last := fmt.Sprintf("g%d", cfg.Gossips)
+		rest := make([]string, 0, cfg.Gossips-1)
+		for i := 1; i < cfg.Gossips; i++ {
+			rest = append(rest, fmt.Sprintf("g%d", i))
+		}
+		in.Partition([]string{last}, rest)
+		cfg.Logf("partitioned %s from %v", last, rest)
+		res.PoolSplit = waitFor(10*time.Second, func() bool {
+			return len(gossips[cfg.Gossips-1].PoolView().Members) == 1 &&
+				len(gossips[0].PoolView().Members) == cfg.Gossips-1
+		})
+		in.Heal()
+		cfg.Logf("healed partition")
+		res.PoolMerged = waitFor(15*time.Second, func() bool {
+			for _, g := range gossips {
+				if len(g.PoolView().Members) != cfg.Gossips {
+					return false
+				}
+			}
+			return true
+		})
+		// Rejoin path: components re-register their tracked keys now that
+		// the pool is whole again.
+		for _, comp := range comps {
+			comp.Reregister()
+		}
+	}
+
+	wg.Wait()
+	for _, comp := range comps {
+		if r := comp.Runner(); r != nil {
+			res.Ops += r.Ops().Total()
+		}
+	}
+	res.CompletedCycles = int(cycles.Load())
+	res.ComponentErrs = int(errs.Load())
+	res.Stats = in.Stats()
+	cfg.Logf("scenario done: ops=%d cycles=%d errs=%d stats=%+v",
+		res.Ops, res.CompletedCycles, res.ComponentErrs, res.Stats)
+	return res, nil
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"everyware/internal/clique"
+)
+
+// Transport decorates an existing clique transport with the injector's
+// fault schedule, at whole-message granularity. It lets clique protocol
+// tests inject drops, delays, duplicates, and partitions into token and
+// view traffic directly — including over the in-memory transport, where
+// there is no byte stream to perturb.
+func (in *Injector) Transport(tr clique.Transport) clique.Transport {
+	return &faultTransport{Transport: tr, in: in}
+}
+
+type faultTransport struct {
+	clique.Transport
+	in *Injector
+}
+
+func (t *faultTransport) Send(to string, msg *clique.Message) error {
+	from := t.in.LabelFor(t.Self())
+	toL := t.in.LabelFor(to)
+	if t.in.Partitioned(from, toL) {
+		t.in.refused.Add(1)
+		return fmt.Errorf("faults: clique %s -> %s partitioned", from, toL)
+	}
+	t.in.messages.Add(1)
+	act, delay := t.in.verdict(from + "->" + toL)
+	switch act {
+	case ActDrop:
+		t.in.dropped.Add(1)
+		return nil // swallowed: sender believes it was sent
+	case ActDelay:
+		t.in.delayed.Add(1)
+		time.Sleep(delay)
+	case ActDup:
+		t.in.duplicated.Add(1)
+		if err := t.Transport.Send(to, msg); err != nil {
+			return err
+		}
+	case ActReset, ActTorn:
+		// No byte stream at this layer: both collapse to a failed send.
+		t.in.resets.Add(1)
+		return fmt.Errorf("faults: clique %s -> %s reset", from, toL)
+	}
+	t.in.delivered.Add(1)
+	return t.Transport.Send(to, msg)
+}

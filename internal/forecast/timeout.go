@@ -60,3 +60,30 @@ func (p *TimeoutPolicy) Timeout(key Key) time.Duration {
 func (p *TimeoutPolicy) Observe(key Key, d time.Duration) {
 	p.Registry.RecordDuration(key, d)
 }
+
+// Backoff derives a retry back-off interval for the given retry number
+// (0-based) from the response-time forecast: roughly one forecast response
+// time before the first retry, doubling per subsequent retry, clamped to
+// [Min, Max]. A loaded or distant server thereby earns proportionally
+// longer pauses between attempts, where a static schedule would either
+// hammer it or idle a fast link.
+func (p *TimeoutPolicy) Backoff(key Key, retry int) time.Duration {
+	base := p.Min
+	if f, ok := p.Registry.Forecast(key); ok && f.Value > 0 {
+		base = time.Duration(f.Value * float64(time.Second))
+	}
+	if base < p.Min {
+		base = p.Min
+	}
+	d := base
+	for i := 0; i < retry; i++ {
+		d *= 2
+		if d >= p.Max {
+			return p.Max
+		}
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	return d
+}

@@ -27,6 +27,15 @@ const (
 	MsgDeregister wire.MsgType = 25
 )
 
+// Every Gossip message is safe under duplicate delivery: registrations and
+// deregistrations are keyed set operations, state pushes carry version
+// counters (stale copies are discarded), and the rest are reads. All may
+// therefore be retransmitted when a call's outcome is ambiguous.
+func init() {
+	wire.RegisterIdempotent(MsgRegister, MsgGetState, MsgPutState,
+		MsgShareReg, MsgPoolInfo, MsgDeregister)
+}
+
 // EncodeStamped serializes a Stamped value.
 func EncodeStamped(s Stamped) []byte {
 	var e wire.Encoder

@@ -29,6 +29,14 @@ type ServerConfig struct {
 	// Heartbeat and TokenTimeout tune the underlying clique protocol.
 	Heartbeat    time.Duration
 	TokenTimeout time.Duration
+	// CallTimeout bounds peer and clique calls (default 2s).
+	CallTimeout time.Duration
+	// Dialer overrides how outbound connections are opened (fault
+	// injection, tests). Nil means wire.Dial.
+	Dialer wire.DialFunc
+	// Retry, if set, governs the daemon's outbound retransmission policy.
+	// Every Gossip message type is idempotent, so retries are safe.
+	Retry *wire.RetryPolicy
 	// Logf receives diagnostics (defaults to discard).
 	Logf func(format string, args ...any)
 }
@@ -43,8 +51,17 @@ func (c *ServerConfig) fill() {
 	if c.Heartbeat == 0 {
 		c.Heartbeat = c.SyncInterval
 	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Second
+	}
 	if c.TokenTimeout == 0 {
 		c.TokenTimeout = 4 * c.Heartbeat
+	}
+	// A token circulation legitimately stalls for a full call timeout when
+	// one hop is slow or dead; a follower that declares partition sooner
+	// than that churns the clique through false splits and re-merges.
+	if c.TokenTimeout < 2*c.CallTimeout {
+		c.TokenTimeout = 2 * c.CallTimeout
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -67,6 +84,7 @@ type Server struct {
 	srv    *wire.Server
 	client *wire.Client
 	member *clique.Member
+	tr     *clique.TCPTransport
 	addr   string
 
 	timeout *forecast.TimeoutPolicy
@@ -86,12 +104,14 @@ func NewServer(cfg ServerConfig) *Server {
 	s := &Server{
 		cfg:      cfg,
 		srv:      wire.NewServer(),
-		client:   wire.NewClient(2 * time.Second),
+		client:   wire.NewClient(cfg.CallTimeout),
 		regs:     make(map[regKey]Registration),
 		failures: make(map[regKey]int),
 		timeout:  forecast.NewTimeoutPolicy(forecast.NewRegistry()),
 		done:     make(chan struct{}),
 	}
+	s.client.Dialer = cfg.Dialer
+	s.client.Retry = cfg.Retry
 	s.srv.Logf = cfg.Logf
 	s.srv.Register(MsgRegister, wire.HandlerFunc(s.handleRegister))
 	s.srv.Register(MsgDeregister, wire.HandlerFunc(s.handleDeregister))
@@ -111,12 +131,12 @@ func (s *Server) Start() (string, error) {
 	if s.cfg.AdvertiseAddr != "" {
 		s.addr = s.cfg.AdvertiseAddr
 	}
-	tr := clique.NewTCPTransport(s.srv, s.addr, s.client, 2*time.Second)
+	s.tr = clique.NewTCPTransport(s.srv, s.addr, s.client, s.cfg.CallTimeout)
 	s.member = clique.New(clique.Config{
 		Peers:             s.cfg.WellKnown,
 		HeartbeatInterval: s.cfg.Heartbeat,
 		TokenTimeout:      s.cfg.TokenTimeout,
-	}, tr)
+	}, s.tr)
 	s.member.Start()
 	s.wg.Add(1)
 	go s.syncLoop()
@@ -137,6 +157,9 @@ func (s *Server) Close() {
 	s.wg.Wait()
 	if s.member != nil {
 		s.member.Stop()
+	}
+	if s.tr != nil {
+		s.tr.Close()
 	}
 	s.srv.Close()
 	s.client.Close()
@@ -177,7 +200,7 @@ func (s *Server) handleRegister(_ string, req *wire.Packet) (*wire.Packet, error
 			continue
 		}
 		go func(peer string) {
-			_, _ = s.client.Call(peer, &wire.Packet{Type: MsgShareReg, Payload: payload}, 2*time.Second)
+			_, _ = s.client.Call(peer, &wire.Packet{Type: MsgShareReg, Payload: payload}, s.cfg.CallTimeout)
 		}(peer)
 	}
 	return &wire.Packet{Type: MsgRegister}, nil
@@ -273,7 +296,7 @@ func (s *Server) ShareRegistrations() {
 			continue
 		}
 		go func(peer string) {
-			_, _ = s.client.Call(peer, &wire.Packet{Type: MsgShareReg, Payload: payload}, 2*time.Second)
+			_, _ = s.client.Call(peer, &wire.Packet{Type: MsgShareReg, Payload: payload}, s.cfg.CallTimeout)
 		}(peer)
 	}
 }

@@ -29,6 +29,10 @@ const (
 	MsgStats wire.MsgType = 42
 )
 
+// Tail and stats are reads. MsgAppend is not registered: a retransmit
+// would duplicate the log entry (appends are best-effort anyway).
+func init() { wire.RegisterIdempotent(MsgTail, MsgStats) }
+
 // Entry is one log record.
 type Entry struct {
 	// Unix is the origin timestamp in nanoseconds.

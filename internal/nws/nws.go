@@ -33,6 +33,10 @@ const (
 	MsgKeys wire.MsgType = 93
 )
 
+// Forecast/series/keys are reads. MsgReport appends a measurement to a
+// series, so a retransmit would skew the forecasters — not registered.
+func init() { wire.RegisterIdempotent(MsgForecast, MsgSeries, MsgKeys) }
+
 // Memory is the NWS measurement memory and forecaster daemon. It keeps a
 // bounded raw-series ring per key alongside the forecasting battery.
 type Memory struct {

@@ -111,11 +111,17 @@ func (s *Sensor) MeasureOnce() {
 		_ = s.mc.Report(forecast.Key{Resource: s.cfg.Name, Event: "cpu_ops"}, v)
 	}
 	for _, peer := range s.cfg.Peers {
+		key := forecast.Key{Resource: s.cfg.Name + "->" + peer, Event: "rtt"}
 		rtt, err := s.wc.Ping(peer, s.cfg.PingTimeout)
 		if err != nil {
-			continue // unreachable peers simply produce no sample
+			if wire.IsTimeout(err) {
+				// The ping took at least the full timeout: report that as
+				// the sample so forecasts (and the time-outs derived from
+				// them) adapt upward instead of staying optimistic.
+				_ = s.mc.Report(key, s.cfg.PingTimeout.Seconds())
+			}
+			continue // fast failures (refused, reset) produce no sample
 		}
-		key := forecast.Key{Resource: s.cfg.Name + "->" + peer, Event: "rtt"}
 		_ = s.mc.Report(key, rtt.Seconds())
 	}
 	s.mu.Lock()

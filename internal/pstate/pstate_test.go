@@ -228,3 +228,69 @@ func writeFile(path string, data []byte) error {
 
 // osWriteFile is an indirection kept small for test readability.
 func osWriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+// TestTornWriteRecovered simulates a torn write — a framed object file
+// truncated mid-body, as a crash or fault-injected connection tear would
+// leave it — and verifies the recovery scan quarantines it instead of
+// serving garbage, while intact siblings survive.
+func TestTornWriteRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Store("intact", "", []byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Store("victim", "", []byte("about to be torn apart")); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// Tear the victim's file: keep the frame header but cut the body, so
+	// only the checksum can reveal the damage.
+	victim := s1.fileFor("victim")
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And leave an orphaned temp file from an interrupted write.
+	if err := os.WriteFile(s1.fileFor("intact")+".tmp", []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if o := s2.Fetch("intact"); o == nil || string(o.Data) != "whole" {
+		t.Fatalf("intact object lost: %+v", o)
+	}
+	if o := s2.Fetch("victim"); o != nil {
+		t.Fatalf("torn object served: %+v", o)
+	}
+	if _, err := os.Stat(victim + ".corrupt"); err != nil {
+		t.Fatalf("torn file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(s1.fileFor("intact") + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file not removed by recovery scan")
+	}
+	// A fresh store over the quarantined name works and survives another
+	// restart.
+	if _, err := s2.Store("victim", "", []byte("restored")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := NewServer(ServerConfig{ListenAddr: "127.0.0.1:0", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if o := s3.Fetch("victim"); o == nil || string(o.Data) != "restored" {
+		t.Fatalf("restored object lost: %+v", o)
+	}
+}

@@ -2,8 +2,10 @@ package pstate
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,6 +31,12 @@ const (
 	// MsgUsage reports bytes stored and the quota.
 	MsgUsage wire.MsgType = 34
 )
+
+// Fetch/list/usage are reads and delete is a keyed removal — all safe to
+// retransmit. MsgStore is deliberately NOT registered: every store bumps
+// the object version, so a blind resend after an ambiguous outcome would
+// double-apply; callers must decide (see Client.Store).
+func init() { wire.RegisterIdempotent(MsgFetch, MsgList, MsgUsage, MsgDelete) }
 
 // ServerConfig parameterizes a persistent state manager.
 type ServerConfig struct {
@@ -125,23 +133,82 @@ func decodeObject(p []byte) (*Object, error) {
 	return &o, nil
 }
 
+// Object files are framed so a torn or bit-rotted write is detectable on
+// recovery: a 4-byte magic, the IEEE CRC-32 of the body, then the encoded
+// object. Files written by earlier incarnations (bare encoded object, no
+// frame) are still readable.
+var objMagic = [4]byte{'E', 'W', 'P', 'S'}
+
+const objHeaderLen = 8 // magic + crc32
+
+// frameObject wraps the encoded object with magic and checksum.
+func frameObject(body []byte) []byte {
+	out := make([]byte, objHeaderLen+len(body))
+	copy(out, objMagic[:])
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(body))
+	copy(out[objHeaderLen:], body)
+	return out
+}
+
+// unframeObject validates the frame and returns the body. Legacy unframed
+// files fall through: the caller decodes raw directly.
+func unframeObject(raw []byte) (body []byte, framed bool, err error) {
+	if len(raw) < objHeaderLen || [4]byte(raw[:4]) != objMagic {
+		return raw, false, nil
+	}
+	body = raw[objHeaderLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(raw[4:8]); got != want {
+		return nil, true, fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return body, true, nil
+}
+
+// load is the recovery scan a restarting manager runs over its directory:
+// orphaned temp files from writes interrupted mid-flight are removed, and
+// object files whose frame fails checksum verification (a torn write that
+// somehow reached the final name, or on-disk corruption) are quarantined
+// rather than served.
 func (s *Server) load() error {
 	entries, err := os.ReadDir(s.cfg.Dir)
 	if err != nil {
 		return err
 	}
 	for _, ent := range entries {
-		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".obj") {
+		if ent.IsDir() {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(s.cfg.Dir, ent.Name()))
+		if strings.HasSuffix(ent.Name(), ".tmp") {
+			// A crash between temp-write and rename left this behind; the
+			// rename never happened, so the old object (if any) is intact.
+			s.cfg.Logf("pstate: removing orphaned temp file %s", ent.Name())
+			_ = os.Remove(filepath.Join(s.cfg.Dir, ent.Name()))
+			continue
+		}
+		if !strings.HasSuffix(ent.Name(), ".obj") {
+			continue
+		}
+		path := filepath.Join(s.cfg.Dir, ent.Name())
+		raw, err := os.ReadFile(path)
 		if err != nil {
 			s.cfg.Logf("pstate: skipping unreadable %s: %v", ent.Name(), err)
 			continue
 		}
-		o, err := decodeObject(raw)
+		body, framed, err := unframeObject(raw)
 		if err != nil {
-			s.cfg.Logf("pstate: skipping corrupt %s: %v", ent.Name(), err)
+			s.cfg.Logf("pstate: quarantining corrupt %s: %v", ent.Name(), err)
+			_ = os.Rename(path, path+".corrupt")
+			continue
+		}
+		o, err := decodeObject(body)
+		if err != nil {
+			if framed {
+				// Checksum passed but the body will not decode — a format
+				// bug, not a torn write; keep the file for inspection.
+				s.cfg.Logf("pstate: skipping undecodable %s: %v", ent.Name(), err)
+			} else {
+				s.cfg.Logf("pstate: quarantining corrupt legacy %s: %v", ent.Name(), err)
+				_ = os.Rename(path, path+".corrupt")
+			}
 			continue
 		}
 		s.objects[o.Name] = o
@@ -150,15 +217,36 @@ func (s *Server) load() error {
 	return nil
 }
 
-// persist writes the object file atomically (temp file + rename) so a
-// crash mid-write never corrupts previously stored state.
+// persist writes the object file atomically: checksummed frame to a temp
+// file, fsync, then rename over the final name. A crash mid-write leaves
+// either the previous object or a temp file the recovery scan removes —
+// never a half-written object under the live name.
 func (s *Server) persist(o *Object) error {
 	path := s.fileFor(o.Name)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, encodeObject(o), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(frameObject(encodeObject(o))); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Store validates and stores data under name/class, returning the new

@@ -35,6 +35,15 @@ type RunnerConfig struct {
 	// ReportTimeoutPolicy adapts report time-outs; a default policy is
 	// created if nil.
 	ReportTimeoutPolicy *forecast.TimeoutPolicy
+	// MaxSchedulerFailures marks a scheduler dead after this many
+	// consecutive report failures (default 3); dead schedulers are skipped
+	// while any alternative is alive and re-probed after
+	// SchedulerCooldown.
+	MaxSchedulerFailures int
+	// SchedulerCooldown is how long a dead scheduler is skipped
+	// (default 10s). A roster update via SetSchedulers clears the marks —
+	// the rejoin path when scheduler birth/death circulates over Gossip.
+	SchedulerCooldown time.Duration
 }
 
 // Runner is the client-side scheduling loop: it requests work, runs the
@@ -50,6 +59,7 @@ type Runner struct {
 	curSched      int
 	stopped       bool
 	lastReportDur time.Duration
+	health        *wire.HealthTracker
 
 	rosterMu sync.Mutex
 	roster   []string // overrides cfg.Schedulers when non-nil
@@ -61,12 +71,15 @@ type Runner struct {
 // An empty list restores the configured static list.
 func (r *Runner) SetSchedulers(addrs []string) {
 	r.rosterMu.Lock()
-	defer r.rosterMu.Unlock()
 	if len(addrs) == 0 {
 		r.roster = nil
-		return
+	} else {
+		r.roster = append([]string(nil), addrs...)
 	}
-	r.roster = append([]string(nil), addrs...)
+	r.rosterMu.Unlock()
+	// The roster announces these addresses as viable: clear any dead marks
+	// so a scheduler that recovered (or moved) is rejoined immediately.
+	r.health.Reset(addrs...)
 }
 
 // schedulers returns the active scheduler list.
@@ -90,8 +103,16 @@ func NewRunner(cfg RunnerConfig, wc *wire.Client) (*Runner, error) {
 	if cfg.ReportTimeoutPolicy == nil {
 		cfg.ReportTimeoutPolicy = forecast.NewTimeoutPolicy(forecast.NewRegistry())
 	}
-	return &Runner{cfg: cfg, wc: wc, ops: &ramsey.OpCounter{}}, nil
+	return &Runner{
+		cfg:    cfg,
+		wc:     wc,
+		ops:    &ramsey.OpCounter{},
+		health: wire.NewHealthTracker(cfg.MaxSchedulerFailures, cfg.SchedulerCooldown),
+	}, nil
 }
+
+// Health exposes the runner's scheduler health tracker (fail-over state).
+func (r *Runner) Health() *wire.HealthTracker { return r.health }
 
 // Ops exposes the client's useful-work counter.
 func (r *Runner) Ops() *ramsey.OpCounter { return r.ops }
@@ -103,10 +124,13 @@ func (r *Runner) Work() WorkUnit { return r.work }
 func (r *Runner) Stopped() bool { return r.stopped }
 
 // report sends rep to a viable scheduler, failing over through the
-// configured list with dynamically discovered time-outs.
+// configured list with dynamically discovered time-outs. Schedulers that
+// accumulated MaxSchedulerFailures consecutive failures are skipped while
+// any alternative is alive (they are re-probed after the cooldown, and
+// rejoin instantly on a roster update).
 func (r *Runner) report(rep Report) (Directive, error) {
 	payload := EncodeReport(rep)
-	scheds := r.schedulers()
+	scheds := r.health.Filter(r.schedulers())
 	for attempt := 0; attempt < len(scheds); attempt++ {
 		addr := scheds[(r.curSched+attempt)%len(scheds)]
 		key := forecast.Key{Resource: addr, Event: "report"}
@@ -114,10 +138,18 @@ func (r *Runner) report(rep Report) (Directive, error) {
 		start := time.Now()
 		resp, err := r.wc.Call(addr, &wire.Packet{Type: MsgReport, Payload: payload}, to)
 		if err != nil {
-			r.cfg.ReportTimeoutPolicy.Observe(key, to)
+			// A timed-out attempt took at least the full interval: record
+			// it at the timeout value so the next interval adapts upward.
+			// Fast failures (refused connection, broken pipe) say nothing
+			// about response time and are recorded only as health strikes.
+			if wire.IsTimeout(err) {
+				r.cfg.ReportTimeoutPolicy.Observe(key, to)
+			}
+			r.health.Failure(addr)
 			continue
 		}
 		r.cfg.ReportTimeoutPolicy.Observe(key, time.Since(start))
+		r.health.Success(addr)
 		r.curSched = (r.curSched + attempt) % len(scheds)
 		return DecodeDirective(resp.Payload)
 	}

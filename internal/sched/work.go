@@ -27,6 +27,11 @@ const (
 	MsgStats wire.MsgType = 51
 )
 
+// Reports are last-write-wins per client (the scheduler keeps only the
+// latest record and re-issues a directive), and stats are read-only, so
+// both survive duplicate delivery and may be retransmitted on ambiguity.
+func init() { wire.RegisterIdempotent(MsgReport, MsgStats) }
+
 // WorkUnit describes one unit of Ramsey search work.
 type WorkUnit struct {
 	// ID is scheduler-unique.

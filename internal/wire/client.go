@@ -1,18 +1,33 @@
 package wire
 
 import (
+	"errors"
 	"sync"
 	"time"
 )
 
-// Client maintains cached connections to remote services and retries one
-// reconnect on a broken connection. EveryWare components use a Client to
+// DialFunc opens a packet connection to addr within timeout. The default
+// is Dial; tests and the fault-injection harness substitute wrappers that
+// corrupt, delay, or partition the underlying byte stream.
+type DialFunc func(addr string, timeout time.Duration) (*Conn, error)
+
+// Client maintains cached connections to remote services with a bounded,
+// idempotency-aware retry policy. EveryWare components use a Client to
 // talk to schedulers, Gossips, persistent state managers, and logging
 // servers without re-dialing per request.
 type Client struct {
 	mu          sync.Mutex
 	conns       map[string]*Conn
 	DialTimeout time.Duration
+	// Dialer overrides how connections are opened (fault injection,
+	// tests). Nil means Dial.
+	Dialer DialFunc
+	// Retry, when set, governs retransmission: bounded attempts with
+	// forecast-driven exponential back-off. Nil preserves the historical
+	// single-redial behaviour (one retransmit on a fresh connection),
+	// minus the unsafe part: a non-idempotent request whose delivery
+	// state is unknown is never blindly resent.
+	Retry *RetryPolicy
 }
 
 // NewClient returns a Client with the given connect timeout.
@@ -26,7 +41,11 @@ func (c *Client) conn(addr string) (*Conn, error) {
 	if cc, ok := c.conns[addr]; ok {
 		return cc, nil
 	}
-	cc, err := Dial(addr, c.DialTimeout)
+	dial := c.Dialer
+	if dial == nil {
+		dial = Dial
+	}
+	cc, err := dial(addr, c.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -44,31 +63,67 @@ func (c *Client) drop(addr string) {
 }
 
 // Call sends req to addr and waits up to timeout for the correlated
-// response. A transport failure drops the cached connection and retries
-// once on a fresh connection; a timeout is returned without retry (the
-// caller's forecaster owns retry policy).
+// response, retrying per the client's RetryPolicy. The retry ladder is
+// failure-class aware:
+//
+//   - dial and send failures always retry (the request was never
+//     processed remotely), on a fresh connection;
+//   - a broken connection after a complete send retries only if the
+//     message type is registered idempotent — otherwise the outcome is
+//     unknown and an *AmbiguousError is returned instead of risking a
+//     duplicate side effect;
+//   - a timeout retries only under an explicit RetryPolicy and only for
+//     idempotent types (without one, the caller's forecaster owns the
+//     timeout ladder, as in the original design);
+//   - a *RemoteError is a definitive answer and never retries.
 func (c *Client) Call(addr string, req *Packet, timeout time.Duration) (*Packet, error) {
-	cc, err := c.conn(addr)
-	if err != nil {
-		return nil, err
+	pol := c.Retry
+	attempts := 2 // historical behaviour: one retransmit
+	if pol != nil {
+		attempts = pol.attempts()
 	}
-	resp, err := cc.Call(req, timeout)
-	if err == nil {
-		return resp, nil
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 && pol != nil {
+			pol.sleep(pol.BackoffFor(addr, attempt-1))
+		}
+		cc, err := c.conn(addr)
+		if err != nil {
+			lastErr = err // dial failure: nothing was sent, retry freely
+			continue
+		}
+		resp, err := cc.Call(req, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return nil, err // definitive remote answer
+		}
+		var sendErr *SendError
+		if errors.As(err, &sendErr) {
+			// Not fully written: the server cannot have processed it.
+			c.drop(addr)
+			lastErr = err
+			continue
+		}
+		if IsTimeout(err) {
+			// Fully sent, no reply within the interval. The connection
+			// stays cached (a late reply is discarded by the demux).
+			if pol == nil || !IsIdempotent(req.Type) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		// Connection broke after a complete send: outcome unknown.
+		c.drop(addr)
+		if !IsIdempotent(req.Type) {
+			return nil, &AmbiguousError{Addr: addr, Err: err}
+		}
+		lastErr = err
 	}
-	if IsTimeout(err) {
-		return nil, err
-	}
-	if _, isRemote := err.(*RemoteError); isRemote {
-		return nil, err
-	}
-	// Broken connection: redial once.
-	c.drop(addr)
-	cc, derr := c.conn(addr)
-	if derr != nil {
-		return nil, derr
-	}
-	return cc.Call(req, timeout)
+	return nil, lastErr
 }
 
 // Ping measures one request/response round trip to addr. The duration is

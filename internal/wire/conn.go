@@ -13,12 +13,22 @@ import (
 // receives are safe for concurrent use; writes are serialized by a mutex
 // and reads by a second mutex, matching the paper's request/response
 // discipline.
+//
+// Concurrent Calls on one Conn are multiplexed by correlation tag: the
+// first Call starts a demultiplexer goroutine that owns all reads and
+// routes each reply to the waiting caller. Raw Recv must therefore not be
+// mixed with Call on the same Conn.
 type Conn struct {
 	nc      net.Conn
 	wmu     sync.Mutex
 	rmu     sync.Mutex
 	tagSeq  atomic.Uint64
 	oneShot sync.Once
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *Packet
+	demuxOn bool
+	broken  error // terminal read error; all further Calls fail fast
 }
 
 // NewConn wraps nc. The caller retains responsibility for closing via
@@ -81,35 +91,89 @@ func (c *Conn) Recv(timeout time.Duration) (*Packet, error) {
 }
 
 // Call performs one request/response exchange: it sends req with a fresh
-// tag and waits up to timeout for the packet bearing that tag, discarding
-// any stale responses from earlier timed-out calls on the same connection.
-// A MsgError response is converted to a *RemoteError.
+// tag and waits up to timeout for the packet bearing that tag. Replies are
+// demultiplexed by tag, so any number of goroutines may Call concurrently
+// on the same Conn without consuming each other's responses; responses to
+// calls that already timed out are discarded. A MsgError response is
+// converted to a *RemoteError; a failure during the send phase (the
+// request cannot have been processed remotely) is wrapped in a *SendError
+// so callers can retransmit safely.
 func (c *Conn) Call(req *Packet, timeout time.Duration) (*Packet, error) {
 	tag := c.NextTag()
 	req.Tag = tag
-	deadline := time.Now().Add(timeout)
-	if err := c.Send(req, timeout); err != nil {
+	ch := make(chan *Packet, 1)
+	c.pmu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.pmu.Unlock()
 		return nil, err
 	}
-	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return nil, &TimeoutError{Op: "call", Addr: c.RemoteAddr()}
-		}
-		resp, err := c.Recv(remain)
-		if err != nil {
-			if IsTimeout(err) {
-				return nil, &TimeoutError{Op: "call", Addr: c.RemoteAddr()}
-			}
+	if c.pending == nil {
+		c.pending = make(map[uint64]chan *Packet)
+	}
+	c.pending[tag] = ch
+	if !c.demuxOn {
+		c.demuxOn = true
+		go c.demuxLoop()
+	}
+	c.pmu.Unlock()
+	defer c.unregister(tag)
+
+	if err := c.Send(req, timeout); err != nil {
+		return nil, &SendError{Err: err}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.pmu.Lock()
+			err := c.broken
+			c.pmu.Unlock()
 			return nil, err
-		}
-		if resp.Tag != tag {
-			continue // stale response from an abandoned earlier call
 		}
 		if resp.Type == MsgError {
 			return nil, DecodeError(resp)
 		}
 		return resp, nil
+	case <-timer.C:
+		return nil, &TimeoutError{Op: "call", Addr: c.RemoteAddr()}
+	}
+}
+
+// unregister abandons the pending call for tag; a late reply bearing the
+// tag is dropped by the demultiplexer.
+func (c *Conn) unregister(tag uint64) {
+	c.pmu.Lock()
+	delete(c.pending, tag)
+	c.pmu.Unlock()
+}
+
+// demuxLoop owns all reads on the connection once the first Call starts
+// it: every inbound packet is routed to the caller waiting on its tag
+// (stale replies to abandoned calls are dropped). A read error is
+// terminal: every pending and future Call on this Conn fails with it, and
+// the owning Client redials.
+func (c *Conn) demuxLoop() {
+	for {
+		p, err := c.Recv(0)
+		if err != nil {
+			c.pmu.Lock()
+			c.broken = fmt.Errorf("wire: connection to %s broken: %w", c.RemoteAddr(), err)
+			for tag, ch := range c.pending {
+				delete(c.pending, tag)
+				close(ch)
+			}
+			c.pmu.Unlock()
+			return
+		}
+		c.pmu.Lock()
+		ch := c.pending[p.Tag]
+		delete(c.pending, p.Tag)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- p
+		}
 	}
 }
 

@@ -47,6 +47,10 @@ type Server struct {
 	// pair occurred, and tagged each of these events". Typically wired to
 	// a forecast.Registry. Must be safe for concurrent use.
 	Observe func(t MsgType, d time.Duration)
+	// WrapListener, if set before Listen, decorates the bound listener —
+	// the hook the fault-injection harness uses to perturb inbound
+	// connections. The wrapper must preserve Addr.
+	WrapListener func(net.Listener) net.Listener
 }
 
 // NewServer returns a Server with no handlers registered. MsgPing is
@@ -77,6 +81,9 @@ func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
+	}
+	if s.WrapListener != nil {
+		ln = s.WrapListener(ln)
 	}
 	s.mu.Lock()
 	s.ln = ln
