@@ -16,9 +16,13 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Regenerate every table and figure from the paper's evaluation.
+# Benchmark the hot paths (wire codec, forecasters, trace series,
+# telemetry counters) and record the parsed results as JSON for
+# commit-over-commit comparison.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' \
+		./internal/wire/ ./internal/forecast/ ./internal/trace/ ./internal/telemetry/ \
+		| $(GO) run ./cmd/ew-benchjson -o BENCH_telemetry.json
 
 # Replay the SC98 window and emit every figure plus CSV exports.
 figures:
@@ -39,4 +43,4 @@ examples:
 	$(GO) run ./examples/applet-farm
 
 clean:
-	rm -rf figures/ test_output.txt bench_output.txt
+	rm -rf figures/ test_output.txt bench_output.txt BENCH_telemetry.json

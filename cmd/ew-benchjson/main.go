@@ -1,0 +1,111 @@
+// Command ew-benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON benchmark report, so CI and the evaluation notes can
+// track hot-path regressions (wire codec, forecasters, telemetry counters)
+// across commits without scraping free-form text.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/wire/ | ew-benchjson -o BENCH_telemetry.json
+//
+// The raw benchmark text is echoed to stdout unchanged, so the command can
+// sit at the end of a pipe without hiding the run from the operator.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_telemetry.json", "output JSON file")
+	flag.Parse()
+
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if r, ok := parseBench(pkg, line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("ew-benchjson: read: %v", err)
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatalf("ew-benchjson: %v", err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatalf("ew-benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ew-benchjson: %d benchmarks -> %s\n", len(results), *out)
+}
+
+// parseBench decodes one result line, e.g.
+//
+//	BenchmarkCounterInc-8   195618766   6.1 ns/op   0 B/op   0 allocs/op
+//
+// The unit suffix follows each value, so the fields are walked pairwise.
+func parseBench(pkg, line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	r := Result{Package: pkg, Name: strings.TrimSuffix(f[0], "-"+lastDash(f[0]))}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = n
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+// lastDash returns the text after the final dash (the GOMAXPROCS suffix
+// Go appends to benchmark names); empty when there is none.
+func lastDash(s string) string {
+	if i := strings.LastIndexByte(s, '-'); i >= 0 {
+		return s[i+1:]
+	}
+	return ""
+}

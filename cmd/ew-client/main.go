@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"everyware/internal/core"
+	"everyware/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	logs := flag.String("log", "", "comma-separated logging server addresses (optional)")
 	cycles := flag.Int("cycles", 0, "stop after this many cycles (0 = run until signalled)")
 	sample := flag.Int("sample-edges", 0, "bound per-step edge evaluations (0 = all)")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
 	flag.Parse()
 
 	split := func(s string) []string {
@@ -54,6 +56,14 @@ func main() {
 	}
 	defer comp.Close()
 	fmt.Printf("ew-client: %s on %s (infra %s)\n", comp.Addr(), addr, *infra)
+	if *httpAddr != "" {
+		hs, err := telemetry.ServeHTTP(comp.Metrics(), *httpAddr, nil)
+		if err != nil {
+			log.Fatalf("ew-client: http listener: %v", err)
+		}
+		defer hs.Close()
+		fmt.Printf("ew-client: metrics on http://%s/metrics\n", hs.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

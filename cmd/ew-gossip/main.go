@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"everyware/internal/gossip"
+	"everyware/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	advertise := flag.String("advertise", "", "advertised address (defaults to bind address)")
 	join := flag.String("join", "", "comma-separated well-known Gossip addresses to join")
 	sync := flag.Duration("sync", time.Second, "state synchronization interval")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
 	verbose := flag.Bool("v", false, "log diagnostics")
 	flag.Parse()
 
@@ -48,6 +50,14 @@ func main() {
 		log.Fatalf("ew-gossip: %v", err)
 	}
 	fmt.Printf("ew-gossip: serving on %s (pool: %v)\n", addr, cfg.WellKnown)
+	if *httpAddr != "" {
+		hs, err := telemetry.ServeHTTP(srv.Metrics(), *httpAddr, nil)
+		if err != nil {
+			log.Fatalf("ew-gossip: http listener: %v", err)
+		}
+		defer hs.Close()
+		fmt.Printf("ew-gossip: metrics on http://%s/metrics\n", hs.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -20,12 +20,14 @@ import (
 	// Register the counter-example validator.
 	_ "everyware/internal/core"
 	"everyware/internal/pstate"
+	"everyware/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9201", "bind address")
 	dir := flag.String("dir", "./everyware-state", "storage directory")
 	quota := flag.Int64("quota", 64<<20, "payload byte quota (0 = unlimited)")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
 	flag.Parse()
 
 	srv, err := pstate.NewServer(pstate.ServerConfig{
@@ -43,6 +45,14 @@ func main() {
 	}
 	fmt.Printf("ew-pstate: serving on %s, storing under %s (%d objects recovered)\n",
 		addr, *dir, len(srv.Names()))
+	if *httpAddr != "" {
+		hs, err := telemetry.ServeHTTP(srv.Metrics(), *httpAddr, nil)
+		if err != nil {
+			log.Fatalf("ew-pstate: http listener: %v", err)
+		}
+		defer hs.Close()
+		fmt.Printf("ew-pstate: metrics on http://%s/metrics\n", hs.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

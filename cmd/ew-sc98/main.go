@@ -13,6 +13,7 @@
 //	ew-sc98 -fig condor            # scheduler placement ablation
 //	ew-sc98 -fig consistency       # the "consistent" Grid criterion
 //	ew-sc98 -fig chaos             # mini SC98 over real daemons + fault injection
+//	ew-sc98 -fig telemetry         # mini SC98 over real daemons, per-daemon metrics table
 //	ew-sc98 -fig all               # everything
 package main
 
@@ -22,15 +23,17 @@ import (
 	"log"
 	"math"
 	"os"
+	"sort"
 	"time"
 
 	"everyware/internal/faults"
 	"everyware/internal/grid"
+	"everyware/internal/telemetry"
 	"everyware/internal/trace"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "2 | 3a | 3b | 3c | 4 | java | timeouts | condor | consistency | chaos | all")
+	fig := flag.String("fig", "all", "2 | 3a | 3b | 3c | 4 | java | timeouts | condor | consistency | chaos | telemetry | all")
 	seed := flag.Int64("seed", 1998, "scenario seed")
 	duration := flag.Duration("duration", grid.SC98Duration, "window length")
 	csv := flag.Bool("csv", false, "emit CSV instead of charts")
@@ -82,6 +85,8 @@ func main() {
 			Drop: *drop, Dup: *dup, Reset: *reset, Torn: *torn,
 			Delay: *delay, MaxDelay: 10 * time.Millisecond,
 		})
+	case "telemetry":
+		telemetryFigure(*seed)
 	case "all":
 		figure2(res, *csv)
 		figure3a(res, *csv, false)
@@ -138,6 +143,46 @@ func chaosRun(seed int64, fc faults.Config) {
 	}
 	fmt.Println("chaos run survived: work delivered and the pool re-merged")
 	fmt.Println()
+}
+
+// telemetryFigure stands up the same miniature SC98 deployment as the
+// chaos figure but fault-free, runs the workload plus a partition/heal of
+// the Gossip pool, then polls every daemon's telemetry over the wire
+// protocol and renders the per-daemon metrics table — each cell reported
+// by the daemon's own instruments, not the harness.
+func telemetryFigure(seed int64) {
+	dir, err := os.MkdirTemp("", "ew-telemetry-*")
+	if err != nil {
+		log.Fatalf("ew-sc98: telemetry: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Println("== Telemetry: per-daemon metrics from a mini SC98 deployment ==")
+	res, err := faults.RunScenario(faults.ScenarioConfig{
+		Seed:          seed,
+		Dir:           dir,
+		PartitionHeal: true,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ew-sc98: telemetry: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		log.Fatalf("ew-sc98: telemetry: %v", err)
+	}
+	if len(res.Snapshots) == 0 {
+		log.Fatal("ew-sc98: telemetry: no daemon answered the introspection poll")
+	}
+	labels := make([]string, 0, len(res.Snapshots))
+	for label := range res.Snapshots {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	snaps := make([]telemetry.NamedSnapshot, 0, len(labels))
+	for _, label := range labels {
+		snaps = append(snaps, telemetry.NamedSnapshot{Addr: label, Snap: res.Snapshots[label]})
+	}
+	telemetry.RenderTable(os.Stdout, snaps)
+	fmt.Printf("ops=%d cycles=%d retries=%d partition healed=%d merge(s)\n\n",
+		res.Ops, res.CompletedCycles, res.Retries, res.PartitionsHealed)
 }
 
 func figure2(res *grid.Result, csv bool) {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"everyware/internal/sched"
+	"everyware/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	steps := flag.Int64("steps", 2000, "heuristic steps per client report")
 	logAddr := flag.String("log", "", "logging server address (optional)")
 	migrate := flag.Float64("migrate-below", 0.25, "migrate work from clients forecast below this fraction of the pool median (0 disables)")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
 	flag.Parse()
 
 	srv := sched.NewServer(sched.ServerConfig{
@@ -42,6 +44,14 @@ func main() {
 		log.Fatalf("ew-sched: %v", err)
 	}
 	fmt.Printf("ew-sched: serving on %s (R(%d) counter-examples on %d vertices)\n", addr, *k, *n)
+	if *httpAddr != "" {
+		hs, err := telemetry.ServeHTTP(srv.Metrics(), *httpAddr, nil)
+		if err != nil {
+			log.Fatalf("ew-sched: http listener: %v", err)
+		}
+		defer hs.Close()
+		fmt.Printf("ew-sched: metrics on http://%s/metrics\n", hs.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

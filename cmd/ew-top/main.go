@@ -1,0 +1,77 @@
+// Command ew-top polls running EveryWare daemons for their telemetry
+// snapshots over the lingua franca (every daemon answers MsgTelemetry)
+// and renders a live per-daemon metrics table — the operator's view of a
+// deployment: RPC traffic, retries, clique membership, gossip rounds,
+// scheduler progress, checkpoint activity, and call latency.
+//
+// Usage:
+//
+//	ew-top host:9001,host:9101,host:9201
+//	ew-top -once -prefix sched. host:9101
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"everyware/internal/telemetry"
+	"everyware/internal/wire"
+)
+
+func main() {
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "poll once, print the table, and exit")
+	prefix := flag.String("prefix", "", "only fetch metrics with this name prefix")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-daemon poll timeout")
+	flag.Parse()
+
+	var addrs []string
+	for _, arg := range flag.Args() {
+		for _, a := range strings.Split(arg, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ew-top [flags] daemon-addr[,daemon-addr...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	wc := wire.NewClient(*timeout)
+	defer wc.Close()
+
+	poll := func() []telemetry.NamedSnapshot {
+		snaps := make([]telemetry.NamedSnapshot, len(addrs))
+		done := make(chan int, len(addrs))
+		for i, addr := range addrs {
+			go func(i int, addr string) {
+				s, err := wire.FetchSnapshot(wc, addr, *prefix, *timeout)
+				snaps[i] = telemetry.NamedSnapshot{Addr: addr, Snap: s, Err: err}
+				done <- i
+			}(i, addr)
+		}
+		for range addrs {
+			<-done
+		}
+		return snaps
+	}
+
+	if *once {
+		telemetry.RenderTable(os.Stdout, poll())
+		return
+	}
+	for {
+		snaps := poll()
+		// Clear the screen and home the cursor between frames.
+		fmt.Print("\033[2J\033[H")
+		fmt.Printf("ew-top  %s  (%d daemons, every %s)\n\n",
+			time.Now().Format("15:04:05"), len(addrs), *interval)
+		telemetry.RenderTable(os.Stdout, snaps)
+		time.Sleep(*interval)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"everyware/internal/telemetry"
 )
 
 // Config parameterizes a clique Member.
@@ -23,6 +25,11 @@ type Config struct {
 	// OnChange, if set, is invoked (on the member's goroutine) after each
 	// committed view change.
 	OnChange func(View)
+	// Metrics, if set, records protocol events: clique.token.circulation
+	// (histogram of leader token round-trip time), clique.view.changes /
+	// clique.view.split / clique.view.merge counters, the clique.members
+	// gauge, and clique.partition.declared. Nil discards.
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) fill() {
@@ -49,6 +56,10 @@ type Member struct {
 	home      []string // full known universe of peers
 	lastHeard time.Time
 	stopped   bool
+	// tokenSeq/tokenStart time the in-flight token circulation this leader
+	// originated (zero when none).
+	tokenSeq   uint64
+	tokenStart time.Time
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -74,6 +85,7 @@ func New(cfg Config, tr Transport) *Member {
 func (m *Member) Start() {
 	m.mu.Lock()
 	m.lastHeard = time.Now()
+	m.cfg.Metrics.Gauge("clique.members").Set(int64(len(m.view.Members)))
 	m.mu.Unlock()
 	m.tr.SetHandler(m.handle)
 	m.wg.Add(1)
@@ -148,6 +160,7 @@ func (m *Member) heartbeat() {
 		changed := m.commitLocked(nv)
 		m.mu.Unlock()
 		if changed {
+			m.cfg.Metrics.Counter("clique.partition.declared").Inc()
 			m.probeOutsiders()
 		}
 	}
@@ -155,6 +168,10 @@ func (m *Member) heartbeat() {
 
 // originateToken starts one token circulation for view v.
 func (m *Member) originateToken(v View) {
+	m.mu.Lock()
+	m.tokenSeq = v.Seq
+	m.tokenStart = time.Now()
+	m.mu.Unlock()
 	t := &Token{
 		Origin:  v.Leader,
 		Seq:     v.Seq,
@@ -223,6 +240,10 @@ func (m *Member) commitToken(t *Token) {
 		m.mu.Unlock()
 		return // stale token from an earlier configuration
 	}
+	if m.tokenSeq == t.Seq && !m.tokenStart.IsZero() {
+		m.cfg.Metrics.Histogram("clique.token.circulation").Observe(time.Since(m.tokenStart))
+		m.tokenStart = time.Time{}
+	}
 	members := sortedUnion(t.Visited, []string{self})
 	// Remove any member recorded as failed (it may appear in Visited if it
 	// handled the token but later dropped off; Failed wins conservatively).
@@ -271,6 +292,14 @@ func (m *Member) commitLocked(nv View) bool {
 	if nv.Equal(m.view) {
 		return false
 	}
+	m.cfg.Metrics.Counter("clique.view.changes").Inc()
+	switch {
+	case len(nv.Members) < len(m.view.Members):
+		m.cfg.Metrics.Counter("clique.view.split").Inc()
+	case len(nv.Members) > len(m.view.Members):
+		m.cfg.Metrics.Counter("clique.view.merge").Inc()
+	}
+	m.cfg.Metrics.Gauge("clique.members").Set(int64(len(nv.Members)))
 	m.view = nv.Clone()
 	m.lastHeard = time.Now()
 	if m.cfg.OnChange != nil {

@@ -29,6 +29,7 @@ import (
 	"everyware/internal/pstate"
 	"everyware/internal/ramsey"
 	"everyware/internal/sched"
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
@@ -140,6 +141,10 @@ type ComponentConfig struct {
 	// section 3 ("processes communicate and synchronize as they prune the
 	// search space").
 	EliteShareKey string
+	// Metrics, if set, is the component's shared telemetry registry (a
+	// fresh one is created otherwise); the server, client, health tracker,
+	// and scheduling runner all report into it.
+	Metrics *telemetry.Registry
 }
 
 // Component is one EveryWare application process: a lingua franca server,
@@ -153,6 +158,7 @@ type Component struct {
 	runner    *sched.Runner
 	forecasts *forecast.Registry
 	health    *wire.HealthTracker
+	metrics   *telemetry.Registry
 	addr      string
 
 	mu      sync.Mutex
@@ -177,11 +183,21 @@ func NewComponent(cfg ComponentConfig) *Component {
 		health:    wire.NewHealthTracker(cfg.MaxServiceFailures, cfg.ServiceCooldown),
 		tracked:   make(map[string]string),
 	}
+	c.metrics = cfg.Metrics
+	if c.metrics == nil {
+		c.metrics = telemetry.NewRegistry()
+	}
+	c.srv.SetMetrics(c.metrics)
+	c.client.Metrics = c.metrics
+	c.health.Metrics = c.metrics
 	c.client.Dialer = cfg.Dialer
 	c.client.Retry = cfg.Retry
 	c.srv.Logf = func(string, ...any) {}
 	return c
 }
+
+// Metrics returns the component's telemetry registry.
+func (c *Component) Metrics() *telemetry.Registry { return c.metrics }
 
 // Start binds the component's server, joins the Gossip service, and
 // prepares the scheduling runner. It returns the component's address.
@@ -193,6 +209,9 @@ func (c *Component) Start() (string, error) {
 	c.addr = addr
 	if c.cfg.ID == "" {
 		c.cfg.ID = addr
+	}
+	if c.metrics.ID() == "" {
+		c.metrics.SetID(c.cfg.ID)
 	}
 	c.agent = gossip.NewAgent(c.srv, addr)
 	if err := c.agent.Track(BestStateKey, ramsey.BestComparator, nil); err != nil {
@@ -208,6 +227,7 @@ func (c *Component) Start() (string, error) {
 			OnFound:              c.onFound,
 			MaxSchedulerFailures: c.cfg.MaxServiceFailures,
 			SchedulerCooldown:    c.cfg.ServiceCooldown,
+			Metrics:              c.metrics,
 		}, c.client)
 		if err != nil {
 			return "", err
@@ -296,12 +316,19 @@ func (c *Component) registerKey(key, comparator string) bool {
 	c.mu.Lock()
 	c.tracked[key] = comparator
 	c.mu.Unlock()
-	for _, g := range c.health.Filter(c.cfg.Gossips) {
+	for i, g := range c.health.Filter(c.cfg.Gossips) {
 		if err := c.agent.Register(c.client, g, key, comparator, c.cfg.CallTimeout); err == nil {
 			c.health.Success(g)
+			c.metrics.Counter("core.register.ok").Inc()
+			if i > 0 {
+				c.metrics.Counter("core.failover").Inc()
+			}
 			return true // one responsible Gossip suffices; the pool replicates
 		}
 		c.health.Failure(g)
+	}
+	if len(c.cfg.Gossips) > 0 {
+		c.metrics.Counter("core.register.fail").Inc()
 	}
 	return false
 }
@@ -323,6 +350,7 @@ func (c *Component) OnReplicated(key, comparator string, fn func(gossip.Stamped)
 // partition heals or when fresher pool information arrives. It returns the
 // number of keys successfully re-registered.
 func (c *Component) Reregister() int {
+	c.metrics.Counter("core.reregister").Inc()
 	c.health.Reset(c.cfg.Gossips...)
 	c.mu.Lock()
 	keys := make(map[string]string, len(c.tracked))
@@ -350,10 +378,14 @@ func (c *Component) Checkpoint(name, class string, data []byte) error {
 	}
 	stored := 0
 	var lastErr error
-	for _, addr := range c.health.Filter(c.cfg.PStates) {
+	for i, addr := range c.health.Filter(c.cfg.PStates) {
 		pc := pstate.NewClient(c.client, addr, c.cfg.CallTimeout)
 		if _, err := pc.Store(name, class, data); err == nil {
 			c.health.Success(addr)
+			if stored == 0 && i > 0 {
+				// Every primary-position manager failed before this one.
+				c.metrics.Counter("core.failover").Inc()
+			}
 			stored++
 		} else {
 			var remote *wire.RemoteError
@@ -366,8 +398,10 @@ func (c *Component) Checkpoint(name, class string, data []byte) error {
 		}
 	}
 	if stored > 0 {
+		c.metrics.Counter("core.checkpoint.ok").Inc()
 		return nil
 	}
+	c.metrics.Counter("core.checkpoint.fail").Inc()
 	return lastErr
 }
 
@@ -383,9 +417,11 @@ func (c *Component) Recover(name string) (*pstate.Object, error) {
 		}
 		c.health.Success(addr)
 		if found {
+			c.metrics.Counter("core.recover.ok").Inc()
 			return o, nil
 		}
 	}
+	c.metrics.Counter("core.recover.fail").Inc()
 	return nil, fmt.Errorf("core: %q not found at any persistent state manager", name)
 }
 

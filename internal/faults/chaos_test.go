@@ -3,6 +3,8 @@ package faults
 import (
 	"testing"
 	"time"
+
+	"everyware/internal/telemetry"
 )
 
 // chaosConfig is the soak configuration: SC98-floor fault rates (15% of
@@ -54,7 +56,24 @@ func TestChaosSoak(t *testing.T) {
 	if res.Stats.Dropped == 0 || res.Stats.Delivered == 0 {
 		t.Errorf("injector counters implausible: %+v", res.Stats)
 	}
-	t.Logf("delivered ops=%d cycles=%d errs=%d", res.Ops, res.CompletedCycles, res.ComponentErrs)
+
+	// The daemons' own telemetry must corroborate the injector's story:
+	// the degradation ladder retried (faults were really felt), and the
+	// clique counted the post-heal re-merge.
+	if len(res.Snapshots) == 0 {
+		t.Fatal("no telemetry snapshots collected")
+	}
+	if res.Retries == 0 {
+		t.Error("telemetry shows zero wire.client.retries under 15% fault rates")
+	}
+	if res.PoolMerged && res.PartitionsHealed < 1 {
+		t.Errorf("pool re-merged but clique.view.merge grew by %d (want >= 1)", res.PartitionsHealed)
+	}
+	if got := telemetry.SumCounter(res.Snapshots, "sched.reports"); got == 0 {
+		t.Error("schedulers report zero sched.reports despite completed cycles")
+	}
+	t.Logf("delivered ops=%d cycles=%d errs=%d retries=%d merges=%d",
+		res.Ops, res.CompletedCycles, res.ComponentErrs, res.Retries, res.PartitionsHealed)
 }
 
 // TestChaosSameSeedBothComplete: reproducibility at the run level — two

@@ -10,6 +10,7 @@ import (
 	"everyware/internal/gossip"
 	"everyware/internal/pstate"
 	"everyware/internal/sched"
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
@@ -58,6 +59,17 @@ type ScenarioResult struct {
 	PoolMerged bool
 	// Stats snapshots the injector counters at the end of the run.
 	Stats Stats
+	// Snapshots holds every daemon's final telemetry, fetched over the
+	// wire protocol (MsgTelemetry) with a clean client once chaos stops,
+	// keyed by the daemon's scenario label (g1, sched1, c1, pstate).
+	Snapshots map[string]telemetry.Snapshot
+	// Retries is the total wire.client.retries across all daemons — the
+	// degradation ladder's visible footprint under fault injection.
+	Retries int64
+	// PartitionsHealed is the growth in clique.view.merge across the
+	// Gossip pool relative to the pre-workload baseline (pool bootstrap
+	// also merges, so the baseline subtraction is required).
+	PartitionsHealed int64
 }
 
 func (c *ScenarioConfig) fill() {
@@ -193,6 +205,19 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		comps = append(comps, comp)
 	}
 
+	// Telemetry baseline: pool bootstrap already produced clique merges, so
+	// the partition experiment must count merge growth, not the absolute
+	// counter. The probe client dials directly (no injector) — introspection
+	// is an observer, not a chaos participant.
+	probe := wire.NewClient(2 * time.Second)
+	defer probe.Close()
+	baselineMerges := make(map[string]int64, len(gossipAddrs))
+	for _, addr := range gossipAddrs {
+		if s, err := wire.FetchSnapshot(probe, addr, "clique.", time.Second); err == nil {
+			baselineMerges[addr] = s.Value("clique.view.merge")
+		}
+	}
+
 	// Chaos on. Run the workload.
 	in.SetEnabled(true)
 	res := &ScenarioResult{}
@@ -262,6 +287,34 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.CompletedCycles = int(cycles.Load())
 	res.ComponentErrs = int(errs.Load())
 	res.Stats = in.Stats()
+
+	// Final telemetry sweep with chaos off: what did the run look like
+	// from each daemon's own instruments?
+	in.SetEnabled(false)
+	res.Snapshots = make(map[string]telemetry.Snapshot)
+	collect := func(label, addr string) {
+		if s, err := wire.FetchSnapshot(probe, addr, "", time.Second); err == nil {
+			res.Snapshots[label] = s
+		} else {
+			cfg.Logf("telemetry fetch %s (%s): %v", label, addr, err)
+		}
+	}
+	collect("pstate", psAddr)
+	for i, addr := range schedAddrs {
+		collect(fmt.Sprintf("sched%d", i+1), addr)
+	}
+	for i, addr := range gossipAddrs {
+		collect(fmt.Sprintf("g%d", i+1), addr)
+	}
+	for i, comp := range comps {
+		collect(fmt.Sprintf("c%d", i+1), comp.Addr())
+	}
+	res.Retries = telemetry.SumCounter(res.Snapshots, "wire.client.retries")
+	for i, addr := range gossipAddrs {
+		if s, ok := res.Snapshots[fmt.Sprintf("g%d", i+1)]; ok {
+			res.PartitionsHealed += s.Value("clique.view.merge") - baselineMerges[addr]
+		}
+	}
 	cfg.Logf("scenario done: ops=%d cycles=%d errs=%d stats=%+v",
 		res.Ops, res.CompletedCycles, res.ComponentErrs, res.Stats)
 	return res, nil

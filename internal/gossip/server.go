@@ -8,6 +8,7 @@ import (
 
 	"everyware/internal/clique"
 	"everyware/internal/forecast"
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
@@ -39,6 +40,10 @@ type ServerConfig struct {
 	Retry *wire.RetryPolicy
 	// Logf receives diagnostics (defaults to discard).
 	Logf func(format string, args ...any)
+	// Metrics, if set, is the daemon's shared telemetry registry (a fresh
+	// one is created otherwise); the server, its client, and the clique
+	// member all report into it, and MsgTelemetry dumps it.
+	Metrics *telemetry.Registry
 }
 
 func (c *ServerConfig) fill() {
@@ -88,6 +93,7 @@ type Server struct {
 	addr   string
 
 	timeout *forecast.TimeoutPolicy
+	metrics *telemetry.Registry
 
 	mu       sync.Mutex
 	regs     map[regKey]Registration
@@ -110,8 +116,14 @@ func NewServer(cfg ServerConfig) *Server {
 		timeout:  forecast.NewTimeoutPolicy(forecast.NewRegistry()),
 		done:     make(chan struct{}),
 	}
+	s.metrics = cfg.Metrics
+	if s.metrics == nil {
+		s.metrics = telemetry.NewRegistry()
+	}
+	s.srv.SetMetrics(s.metrics)
 	s.client.Dialer = cfg.Dialer
 	s.client.Retry = cfg.Retry
+	s.client.Metrics = s.metrics
 	s.srv.Logf = cfg.Logf
 	s.srv.Register(MsgRegister, wire.HandlerFunc(s.handleRegister))
 	s.srv.Register(MsgDeregister, wire.HandlerFunc(s.handleDeregister))
@@ -131,11 +143,15 @@ func (s *Server) Start() (string, error) {
 	if s.cfg.AdvertiseAddr != "" {
 		s.addr = s.cfg.AdvertiseAddr
 	}
+	if s.metrics.ID() == "" {
+		s.metrics.SetID("gossip@" + s.addr)
+	}
 	s.tr = clique.NewTCPTransport(s.srv, s.addr, s.client, s.cfg.CallTimeout)
 	s.member = clique.New(clique.Config{
 		Peers:             s.cfg.WellKnown,
 		HeartbeatInterval: s.cfg.Heartbeat,
 		TokenTimeout:      s.cfg.TokenTimeout,
+		Metrics:           s.metrics,
 	}, s.tr)
 	s.member.Start()
 	s.wg.Add(1)
@@ -167,6 +183,9 @@ func (s *Server) Close() {
 
 // PoolView returns the current clique view of the Gossip pool.
 func (s *Server) PoolView() clique.View { return s.member.View() }
+
+// Metrics returns the daemon's telemetry registry.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
 
 // Registrations returns a snapshot of the registration table.
 func (s *Server) Registrations() []Registration {
@@ -215,6 +234,7 @@ func (s *Server) handleDeregister(_ string, req *wire.Packet) (*wire.Packet, err
 	k := regKey{addr: r.Addr, key: r.Key}
 	delete(s.regs, k)
 	delete(s.failures, k)
+	s.metrics.Gauge("gossip.registrations").Set(int64(len(s.regs)))
 	s.mu.Unlock()
 	return &wire.Packet{Type: MsgDeregister}, nil
 }
@@ -254,6 +274,7 @@ func (s *Server) addRegistration(r Registration) {
 	k := regKey{addr: r.Addr, key: r.Key}
 	s.regs[k] = r
 	s.failures[k] = 0
+	s.metrics.Gauge("gossip.registrations").Set(int64(len(s.regs)))
 }
 
 func (s *Server) syncLoop() {
@@ -330,6 +351,7 @@ func (s *Server) SyncRound() {
 	}
 	s.rounds++
 	s.mu.Unlock()
+	s.metrics.Counter("gossip.sync.rounds").Inc()
 
 	keys := make([]string, 0, len(byKey))
 	for k := range byKey {
@@ -423,11 +445,14 @@ func (s *Server) syncKey(key string, regs []Registration) {
 func (s *Server) recordFailure(r Registration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.metrics.Counter("gossip.poll.fail").Inc()
 	k := regKey{addr: r.Addr, key: r.Key}
 	s.failures[k]++
 	if s.failures[k] >= s.cfg.MaxFailures {
 		delete(s.regs, k)
 		delete(s.failures, k)
+		s.metrics.Counter("gossip.evictions").Inc()
+		s.metrics.Gauge("gossip.registrations").Set(int64(len(s.regs)))
 		s.cfg.Logf("gossip: evicted %s/%s after %d failures", r.Addr, r.Key, s.cfg.MaxFailures)
 	}
 }

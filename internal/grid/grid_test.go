@@ -125,6 +125,26 @@ func TestScenarioProducesAllSeries(t *testing.T) {
 	}
 }
 
+// TestScenarioTelemetryVirtualTime: the scheduler's metrics registry
+// follows the simulation engine's clock, so its snapshot must report the
+// replayed hour as uptime (not the real milliseconds the replay took) and
+// must count exactly the reports the policy handled.
+func TestScenarioTelemetryVirtualTime(t *testing.T) {
+	res := shortScenario(t, ScenarioConfig{})
+	tel := res.Telemetry
+	if got := tel.Value("sched.reports"); got != res.SchedulerReports {
+		t.Errorf("telemetry sched.reports = %d, want %d", got, res.SchedulerReports)
+	}
+	up := time.Duration(tel.UptimeNanos)
+	if up < 55*time.Minute || up > 65*time.Minute {
+		t.Errorf("virtual uptime = %s, want ~1h (the simulated window)", up)
+	}
+	sm, ok := tel.Find("sched.decision.ok")
+	if !ok || sm.Hist == nil || sm.Hist.Count == 0 {
+		t.Fatal("no sched.decision.ok span histogram recorded")
+	}
+}
+
 func TestScenarioDeterministicForSeed(t *testing.T) {
 	a := shortScenario(t, ScenarioConfig{Seed: 7})
 	b := shortScenario(t, ScenarioConfig{Seed: 7})

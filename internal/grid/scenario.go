@@ -9,6 +9,7 @@ import (
 	"everyware/internal/ramsey"
 	"everyware/internal/sched"
 	"everyware/internal/simgrid"
+	"everyware/internal/telemetry"
 	"everyware/internal/trace"
 )
 
@@ -105,6 +106,11 @@ type Result struct {
 	// activity during the replay.
 	SchedulerReports    int64
 	SchedulerMigrations int64
+	// Telemetry is the scheduling server's final metrics snapshot. The
+	// server's registry follows the simulation engine's virtual clock, so
+	// spans and uptime are virtual-time quantities spanning the replayed
+	// window, not the milliseconds the replay took on the wall.
+	Telemetry telemetry.Snapshot
 }
 
 // PeakRate returns the highest bucket rate in Total and its bucket start
@@ -322,6 +328,7 @@ func RunSC98(cfg ScenarioConfig) *Result {
 
 	s.eng.Run(s.end)
 	s.res.SchedulerReports, s.res.SchedulerMigrations, _ = s.sch.Stats()
+	s.res.Telemetry = s.sch.Metrics().Snapshot("")
 	return s.res
 }
 

@@ -14,10 +14,12 @@
 package nws
 
 import (
+	"math"
 	"sync"
 	"time"
 
 	"everyware/internal/forecast"
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
@@ -40,8 +42,9 @@ func init() { wire.RegisterIdempotent(MsgForecast, MsgSeries, MsgKeys) }
 // Memory is the NWS measurement memory and forecaster daemon. It keeps a
 // bounded raw-series ring per key alongside the forecasting battery.
 type Memory struct {
-	srv *wire.Server
-	reg *forecast.Registry
+	srv     *wire.Server
+	reg     *forecast.Registry
+	metrics *telemetry.Registry
 
 	mu     sync.Mutex
 	series map[forecast.Key][]float64
@@ -57,6 +60,7 @@ func NewMemory() *Memory {
 		series:  make(map[forecast.Key][]float64),
 		KeepRaw: 256,
 	}
+	m.metrics = m.srv.Metrics()
 	m.srv.Logf = func(string, ...any) {}
 	m.srv.Register(MsgReport, wire.HandlerFunc(m.handleReport))
 	m.srv.Register(MsgForecast, wire.HandlerFunc(m.handleForecast))
@@ -66,7 +70,23 @@ func NewMemory() *Memory {
 }
 
 // Start binds the listener and returns the bound address.
-func (m *Memory) Start(addr string) (string, error) { return m.srv.Listen(addr) }
+func (m *Memory) Start(addr string) (string, error) {
+	bound, err := m.srv.Listen(addr)
+	if err == nil && m.metrics.ID() == "" {
+		m.metrics.SetID("nws@" + bound)
+	}
+	return bound, err
+}
+
+// Metrics returns the daemon's telemetry registry.
+func (m *Memory) Metrics() *telemetry.Registry { return m.metrics }
+
+// SetMetrics replaces the daemon's telemetry registry (shared-registry
+// deployments); call before Start.
+func (m *Memory) SetMetrics(reg *telemetry.Registry) {
+	m.metrics = reg
+	m.srv.SetMetrics(reg)
+}
 
 // Addr returns the bound address.
 func (m *Memory) Addr() string { return m.srv.Addr() }
@@ -76,6 +96,13 @@ func (m *Memory) Close() { m.srv.Close() }
 
 // Report stores one measurement (in-process use).
 func (m *Memory) Report(key forecast.Key, v float64) {
+	m.metrics.Counter("nws.reports").Inc()
+	// Forecaster error: how far off was the prediction this measurement
+	// now supersedes? The running gauge is the live analogue of the
+	// offline MAE the trace package computes for the paper figures.
+	if f, ok := m.reg.Forecast(key); ok {
+		m.metrics.FloatGauge("nws.forecast.abs_err").Set(math.Abs(f.Value - v))
+	}
 	m.reg.Record(key, v)
 	m.mu.Lock()
 	s := append(m.series[key], v)

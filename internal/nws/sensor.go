@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"everyware/internal/forecast"
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
@@ -50,6 +51,9 @@ type SensorConfig struct {
 	DisableCPU bool
 	// PingTimeout bounds each RTT probe (default 2s).
 	PingTimeout time.Duration
+	// Metrics, if set, counts probe outcomes (nws.ping.ok / nws.ping.timeout
+	// / nws.ping.fail). Nil discards.
+	Metrics *telemetry.Registry
 }
 
 // Sensor periodically measures local CPU availability and network RTTs to
@@ -115,13 +119,17 @@ func (s *Sensor) MeasureOnce() {
 		rtt, err := s.wc.Ping(peer, s.cfg.PingTimeout)
 		if err != nil {
 			if wire.IsTimeout(err) {
+				s.cfg.Metrics.Counter("nws.ping.timeout").Inc()
 				// The ping took at least the full timeout: report that as
 				// the sample so forecasts (and the time-outs derived from
 				// them) adapt upward instead of staying optimistic.
 				_ = s.mc.Report(key, s.cfg.PingTimeout.Seconds())
+			} else {
+				s.cfg.Metrics.Counter("nws.ping.fail").Inc()
 			}
 			continue // fast failures (refused, reset) produce no sample
 		}
+		s.cfg.Metrics.Counter("nws.ping.ok").Inc()
 		_ = s.mc.Report(key, rtt.Seconds())
 	}
 	s.mu.Lock()

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
@@ -49,12 +50,17 @@ type ServerConfig struct {
 	MaxBytes int64
 	// Logf receives diagnostics (defaults to discard).
 	Logf func(format string, args ...any)
+	// Metrics, if set, is the daemon's shared telemetry registry (a fresh
+	// one is created otherwise): store/fetch latency spans, quarantine and
+	// temp-file-removal counters.
+	Metrics *telemetry.Registry
 }
 
 // Server is one persistent state manager daemon.
 type Server struct {
-	cfg ServerConfig
-	srv *wire.Server
+	cfg     ServerConfig
+	srv     *wire.Server
+	metrics *telemetry.Registry
 
 	mu      sync.Mutex
 	objects map[string]*Object
@@ -74,6 +80,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, srv: wire.NewServer(), objects: make(map[string]*Object)}
+	s.metrics = cfg.Metrics
+	if s.metrics == nil {
+		s.metrics = telemetry.NewRegistry()
+	}
+	s.srv.SetMetrics(s.metrics)
 	s.srv.Logf = cfg.Logf
 	if err := s.load(); err != nil {
 		return nil, err
@@ -87,7 +98,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 }
 
 // Start binds the listener and returns the bound address.
-func (s *Server) Start() (string, error) { return s.srv.Listen(s.cfg.ListenAddr) }
+func (s *Server) Start() (string, error) {
+	addr, err := s.srv.Listen(s.cfg.ListenAddr)
+	if err == nil && s.metrics.ID() == "" {
+		s.metrics.SetID("pstate@" + addr)
+	}
+	return addr, err
+}
+
+// Metrics returns the daemon's telemetry registry.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.srv.Addr() }
@@ -182,6 +202,7 @@ func (s *Server) load() error {
 			// rename never happened, so the old object (if any) is intact.
 			s.cfg.Logf("pstate: removing orphaned temp file %s", ent.Name())
 			_ = os.Remove(filepath.Join(s.cfg.Dir, ent.Name()))
+			s.metrics.Counter("pstate.temp_removed").Inc()
 			continue
 		}
 		if !strings.HasSuffix(ent.Name(), ".obj") {
@@ -197,6 +218,7 @@ func (s *Server) load() error {
 		if err != nil {
 			s.cfg.Logf("pstate: quarantining corrupt %s: %v", ent.Name(), err)
 			_ = os.Rename(path, path+".corrupt")
+			s.metrics.Counter("pstate.quarantined").Inc()
 			continue
 		}
 		o, err := decodeObject(body)
@@ -208,6 +230,7 @@ func (s *Server) load() error {
 			} else {
 				s.cfg.Logf("pstate: quarantining corrupt legacy %s: %v", ent.Name(), err)
 				_ = os.Rename(path, path+".corrupt")
+				s.metrics.Counter("pstate.quarantined").Inc()
 			}
 			continue
 		}
@@ -251,7 +274,15 @@ func (s *Server) persist(o *Object) error {
 
 // Store validates and stores data under name/class, returning the new
 // version. Exposed for in-process use by the simulation.
-func (s *Server) Store(name, class string, data []byte) (uint64, error) {
+func (s *Server) Store(name, class string, data []byte) (ver uint64, err error) {
+	sp := s.metrics.StartSpan("pstate.store")
+	defer func() {
+		if err != nil {
+			sp.End(telemetry.OutcomeError)
+		} else {
+			sp.End(telemetry.OutcomeOK)
+		}
+	}()
 	if name == "" {
 		return 0, fmt.Errorf("pstate: empty object name")
 	}
@@ -285,14 +316,17 @@ func (s *Server) Store(name, class string, data []byte) (uint64, error) {
 
 // Fetch returns the stored object, or nil if absent.
 func (s *Server) Fetch(name string) *Object {
+	sp := s.metrics.StartSpan("pstate.fetch")
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	o := s.objects[name]
 	if o == nil {
+		sp.End("miss")
 		return nil
 	}
 	cp := *o
 	cp.Data = append([]byte(nil), o.Data...)
+	sp.End(telemetry.OutcomeOK)
 	return &cp
 }
 

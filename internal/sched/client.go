@@ -8,6 +8,7 @@ import (
 
 	"everyware/internal/forecast"
 	"everyware/internal/ramsey"
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
@@ -44,6 +45,9 @@ type RunnerConfig struct {
 	// (default 10s). A roster update via SetSchedulers clears the marks —
 	// the rejoin path when scheduler birth/death circulates over Gossip.
 	SchedulerCooldown time.Duration
+	// Metrics, if set, records report outcomes, scheduler fail-overs, and
+	// health-tracker transitions. Nil discards.
+	Metrics *telemetry.Registry
 }
 
 // Runner is the client-side scheduling loop: it requests work, runs the
@@ -103,11 +107,13 @@ func NewRunner(cfg RunnerConfig, wc *wire.Client) (*Runner, error) {
 	if cfg.ReportTimeoutPolicy == nil {
 		cfg.ReportTimeoutPolicy = forecast.NewTimeoutPolicy(forecast.NewRegistry())
 	}
+	health := wire.NewHealthTracker(cfg.MaxSchedulerFailures, cfg.SchedulerCooldown)
+	health.Metrics = cfg.Metrics
 	return &Runner{
 		cfg:    cfg,
 		wc:     wc,
 		ops:    &ramsey.OpCounter{},
-		health: wire.NewHealthTracker(cfg.MaxSchedulerFailures, cfg.SchedulerCooldown),
+		health: health,
 	}, nil
 }
 
@@ -151,8 +157,14 @@ func (r *Runner) report(rep Report) (Directive, error) {
 		r.cfg.ReportTimeoutPolicy.Observe(key, time.Since(start))
 		r.health.Success(addr)
 		r.curSched = (r.curSched + attempt) % len(scheds)
+		r.cfg.Metrics.Counter("sched.client.report.ok").Inc()
+		if attempt > 0 {
+			// The report only landed on an alternate server.
+			r.cfg.Metrics.Counter("sched.client.failover").Inc()
+		}
 		return DecodeDirective(resp.Payload)
 	}
+	r.cfg.Metrics.Counter("sched.client.report.fail").Inc()
 	return Directive{}, ErrNoScheduler
 }
 

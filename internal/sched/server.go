@@ -9,6 +9,7 @@ import (
 	"everyware/internal/forecast"
 	"everyware/internal/logsvc"
 	"everyware/internal/ramsey"
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
@@ -52,6 +53,10 @@ type ServerConfig struct {
 	SampleEdges int
 	// Now is injectable for simulation.
 	Now func() time.Time
+	// Metrics, if set, is the daemon's shared telemetry registry (a fresh
+	// one is created otherwise). Its clock follows Now, so simulated runs
+	// report virtual-time metrics.
+	Metrics *telemetry.Registry
 }
 
 func (c *ServerConfig) fill() {
@@ -99,6 +104,7 @@ type Server struct {
 	srv       *wire.Server
 	wc        *wire.Client
 	forecasts *forecast.Registry
+	metrics   *telemetry.Registry
 
 	mu        sync.Mutex
 	clients   map[string]*clientRecord
@@ -127,14 +133,32 @@ func NewServer(cfg ServerConfig) *Server {
 		forecasts: forecast.NewRegistry(),
 		clients:   make(map[string]*clientRecord),
 	}
+	s.metrics = cfg.Metrics
+	if s.metrics == nil {
+		s.metrics = telemetry.NewRegistry()
+	}
+	// The injected scheduler clock is also the metrics clock: simulated
+	// runs (internal/simgrid) report spans and uptime in virtual time.
+	s.metrics.SetNow(s.cfg.Now)
+	s.srv.SetMetrics(s.metrics)
+	s.wc.Metrics = s.metrics
 	s.srv.Logf = func(string, ...any) {}
 	s.srv.Register(MsgReport, wire.HandlerFunc(s.handleReport))
 	s.srv.Register(MsgStats, wire.HandlerFunc(s.handleStats))
 	return s
 }
 
+// Metrics returns the daemon's telemetry registry.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
+
 // Start binds the listener and returns the bound address.
-func (s *Server) Start() (string, error) { return s.srv.Listen(s.cfg.ListenAddr) }
+func (s *Server) Start() (string, error) {
+	addr, err := s.srv.Listen(s.cfg.ListenAddr)
+	if err == nil && s.metrics.ID() == "" {
+		s.metrics.SetID("sched@" + addr)
+	}
+	return addr, err
+}
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.srv.Addr() }
@@ -188,6 +212,25 @@ func (s *Server) stepsFor(h ramsey.Heuristic) int64 {
 // exported so the SC98 simulation can drive the same policy code without a
 // network.
 func (s *Server) Handle(r Report) Directive {
+	sp := s.metrics.StartSpan("sched.decision")
+	d := s.handle(r)
+	sp.End(telemetry.OutcomeOK)
+	s.metrics.Counter("sched.reports").Inc()
+	if d.Kind == DirNewWork {
+		s.metrics.Counter("sched.dispatched." + infraLabel(r.Infra)).Inc()
+	}
+	return d
+}
+
+// infraLabel folds an infrastructure name into a metric-name component.
+func infraLabel(infra string) string {
+	if infra == "" {
+		return "unknown"
+	}
+	return infra
+}
+
+func (s *Server) handle(r Report) Directive {
 	now := s.cfg.Now()
 	// Record the client's measured computational rate for forecasting.
 	rate := 0.0
@@ -225,6 +268,8 @@ func (s *Server) Handle(r Report) Directive {
 			ce := &ramsey.CounterExample{K: s.cfg.K, Coloring: col, Finder: r.ClientID}
 			if ce.Verify() == nil {
 				s.found = append(s.found, ce)
+				s.metrics.Counter("sched.found").Inc()
+				s.metrics.Counter("sched.completed." + infraLabel(r.Infra)).Inc()
 			}
 		}
 		if s.cfg.StopWhenFound && len(s.found) > 0 {
@@ -260,6 +305,7 @@ func (s *Server) Handle(r Report) Directive {
 				stash.State = append([]byte(nil), r.State...)
 				s.migrated = append(s.migrated, stash)
 				s.migration++
+				s.metrics.Counter("sched.migrations").Inc()
 			}
 			w := s.newWorkLocked()
 			rec.work = w
@@ -335,6 +381,7 @@ func (s *Server) expireStaleLocked(now time.Time) {
 		if now.Sub(rec.lastSeen) <= s.cfg.StaleAfter {
 			continue
 		}
+		s.metrics.Counter("sched.lost." + infraLabel(rec.infra)).Inc()
 		if len(rec.work.State) > 0 {
 			s.migrated = append(s.migrated, rec.work)
 		}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HTTPServer is an optional plaintext introspection listener a daemon can
+// hang off its metrics registry:
+//
+//	/metrics  — Prometheus-compatible dump of the registry
+//	/healthz  — liveness (200 + uptime; per-daemon checks pluggable)
+//	/debug/pprof/... — the standard Go profiler endpoints
+//
+// The wire-protocol telemetry.Dump message remains the primary
+// introspection path (it works wherever the lingua franca reaches); the
+// HTTP listener exists for humans with a browser or curl and for scraping
+// infrastructure.
+type HTTPServer struct {
+	reg  *Registry
+	srv  *http.Server
+	ln   net.Listener
+	chk  func() error
+	done chan struct{}
+}
+
+// ServeHTTP binds addr (":0" for ephemeral) and serves the introspection
+// endpoints for reg. healthCheck may be nil (always healthy).
+func ServeHTTP(reg *Registry, addr string, healthCheck func() error) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &HTTPServer{reg: reg, ln: ln, chk: healthCheck, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	h.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(h.done)
+		_ = h.srv.Serve(ln)
+	}()
+	return h, nil
+}
+
+// Addr returns the bound address.
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Close stops the listener.
+func (h *HTTPServer) Close() error {
+	err := h.srv.Close()
+	<-h.done
+	return err
+}
+
+func (h *HTTPServer) metrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	h.reg.Snapshot(req.URL.Query().Get("prefix")).WriteProm(w)
+}
+
+func (h *HTTPServer) healthz(w http.ResponseWriter, _ *http.Request) {
+	if h.chk != nil {
+		if err := h.chk(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unhealthy: %v\n", err)
+			return
+		}
+	}
+	fmt.Fprintf(w, "ok id=%s uptime=%s\n", h.reg.ID(),
+		h.reg.Uptime().Round(time.Millisecond))
+}

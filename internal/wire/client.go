@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"everyware/internal/telemetry"
 )
 
 // DialFunc opens a packet connection to addr within timeout. The default
@@ -28,6 +30,10 @@ type Client struct {
 	// minus the unsafe part: a non-idempotent request whose delivery
 	// state is unknown is never blindly resent.
 	Retry *RetryPolicy
+	// Metrics, when set, records per-call latency/outcome spans
+	// ("wire.client.call.<outcome>") and the "wire.client.retries"
+	// counter. Nil discards.
+	Metrics *telemetry.Registry
 }
 
 // NewClient returns a Client with the given connect timeout.
@@ -77,53 +83,72 @@ func (c *Client) drop(addr string) {
 //     timeout ladder, as in the original design);
 //   - a *RemoteError is a definitive answer and never retries.
 func (c *Client) Call(addr string, req *Packet, timeout time.Duration) (*Packet, error) {
+	sp := c.Metrics.StartSpan("wire.client.call")
+	resp, outcome, retries, err := c.call(addr, req, timeout)
+	if retries > 0 {
+		c.Metrics.Counter("wire.client.retries").Add(int64(retries))
+	}
+	sp.End(outcome)
+	return resp, err
+}
+
+// call is the uninstrumented retry ladder. It reports the telemetry
+// outcome class and the number of retransmissions (attempts beyond the
+// first) alongside the result.
+func (c *Client) call(addr string, req *Packet, timeout time.Duration) (*Packet, telemetry.Outcome, int, error) {
 	pol := c.Retry
 	attempts := 2 // historical behaviour: one retransmit
 	if pol != nil {
 		attempts = pol.attempts()
 	}
 	var lastErr error
+	lastOutcome := telemetry.OutcomeError
 	for attempt := 1; attempt <= attempts; attempt++ {
+		retries := attempt - 1
 		if attempt > 1 && pol != nil {
 			pol.sleep(pol.BackoffFor(addr, attempt-1))
 		}
 		cc, err := c.conn(addr)
 		if err != nil {
 			lastErr = err // dial failure: nothing was sent, retry freely
+			lastOutcome = "dial_error"
 			continue
 		}
 		resp, err := cc.Call(req, timeout)
 		if err == nil {
-			return resp, nil
+			return resp, telemetry.OutcomeOK, retries, nil
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
-			return nil, err // definitive remote answer
+			return nil, "remote_error", retries, err // definitive remote answer
 		}
 		var sendErr *SendError
 		if errors.As(err, &sendErr) {
 			// Not fully written: the server cannot have processed it.
 			c.drop(addr)
 			lastErr = err
+			lastOutcome = "send_error"
 			continue
 		}
 		if IsTimeout(err) {
 			// Fully sent, no reply within the interval. The connection
 			// stays cached (a late reply is discarded by the demux).
 			if pol == nil || !IsIdempotent(req.Type) {
-				return nil, err
+				return nil, telemetry.OutcomeTimeout, retries, err
 			}
 			lastErr = err
+			lastOutcome = telemetry.OutcomeTimeout
 			continue
 		}
 		// Connection broke after a complete send: outcome unknown.
 		c.drop(addr)
 		if !IsIdempotent(req.Type) {
-			return nil, &AmbiguousError{Addr: addr, Err: err}
+			return nil, "ambiguous", retries, &AmbiguousError{Addr: addr, Err: err}
 		}
 		lastErr = err
+		lastOutcome = telemetry.OutcomeReset
 	}
-	return nil, lastErr
+	return nil, lastOutcome, attempts - 1, lastErr
 }
 
 // Ping measures one request/response round trip to addr. The duration is

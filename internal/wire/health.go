@@ -3,6 +3,8 @@ package wire
 import (
 	"sync"
 	"time"
+
+	"everyware/internal/telemetry"
 )
 
 // HealthTracker records per-address consecutive call failures and marks an
@@ -18,6 +20,10 @@ type HealthTracker struct {
 	cool  time.Duration
 	now   func() time.Time
 	state map[string]*healthState
+	// Metrics, when set, counts state transitions:
+	// wire.health.dead_marked, wire.health.recovered, wire.health.reset.
+	// Nil discards. Set before concurrent use.
+	Metrics *telemetry.Registry
 }
 
 type healthState struct {
@@ -61,6 +67,9 @@ func (h *HealthTracker) Failure(addr string) bool {
 	}
 	st.consecutive++
 	if st.consecutive >= h.max {
+		if st.consecutive == h.max {
+			h.Metrics.Counter("wire.health.dead_marked").Inc()
+		}
 		st.deadUntil = h.now().Add(h.cool)
 		return true
 	}
@@ -72,6 +81,9 @@ func (h *HealthTracker) Success(addr string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if st := h.state[addr]; st != nil {
+		if st.consecutive >= h.max {
+			h.Metrics.Counter("wire.health.recovered").Inc()
+		}
 		st.consecutive = 0
 		st.deadUntil = time.Time{}
 	}
@@ -107,6 +119,7 @@ func (h *HealthTracker) Failures(addr string) int {
 func (h *HealthTracker) Reset(addrs ...string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.Metrics.Counter("wire.health.reset").Inc()
 	if len(addrs) == 0 {
 		h.state = make(map[string]*healthState)
 		return

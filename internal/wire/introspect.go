@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"everyware/internal/telemetry"
+)
+
+// Telemetry introspection message type (range 110-119). A MsgTelemetry
+// request carries an optional metric-name prefix; the reply carries the
+// daemon's encoded metrics snapshot. Every Server answers it
+// automatically, so any daemon built on the lingua franca can be polled by
+// ew-top without per-service code.
+const (
+	MsgTelemetry MsgType = 110
+)
+
+func init() {
+	// A snapshot read has no remote side effects; re-asking is always safe.
+	RegisterIdempotent(MsgTelemetry)
+}
+
+// snapshotVersion guards the snapshot encoding against future layout
+// changes.
+const snapshotVersion = 1
+
+// EncodeSnapshot serializes a metrics snapshot in the lingua franca
+// encoding.
+func EncodeSnapshot(s telemetry.Snapshot) []byte {
+	e := NewEncoder(64 + 48*len(s.Samples))
+	e.PutUint8(snapshotVersion)
+	e.PutString(s.ID)
+	e.PutInt64(s.TakenUnixNanos)
+	e.PutInt64(s.UptimeNanos)
+	e.PutUint32(uint32(len(s.Samples)))
+	for _, sm := range s.Samples {
+		e.PutString(sm.Name)
+		e.PutUint8(uint8(sm.Kind))
+		switch sm.Kind {
+		case telemetry.KindCounter, telemetry.KindGauge:
+			e.PutInt64(sm.Value)
+		case telemetry.KindFloatGauge:
+			e.PutFloat64(sm.Float)
+		case telemetry.KindHistogram:
+			e.PutInt64(sm.Hist.Count)
+			e.PutInt64(sm.Hist.SumNanos)
+			e.PutUint32(uint32(len(sm.Hist.Buckets)))
+			for _, b := range sm.Hist.Buckets {
+				e.PutInt64(b)
+			}
+		}
+	}
+	return e.Bytes()
+}
+
+// DecodeSnapshot parses a snapshot encoded by EncodeSnapshot.
+func DecodeSnapshot(buf []byte) (telemetry.Snapshot, error) {
+	var s telemetry.Snapshot
+	d := NewDecoder(buf)
+	ver, err := d.Uint8()
+	if err != nil {
+		return s, err
+	}
+	if ver != snapshotVersion {
+		return s, fmt.Errorf("wire: unsupported snapshot version %d", ver)
+	}
+	if s.ID, err = d.String(); err != nil {
+		return s, err
+	}
+	if s.TakenUnixNanos, err = d.Int64(); err != nil {
+		return s, err
+	}
+	if s.UptimeNanos, err = d.Int64(); err != nil {
+		return s, err
+	}
+	// name(4+) + kind(1) + value(8)
+	n, err := d.Count(13)
+	if err != nil {
+		return s, err
+	}
+	s.Samples = make([]telemetry.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		var sm telemetry.Sample
+		if sm.Name, err = d.String(); err != nil {
+			return s, err
+		}
+		kind, err := d.Uint8()
+		if err != nil {
+			return s, err
+		}
+		sm.Kind = telemetry.Kind(kind)
+		switch sm.Kind {
+		case telemetry.KindCounter, telemetry.KindGauge:
+			if sm.Value, err = d.Int64(); err != nil {
+				return s, err
+			}
+		case telemetry.KindFloatGauge:
+			if sm.Float, err = d.Float64(); err != nil {
+				return s, err
+			}
+		case telemetry.KindHistogram:
+			h := &telemetry.HistogramData{}
+			if h.Count, err = d.Int64(); err != nil {
+				return s, err
+			}
+			if h.SumNanos, err = d.Int64(); err != nil {
+				return s, err
+			}
+			nb, err := d.Count(8)
+			if err != nil {
+				return s, err
+			}
+			h.Buckets = make([]int64, nb)
+			for b := 0; b < nb; b++ {
+				if h.Buckets[b], err = d.Int64(); err != nil {
+					return s, err
+				}
+			}
+			sm.Hist = h
+		default:
+			return s, fmt.Errorf("wire: unknown sample kind %d", kind)
+		}
+		s.Samples = append(s.Samples, sm)
+	}
+	return s, nil
+}
+
+// FetchSnapshot polls addr's metrics over the wire protocol, filtered to
+// names starting with prefix ("" for everything).
+func FetchSnapshot(c *Client, addr, prefix string, timeout time.Duration) (telemetry.Snapshot, error) {
+	e := NewEncoder(4 + len(prefix))
+	e.PutString(prefix)
+	resp, err := c.Call(addr, &Packet{Type: MsgTelemetry, Payload: e.Bytes()}, timeout)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	return DecodeSnapshot(resp.Payload)
+}

@@ -5,8 +5,11 @@ import (
 	"io"
 	"log"
 	"net"
+	"strconv"
 	"sync"
 	"time"
+
+	"everyware/internal/telemetry"
 )
 
 // Handler processes one request packet and returns the response packet, or
@@ -51,6 +54,10 @@ type Server struct {
 	// the hook the fault-injection harness uses to perturb inbound
 	// connections. The wrapper must preserve Addr.
 	WrapListener func(net.Listener) net.Listener
+
+	// metrics records per-type service times and answers MsgTelemetry.
+	// NewServer installs a fresh registry; SetMetrics swaps in a shared one.
+	metrics *telemetry.Registry
 }
 
 // NewServer returns a Server with no handlers registered. MsgPing is
@@ -60,11 +67,39 @@ func NewServer() *Server {
 		handlers: make(map[MsgType]Handler),
 		conns:    make(map[net.Conn]struct{}),
 		Logf:     log.Printf,
+		metrics:  telemetry.NewRegistry(),
 	}
 	s.Register(MsgPing, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
 		return &Packet{Type: MsgPong, Payload: req.Payload}, nil
 	}))
+	s.Register(MsgTelemetry, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
+		prefix := ""
+		if len(req.Payload) > 0 {
+			p, err := NewDecoder(req.Payload).String()
+			if err != nil {
+				return nil, err
+			}
+			prefix = p
+		}
+		return &Packet{Type: MsgTelemetry, Payload: EncodeSnapshot(s.Metrics().Snapshot(prefix))}, nil
+	}))
 	return s
+}
+
+// SetMetrics replaces the server's metrics registry — daemons call this so
+// the server, its clients, and the health tracker all report into one
+// registry, which is then what MsgTelemetry dumps.
+func (s *Server) SetMetrics(reg *telemetry.Registry) {
+	s.mu.Lock()
+	s.metrics = reg
+	s.mu.Unlock()
+}
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *telemetry.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.metrics
 }
 
 // Register installs h for message type t, replacing any previous handler.
@@ -153,6 +188,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 		s.mu.RLock()
 		h, ok := s.handlers[req.Type]
+		reg := s.metrics
 		s.mu.RUnlock()
 		var resp *Packet
 		if !ok {
@@ -162,7 +198,13 @@ func (s *Server) serveConn(nc net.Conn) {
 			if s.Observe != nil {
 				handleStart = time.Now()
 			}
+			sp := reg.StartSpan("wire.server.handle.t" + strconv.Itoa(int(req.Type)))
 			r, herr := h.Handle(remote, req)
+			if herr != nil {
+				sp.End("err")
+			} else {
+				sp.End(telemetry.OutcomeOK)
+			}
 			if s.Observe != nil {
 				s.Observe(req.Type, time.Since(handleStart))
 			}
