@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench figures examples chaos clean
+.PHONY: all build vet test test-race bench figures examples chaos crash clean
 
 all: build vet test
 
@@ -18,11 +18,14 @@ test-race:
 
 # Benchmark the hot paths (wire codec, forecasters, trace series,
 # telemetry counters) and record the parsed results as JSON for
-# commit-over-commit comparison.
+# commit-over-commit comparison. The replication plane (quorum writes,
+# quorum reads, digest sync) is benchmarked separately into its own JSON.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' \
 		./internal/wire/ ./internal/forecast/ ./internal/trace/ ./internal/telemetry/ \
 		| $(GO) run ./cmd/ew-benchjson -o BENCH_telemetry.json
+	$(GO) test -bench='Quorum|DigestSync' -benchmem -run='^$$' ./internal/pstate/ \
+		| $(GO) run ./cmd/ew-benchjson -o BENCH_pstate.json
 
 # Replay the SC98 window and emit every figure plus CSV exports.
 figures:
@@ -35,6 +38,16 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|UnderFaults' -v ./internal/faults/
 	$(GO) run ./cmd/ew-sc98 -fig chaos
 
+# Crash-restart suite: kill the persistent state manager at every persist
+# crash site and restart it from its data directory, run the tombstone and
+# quorum convergence tests, and the stale-read regression — all under the
+# race detector.
+crash:
+	$(GO) test -race -count=1 -v \
+		-run 'TestPersistCrashPoints|TestTombstone|TestAntiEntropy|TestQuorum|TestSpool|TestPersistenceAcrossRestart|TestTornWriteRecovered' \
+		./internal/pstate/
+	$(GO) test -race -count=1 -v -run 'TestRecoverNotStaleAfterPartition' ./internal/faults/
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/forecast-timeout
@@ -43,4 +56,4 @@ examples:
 	$(GO) run ./examples/applet-farm
 
 clean:
-	rm -rf figures/ test_output.txt bench_output.txt BENCH_telemetry.json
+	rm -rf figures/ test_output.txt bench_output.txt BENCH_telemetry.json BENCH_pstate.json

@@ -1,11 +1,16 @@
 // Command ew-pstate runs one EveryWare persistent state manager: the
 // trusted-storage service that survives the loss of every other
 // application process, enforces a disk footprint quota, and sanity-checks
-// objects (e.g. Ramsey counter-examples) before storing them.
+// objects (e.g. Ramsey counter-examples) before storing them. Given
+// -peers, the manager is one replica of a fleet: it anti-entropies
+// per-key digests against its siblings on a jittered -sync timer, so
+// checkpoints written while it was down (or partitioned) repair in, and
+// deletions propagate as tombstones instead of resurrecting.
 //
 // Usage:
 //
 //	ew-pstate -listen :9201 -dir /var/lib/everyware -quota 10485760
+//	ew-pstate -listen :9201 -dir /srv/ew1 -peers host2:9201,host3:9201 -sync 5s
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -28,13 +34,23 @@ func main() {
 	dir := flag.String("dir", "./everyware-state", "storage directory")
 	quota := flag.Int64("quota", 64<<20, "payload byte quota (0 = unlimited)")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
+	peerList := flag.String("peers", "", "comma-separated sibling replica addresses for anti-entropy repair")
+	syncEvery := flag.Duration("sync", 5*time.Second, "mean anti-entropy period (jittered)")
 	flag.Parse()
 
+	var peers []string
+	for _, p := range strings.Split(*peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
 	srv, err := pstate.NewServer(pstate.ServerConfig{
-		ListenAddr: *listen,
-		Dir:        *dir,
-		MaxBytes:   *quota,
-		Logf:       log.Printf,
+		ListenAddr:   *listen,
+		Dir:          *dir,
+		MaxBytes:     *quota,
+		Peers:        peers,
+		SyncInterval: *syncEvery,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("ew-pstate: %v", err)
@@ -45,6 +61,9 @@ func main() {
 	}
 	fmt.Printf("ew-pstate: serving on %s, storing under %s (%d objects recovered)\n",
 		addr, *dir, len(srv.Names()))
+	if len(peers) > 0 {
+		fmt.Printf("ew-pstate: anti-entropy with %v every ~%s\n", peers, *syncEvery)
+	}
 	if *httpAddr != "" {
 		hs, err := telemetry.ServeHTTP(srv.Metrics(), *httpAddr, nil)
 		if err != nil {

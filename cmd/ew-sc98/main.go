@@ -102,11 +102,14 @@ func main() {
 }
 
 // chaosRun stands up a miniature SC98 deployment — Gossip pool, scheduler
-// pair, persistent state manager, compute components — over real localhost
-// daemons, injects seeded message faults into every inter-process call,
-// partitions and heals the Gossip pool mid-run, and reports what survived.
-// The process exits non-zero if the toolkit failed to deliver useful work
-// or the clique did not re-merge after the heal.
+// pair, a three-replica persistent state fleet, compute components — over
+// real localhost daemons, injects seeded message faults into every
+// inter-process call, partitions and heals the Gossip pool mid-run, and
+// runs the durability experiment (crash a state manager mid-persist,
+// restart it from its data directory, isolate a replica, heal). The
+// process exits non-zero if the toolkit failed to deliver useful work, the
+// clique did not re-merge, the replica fleet did not converge, or any
+// acknowledged checkpoint write was lost.
 func chaosRun(seed int64, fc faults.Config) {
 	dir, err := os.MkdirTemp("", "ew-chaos-*")
 	if err != nil {
@@ -121,6 +124,7 @@ func chaosRun(seed int64, fc faults.Config) {
 		Faults:        fc,
 		Dir:           dir,
 		PartitionHeal: true,
+		PStateCrash:   true,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ew-sc98: chaos: "+format+"\n", args...)
 		},
@@ -135,13 +139,21 @@ func chaosRun(seed int64, fc faults.Config) {
 	st := res.Stats
 	fmt.Printf("%-24s sent=%d delivered=%d dropped=%d delayed=%d dup=%d reset=%d torn=%d refused=%d\n",
 		"injector", st.Messages, st.Delivered, st.Dropped, st.Delayed, st.Duplicated, st.Resets, st.Torn, st.Refused)
+	fmt.Printf("%-24s converged=%v acked=%d lost=%d crashes=%d\n",
+		"pstate durability", res.PStateConverged, res.AckedWrites, res.LostWrites, res.PStateCrashes)
 	if res.Ops == 0 {
 		log.Fatal("ew-sc98: chaos: no useful work delivered")
 	}
 	if !res.PoolMerged {
 		log.Fatal("ew-sc98: chaos: gossip pool did not re-merge after the heal")
 	}
-	fmt.Println("chaos run survived: work delivered and the pool re-merged")
+	if !res.PStateConverged {
+		log.Fatal("ew-sc98: chaos: pstate replicas did not converge after the heal")
+	}
+	if res.LostWrites != 0 {
+		log.Fatalf("ew-sc98: chaos: %d acknowledged checkpoint writes lost", res.LostWrites)
+	}
+	fmt.Println("chaos run survived: work delivered, the pool re-merged, and no acked write was lost")
 	fmt.Println()
 }
 

@@ -2,7 +2,9 @@
 // snapshots over the lingua franca (every daemon answers MsgTelemetry)
 // and renders a live per-daemon metrics table — the operator's view of a
 // deployment: RPC traffic, retries, clique membership, gossip rounds,
-// scheduler progress, checkpoint activity, and call latency.
+// scheduler progress, checkpoint activity, call latency, and persistent
+// state replication health (write-behind spool depth, anti-entropy
+// repairs, newest-vs-oldest replica version lag).
 //
 // Usage:
 //

@@ -159,6 +159,7 @@ type Component struct {
 	forecasts *forecast.Registry
 	health    *wire.HealthTracker
 	metrics   *telemetry.Registry
+	replicas  *pstate.ReplicaSet
 	addr      string
 
 	mu      sync.Mutex
@@ -193,8 +194,23 @@ func NewComponent(cfg ComponentConfig) *Component {
 	c.client.Dialer = cfg.Dialer
 	c.client.Retry = cfg.Retry
 	c.srv.Logf = func(string, ...any) {}
+	if len(cfg.PStates) > 0 {
+		rs, err := pstate.NewReplicaSet(c.client, pstate.ReplicaSetConfig{
+			Addrs:   cfg.PStates,
+			Timeout: cfg.CallTimeout,
+			Health:  c.health,
+			Metrics: c.metrics,
+		})
+		if err == nil {
+			c.replicas = rs
+		}
+	}
 	return c
 }
+
+// Replicas exposes the component's persistent-state quorum client (nil
+// when no managers are configured).
+func (c *Component) Replicas() *pstate.ReplicaSet { return c.replicas }
 
 // Metrics returns the component's telemetry registry.
 func (c *Component) Metrics() *telemetry.Registry { return c.metrics }
@@ -352,6 +368,12 @@ func (c *Component) OnReplicated(key, comparator string, fn func(gossip.Stamped)
 func (c *Component) Reregister() int {
 	c.metrics.Counter("core.reregister").Inc()
 	c.health.Reset(c.cfg.Gossips...)
+	if c.replicas != nil {
+		// Reconnect is also the moment to drain checkpoints spooled while
+		// the persistent state quorum was unreachable.
+		c.health.Reset(c.cfg.PStates...)
+		c.replicas.FlushSpool()
+	}
 	c.mu.Lock()
 	keys := make(map[string]string, len(c.tracked))
 	for k, cmp := range c.tracked {
@@ -367,62 +389,51 @@ func (c *Component) Reregister() int {
 	return n
 }
 
-// Checkpoint stores persistent state at every configured persistent state
-// manager (the paper stationed them at multiple trusted sites). It
-// succeeds if at least one manager accepted the object; a validation
-// rejection at any manager is reported even if others were unreachable,
-// since it means the object itself is bad.
+// Checkpoint stores persistent state through the quorum replica set (the
+// paper stationed managers at multiple trusted sites; the replica set
+// turns that into W-of-N durability). If a write quorum is unreachable
+// the checkpoint is parked in the component's write-behind spool and
+// flushed on reconnect — the degraded-but-still-running posture — and
+// Checkpoint still reports success to the application. A validation
+// rejection fails outright: the object itself is bad.
 func (c *Component) Checkpoint(name, class string, data []byte) error {
-	if len(c.cfg.PStates) == 0 {
+	if c.replicas == nil {
 		return fmt.Errorf("core: no persistent state managers configured")
 	}
-	stored := 0
-	var lastErr error
-	for i, addr := range c.health.Filter(c.cfg.PStates) {
-		pc := pstate.NewClient(c.client, addr, c.cfg.CallTimeout)
-		if _, err := pc.Store(name, class, data); err == nil {
-			c.health.Success(addr)
-			if stored == 0 && i > 0 {
-				// Every primary-position manager failed before this one.
-				c.metrics.Counter("core.failover").Inc()
-			}
-			stored++
-		} else {
-			var remote *wire.RemoteError
-			if !errors.As(err, &remote) {
-				// Only transport failures count against the manager's
-				// health; a validation rejection is the object's fault.
-				c.health.Failure(addr)
-			}
-			lastErr = err
-		}
-	}
-	if stored > 0 {
+	_, err := c.replicas.Store(name, class, data)
+	switch {
+	case err == nil:
 		c.metrics.Counter("core.checkpoint.ok").Inc()
 		return nil
+	case errors.Is(err, pstate.ErrSpooled):
+		c.metrics.Counter("core.checkpoint.spooled").Inc()
+		return nil
+	default:
+		c.metrics.Counter("core.checkpoint.fail").Inc()
+		return err
 	}
-	c.metrics.Counter("core.checkpoint.fail").Inc()
-	return lastErr
 }
 
-// Recover fetches persistent state from the first manager that has it,
-// skipping managers currently marked dead while any alternative is alive.
+// Recover fetches persistent state with a quorum read: every manager is
+// consulted in parallel, the freshest version wins regardless of listing
+// order, and stale replicas are read-repaired on the way out — a manager
+// that was down during a checkpoint can no longer serve its stale copy
+// just because it is listed first.
 func (c *Component) Recover(name string) (*pstate.Object, error) {
-	for _, addr := range c.health.Filter(c.cfg.PStates) {
-		pc := pstate.NewClient(c.client, addr, c.cfg.CallTimeout)
-		o, found, err := pc.Fetch(name)
-		if err != nil {
-			c.health.Failure(addr)
-			continue
-		}
-		c.health.Success(addr)
-		if found {
-			c.metrics.Counter("core.recover.ok").Inc()
-			return o, nil
-		}
+	if c.replicas == nil {
+		c.metrics.Counter("core.recover.fail").Inc()
+		return nil, fmt.Errorf("core: no persistent state managers configured")
 	}
-	c.metrics.Counter("core.recover.fail").Inc()
-	return nil, fmt.Errorf("core: %q not found at any persistent state manager", name)
+	o, found, err := c.replicas.Fetch(name)
+	if err != nil || !found {
+		c.metrics.Counter("core.recover.fail").Inc()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: %q not found at any persistent state manager", name)
+	}
+	c.metrics.Counter("core.recover.ok").Inc()
+	return o, nil
 }
 
 // Log forwards a message to the first reachable logging server (best

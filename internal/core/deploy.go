@@ -169,6 +169,18 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		d.extraPS = append(d.extraPS, ps)
 		d.PStateAddrs = append(d.PStateAddrs, ps.Addr())
 	}
+	// Replicated persistent state: every manager anti-entropies against
+	// its siblings so the fleet converges even when a checkpoint missed
+	// some of them.
+	for _, ps := range d.PStates() {
+		peers := make([]string, 0, len(d.PStateAddrs)-1)
+		for _, a := range d.PStateAddrs {
+			if a != ps.Addr() {
+				peers = append(peers, a)
+			}
+		}
+		ps.SetPeers(peers)
+	}
 	ok = true
 	return d, nil
 }

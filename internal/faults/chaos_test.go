@@ -24,8 +24,10 @@ func chaosConfig(t *testing.T, seed int64) ScenarioConfig {
 		Schedulers:    2,
 		Components:    3,
 		Cycles:        6,
+		PStates:       3,
 		Dir:           t.TempDir(),
 		PartitionHeal: true,
+		PStateCrash:   true,
 		Logf:          t.Logf,
 	}
 }
@@ -72,8 +74,26 @@ func TestChaosSoak(t *testing.T) {
 	if got := telemetry.SumCounter(res.Snapshots, "sched.reports"); got == 0 {
 		t.Error("schedulers report zero sched.reports despite completed cycles")
 	}
-	t.Logf("delivered ops=%d cycles=%d errs=%d retries=%d merges=%d",
-		res.Ops, res.CompletedCycles, res.ComponentErrs, res.Retries, res.PartitionsHealed)
+
+	// Durability: the crash/restart/partition experiment ran; the replica
+	// fleet must have converged to identical digests, and every
+	// quorum-acknowledged checkpoint must be recoverable from every single
+	// replica — zero lost acknowledged writes.
+	if res.PStateCrashes == 0 {
+		t.Error("no persist crash point fired on pstate2")
+	}
+	if !res.PStateConverged {
+		t.Error("pstate replicas did not converge to identical digests after heal")
+	}
+	if res.AckedWrites == 0 {
+		t.Error("durability writer acknowledged zero checkpoint writes")
+	}
+	if res.LostWrites != 0 {
+		t.Errorf("%d of %d acknowledged checkpoint writes lost", res.LostWrites, res.AckedWrites)
+	}
+	t.Logf("delivered ops=%d cycles=%d errs=%d retries=%d merges=%d acked=%d lost=%d crashes=%d",
+		res.Ops, res.CompletedCycles, res.ComponentErrs, res.Retries, res.PartitionsHealed,
+		res.AckedWrites, res.LostWrites, res.PStateCrashes)
 }
 
 // TestChaosSameSeedBothComplete: reproducibility at the run level — two

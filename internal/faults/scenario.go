@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,12 +34,26 @@ type ScenarioConfig struct {
 	Components int
 	// Cycles is the per-component scheduling cycle budget (default 6).
 	Cycles int
-	// Dir is the persistent state manager's storage directory (required).
+	// PStates is the persistent state manager replica count (default 3).
+	// Each replica stores under its own subdirectory of Dir and
+	// anti-entropies against its siblings; components quorum-write
+	// checkpoints across all of them.
+	PStates int
+	// Dir is the root storage directory (required); replica i stores
+	// under Dir/pstate<i>.
 	Dir string
 	// PartitionHeal, when true, isolates the last Gossip from its pool
 	// peers mid-run, verifies the clique splits, heals the cut, and
 	// verifies the pool re-merges.
 	PartitionHeal bool
+	// PStateCrash, when true, runs the durability experiment: a
+	// background writer quorum-writes checkpoints throughout the run
+	// while the harness crashes pstate2 mid-persist (torn final write),
+	// kills and restarts it from the same data directory, isolates the
+	// last replica, and heals. Afterwards the run asserts the fleet
+	// converged to identical digests and that every acknowledged write
+	// is recoverable from every single replica.
+	PStateCrash bool
 	// Logf receives progress diagnostics (defaults to discard).
 	Logf func(format string, args ...any)
 }
@@ -61,8 +76,20 @@ type ScenarioResult struct {
 	Stats Stats
 	// Snapshots holds every daemon's final telemetry, fetched over the
 	// wire protocol (MsgTelemetry) with a clean client once chaos stops,
-	// keyed by the daemon's scenario label (g1, sched1, c1, pstate).
+	// keyed by the daemon's scenario label (g1, sched1, c1, pstate1).
 	Snapshots map[string]telemetry.Snapshot
+	// PStateConverged reports the durability experiment's end state:
+	// after the crash, restart, isolation, and heal, every replica's
+	// digest became identical.
+	PStateConverged bool
+	// AckedWrites counts checkpoint writes the background writer saw
+	// quorum-acknowledged; LostWrites counts acked writes that at least
+	// one replica could not serve at the acknowledged version after
+	// convergence. The durability contract is LostWrites == 0.
+	AckedWrites int
+	LostWrites  int
+	// PStateCrashes counts injected persist crash points that fired.
+	PStateCrashes int64
 	// Retries is the total wire.client.retries across all daemons — the
 	// degradation ladder's visible footprint under fault injection.
 	Retries int64
@@ -84,6 +111,9 @@ func (c *ScenarioConfig) fill() {
 	}
 	if c.Cycles == 0 {
 		c.Cycles = 6
+	}
+	if c.PStates == 0 {
+		c.PStates = 3
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -111,18 +141,58 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	in := New(fcfg)
 	in.SetEnabled(false) // clean bootstrap; chaos starts with the workload
 
-	// Persistent state manager (no faults on its own outbound side — it
-	// has none; clients reach it through their injected dialers).
-	ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: cfg.Dir})
-	if err != nil {
-		return nil, err
+	// Persistent state manager replicas. Each stores under its own
+	// subdirectory, anti-entropies against its siblings through an
+	// injected dialer (repair traffic rides the same chaotic network as
+	// everything else), and — when the durability experiment is on —
+	// pstate2 carries a crash-point hook armed mid-run.
+	var crasher *Crasher
+	if cfg.PStateCrash {
+		crasher = NewCrasher(cfg.Seed, "pstate2", 0, 0)
 	}
-	psAddr, err := ps.Start()
-	if err != nil {
-		return nil, err
+	psrvs := make([]*pstate.Server, cfg.PStates)
+	psAddrs := make([]string, cfg.PStates)
+	psDirs := make([]string, cfg.PStates)
+	psSync := 60 * time.Millisecond
+	for i := 0; i < cfg.PStates; i++ {
+		label := fmt.Sprintf("pstate%d", i+1)
+		psDirs[i] = filepath.Join(cfg.Dir, label)
+		scfg := pstate.ServerConfig{
+			ListenAddr:   "127.0.0.1:0",
+			Dir:          psDirs[i],
+			SyncInterval: psSync,
+			Dialer:       in.Dialer(label),
+			Retry:        retryPolicy(),
+		}
+		if crasher != nil && i == 1 {
+			scfg.CrashPoints = crasher.Hook()
+		}
+		ps, err := pstate.NewServer(scfg)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := ps.Start()
+		if err != nil {
+			return nil, err
+		}
+		i := i
+		defer func() { psrvs[i].Close() }()
+		in.RegisterName(addr, label)
+		psrvs[i] = ps
+		psAddrs[i] = addr
 	}
-	defer ps.Close()
-	in.RegisterName(psAddr, "pstate")
+	psPeers := func(self int) []string {
+		peers := make([]string, 0, cfg.PStates-1)
+		for j, a := range psAddrs {
+			if j != self {
+				peers = append(peers, a)
+			}
+		}
+		return peers
+	}
+	for i, ps := range psrvs {
+		ps.SetPeers(psPeers(i))
+	}
 
 	// Scheduling servers.
 	schedAddrs := make([]string, 0, cfg.Schedulers)
@@ -189,7 +259,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			Infra:              "chaos",
 			Schedulers:         schedAddrs,
 			Gossips:            gossipAddrs,
-			PStates:            []string{psAddr},
+			PStates:            append([]string(nil), psAddrs...),
 			Dialer:             in.Dialer(label),
 			Retry:              retryPolicy(),
 			MaxServiceFailures: 3,
@@ -221,6 +291,51 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// Chaos on. Run the workload.
 	in.SetEnabled(true)
 	res := &ScenarioResult{}
+
+	// Durability writer: quorum-writes checkpoints continuously through
+	// its own injected client and records which writes were acknowledged
+	// (quorum reached — spooled writes are explicitly NOT acked). The
+	// post-run assertion is that every acked write survives the crash,
+	// restart, and partition on every replica.
+	var ackedMu sync.Mutex
+	acked := make(map[string]uint64) // name -> highest acked version
+	writerStop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	if cfg.PStateCrash {
+		wcW := wire.NewClient(500 * time.Millisecond)
+		wcW.Dialer = in.Dialer("cw")
+		wcW.Retry = retryPolicy()
+		defer wcW.Close()
+		rs, err := pstate.NewReplicaSet(wcW, pstate.ReplicaSetConfig{
+			Addrs:   psAddrs,
+			Timeout: 500 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for seq := 0; ; seq++ {
+				select {
+				case <-writerStop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("chaos/ckpt/%d", seq%8)
+				payload := []byte(fmt.Sprintf("seq=%d", seq))
+				if ver, err := rs.Store(name, "ckpt", payload); err == nil {
+					ackedMu.Lock()
+					if ver > acked[name] {
+						acked[name] = ver
+					}
+					ackedMu.Unlock()
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+
 	var cycles, errs atomic.Int64
 	var wg sync.WaitGroup
 	for _, comp := range comps {
@@ -278,7 +393,49 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		}
 	}
 
+	// Durability experiment: crash pstate2 mid-persist leaving torn
+	// debris at the live object name, kill the daemon, restart it from
+	// the same data directory and address (the recovery scan must
+	// quarantine the torn file), then make the last replica stale by
+	// isolating it while acked writes continue, and heal.
+	if cfg.PStateCrash && cfg.PStates >= 2 {
+		crasher.ArmOnce(pstate.CrashTornFinal)
+		if !waitFor(10*time.Second, func() bool { return crasher.Crashes() >= 1 }) {
+			cfg.Logf("pstate2 crash point never fired")
+		}
+		psrvs[1].Close()
+		cfg.Logf("killed pstate2 (%s) after torn-write crash", psAddrs[1])
+		restarted, err := pstate.NewServer(pstate.ServerConfig{
+			ListenAddr:   psAddrs[1],
+			Dir:          psDirs[1],
+			SyncInterval: psSync,
+			Dialer:       in.Dialer("pstate2"),
+			Retry:        retryPolicy(),
+			Peers:        psPeers(1),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("faults: pstate2 restart: %w", err)
+		}
+		if _, err := restarted.Start(); err != nil {
+			return nil, fmt.Errorf("faults: pstate2 restart: %w", err)
+		}
+		psrvs[1] = restarted
+		cfg.Logf("restarted pstate2 from %s", psDirs[1])
+		if cfg.PStates >= 3 {
+			stale := fmt.Sprintf("pstate%d", cfg.PStates)
+			in.Isolate(stale)
+			cfg.Logf("isolated %s", stale)
+			// Let acked writes accumulate that the isolated replica
+			// cannot see — anti-entropy must repair them after the heal.
+			time.Sleep(400 * time.Millisecond)
+			in.Heal()
+			cfg.Logf("healed %s", stale)
+		}
+	}
+
 	wg.Wait()
+	close(writerStop)
+	writerWG.Wait()
 	for _, comp := range comps {
 		if r := comp.Runner(); r != nil {
 			res.Ops += r.Ops().Total()
@@ -291,6 +448,48 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// Final telemetry sweep with chaos off: what did the run look like
 	// from each daemon's own instruments?
 	in.SetEnabled(false)
+
+	// Durability verdict: drive anti-entropy until every replica's digest
+	// is identical, then check each acked write against each replica
+	// individually — durable means any single surviving replica can serve
+	// it at (or past) the acknowledged version.
+	if cfg.PStateCrash {
+		res.PStateCrashes = crasher.Crashes()
+		res.PStateConverged = waitFor(15*time.Second, func() bool {
+			for _, ps := range psrvs {
+				ps.SyncNow()
+			}
+			var ref []pstate.DigestEntry
+			for i, addr := range psAddrs {
+				dig, err := pstate.FetchDigest(probe, addr, time.Second)
+				if err != nil {
+					return false
+				}
+				if i == 0 {
+					ref = dig
+				} else if !pstate.DigestsEqual(ref, dig) {
+					return false
+				}
+			}
+			return true
+		})
+		ackedMu.Lock()
+		res.AckedWrites = len(acked)
+		for name, ver := range acked {
+			for _, addr := range psAddrs {
+				o, found, err := pstate.PullObject(probe, addr, name, time.Second)
+				if err != nil || !found || o.Tombstone || o.Version < ver {
+					res.LostWrites++
+					cfg.Logf("lost write: %q v%d missing from %s (found=%v err=%v)",
+						name, ver, addr, found, err)
+					break
+				}
+			}
+		}
+		ackedMu.Unlock()
+		cfg.Logf("durability: converged=%v acked=%d lost=%d crashes=%d",
+			res.PStateConverged, res.AckedWrites, res.LostWrites, res.PStateCrashes)
+	}
 	res.Snapshots = make(map[string]telemetry.Snapshot)
 	collect := func(label, addr string) {
 		if s, err := wire.FetchSnapshot(probe, addr, "", time.Second); err == nil {
@@ -299,7 +498,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			cfg.Logf("telemetry fetch %s (%s): %v", label, addr, err)
 		}
 	}
-	collect("pstate", psAddr)
+	for i, addr := range psAddrs {
+		collect(fmt.Sprintf("pstate%d", i+1), addr)
+	}
 	for i, addr := range schedAddrs {
 		collect(fmt.Sprintf("sched%d", i+1), addr)
 	}

@@ -12,6 +12,7 @@ package pstate
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sync"
 )
 
@@ -59,4 +60,53 @@ type Object struct {
 	Version uint64
 	// Data is the opaque payload.
 	Data []byte
+	// Tombstone marks a deleted object. A delete is a versioned write like
+	// any other, so anti-entropy converges on the deletion instead of
+	// resurrecting the object from a replica that missed it. Tombstones
+	// carry no data.
+	Tombstone bool
+}
+
+// Supersedes reports whether o should replace cur under the replication
+// total order: higher version wins; at equal versions a tombstone beats a
+// live object (deletions stick), and between two live objects the larger
+// payload CRC wins. Every replica applies the same rule, so concurrent
+// equal-version divergence converges deterministically. A nil cur is always
+// superseded.
+func (o *Object) Supersedes(cur *Object) bool {
+	if cur == nil {
+		return true
+	}
+	if o.Version != cur.Version {
+		return o.Version > cur.Version
+	}
+	if o.Tombstone != cur.Tombstone {
+		return o.Tombstone
+	}
+	return crc32.ChecksumIEEE(o.Data) > crc32.ChecksumIEEE(cur.Data)
+}
+
+// DigestEntry is one key's replication summary: what anti-entropy rounds
+// exchange instead of full objects. Two replicas holding entries with equal
+// (Version, CRC, Tombstone) for a name hold the same object.
+type DigestEntry struct {
+	Name      string
+	Version   uint64
+	CRC       uint32 // IEEE CRC-32 of the payload (0 for tombstones)
+	Tombstone bool
+}
+
+// DigestsEqual reports whether two digests describe identical replica
+// contents. Both slices must be sorted by name (Server.Digest returns them
+// sorted).
+func DigestsEqual(a, b []DigestEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -6,11 +6,13 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash/crc32"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"everyware/internal/telemetry"
 	"everyware/internal/wire"
@@ -31,13 +33,62 @@ const (
 	MsgDelete wire.MsgType = 33
 	// MsgUsage reports bytes stored and the quota.
 	MsgUsage wire.MsgType = 34
+	// MsgStoreAt is the replication-plane write: an object with an explicit
+	// version (and possibly a tombstone), applied only if it supersedes the
+	// replica's current copy. Quorum writes, read-repair, and anti-entropy
+	// repair all use it (payload: Object; response: applied, current
+	// version).
+	MsgStoreAt wire.MsgType = 35
+	// MsgDigest returns the replica's per-key digest — name, version,
+	// payload CRC, tombstone flag — the currency of anti-entropy rounds.
+	MsgDigest wire.MsgType = 36
+	// MsgPull is the replication-plane read: unlike MsgFetch it returns
+	// tombstones too, so a repairing peer can learn about deletions
+	// (payload: name; response: found, Object).
+	MsgPull wire.MsgType = 37
 )
 
 // Fetch/list/usage are reads and delete is a keyed removal — all safe to
-// retransmit. MsgStore is deliberately NOT registered: every store bumps
-// the object version, so a blind resend after an ambiguous outcome would
-// double-apply; callers must decide (see Client.Store).
-func init() { wire.RegisterIdempotent(MsgFetch, MsgList, MsgUsage, MsgDelete) }
+// retransmit. The replication plane is idempotent by construction: a
+// MsgStoreAt carries its version, so re-applying it is a no-op, and
+// digest/pull are reads. MsgStore is deliberately NOT registered: every
+// store bumps the object version, so a blind resend after an ambiguous
+// outcome would double-apply; callers must decide (see Client.Store).
+func init() {
+	wire.RegisterIdempotent(MsgFetch, MsgList, MsgUsage, MsgDelete,
+		MsgStoreAt, MsgDigest, MsgPull)
+}
+
+// CrashSite names a point inside Server.persist where the fault harness can
+// simulate process death. Each site leaves characteristic on-disk debris
+// the recovery scan must cope with; see the crash-point map in DESIGN.md.
+type CrashSite string
+
+// The persist crash-point map, in execution order.
+const (
+	// CrashBeforeTmp dies with the temp file created but empty.
+	CrashBeforeTmp CrashSite = "before-tmp-write"
+	// CrashMidTmp dies with half the CRC-framed object in the temp file.
+	CrashMidTmp CrashSite = "mid-tmp-write"
+	// CrashBeforeSync dies with the frame fully written but not fsynced.
+	CrashBeforeSync CrashSite = "before-sync"
+	// CrashBeforeRename dies with a complete durable temp file that never
+	// reached the live name.
+	CrashBeforeRename CrashSite = "before-rename"
+	// CrashTornFinal dies mid-write of the live file itself — the
+	// non-atomic-rename filesystem model; only the CRC frame can reveal the
+	// damage on restart.
+	CrashTornFinal CrashSite = "torn-final"
+	// CrashAfterRename dies after the object is durable but before the
+	// caller is acknowledged — the write survives, the ack is lost.
+	CrashAfterRename CrashSite = "after-rename"
+)
+
+// CrashSites lists every persist crash point in execution order.
+func CrashSites() []CrashSite {
+	return []CrashSite{CrashBeforeTmp, CrashMidTmp, CrashBeforeSync,
+		CrashBeforeRename, CrashTornFinal, CrashAfterRename}
+}
 
 // ServerConfig parameterizes a persistent state manager.
 type ServerConfig struct {
@@ -54,6 +105,24 @@ type ServerConfig struct {
 	// one is created otherwise): store/fetch latency spans, quarantine and
 	// temp-file-removal counters.
 	Metrics *telemetry.Registry
+	// Peers lists sibling persistent state managers for anti-entropy
+	// repair; SetPeers can install or change the list after Start (useful
+	// when sibling addresses are ephemeral).
+	Peers []string
+	// SyncInterval is the mean anti-entropy period (default 5s; each round
+	// waits a jittered interval in [SyncInterval/2, 3*SyncInterval/2) so
+	// replica fleets don't synchronize their repair traffic).
+	SyncInterval time.Duration
+	// Dialer overrides how anti-entropy connections are opened (fault
+	// injection, tests). Nil means wire.Dial.
+	Dialer wire.DialFunc
+	// Retry governs anti-entropy retransmission (nil: wire defaults).
+	Retry *wire.RetryPolicy
+	// CrashPoints, if set, is consulted at every CrashSite inside persist;
+	// a non-nil return simulates process death at that point — persist
+	// aborts immediately, leaving whatever the site had put on disk.
+	// Installed by the fault harness; nil in production.
+	CrashPoints func(CrashSite) error
 }
 
 // Server is one persistent state manager daemon.
@@ -65,6 +134,13 @@ type Server struct {
 	mu      sync.Mutex
 	objects map[string]*Object
 	used    int64
+	peers   []string
+
+	syncStop chan struct{}
+	syncWG   sync.WaitGroup
+	peerWC   *wire.Client
+	rng      *rand.Rand
+	rngMu    sync.Mutex
 }
 
 // NewServer creates a manager storing under cfg.Dir, loading any objects a
@@ -79,13 +155,27 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, srv: wire.NewServer(), objects: make(map[string]*Object)}
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = 5 * time.Second
+	}
+	s := &Server{
+		cfg:      cfg,
+		srv:      wire.NewServer(),
+		objects:  make(map[string]*Object),
+		peers:    append([]string(nil), cfg.Peers...),
+		syncStop: make(chan struct{}),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 	s.metrics = cfg.Metrics
 	if s.metrics == nil {
 		s.metrics = telemetry.NewRegistry()
 	}
 	s.srv.SetMetrics(s.metrics)
 	s.srv.Logf = cfg.Logf
+	s.peerWC = wire.NewClient(2 * time.Second)
+	s.peerWC.Dialer = cfg.Dialer
+	s.peerWC.Retry = cfg.Retry
+	s.peerWC.Metrics = s.metrics
 	if err := s.load(); err != nil {
 		return nil, err
 	}
@@ -94,16 +184,40 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.srv.Register(MsgList, wire.HandlerFunc(s.handleList))
 	s.srv.Register(MsgDelete, wire.HandlerFunc(s.handleDelete))
 	s.srv.Register(MsgUsage, wire.HandlerFunc(s.handleUsage))
+	s.srv.Register(MsgStoreAt, wire.HandlerFunc(s.handleStoreAt))
+	s.srv.Register(MsgDigest, wire.HandlerFunc(s.handleDigest))
+	s.srv.Register(MsgPull, wire.HandlerFunc(s.handlePull))
 	return s, nil
 }
 
-// Start binds the listener and returns the bound address.
+// Start binds the listener, launches the anti-entropy loop, and returns
+// the bound address.
 func (s *Server) Start() (string, error) {
 	addr, err := s.srv.Listen(s.cfg.ListenAddr)
-	if err == nil && s.metrics.ID() == "" {
+	if err != nil {
+		return addr, err
+	}
+	if s.metrics.ID() == "" {
 		s.metrics.SetID("pstate@" + addr)
 	}
-	return addr, err
+	s.syncWG.Add(1)
+	go s.syncLoop()
+	return addr, nil
+}
+
+// SetPeers installs the sibling replica list the anti-entropy loop repairs
+// against. Safe to call at any time; an empty list idles the loop.
+func (s *Server) SetPeers(addrs []string) {
+	s.mu.Lock()
+	s.peers = append([]string(nil), addrs...)
+	s.mu.Unlock()
+}
+
+// Peers returns the current anti-entropy peer list.
+func (s *Server) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.peers...)
 }
 
 // Metrics returns the daemon's telemetry registry.
@@ -113,7 +227,18 @@ func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
 func (s *Server) Addr() string { return s.srv.Addr() }
 
 // Close stops the daemon. Stored state remains on disk.
-func (s *Server) Close() { s.srv.Close() }
+func (s *Server) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.syncStop:
+	default:
+		close(s.syncStop)
+	}
+	s.mu.Unlock()
+	s.syncWG.Wait()
+	s.peerWC.Close()
+	s.srv.Close()
+}
 
 // fileFor maps an object name to its storage path. Names are hashed so
 // arbitrary application keys cannot escape the directory.
@@ -122,13 +247,20 @@ func (s *Server) fileFor(name string) string {
 	return filepath.Join(s.cfg.Dir, hex.EncodeToString(h[:16])+".obj")
 }
 
-// encodeObject lays out an object file: name, class, version, data.
+// encodeObject lays out an object record: name, class, version, data, and
+// a trailing flags byte (bit 0: tombstone). The flags byte was appended in
+// a later format revision, so decodeObject treats it as optional.
 func encodeObject(o *Object) []byte {
 	var e wire.Encoder
 	e.PutString(o.Name)
 	e.PutString(o.Class)
 	e.PutUint64(o.Version)
 	e.PutBytes(o.Data)
+	var flags uint8
+	if o.Tombstone {
+		flags |= 1
+	}
+	e.PutUint8(flags)
 	return e.Bytes()
 }
 
@@ -150,6 +282,13 @@ func decodeObject(p []byte) (*Object, error) {
 		return nil, err
 	}
 	o.Data = append([]byte(nil), data...)
+	if d.Remaining() > 0 {
+		flags, err := d.Uint8()
+		if err != nil {
+			return nil, err
+		}
+		o.Tombstone = flags&1 != 0
+	}
 	return &o, nil
 }
 
@@ -240,20 +379,53 @@ func (s *Server) load() error {
 	return nil
 }
 
+// crashAt consults the injected crash-point hook. A non-nil return means
+// "the process died here": persist must abort immediately, cleaning
+// nothing up, so the on-disk debris is exactly what a real crash at that
+// instruction would leave.
+func (s *Server) crashAt(site CrashSite) error {
+	if s.cfg.CrashPoints == nil {
+		return nil
+	}
+	if err := s.cfg.CrashPoints(site); err != nil {
+		s.cfg.Logf("pstate: injected crash at %s", site)
+		s.metrics.Counter("pstate.crash.injected").Inc()
+		return err
+	}
+	return nil
+}
+
 // persist writes the object file atomically: checksummed frame to a temp
 // file, fsync, then rename over the final name. A crash mid-write leaves
 // either the previous object or a temp file the recovery scan removes —
-// never a half-written object under the live name.
+// never a half-written object under the live name. The CrashSite hooks
+// simulate death at each step of that sequence (including the torn-final
+// model of a filesystem without atomic rename) for the crash-restart test
+// suite.
 func (s *Server) persist(o *Object) error {
 	path := s.fileFor(o.Name)
 	tmp := path + ".tmp"
+	frame := frameObject(encodeObject(o))
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(frameObject(encodeObject(o))); err != nil {
+	if err := s.crashAt(CrashBeforeTmp); err != nil {
+		f.Close()
+		return err
+	}
+	if err := s.crashAt(CrashMidTmp); err != nil {
+		_, _ = f.Write(frame[:len(frame)/2])
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
 		f.Close()
 		os.Remove(tmp)
+		return err
+	}
+	if err := s.crashAt(CrashBeforeSync); err != nil {
+		f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
@@ -265,8 +437,20 @@ func (s *Server) persist(o *Object) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := s.crashAt(CrashBeforeRename); err != nil {
+		return err
+	}
+	if err := s.crashAt(CrashTornFinal); err != nil {
+		// Model a non-atomic rename dying mid-copy: a prefix of the new
+		// frame lands under the live name, clobbering the old object.
+		_ = os.WriteFile(path, frame[:len(frame)-3], 0o644)
+		return err
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	if err := s.crashAt(CrashAfterRename); err != nil {
 		return err
 	}
 	return nil
@@ -304,6 +488,8 @@ func (s *Server) Store(name, class string, data []byte) (ver uint64, err error) 
 	}
 	o := &Object{Name: name, Class: class, Version: 1, Data: append([]byte(nil), data...)}
 	if prev != nil {
+		// A tombstone still anchors the version counter, so a re-created
+		// object cannot be shadowed by its own stale deletion.
 		o.Version = prev.Version + 1
 	}
 	if err := s.persist(o); err != nil {
@@ -314,13 +500,70 @@ func (s *Server) Store(name, class string, data []byte) (ver uint64, err error) 
 	return o.Version, nil
 }
 
-// Fetch returns the stored object, or nil if absent.
+// StoreAt applies a replication-plane write: the object (or tombstone)
+// carries its version, and it is applied only if it supersedes the current
+// copy under the replication total order. It returns whether the write was
+// applied and the version now current at this replica.
+func (s *Server) StoreAt(o *Object) (applied bool, cur uint64, err error) {
+	sp := s.metrics.StartSpan("pstate.store_at")
+	defer func() {
+		if err != nil {
+			sp.End(telemetry.OutcomeError)
+		} else {
+			sp.End(telemetry.OutcomeOK)
+		}
+	}()
+	if o.Name == "" {
+		return false, 0, fmt.Errorf("pstate: empty object name")
+	}
+	if o.Version == 0 {
+		return false, 0, fmt.Errorf("pstate: replica write needs a version")
+	}
+	if !o.Tombstone {
+		// The run-time sanity check guards every ingest path, including
+		// repair traffic: a corrupt replica must not propagate garbage.
+		if v, ok := LookupValidator(o.Class); ok {
+			if err := v(o.Name, o.Data); err != nil {
+				return false, 0, fmt.Errorf("pstate: validation failed for %q: %w", o.Name, err)
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.objects[o.Name]
+	if !o.Supersedes(prev) {
+		if prev != nil {
+			return false, prev.Version, nil
+		}
+		return false, 0, nil
+	}
+	delta := int64(len(o.Data))
+	if prev != nil {
+		delta -= int64(len(prev.Data))
+	}
+	if !o.Tombstone && s.cfg.MaxBytes > 0 && s.used+delta > s.cfg.MaxBytes {
+		return false, 0, fmt.Errorf("pstate: quota exceeded (%d + %d > %d bytes)", s.used, delta, s.cfg.MaxBytes)
+	}
+	cp := *o
+	cp.Data = append([]byte(nil), o.Data...)
+	if cp.Tombstone {
+		cp.Data = nil
+	}
+	if err := s.persist(&cp); err != nil {
+		return false, 0, err
+	}
+	s.objects[cp.Name] = &cp
+	s.used += delta
+	return true, cp.Version, nil
+}
+
+// Fetch returns the stored object, or nil if absent or deleted.
 func (s *Server) Fetch(name string) *Object {
 	sp := s.metrics.StartSpan("pstate.fetch")
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	o := s.objects[name]
-	if o == nil {
+	if o == nil || o.Tombstone {
 		sp.End("miss")
 		return nil
 	}
@@ -330,31 +573,71 @@ func (s *Server) Fetch(name string) *Object {
 	return &cp
 }
 
-// Names returns all stored object names, sorted.
+// Pull returns the stored record including tombstones — the replication
+// plane's read, so repairing peers learn about deletions too.
+func (s *Server) Pull(name string) *Object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.objects[name]
+	if o == nil {
+		return nil
+	}
+	cp := *o
+	cp.Data = append([]byte(nil), o.Data...)
+	return &cp
+}
+
+// Names returns all live (non-tombstoned) object names, sorted.
 func (s *Server) Names() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.objects))
-	for n := range s.objects {
-		out = append(out, n)
+	for n, o := range s.objects {
+		if !o.Tombstone {
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Delete removes an object.
-func (s *Server) Delete(name string) error {
+// Digest summarizes every record — live and tombstoned — as (name,
+// version, payload CRC, tombstone), sorted by name. Two replicas with
+// equal digests hold identical state; anti-entropy repairs toward that.
+func (s *Server) Digest() []DigestEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	o, ok := s.objects[name]
-	if !ok {
+	out := make([]DigestEntry, 0, len(s.objects))
+	for n, o := range s.objects {
+		e := DigestEntry{Name: n, Version: o.Version, Tombstone: o.Tombstone}
+		if !o.Tombstone {
+			e.CRC = crc32.ChecksumIEEE(o.Data)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Delete removes an object by writing a tombstone one version above the
+// current record. The tombstone persists and circulates through
+// anti-entropy, so replicas that missed the delete converge on it instead
+// of resurrecting the object. Deleting an absent or already-deleted name
+// is a no-op.
+func (s *Server) Delete(delName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[delName]
+	if !ok || o.Tombstone {
 		return nil
 	}
-	if err := os.Remove(s.fileFor(name)); err != nil && !os.IsNotExist(err) {
+	ts := &Object{Name: delName, Class: o.Class, Version: o.Version + 1, Tombstone: true}
+	if err := s.persist(ts); err != nil {
 		return err
 	}
 	s.used -= int64(len(o.Data))
-	delete(s.objects, name)
+	s.objects[delName] = ts
+	s.metrics.Counter("pstate.tombstones").Inc()
 	return nil
 }
 
@@ -436,4 +719,82 @@ func (s *Server) handleUsage(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	e.PutInt64(used)
 	e.PutInt64(quota)
 	return &wire.Packet{Type: MsgUsage, Payload: e.Bytes()}, nil
+}
+
+// putObject encodes an object for the replication plane: name, class,
+// version, tombstone, data.
+func putObject(e *wire.Encoder, o *Object) {
+	e.PutString(o.Name)
+	e.PutString(o.Class)
+	e.PutUint64(o.Version)
+	e.PutBool(o.Tombstone)
+	e.PutBytes(o.Data)
+}
+
+// getObject decodes a replication-plane object.
+func getObject(d *wire.Decoder) (*Object, error) {
+	var o Object
+	var err error
+	if o.Name, err = d.String(); err != nil {
+		return nil, err
+	}
+	if o.Class, err = d.String(); err != nil {
+		return nil, err
+	}
+	if o.Version, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if o.Tombstone, err = d.Bool(); err != nil {
+		return nil, err
+	}
+	data, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	o.Data = append([]byte(nil), data...)
+	return &o, nil
+}
+
+func (s *Server) handleStoreAt(_ string, req *wire.Packet) (*wire.Packet, error) {
+	o, err := getObject(wire.NewDecoder(req.Payload))
+	if err != nil {
+		return nil, err
+	}
+	applied, cur, err := s.StoreAt(o)
+	if err != nil {
+		return nil, err
+	}
+	var e wire.Encoder
+	e.PutBool(applied)
+	e.PutUint64(cur)
+	return &wire.Packet{Type: MsgStoreAt, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) handleDigest(_ string, _ *wire.Packet) (*wire.Packet, error) {
+	dig := s.Digest()
+	var e wire.Encoder
+	e.PutUint32(uint32(len(dig)))
+	for _, ent := range dig {
+		e.PutString(ent.Name)
+		e.PutUint64(ent.Version)
+		e.PutUint32(ent.CRC)
+		e.PutBool(ent.Tombstone)
+	}
+	return &wire.Packet{Type: MsgDigest, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) handlePull(_ string, req *wire.Packet) (*wire.Packet, error) {
+	pname, err := wire.NewDecoder(req.Payload).String()
+	if err != nil {
+		return nil, err
+	}
+	o := s.Pull(pname)
+	var e wire.Encoder
+	if o == nil {
+		e.PutBool(false)
+	} else {
+		e.PutBool(true)
+		putObject(&e, o)
+	}
+	return &wire.Packet{Type: MsgPull, Payload: e.Bytes()}, nil
 }

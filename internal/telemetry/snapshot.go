@@ -195,6 +195,12 @@ var standardColumns = []tableColumn{
 	{"found", func(s Snapshot) string { return count(s.Value("sched.found")) }},
 	{"stores", func(s Snapshot) string { return count(s.SumPrefix("pstate.store.")) }},
 	{"fetches", func(s Snapshot) string { return count(s.SumPrefix("pstate.fetch.")) }},
+	// Replication health: write-behind spool depth (component side),
+	// anti-entropy repairs performed, and the newest-vs-oldest replica
+	// version lag observed before the last repair round (manager side).
+	{"spool", func(s Snapshot) string { return count(s.Value("pstate.replica.spool_depth")) }},
+	{"repairs", func(s Snapshot) string { return count(s.Value("pstate.antientropy.repairs")) }},
+	{"lag", func(s Snapshot) string { return count(s.Value("pstate.replica.lag")) }},
 	{"ckpt", func(s Snapshot) string { return count(s.SumPrefix("core.checkpoint.")) }},
 	{"p95", func(s Snapshot) string {
 		sm, ok := s.Find("wire.client.call.ok")
