@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench figures examples chaos crash clean
+.PHONY: all build vet test test-race bench bench-wire figures examples chaos crash clean
 
 all: build vet test
 
@@ -26,6 +26,13 @@ bench:
 		| $(GO) run ./cmd/ew-benchjson -o BENCH_telemetry.json
 	$(GO) test -bench='Quorum|DigestSync' -benchmem -run='^$$' ./internal/pstate/ \
 		| $(GO) run ./cmd/ew-benchjson -o BENCH_pstate.json
+
+# Transport comparison: the same lingua franca round trip and
+# concurrent-caller demux throughput over TCP loopback vs the in-memory
+# transport, recorded as JSON for commit-over-commit comparison.
+bench-wire:
+	$(GO) test -bench='RoundTrip|ConcurrentCalls' -benchmem -run='^$$' ./internal/wire/ \
+		| $(GO) run ./cmd/ew-benchjson -o BENCH_wire.json
 
 # Replay the SC98 window and emit every figure plus CSV exports.
 figures:

@@ -229,16 +229,15 @@ func BenchmarkGossipSyncScaling(b *testing.B) {
 			defer g.Close()
 			client := wire.NewClient(2 * time.Second)
 			defer client.Close()
-			var servers []*wire.Server
+			var servers []*wire.Service
 			for i := 0; i < n; i++ {
-				srv := wire.NewServer()
-				srv.Logf = func(string, ...any) {}
-				addr, err := srv.Listen("127.0.0.1:0")
+				svc := wire.NewService(wire.ServiceConfig{ListenAddr: "127.0.0.1:0", Silent: true})
+				addr, err := svc.Start()
 				if err != nil {
 					b.Fatal(err)
 				}
-				servers = append(servers, srv)
-				agent := gossip.NewAgent(srv, addr)
+				servers = append(servers, svc)
+				agent := gossip.NewAgent(svc.Server(), addr)
 				if err := agent.Track("bench/state", gossip.CmpCounter, nil); err != nil {
 					b.Fatal(err)
 				}

@@ -13,6 +13,7 @@
 //	ew-sc98 -fig condor            # scheduler placement ablation
 //	ew-sc98 -fig consistency       # the "consistent" Grid criterion
 //	ew-sc98 -fig chaos             # mini SC98 over real daemons + fault injection
+//	ew-sc98 -fig chaos -mem        # same scenario over the in-memory transport
 //	ew-sc98 -fig telemetry         # mini SC98 over real daemons, per-daemon metrics table
 //	ew-sc98 -fig all               # everything
 package main
@@ -30,6 +31,7 @@ import (
 	"everyware/internal/grid"
 	"everyware/internal/telemetry"
 	"everyware/internal/trace"
+	"everyware/internal/wire"
 )
 
 func main() {
@@ -43,7 +45,13 @@ func main() {
 	reset := flag.Float64("chaos-reset", 0.03, "chaos: per-message connection-reset probability")
 	torn := flag.Float64("chaos-torn", 0.02, "chaos: per-message torn-write probability")
 	delay := flag.Float64("chaos-delay", 0.03, "chaos: per-message delay probability")
+	mem := flag.Bool("mem", false, "chaos/telemetry: run the daemons over the in-memory wire transport (no TCP sockets)")
 	flag.Parse()
+
+	var tr wire.Transport
+	if *mem {
+		tr = wire.NewMemTransport()
+	}
 
 	needReplay := map[string]bool{"2": true, "3a": true, "3b": true, "3c": true, "4": true,
 		"consistency": true, "all": true}
@@ -84,9 +92,9 @@ func main() {
 		chaosRun(*seed, faults.Config{
 			Drop: *drop, Dup: *dup, Reset: *reset, Torn: *torn,
 			Delay: *delay, MaxDelay: 10 * time.Millisecond,
-		})
+		}, tr)
 	case "telemetry":
-		telemetryFigure(*seed)
+		telemetryFigure(*seed, tr)
 	case "all":
 		figure2(res, *csv)
 		figure3a(res, *csv, false)
@@ -110,7 +118,7 @@ func main() {
 // process exits non-zero if the toolkit failed to deliver useful work, the
 // clique did not re-merge, the replica fleet did not converge, or any
 // acknowledged checkpoint write was lost.
-func chaosRun(seed int64, fc faults.Config) {
+func chaosRun(seed int64, fc faults.Config, tr wire.Transport) {
 	dir, err := os.MkdirTemp("", "ew-chaos-*")
 	if err != nil {
 		log.Fatalf("ew-sc98: chaos: %v", err)
@@ -123,6 +131,7 @@ func chaosRun(seed int64, fc faults.Config) {
 		Seed:          seed,
 		Faults:        fc,
 		Dir:           dir,
+		Transport:     tr,
 		PartitionHeal: true,
 		PStateCrash:   true,
 		Logf: func(format string, args ...any) {
@@ -162,7 +171,7 @@ func chaosRun(seed int64, fc faults.Config) {
 // the Gossip pool, then polls every daemon's telemetry over the wire
 // protocol and renders the per-daemon metrics table — each cell reported
 // by the daemon's own instruments, not the harness.
-func telemetryFigure(seed int64) {
+func telemetryFigure(seed int64, tr wire.Transport) {
 	dir, err := os.MkdirTemp("", "ew-telemetry-*")
 	if err != nil {
 		log.Fatalf("ew-sc98: telemetry: %v", err)
@@ -172,6 +181,7 @@ func telemetryFigure(seed int64) {
 	res, err := faults.RunScenario(faults.ScenarioConfig{
 		Seed:          seed,
 		Dir:           dir,
+		Transport:     tr,
 		PartitionHeal: true,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ew-sc98: telemetry: "+format+"\n", args...)

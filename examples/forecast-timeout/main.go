@@ -31,24 +31,22 @@ func main() {
 	// A server whose response delay is controlled by an atomic knob.
 	var delayMs atomic.Int64
 	delayMs.Store(30)
-	srv := wire.NewServer()
-	srv.Logf = func(string, ...any) {}
+	svc := wire.NewService(wire.ServiceConfig{ListenAddr: "127.0.0.1:0", DialTimeout: time.Second, Silent: true})
 	const msgEcho wire.MsgType = 100
-	srv.Register(msgEcho, wire.HandlerFunc(func(_ string, req *wire.Packet) (*wire.Packet, error) {
+	svc.Handle(msgEcho, wire.HandlerFunc(func(_ string, req *wire.Packet) (*wire.Packet, error) {
 		time.Sleep(time.Duration(delayMs.Load()) * time.Millisecond)
 		return &wire.Packet{Type: msgEcho}, nil
 	}))
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := svc.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	defer svc.Close()
 
 	registry := forecast.NewRegistry()
 	policy := forecast.NewTimeoutPolicy(registry)
 	key := forecast.Key{Resource: addr, Event: "echo"}
-	client := wire.NewClient(time.Second)
-	defer client.Close()
+	client := svc.Client()
 
 	call := func(timeout time.Duration) (time.Duration, bool) {
 		start := time.Now()

@@ -159,12 +159,14 @@ type GatewayConfig struct {
 	Schedulers []string
 	// CallTimeout bounds scheduler calls (default 2s).
 	CallTimeout time.Duration
+	// Transport selects the wire substrate (nil = TCP).
+	Transport wire.Transport
 }
 
 // Gateway bridges browser applets to the EveryWare scheduling service.
 type Gateway struct {
 	cfg GatewayConfig
-	srv *wire.Server
+	svc *wire.Service
 	wc  *wire.Client
 
 	mu       sync.Mutex
@@ -182,30 +184,33 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
+	svc := wire.NewService(wire.ServiceConfig{
+		Name:        "applet-gw",
+		ListenAddr:  cfg.ListenAddr,
+		Transport:   cfg.Transport,
+		DialTimeout: cfg.CallTimeout,
+		Silent:      true,
+	})
 	g := &Gateway{
 		cfg:      cfg,
-		srv:      wire.NewServer(),
-		wc:       wire.NewClient(cfg.CallTimeout),
+		svc:      svc,
+		wc:       svc.Client(),
 		assigned: make(map[string]sched.WorkUnit),
 	}
-	g.srv.Logf = func(string, ...any) {}
-	g.srv.Register(MsgFetchParcel, wire.HandlerFunc(g.handleFetch))
-	g.srv.Register(MsgReturnParcel, wire.HandlerFunc(g.handleReturn))
-	g.srv.Register(MsgGatewayStats, wire.HandlerFunc(g.handleStats))
+	svc.Handle(MsgFetchParcel, wire.HandlerFunc(g.handleFetch))
+	svc.Handle(MsgReturnParcel, wire.HandlerFunc(g.handleReturn))
+	svc.Handle(MsgGatewayStats, wire.HandlerFunc(g.handleStats))
 	return g, nil
 }
 
 // Start binds the listener and returns the bound address.
-func (g *Gateway) Start() (string, error) { return g.srv.Listen(g.cfg.ListenAddr) }
+func (g *Gateway) Start() (string, error) { return g.svc.Start() }
 
 // Addr returns the bound address.
-func (g *Gateway) Addr() string { return g.srv.Addr() }
+func (g *Gateway) Addr() string { return g.svc.Addr() }
 
 // Close stops the gateway.
-func (g *Gateway) Close() {
-	g.srv.Close()
-	g.wc.Close()
-}
+func (g *Gateway) Close() { g.svc.Close() }
 
 // Stats returns (parcels handed out, results returned, counter-examples).
 func (g *Gateway) Stats() (parcels, returns, founds int64) {

@@ -121,17 +121,27 @@ func DecodeMessage(payload []byte) (*Message, error) {
 	return &m, nil
 }
 
-// TCPTransport carries the clique protocol over the lingua franca. The
-// transport attaches to an existing wire.Server (so a Gossip daemon serves
-// clique traffic on its ordinary service port) and sends via a shared
-// wire.Client.
-type TCPTransport struct {
+// SendFilter intercepts an Endpoint's outbound messages. The filter may
+// deliver by invoking send (any number of times — zero models a drop,
+// two a duplicate) or fail the send by returning an error without
+// calling it. The fault-injection harness and protocol tests use this to
+// impose partitions and message-level chaos on any transport, including
+// in-memory ones where there is no byte stream to perturb.
+type SendFilter func(to string, msg *Message, send func() error) error
+
+// Endpoint carries the clique protocol over the lingua franca. It
+// attaches to an existing wire.Server (so a Gossip daemon serves clique
+// traffic on its ordinary service port) and sends via a shared
+// wire.Client — the substrate is whatever wire.Transport both ride,
+// TCP or in-memory alike.
+type Endpoint struct {
 	self    string
 	client  *wire.Client
 	timeout time.Duration
 
 	hmu     sync.RWMutex
 	handler func(*Message)
+	filter  SendFilter
 
 	inbox     chan *Message
 	done      chan struct{}
@@ -139,7 +149,7 @@ type TCPTransport struct {
 	wg        sync.WaitGroup
 }
 
-// NewTCPTransport registers clique handling on srv and returns a transport
+// NewEndpoint registers clique handling on srv and returns an endpoint
 // whose ID is selfAddr (the server's public address). sendTimeout bounds
 // each Send; unreachable peers surface as ErrUnreachable.
 //
@@ -150,8 +160,8 @@ type TCPTransport struct {
 // cascade, and under load the clique serializes into lockstep chains that
 // stall far longer than the token timeout. When the queue overflows, the
 // message is dropped — the protocol is built to absorb lost messages.
-func NewTCPTransport(srv *wire.Server, selfAddr string, client *wire.Client, sendTimeout time.Duration) *TCPTransport {
-	t := &TCPTransport{
+func NewEndpoint(srv *wire.Server, selfAddr string, client *wire.Client, sendTimeout time.Duration) *Endpoint {
+	t := &Endpoint{
 		self:    selfAddr,
 		client:  client,
 		timeout: sendTimeout,
@@ -175,7 +185,7 @@ func NewTCPTransport(srv *wire.Server, selfAddr string, client *wire.Client, sen
 }
 
 // deliver drains the inbox into the installed handler.
-func (t *TCPTransport) deliver() {
+func (t *Endpoint) deliver() {
 	defer t.wg.Done()
 	for {
 		select {
@@ -192,29 +202,46 @@ func (t *TCPTransport) deliver() {
 	}
 }
 
-// Self returns the transport's advertised address.
-func (t *TCPTransport) Self() string { return t.self }
+// Self returns the endpoint's advertised address.
+func (t *Endpoint) Self() string { return t.self }
 
 // Send delivers msg to the peer daemon at `to`, returning ErrUnreachable on
-// connect failure or ack timeout.
-func (t *TCPTransport) Send(to string, msg *Message) error {
-	req := &wire.Packet{Type: MsgClique, Payload: EncodeMessage(msg)}
-	if _, err := t.client.Call(to, req, t.timeout); err != nil {
-		return fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+// connect failure or ack timeout. An installed SendFilter sees the message
+// first.
+func (t *Endpoint) Send(to string, msg *Message) error {
+	t.hmu.RLock()
+	filter := t.filter
+	t.hmu.RUnlock()
+	send := func() error {
+		req := &wire.Packet{Type: MsgClique, Payload: EncodeMessage(msg)}
+		if _, err := t.client.Call(to, req, t.timeout); err != nil {
+			return fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+		}
+		return nil
 	}
-	return nil
+	if filter != nil {
+		return filter(to, msg, send)
+	}
+	return send()
 }
 
 // SetHandler installs the receive callback.
-func (t *TCPTransport) SetHandler(h func(*Message)) {
+func (t *Endpoint) SetHandler(h func(*Message)) {
 	t.hmu.Lock()
 	defer t.hmu.Unlock()
 	t.handler = h
 }
 
+// SetSendFilter installs (or clears, with nil) the outbound intercept.
+func (t *Endpoint) SetSendFilter(f SendFilter) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.filter = f
+}
+
 // Close stops the delivery goroutine. The owning daemon closes the
 // server and client.
-func (t *TCPTransport) Close() error {
+func (t *Endpoint) Close() error {
 	t.closeOnce.Do(func() { close(t.done) })
 	t.wg.Wait()
 	return nil

@@ -49,7 +49,7 @@ func (c *Config) fill() {
 // subcliques under failure, and rebalance when subcliques merge.
 type Member struct {
 	cfg Config
-	tr  Transport
+	tr  *Endpoint
 
 	mu        sync.Mutex
 	view      View
@@ -65,9 +65,9 @@ type Member struct {
 	wg   sync.WaitGroup
 }
 
-// New creates a Member over transport tr. Start must be called to begin
+// New creates a Member over endpoint tr. Start must be called to begin
 // protocol processing.
-func New(cfg Config, tr Transport) *Member {
+func New(cfg Config, tr *Endpoint) *Member {
 	cfg.fill()
 	self := tr.Self()
 	home := sortedUnion(cfg.Peers, []string{self})

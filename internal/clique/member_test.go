@@ -3,9 +3,12 @@ package clique
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"everyware/internal/wire"
 )
 
 // fastConfig returns protocol timings suitable for tests.
@@ -18,10 +21,102 @@ func fastConfig(peers []string) Config {
 	}
 }
 
-// startClique spins up n members named m0..m(n-1) on a shared MemNetwork.
-func startClique(t *testing.T, n int) (*MemNetwork, []*Member, []string) {
+// testNet runs clique endpoints over a shared in-process
+// wire.MemTransport — every member is a real wire.Service listening at
+// its own ID — with deterministic partition injection via SendFilter
+// and host failure modelled by closing the victim's service. This is
+// the fabric the clique-private mem transport used to provide, now
+// exercising the full protocol stack.
+type testNet struct {
+	t  *testing.T
+	mt *wire.MemTransport
+
+	mu    sync.Mutex
+	group map[string]int
+	nodes map[string]*testNode
+}
+
+type testNode struct {
+	svc *wire.Service
+	ep  *Endpoint
+}
+
+func newTestNet(t *testing.T) *testNet {
+	return &testNet{
+		t:     t,
+		mt:    wire.NewMemTransport(),
+		group: make(map[string]int),
+		nodes: make(map[string]*testNode),
+	}
+}
+
+// Endpoint binds id on the fabric and returns its clique endpoint.
+func (n *testNet) Endpoint(id string) *Endpoint {
+	n.t.Helper()
+	svc := wire.NewService(wire.ServiceConfig{
+		ListenAddr:  id,
+		Transport:   n.mt,
+		DialTimeout: 100 * time.Millisecond,
+		Silent:      true,
+	})
+	if _, err := svc.Start(); err != nil {
+		n.t.Fatalf("listen %s: %v", id, err)
+	}
+	ep := NewEndpoint(svc.Server(), id, svc.Client(), 150*time.Millisecond)
+	ep.SetSendFilter(func(to string, _ *Message, send func() error) error {
+		n.mu.Lock()
+		same := n.group[id] == n.group[to]
+		n.mu.Unlock()
+		if !same {
+			return fmt.Errorf("%w: %s -> %s partitioned", ErrUnreachable, id, to)
+		}
+		return send()
+	})
+	node := &testNode{svc: svc, ep: ep}
+	n.mu.Lock()
+	n.nodes[id] = node
+	n.mu.Unlock()
+	n.t.Cleanup(func() {
+		ep.Close()
+		svc.Close()
+	})
+	return ep
+}
+
+// SetPartition assigns id to a partition group; messages flow only
+// within a group (group 0 is the default connected component).
+func (n *testNet) SetPartition(id string, g int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group[id] = g
+}
+
+// Heal moves every endpoint back to group 0.
+func (n *testNet) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.group {
+		n.group[id] = 0
+	}
+}
+
+// Kill closes id's service, modelling host failure: peers' dials are
+// refused and their cached connections break.
+func (n *testNet) Kill(id string) {
+	n.mu.Lock()
+	node := n.nodes[id]
+	delete(n.nodes, id)
+	n.mu.Unlock()
+	if node != nil {
+		node.ep.Close()
+		node.svc.Close()
+	}
+}
+
+// startClique spins up n members named m0..m(n-1) on a shared fabric.
+func startClique(t *testing.T, n int) (*testNet, []*Member, []string) {
 	t.Helper()
-	net := NewMemNetwork()
+	net := newTestNet(t)
 	ids := make([]string, n)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("m%02d", i)
@@ -74,7 +169,7 @@ func agreeOn(members []*Member, want []string) bool {
 }
 
 func TestSingletonCliqueIsItsOwnLeader(t *testing.T) {
-	net := NewMemNetwork()
+	net := newTestNet(t)
 	m := New(fastConfig([]string{"solo"}), net.Endpoint("solo"))
 	m.Start()
 	defer m.Stop()
@@ -145,7 +240,7 @@ func TestCliqueMergesAfterHeal(t *testing.T) {
 }
 
 func TestCliqueOnChangeFires(t *testing.T) {
-	net := NewMemNetwork()
+	net := newTestNet(t)
 	ids := []string{"a", "b"}
 	changes := make(chan View, 64)
 	cfg := fastConfig(ids)
@@ -313,7 +408,7 @@ func TestCliqueSequentialKills(t *testing.T) {
 // nobody; the leader's view contains it, so merge probes skip it. The
 // relay-time nudge to the token origin must recover it.
 func TestTokenRelayRecoversMissedViewUpdate(t *testing.T) {
-	net := NewMemNetwork()
+	net := newTestNet(t)
 	// Join-through topology: "c" is the well-known member (no peers of
 	// its own); "a" and "b" join through it. Union leader is "a", so the
 	// stranded member "c" is a follower with an empty home list.
@@ -353,7 +448,7 @@ func TestTokenRelayRecoversMissedViewUpdate(t *testing.T) {
 // nobody either (well-known first member, home list is just itself). The
 // stale-token nudge is the only path that reunifies the configurations.
 func TestStaleTokenNudgeReunifiesSplitConfigurations(t *testing.T) {
-	net := NewMemNetwork()
+	net := newTestNet(t)
 	// Join-through topology in which the union leader is the LAST joiner:
 	// "b" is the well-known member, "c" joins through it, then "a".
 	peersOf := map[string][]string{"b": nil, "c": {"b"}, "a": {"b", "c"}}

@@ -4,10 +4,13 @@
 // to network or host failure) and then merge when conditions permit
 // (section 2.3 of the paper).
 //
-// The protocol runs over a pluggable Transport. A TCP transport (see
-// tcp.go) carries it between real daemons; an in-memory transport (see
-// mem.go) lets tests and the SC98 simulation inject partitions
-// deterministically.
+// The protocol rides the lingua franca: an Endpoint (see endpoint.go)
+// attaches to a wire.Server and sends through a wire.Client, so the
+// substrate is whatever wire.Transport those were built on — real TCP
+// daemons or a whole pool in one process over wire.MemTransport. The
+// package used to define its own transport interface with a parallel
+// in-memory fabric; that layer was folded into wire so partitions,
+// faults, and in-process runs are injected once, beneath every protocol.
 package clique
 
 import (
@@ -15,7 +18,7 @@ import (
 	"sort"
 )
 
-// ErrUnreachable is returned by Transport.Send when the destination cannot
+// ErrUnreachable is returned by Endpoint.Send when the destination cannot
 // be contacted (host failure or network partition).
 var ErrUnreachable = errors.New("clique: peer unreachable")
 
@@ -99,22 +102,6 @@ type Message struct {
 	From  string
 	View  View
 	Token *Token
-}
-
-// Transport delivers clique messages between members. Send is synchronous:
-// it returns ErrUnreachable (or another error) if the peer cannot accept
-// the message, which is how the protocol detects failures. Implementations
-// must invoke the handler serially or the Member will serialize internally.
-type Transport interface {
-	// Self returns this endpoint's ID (its address).
-	Self() string
-	// Send delivers msg to peer `to`.
-	Send(to string, msg *Message) error
-	// SetHandler installs the receive callback. Must be called before any
-	// message can arrive.
-	SetHandler(h func(msg *Message))
-	// Close releases the endpoint.
-	Close() error
 }
 
 // sortedUnion returns the sorted union of two ID sets.

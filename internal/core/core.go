@@ -113,8 +113,11 @@ type ComponentConfig struct {
 	// CallTimeout bounds service calls (default 2s; report time-outs are
 	// discovered dynamically regardless).
 	CallTimeout time.Duration
+	// Transport selects the wire substrate for the component's listener
+	// and dials (nil = TCP).
+	Transport wire.Transport
 	// Dialer overrides how outbound connections are opened (fault
-	// injection, tests). Nil means wire.Dial.
+	// injection, tests). Nil means dialling over Transport.
 	Dialer wire.DialFunc
 	// Retry, if set, governs the component's retransmission policy:
 	// bounded attempts with forecast-driven back-off, never blindly
@@ -152,6 +155,7 @@ type ComponentConfig struct {
 // state and logging services.
 type Component struct {
 	cfg       ComponentConfig
+	svc       *wire.Service
 	srv       *wire.Server
 	client    *wire.Client
 	agent     *gossip.Agent
@@ -176,24 +180,26 @@ func NewComponent(cfg ComponentConfig) *Component {
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
+	svc := wire.NewService(wire.ServiceConfig{
+		ListenAddr:  cfg.ListenAddr,
+		Transport:   cfg.Transport,
+		Metrics:     cfg.Metrics,
+		DialTimeout: cfg.CallTimeout,
+		Dialer:      cfg.Dialer,
+		Retry:       cfg.Retry,
+		Silent:      true,
+	})
 	c := &Component{
 		cfg:       cfg,
-		srv:       wire.NewServer(),
-		client:    wire.NewClient(cfg.CallTimeout),
+		svc:       svc,
+		srv:       svc.Server(),
+		client:    svc.Client(),
 		forecasts: forecast.NewRegistry(),
 		health:    wire.NewHealthTracker(cfg.MaxServiceFailures, cfg.ServiceCooldown),
 		tracked:   make(map[string]string),
 	}
-	c.metrics = cfg.Metrics
-	if c.metrics == nil {
-		c.metrics = telemetry.NewRegistry()
-	}
-	c.srv.SetMetrics(c.metrics)
-	c.client.Metrics = c.metrics
+	c.metrics = svc.Metrics()
 	c.health.Metrics = c.metrics
-	c.client.Dialer = cfg.Dialer
-	c.client.Retry = cfg.Retry
-	c.srv.Logf = func(string, ...any) {}
 	if len(cfg.PStates) > 0 {
 		rs, err := pstate.NewReplicaSet(c.client, pstate.ReplicaSetConfig{
 			Addrs:   cfg.PStates,
@@ -218,7 +224,7 @@ func (c *Component) Metrics() *telemetry.Registry { return c.metrics }
 // Start binds the component's server, joins the Gossip service, and
 // prepares the scheduling runner. It returns the component's address.
 func (c *Component) Start() (string, error) {
-	addr, err := c.srv.Listen(c.cfg.ListenAddr)
+	addr, err := c.svc.Start()
 	if err != nil {
 		return "", err
 	}
@@ -290,10 +296,7 @@ func (c *Component) Runner() *sched.Runner { return c.runner }
 func (c *Component) Health() *wire.HealthTracker { return c.health }
 
 // Close shuts the component down.
-func (c *Component) Close() {
-	c.srv.Close()
-	c.client.Close()
-}
+func (c *Component) Close() { c.svc.Close() }
 
 // onFound handles a verified counter-example: replicate it via Gossip
 // (volatile-but-replicated) and checkpoint it via the persistent state

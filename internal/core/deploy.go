@@ -37,6 +37,9 @@ type DeploymentConfig struct {
 	LogFile string
 	// SyncInterval tunes the Gossip pool (default 200ms for local runs).
 	SyncInterval time.Duration
+	// Transport selects the wire substrate every service binds on
+	// (nil = TCP). Components must be given the same transport.
+	Transport wire.Transport
 }
 
 // Deployment is a running local constellation.
@@ -53,9 +56,9 @@ type Deployment struct {
 	extraPS []*pstate.Server
 	logs    *logsvc.Server
 
-	rosterSrv   *wire.Server
+	rosterSvc   *wire.Service
 	rosterAgent *gossip.Agent
-	rosterWC    *wire.Client
+	transport   wire.Transport
 }
 
 // StartDeployment launches the requested services.
@@ -75,7 +78,7 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if cfg.SyncInterval == 0 {
 		cfg.SyncInterval = 200 * time.Millisecond
 	}
-	d := &Deployment{}
+	d := &Deployment{transport: cfg.Transport}
 	ok := false
 	defer func() {
 		if !ok {
@@ -84,7 +87,7 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}()
 
 	// Logging server first so other services can reference it.
-	ls, err := logsvc.NewServer(logsvc.ServerConfig{ListenAddr: "127.0.0.1:0", File: cfg.LogFile})
+	ls, err := logsvc.NewServer(logsvc.ServerConfig{ListenAddr: "127.0.0.1:0", File: cfg.LogFile, Transport: cfg.Transport})
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +105,7 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 			WellKnown:    append([]string(nil), d.GossipAddrs...),
 			SyncInterval: cfg.SyncInterval,
 			Heartbeat:    cfg.SyncInterval,
+			Transport:    cfg.Transport,
 		})
 		addr, err := g.Start()
 		if err != nil {
@@ -119,6 +123,7 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 			Heuristics:   cfg.Heuristics,
 			DefaultSteps: cfg.StepsPerCycle,
 			LogAddr:      d.LogAddr,
+			Transport:    cfg.Transport,
 		})
 		addr, err := s.Start()
 		if err != nil {
@@ -130,24 +135,26 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 
 	// Publish the scheduler roster through the Gossip service so clients
 	// can learn the viable schedulers dynamically (section 5.4).
-	d.rosterSrv = wire.NewServer()
-	d.rosterSrv.Logf = func(string, ...any) {}
-	rosterAddr, err := d.rosterSrv.Listen("127.0.0.1:0")
+	d.rosterSvc = wire.NewService(wire.ServiceConfig{
+		ListenAddr: "127.0.0.1:0",
+		Transport:  cfg.Transport,
+		Silent:     true,
+	})
+	rosterAddr, err := d.rosterSvc.Start()
 	if err != nil {
 		return nil, err
 	}
-	d.rosterAgent = gossip.NewAgent(d.rosterSrv, rosterAddr)
+	d.rosterAgent = gossip.NewAgent(d.rosterSvc.Server(), rosterAddr)
 	if err := d.rosterAgent.Track(SchedulerRosterKey, gossip.CmpCounter, nil); err != nil {
 		return nil, err
 	}
-	d.rosterWC = wire.NewClient(2 * time.Second)
-	if err := d.rosterAgent.Register(d.rosterWC, d.GossipAddrs[0], SchedulerRosterKey, gossip.CmpCounter, 2*time.Second); err != nil {
+	if err := d.rosterAgent.Register(d.rosterSvc.Client(), d.GossipAddrs[0], SchedulerRosterKey, gossip.CmpCounter, 2*time.Second); err != nil {
 		return nil, fmt.Errorf("core: roster registration: %w", err)
 	}
 	d.PublishRoster()
 
 	if cfg.PStateDir != "" {
-		ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: cfg.PStateDir})
+		ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: cfg.PStateDir, Transport: cfg.Transport})
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +166,7 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		d.PStateAddrs = append(d.PStateAddrs, ps.Addr())
 	}
 	for i, dir := range cfg.ExtraPStateDirs {
-		ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: dir})
+		ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: dir, Transport: cfg.Transport})
 		if err != nil {
 			return nil, fmt.Errorf("core: extra pstate %d: %w", i, err)
 		}
@@ -212,6 +219,7 @@ func (d *Deployment) NewComponentConfig(id, infra string) ComponentConfig {
 	cfg := ComponentConfig{
 		ID:         id,
 		Infra:      infra,
+		Transport:  d.transport,
 		Schedulers: append([]string(nil), d.SchedAddrs...),
 		Gossips:    append([]string(nil), d.GossipAddrs...),
 		LogServers: []string{d.LogAddr},
@@ -248,10 +256,7 @@ func (d *Deployment) Close() {
 	if d.logs != nil {
 		d.logs.Close()
 	}
-	if d.rosterSrv != nil {
-		d.rosterSrv.Close()
-	}
-	if d.rosterWC != nil {
-		d.rosterWC.Close()
+	if d.rosterSvc != nil {
+		d.rosterSvc.Close()
 	}
 }

@@ -1,10 +1,13 @@
 package faults
 
 import (
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"everyware/internal/telemetry"
+	"everyware/internal/wire"
 )
 
 // chaosConfig is the soak configuration: SC98-floor fault rates (15% of
@@ -94,6 +97,77 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("delivered ops=%d cycles=%d errs=%d retries=%d merges=%d acked=%d lost=%d crashes=%d",
 		res.Ops, res.CompletedCycles, res.ComponentErrs, res.Retries, res.PartitionsHealed,
 		res.AckedWrites, res.LostWrites, res.PStateCrashes)
+}
+
+// TestChaosTransportParity is the lingua franca promise made testable:
+// the identical chaos scenario — same seed, same fault schedule, same
+// partition/heal experiment — runs once over real TCP sockets and once
+// over in-memory pipes, and the protocol behaviour must match. "Match"
+// means every convergence assertion holds on both transports and the
+// fleet exchanged the same set of message types, read from each daemon's
+// own wire.server.handle.t<N> telemetry spans (the per-type service-time
+// instrument every served request passes through).
+func TestChaosTransportParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos parity skipped in -short mode")
+	}
+	run := func(label string, tr wire.Transport) (*ScenarioResult, time.Duration) {
+		cfg := chaosConfig(t, 77)
+		cfg.PStateCrash = false // durability soaks separately; keep both runs identical and lean
+		cfg.Components = 2
+		cfg.Cycles = 4
+		cfg.Transport = tr
+		start := time.Now()
+		res, err := RunScenario(cfg)
+		if err != nil {
+			t.Fatalf("%s scenario: %v", label, err)
+		}
+		elapsed := time.Since(start)
+		if res.Ops == 0 {
+			t.Fatalf("%s: no useful operations delivered", label)
+		}
+		if !res.PoolSplit || !res.PoolMerged {
+			t.Errorf("%s: partition experiment split=%v merged=%v", label, res.PoolSplit, res.PoolMerged)
+		}
+		if res.Stats.Dropped == 0 || res.Stats.Delivered == 0 {
+			t.Errorf("%s: injector counters implausible: %+v", label, res.Stats)
+		}
+		if len(res.Snapshots) == 0 {
+			t.Fatalf("%s: no telemetry snapshots collected", label)
+		}
+		return res, elapsed
+	}
+	memRes, memDur := run("mem", wire.NewMemTransport())
+	tcpRes, tcpDur := run("tcp", nil)
+
+	// Fleet-wide handled-message-type sets must be identical: the same
+	// protocol conversations happened regardless of substrate.
+	handledTypes := func(res *ScenarioResult) []string {
+		set := make(map[string]bool)
+		for _, snap := range res.Snapshots {
+			for _, sm := range snap.Samples {
+				if rest, ok := strings.CutPrefix(sm.Name, "wire.server.handle.t"); ok {
+					set["t"+strings.SplitN(rest, ".", 2)[0]] = true
+				}
+			}
+		}
+		out := make([]string, 0, len(set))
+		for k := range set {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	memTypes, tcpTypes := handledTypes(memRes), handledTypes(tcpRes)
+	if strings.Join(memTypes, ",") != strings.Join(tcpTypes, ",") {
+		t.Errorf("handled message types diverge across transports:\n  mem: %v\n  tcp: %v", memTypes, tcpTypes)
+	}
+	// Both fleets must have exercised the degradation ladder.
+	if memRes.Retries == 0 || tcpRes.Retries == 0 {
+		t.Errorf("zero retries under faults: mem=%d tcp=%d", memRes.Retries, tcpRes.Retries)
+	}
+	t.Logf("parity: %d message types on both transports; mem %v vs tcp %v (ops mem=%d tcp=%d)",
+		len(memTypes), memDur.Round(time.Millisecond), tcpDur.Round(time.Millisecond), memRes.Ops, tcpRes.Ops)
 }
 
 // TestChaosSameSeedBothComplete: reproducibility at the run level — two

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"everyware/internal/clique"
+	"everyware/internal/wire"
 )
 
 // eventually polls cond until it holds or the deadline passes.
@@ -39,11 +40,11 @@ func agreeOn(members []*clique.Member, want []string) bool {
 	return true
 }
 
-// startFaultyClique runs n members over the in-memory network with every
-// transport decorated by the injector.
+// startFaultyClique runs n members over an in-memory wire transport with
+// every endpoint's outbound path decorated by the injector.
 func startFaultyClique(t *testing.T, n int, in *Injector) ([]*clique.Member, []string) {
 	t.Helper()
-	net := clique.NewMemNetwork()
+	mt := wire.NewMemTransport()
 	ids := make([]string, n)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("m%02d", i)
@@ -56,7 +57,22 @@ func startFaultyClique(t *testing.T, n int, in *Injector) ([]*clique.Member, []s
 	}
 	members := make([]*clique.Member, n)
 	for i, id := range ids {
-		members[i] = clique.New(cfg, in.Transport(net.Endpoint(id)))
+		svc := wire.NewService(wire.ServiceConfig{
+			ListenAddr:  id,
+			Transport:   mt,
+			DialTimeout: 100 * time.Millisecond,
+			Silent:      true,
+		})
+		if _, err := svc.Start(); err != nil {
+			t.Fatalf("listen %s: %v", id, err)
+		}
+		ep := clique.NewEndpoint(svc.Server(), id, svc.Client(), 150*time.Millisecond)
+		in.WrapEndpoint(ep)
+		t.Cleanup(func() {
+			ep.Close()
+			svc.Close()
+		})
+		members[i] = clique.New(cfg, ep)
 		members[i].Start()
 	}
 	t.Cleanup(func() {

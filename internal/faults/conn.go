@@ -6,11 +6,6 @@ import (
 	"time"
 )
 
-// netDial is indirected for tests.
-var netDial = func(addr string, timeout time.Duration) (net.Conn, error) {
-	return net.DialTimeout("tcp", addr, timeout)
-}
-
 // wrap decorates nc with the injector's fault schedule for the
 // from->to stream. Faults are injected at write granularity: the lingua
 // franca writes one frame per Write call, so a verdict perturbs exactly

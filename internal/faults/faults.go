@@ -274,15 +274,27 @@ func (in *Injector) ScheduleFor(stream string, n int) []Action {
 // refused across active partitions, and every connection it opens injects
 // the from->to stream's fault schedule into outbound frames. self is
 // evaluated late so a process may register its own label after binding an
-// ephemeral port.
+// ephemeral port. Connections ride TCP; use DialerOn to chaos a
+// different substrate.
 func (in *Injector) Dialer(from string) wire.DialFunc {
+	return in.DialerOn(nil, from)
+}
+
+// DialerOn is Dialer over an explicit wire.Transport (nil means TCP).
+// The injector perturbs whatever conns the transport produces — real
+// sockets and in-memory pipes take faults identically, so a chaos
+// scenario runs unchanged over either substrate.
+func (in *Injector) DialerOn(tr wire.Transport, from string) wire.DialFunc {
+	if tr == nil {
+		tr = wire.TCP
+	}
 	return func(addr string, timeout time.Duration) (*wire.Conn, error) {
 		to := in.LabelFor(addr)
 		if in.Partitioned(from, to) {
 			in.refused.Add(1)
 			return nil, fmt.Errorf("faults: %s -> %s partitioned", from, to)
 		}
-		nc, err := netDial(addr, timeout)
+		nc, err := tr.Dial(addr, timeout)
 		if err != nil {
 			return nil, err
 		}

@@ -77,16 +77,15 @@ func TestScheduleHitsConfiguredRates(t *testing.T) {
 // idempotent call against a real TCP server, and the injector's counters
 // show the chaos actually happened.
 func TestDialerInjectsFaultsAndRetrySurvives(t *testing.T) {
-	srv := wire.NewServer()
-	srv.Logf = func(string, ...any) {}
-	srv.Register(msgEcho, wire.HandlerFunc(func(_ string, req *wire.Packet) (*wire.Packet, error) {
+	svc := wire.NewService(wire.ServiceConfig{ListenAddr: "127.0.0.1:0", Silent: true})
+	svc.Handle(msgEcho, wire.HandlerFunc(func(_ string, req *wire.Packet) (*wire.Packet, error) {
 		return &wire.Packet{Type: msgEcho, Payload: req.Payload}, nil
 	}))
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := svc.Start()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer svc.Close()
 
 	in := New(Config{Seed: 1, Drop: 0.2, Reset: 0.1, Torn: 0.05})
 	in.RegisterName(addr, "svc")
@@ -114,13 +113,12 @@ func TestDialerInjectsFaultsAndRetrySurvives(t *testing.T) {
 // established connections across it break on the next send, and Heal
 // restores connectivity.
 func TestPartitionRefusesAndHeals(t *testing.T) {
-	srv := wire.NewServer()
-	srv.Logf = func(string, ...any) {}
-	addr, err := srv.Listen("127.0.0.1:0")
+	svc := wire.NewService(wire.ServiceConfig{ListenAddr: "127.0.0.1:0", Silent: true})
+	addr, err := svc.Start()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer svc.Close()
 
 	in := New(Config{Seed: 5})
 	in.RegisterName(addr, "svc")
@@ -152,19 +150,18 @@ func TestPartitionRefusesAndHeals(t *testing.T) {
 // twice; the client still completes (the demux discards the stray reply).
 func TestDuplicateDeliveredTwice(t *testing.T) {
 	var handled int64
-	srv := wire.NewServer()
-	srv.Logf = func(string, ...any) {}
+	svc := wire.NewService(wire.ServiceConfig{ListenAddr: "127.0.0.1:0", Silent: true})
 	done := make(chan struct{}, 16)
-	srv.Register(msgEcho, wire.HandlerFunc(func(_ string, req *wire.Packet) (*wire.Packet, error) {
+	svc.Handle(msgEcho, wire.HandlerFunc(func(_ string, req *wire.Packet) (*wire.Packet, error) {
 		handled++
 		done <- struct{}{}
 		return &wire.Packet{Type: msgEcho}, nil
 	}))
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := svc.Start()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer svc.Close()
 
 	in := New(Config{Seed: 3, Dup: 1.0}) // every message duplicated
 	in.RegisterName(addr, "svc")

@@ -48,19 +48,21 @@ func TestGossipAntiEntropyUnderFaults(t *testing.T) {
 	// Two components, each registering the shared key with a different
 	// Gossip; both clients dial through the injector too.
 	mk := func(label, gaddr string) (*gossip.Agent, *wire.Client, string) {
-		srv := wire.NewServer()
-		srv.Logf = func(string, ...any) {}
-		addr, err := srv.Listen("127.0.0.1:0")
+		svc := wire.NewService(wire.ServiceConfig{
+			ListenAddr:  "127.0.0.1:0",
+			DialTimeout: time.Second,
+			Dialer:      in.Dialer(label),
+			Retry:       &wire.RetryPolicy{MaxAttempts: 5, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+			Silent:      true,
+		})
+		addr, err := svc.Start()
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { srv.Close() })
+		t.Cleanup(func() { svc.Close() })
 		in.RegisterName(addr, label)
-		a := gossip.NewAgent(srv, addr)
-		c := wire.NewClient(time.Second)
-		c.Dialer = in.Dialer(label)
-		c.Retry = &wire.RetryPolicy{MaxAttempts: 5, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond}
-		t.Cleanup(c.Close)
+		a := gossip.NewAgent(svc.Server(), addr)
+		c := svc.Client()
 		eventually(t, 10*time.Second, func() bool {
 			return a.Register(c, gaddr, "k", gossip.CmpCounter, time.Second) == nil
 		}, "component registration despite faults")

@@ -46,6 +46,11 @@ type ScenarioConfig struct {
 	// peers mid-run, verifies the clique splits, heals the cut, and
 	// verifies the pool re-merges.
 	PartitionHeal bool
+	// Transport selects the wire substrate every daemon, component, and
+	// probe runs on (nil = TCP). A wire.MemTransport runs the whole
+	// scenario in-process — same protocol, same fault injector, no
+	// kernel sockets.
+	Transport wire.Transport
 	// PStateCrash, when true, runs the durability experiment: a
 	// background writer quorum-writes checkpoints throughout the run
 	// while the harness crashes pstate2 mid-persist (torn final write),
@@ -161,7 +166,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			ListenAddr:   "127.0.0.1:0",
 			Dir:          psDirs[i],
 			SyncInterval: psSync,
-			Dialer:       in.Dialer(label),
+			Transport:    cfg.Transport,
+			Dialer:       in.DialerOn(cfg.Transport, label),
 			Retry:        retryPolicy(),
 		}
 		if crasher != nil && i == 1 {
@@ -197,7 +203,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// Scheduling servers.
 	schedAddrs := make([]string, 0, cfg.Schedulers)
 	for i := 0; i < cfg.Schedulers; i++ {
-		ss := sched.NewServer(sched.ServerConfig{ListenAddr: "127.0.0.1:0", DefaultSteps: 400})
+		ss := sched.NewServer(sched.ServerConfig{ListenAddr: "127.0.0.1:0", DefaultSteps: 400, Transport: cfg.Transport})
 		addr, err := ss.Start()
 		if err != nil {
 			return nil, err
@@ -223,7 +229,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			// 2x this, so partition detection and re-merge stay sub-second
 			// even when injected faults stall individual token hops.
 			CallTimeout: 250 * time.Millisecond,
-			Dialer:      in.Dialer(label),
+			Transport:   cfg.Transport,
+			Dialer:      in.DialerOn(cfg.Transport, label),
 			Retry:       retryPolicy(),
 		})
 		addr, err := g.Start()
@@ -260,7 +267,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			Schedulers:         schedAddrs,
 			Gossips:            gossipAddrs,
 			PStates:            append([]string(nil), psAddrs...),
-			Dialer:             in.Dialer(label),
+			Transport:          cfg.Transport,
+			Dialer:             in.DialerOn(cfg.Transport, label),
 			Retry:              retryPolicy(),
 			MaxServiceFailures: 3,
 			ServiceCooldown:    200 * time.Millisecond,
@@ -280,6 +288,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// counter. The probe client dials directly (no injector) — introspection
 	// is an observer, not a chaos participant.
 	probe := wire.NewClient(2 * time.Second)
+	probe.Transport = cfg.Transport
 	defer probe.Close()
 	baselineMerges := make(map[string]int64, len(gossipAddrs))
 	for _, addr := range gossipAddrs {
@@ -303,7 +312,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	var writerWG sync.WaitGroup
 	if cfg.PStateCrash {
 		wcW := wire.NewClient(500 * time.Millisecond)
-		wcW.Dialer = in.Dialer("cw")
+		wcW.Dialer = in.DialerOn(cfg.Transport, "cw")
 		wcW.Retry = retryPolicy()
 		defer wcW.Close()
 		rs, err := pstate.NewReplicaSet(wcW, pstate.ReplicaSetConfig{
@@ -409,7 +418,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			ListenAddr:   psAddrs[1],
 			Dir:          psDirs[1],
 			SyncInterval: psSync,
-			Dialer:       in.Dialer("pstate2"),
+			Transport:    cfg.Transport,
+			Dialer:       in.DialerOn(cfg.Transport, "pstate2"),
 			Retry:        retryPolicy(),
 			Peers:        psPeers(1),
 		})

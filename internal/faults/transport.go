@@ -7,46 +7,39 @@ import (
 	"everyware/internal/clique"
 )
 
-// Transport decorates an existing clique transport with the injector's
-// fault schedule, at whole-message granularity. It lets clique protocol
-// tests inject drops, delays, duplicates, and partitions into token and
-// view traffic directly — including over the in-memory transport, where
-// there is no byte stream to perturb.
-func (in *Injector) Transport(tr clique.Transport) clique.Transport {
-	return &faultTransport{Transport: tr, in: in}
-}
-
-type faultTransport struct {
-	clique.Transport
-	in *Injector
-}
-
-func (t *faultTransport) Send(to string, msg *clique.Message) error {
-	from := t.in.LabelFor(t.Self())
-	toL := t.in.LabelFor(to)
-	if t.in.Partitioned(from, toL) {
-		t.in.refused.Add(1)
-		return fmt.Errorf("faults: clique %s -> %s partitioned", from, toL)
-	}
-	t.in.messages.Add(1)
-	act, delay := t.in.verdict(from + "->" + toL)
-	switch act {
-	case ActDrop:
-		t.in.dropped.Add(1)
-		return nil // swallowed: sender believes it was sent
-	case ActDelay:
-		t.in.delayed.Add(1)
-		time.Sleep(delay)
-	case ActDup:
-		t.in.duplicated.Add(1)
-		if err := t.Transport.Send(to, msg); err != nil {
-			return err
+// WrapEndpoint installs the injector's fault schedule on a clique
+// endpoint's outbound path, at whole-message granularity. It lets clique
+// protocol tests inject drops, delays, duplicates, and partitions into
+// token and view traffic directly — the byte-stream wrappers would
+// perturb the RPC framing, not individual protocol messages.
+func (in *Injector) WrapEndpoint(ep *clique.Endpoint) {
+	ep.SetSendFilter(func(to string, _ *clique.Message, send func() error) error {
+		from := in.LabelFor(ep.Self())
+		toL := in.LabelFor(to)
+		if in.Partitioned(from, toL) {
+			in.refused.Add(1)
+			return fmt.Errorf("faults: clique %s -> %s partitioned", from, toL)
 		}
-	case ActReset, ActTorn:
-		// No byte stream at this layer: both collapse to a failed send.
-		t.in.resets.Add(1)
-		return fmt.Errorf("faults: clique %s -> %s reset", from, toL)
-	}
-	t.in.delivered.Add(1)
-	return t.Transport.Send(to, msg)
+		in.messages.Add(1)
+		act, delay := in.verdict(from + "->" + toL)
+		switch act {
+		case ActDrop:
+			in.dropped.Add(1)
+			return nil // swallowed: sender believes it was sent
+		case ActDelay:
+			in.delayed.Add(1)
+			time.Sleep(delay)
+		case ActDup:
+			in.duplicated.Add(1)
+			if err := send(); err != nil {
+				return err
+			}
+		case ActReset, ActTorn:
+			// No byte stream at this layer: both collapse to a failed send.
+			in.resets.Add(1)
+			return fmt.Errorf("faults: clique %s -> %s reset", from, toL)
+		}
+		in.delivered.Add(1)
+		return send()
+	})
 }

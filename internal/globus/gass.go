@@ -15,7 +15,7 @@ import (
 // platforms; GRAM job requests referenced repository paths instead of
 // gatekeeper-local files.
 type GASS struct {
-	srv *wire.Server
+	svc *wire.Service
 
 	mu    sync.Mutex
 	files map[string][]byte
@@ -23,25 +23,32 @@ type GASS struct {
 	used  int64
 }
 
-// NewGASS constructs a GASS server with the given payload quota
+// NewGASS constructs a GASS server on TCP with the given payload quota
 // (0 = unlimited).
-func NewGASS(quota int64) *GASS {
-	g := &GASS{srv: wire.NewServer(), files: make(map[string][]byte), quota: quota}
-	g.srv.Logf = func(string, ...any) {}
-	g.srv.Register(MsgGASSPut, wire.HandlerFunc(g.handlePut))
-	g.srv.Register(MsgGASSGet, wire.HandlerFunc(g.handleGet))
-	g.srv.Register(MsgGASSList, wire.HandlerFunc(g.handleList))
+func NewGASS(quota int64) *GASS { return NewGASSOn(quota, nil) }
+
+// NewGASSOn constructs a GASS server on the given wire transport (nil
+// means TCP).
+func NewGASSOn(quota int64, tr wire.Transport) *GASS {
+	g := &GASS{
+		svc:   wire.NewService(wire.ServiceConfig{Name: "gass", Transport: tr, Silent: true}),
+		files: make(map[string][]byte),
+		quota: quota,
+	}
+	g.svc.Handle(MsgGASSPut, wire.HandlerFunc(g.handlePut))
+	g.svc.Handle(MsgGASSGet, wire.HandlerFunc(g.handleGet))
+	g.svc.Handle(MsgGASSList, wire.HandlerFunc(g.handleList))
 	return g
 }
 
 // Start binds the listener and returns the bound address.
-func (g *GASS) Start(addr string) (string, error) { return g.srv.Listen(addr) }
+func (g *GASS) Start(addr string) (string, error) { return g.svc.StartAt(addr) }
 
 // Addr returns the bound address.
-func (g *GASS) Addr() string { return g.srv.Addr() }
+func (g *GASS) Addr() string { return g.svc.Addr() }
 
 // Close stops the daemon.
-func (g *GASS) Close() { g.srv.Close() }
+func (g *GASS) Close() { g.svc.Close() }
 
 // Put stores data under path (in-process use).
 func (g *GASS) Put(path string, data []byte) error {

@@ -90,12 +90,14 @@ type GatekeeperConfig struct {
 	Launch Launcher
 	// StageTimeout bounds GASS fetches (default 5s).
 	StageTimeout time.Duration
+	// Transport selects the wire substrate (nil = TCP).
+	Transport wire.Transport
 }
 
 // Gatekeeper is a GRAM process-creation endpoint.
 type Gatekeeper struct {
 	cfg GatekeeperConfig
-	srv *wire.Server
+	svc *wire.Service
 	wc  *wire.Client
 
 	mu     sync.Mutex
@@ -115,19 +117,23 @@ func NewGatekeeper(cfg GatekeeperConfig) *Gatekeeper {
 	if cfg.Launch == nil {
 		cfg.Launch = func(*Job) (Process, error) { return inertProcess{}, nil }
 	}
+	svc := wire.NewService(wire.ServiceConfig{
+		Name:      "gram",
+		Transport: cfg.Transport,
+		Silent:    true,
+	})
 	g := &Gatekeeper{
 		cfg:   cfg,
-		srv:   wire.NewServer(),
-		wc:    wire.NewClient(2 * time.Second),
+		svc:   svc,
+		wc:    svc.Client(),
 		jobs:  make(map[uint64]*Job),
 		procs: make(map[uint64]Process),
 	}
-	g.srv.Logf = func(string, ...any) {}
-	g.srv.Register(MsgGRAMAuth, wire.HandlerFunc(g.handleAuth))
-	g.srv.Register(MsgGRAMSubmit, wire.HandlerFunc(g.handleSubmit))
-	g.srv.Register(MsgGRAMStatus, wire.HandlerFunc(g.handleStatus))
-	g.srv.Register(MsgGRAMCancel, wire.HandlerFunc(g.handleCancel))
-	g.srv.Register(MsgGRAMList, wire.HandlerFunc(g.handleList))
+	svc.Handle(MsgGRAMAuth, wire.HandlerFunc(g.handleAuth))
+	svc.Handle(MsgGRAMSubmit, wire.HandlerFunc(g.handleSubmit))
+	svc.Handle(MsgGRAMStatus, wire.HandlerFunc(g.handleStatus))
+	svc.Handle(MsgGRAMCancel, wire.HandlerFunc(g.handleCancel))
+	svc.Handle(MsgGRAMList, wire.HandlerFunc(g.handleList))
 	return g
 }
 
@@ -136,10 +142,10 @@ type inertProcess struct{}
 func (inertProcess) Stop() {}
 
 // Start binds the listener and returns the bound address.
-func (g *Gatekeeper) Start(addr string) (string, error) { return g.srv.Listen(addr) }
+func (g *Gatekeeper) Start(addr string) (string, error) { return g.svc.StartAt(addr) }
 
 // Addr returns the bound address.
-func (g *Gatekeeper) Addr() string { return g.srv.Addr() }
+func (g *Gatekeeper) Addr() string { return g.svc.Addr() }
 
 // Close cancels all jobs and stops the daemon.
 func (g *Gatekeeper) Close() {
@@ -152,8 +158,7 @@ func (g *Gatekeeper) Close() {
 		}
 	}
 	g.mu.Unlock()
-	g.srv.Close()
-	g.wc.Close()
+	g.svc.Close()
 }
 
 // Record returns the MDS record advertising this gatekeeper.

@@ -94,7 +94,7 @@ func decodeRecord(d *wire.Decoder) (Record, error) {
 
 // MDS is the metacomputing directory service daemon.
 type MDS struct {
-	srv *wire.Server
+	svc *wire.Service
 
 	mu      sync.Mutex
 	records map[string]Record
@@ -104,28 +104,31 @@ type MDS struct {
 	Now func() time.Time
 }
 
-// NewMDS constructs an MDS daemon; call Start to serve.
-func NewMDS() *MDS {
+// NewMDS constructs an MDS daemon on TCP; call Start to serve.
+func NewMDS() *MDS { return NewMDSOn(nil) }
+
+// NewMDSOn constructs an MDS daemon on the given wire transport (nil
+// means TCP).
+func NewMDSOn(tr wire.Transport) *MDS {
 	m := &MDS{
-		srv:     wire.NewServer(),
+		svc:     wire.NewService(wire.ServiceConfig{Name: "mds", Transport: tr, Silent: true}),
 		records: make(map[string]Record),
 		TTL:     10 * time.Minute,
 		Now:     time.Now,
 	}
-	m.srv.Logf = func(string, ...any) {}
-	m.srv.Register(MsgMDSRegister, wire.HandlerFunc(m.handleRegister))
-	m.srv.Register(MsgMDSQuery, wire.HandlerFunc(m.handleQuery))
+	m.svc.Handle(MsgMDSRegister, wire.HandlerFunc(m.handleRegister))
+	m.svc.Handle(MsgMDSQuery, wire.HandlerFunc(m.handleQuery))
 	return m
 }
 
 // Start binds the listener and returns the bound address.
-func (m *MDS) Start(addr string) (string, error) { return m.srv.Listen(addr) }
+func (m *MDS) Start(addr string) (string, error) { return m.svc.StartAt(addr) }
 
 // Addr returns the bound address.
-func (m *MDS) Addr() string { return m.srv.Addr() }
+func (m *MDS) Addr() string { return m.svc.Addr() }
 
 // Close stops the daemon.
-func (m *MDS) Close() { m.srv.Close() }
+func (m *MDS) Close() { m.svc.Close() }
 
 // Register upserts a record directly (in-process use).
 func (m *MDS) Register(r Record) {

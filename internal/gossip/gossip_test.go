@@ -33,14 +33,13 @@ type testComponent struct {
 
 func newTestComponent(t *testing.T) *testComponent {
 	t.Helper()
-	srv := wire.NewServer()
-	srv.Logf = func(string, ...any) {}
-	addr, err := srv.Listen("127.0.0.1:0")
+	svc := wire.NewService(wire.ServiceConfig{ListenAddr: "127.0.0.1:0", Silent: true})
+	addr, err := svc.Start()
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.Close() })
-	return &testComponent{srv: srv, agent: NewAgent(srv, addr), addr: addr}
+	t.Cleanup(func() { svc.Close() })
+	return &testComponent{srv: svc.Server(), agent: NewAgent(svc.Server(), addr), addr: addr}
 }
 
 func newTestGossip(t *testing.T, wellKnown ...string) *Server {

@@ -32,8 +32,11 @@ type ServerConfig struct {
 	TokenTimeout time.Duration
 	// CallTimeout bounds peer and clique calls (default 2s).
 	CallTimeout time.Duration
+	// Transport selects the wire substrate for the listener and all
+	// outbound calls. Nil means TCP.
+	Transport wire.Transport
 	// Dialer overrides how outbound connections are opened (fault
-	// injection, tests). Nil means wire.Dial.
+	// injection, tests). Nil means dialing the Transport.
 	Dialer wire.DialFunc
 	// Retry, if set, governs the daemon's outbound retransmission policy.
 	// Every Gossip message type is idempotent, so retries are safe.
@@ -86,10 +89,11 @@ type regKey struct {
 // time-outs (the paper's dynamic time-out discovery).
 type Server struct {
 	cfg    ServerConfig
+	svc    *wire.Service
 	srv    *wire.Server
 	client *wire.Client
 	member *clique.Member
-	tr     *clique.TCPTransport
+	tr     *clique.Endpoint
 	addr   string
 
 	timeout *forecast.TimeoutPolicy
@@ -107,35 +111,37 @@ type Server struct {
 // NewServer constructs a Gossip process; call Start to join the pool.
 func NewServer(cfg ServerConfig) *Server {
 	cfg.fill()
+	svc := wire.NewService(wire.ServiceConfig{
+		ListenAddr:  cfg.ListenAddr,
+		Transport:   cfg.Transport,
+		Metrics:     cfg.Metrics,
+		DialTimeout: cfg.CallTimeout,
+		Dialer:      cfg.Dialer,
+		Retry:       cfg.Retry,
+		Logf:        cfg.Logf,
+	})
 	s := &Server{
 		cfg:      cfg,
-		srv:      wire.NewServer(),
-		client:   wire.NewClient(cfg.CallTimeout),
+		svc:      svc,
+		srv:      svc.Server(),
+		client:   svc.Client(),
+		metrics:  svc.Metrics(),
 		regs:     make(map[regKey]Registration),
 		failures: make(map[regKey]int),
 		timeout:  forecast.NewTimeoutPolicy(forecast.NewRegistry()),
 		done:     make(chan struct{}),
 	}
-	s.metrics = cfg.Metrics
-	if s.metrics == nil {
-		s.metrics = telemetry.NewRegistry()
-	}
-	s.srv.SetMetrics(s.metrics)
-	s.client.Dialer = cfg.Dialer
-	s.client.Retry = cfg.Retry
-	s.client.Metrics = s.metrics
-	s.srv.Logf = cfg.Logf
-	s.srv.Register(MsgRegister, wire.HandlerFunc(s.handleRegister))
-	s.srv.Register(MsgDeregister, wire.HandlerFunc(s.handleDeregister))
-	s.srv.Register(MsgShareReg, wire.HandlerFunc(s.handleShareReg))
-	s.srv.Register(MsgPoolInfo, wire.HandlerFunc(s.handlePoolInfo))
+	svc.Handle(MsgRegister, wire.HandlerFunc(s.handleRegister))
+	svc.Handle(MsgDeregister, wire.HandlerFunc(s.handleDeregister))
+	svc.Handle(MsgShareReg, wire.HandlerFunc(s.handleShareReg))
+	svc.Handle(MsgPoolInfo, wire.HandlerFunc(s.handlePoolInfo))
 	return s
 }
 
 // Start binds the listener, joins the Gossip pool via the clique protocol,
 // and begins synchronization rounds. It returns the advertised address.
 func (s *Server) Start() (string, error) {
-	bound, err := s.srv.Listen(s.cfg.ListenAddr)
+	bound, err := s.svc.Start()
 	if err != nil {
 		return "", err
 	}
@@ -146,7 +152,7 @@ func (s *Server) Start() (string, error) {
 	if s.metrics.ID() == "" {
 		s.metrics.SetID("gossip@" + s.addr)
 	}
-	s.tr = clique.NewTCPTransport(s.srv, s.addr, s.client, s.cfg.CallTimeout)
+	s.tr = clique.NewEndpoint(s.srv, s.addr, s.client, s.cfg.CallTimeout)
 	s.member = clique.New(clique.Config{
 		Peers:             s.cfg.WellKnown,
 		HeartbeatInterval: s.cfg.Heartbeat,
@@ -177,8 +183,7 @@ func (s *Server) Close() {
 	if s.tr != nil {
 		s.tr.Close()
 	}
-	s.srv.Close()
-	s.client.Close()
+	s.svc.Close()
 }
 
 // PoolView returns the current clique view of the Gossip pool.

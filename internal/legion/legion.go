@@ -78,34 +78,37 @@ type InvokeStat struct {
 // Translator bridges lingua franca messages to object method invocations
 // and monitors all traffic crossing the bridge.
 type Translator struct {
-	srv *wire.Server
+	svc *wire.Service
 
 	mu      sync.Mutex
 	objects map[string]*Object
 	stats   map[[2]string]*InvokeStat
 }
 
-// NewTranslator constructs a translator; call Start to serve.
-func NewTranslator() *Translator {
+// NewTranslator constructs a translator on TCP; call Start to serve.
+func NewTranslator() *Translator { return NewTranslatorOn(nil) }
+
+// NewTranslatorOn constructs a translator on the given wire transport
+// (nil means TCP).
+func NewTranslatorOn(tr wire.Transport) *Translator {
 	t := &Translator{
-		srv:     wire.NewServer(),
+		svc:     wire.NewService(wire.ServiceConfig{Name: "legion", Transport: tr, Silent: true}),
 		objects: make(map[string]*Object),
 		stats:   make(map[[2]string]*InvokeStat),
 	}
-	t.srv.Logf = func(string, ...any) {}
-	t.srv.Register(MsgInvoke, wire.HandlerFunc(t.handleInvoke))
-	t.srv.Register(MsgStats, wire.HandlerFunc(t.handleStats))
+	t.svc.Handle(MsgInvoke, wire.HandlerFunc(t.handleInvoke))
+	t.svc.Handle(MsgStats, wire.HandlerFunc(t.handleStats))
 	return t
 }
 
 // Start binds the listener and returns the bound address.
-func (t *Translator) Start(addr string) (string, error) { return t.srv.Listen(addr) }
+func (t *Translator) Start(addr string) (string, error) { return t.svc.StartAt(addr) }
 
 // Addr returns the bound address.
-func (t *Translator) Addr() string { return t.srv.Addr() }
+func (t *Translator) Addr() string { return t.svc.Addr() }
 
 // Close stops the daemon.
-func (t *Translator) Close() { t.srv.Close() }
+func (t *Translator) Close() { t.svc.Close() }
 
 // Register installs an object.
 func (t *Translator) Register(o *Object) error {

@@ -91,11 +91,15 @@ type ServerConfig struct {
 	// MaxFileBytes stops file appends beyond this size (0 = unlimited) —
 	// the storage-load control the paper calls out.
 	MaxFileBytes int64
+	// Transport selects the wire substrate the listener binds on. Nil
+	// means TCP.
+	Transport wire.Transport
 }
 
 // Server is one logging daemon.
 type Server struct {
 	cfg ServerConfig
+	svc *wire.Service
 	srv *wire.Server
 
 	mu        sync.Mutex
@@ -113,8 +117,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 65536
 	}
-	s := &Server{cfg: cfg, srv: wire.NewServer(), ring: make([]Entry, cfg.MaxEntries)}
-	s.srv.Logf = func(string, ...any) {}
+	svc := wire.NewService(wire.ServiceConfig{
+		Name:       "logsvc",
+		ListenAddr: cfg.ListenAddr,
+		Transport:  cfg.Transport,
+		Silent:     true,
+	})
+	s := &Server{cfg: cfg, svc: svc, srv: svc.Server(), ring: make([]Entry, cfg.MaxEntries)}
 	if cfg.File != "" {
 		f, err := os.OpenFile(cfg.File, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -128,21 +137,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.f = f
 		s.fileBytes = st.Size()
 	}
-	s.srv.Register(MsgAppend, wire.HandlerFunc(s.handleAppend))
-	s.srv.Register(MsgTail, wire.HandlerFunc(s.handleTail))
-	s.srv.Register(MsgStats, wire.HandlerFunc(s.handleStats))
+	svc.Handle(MsgAppend, wire.HandlerFunc(s.handleAppend))
+	svc.Handle(MsgTail, wire.HandlerFunc(s.handleTail))
+	svc.Handle(MsgStats, wire.HandlerFunc(s.handleStats))
 	return s, nil
 }
 
 // Start binds the listener and returns the bound address.
-func (s *Server) Start() (string, error) { return s.srv.Listen(s.cfg.ListenAddr) }
+func (s *Server) Start() (string, error) { return s.svc.Start() }
 
 // Addr returns the bound address.
-func (s *Server) Addr() string { return s.srv.Addr() }
+func (s *Server) Addr() string { return s.svc.Addr() }
 
 // Close stops the daemon and closes the log file.
 func (s *Server) Close() {
-	s.srv.Close()
+	s.svc.Close()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f != nil {

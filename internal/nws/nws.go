@@ -42,7 +42,7 @@ func init() { wire.RegisterIdempotent(MsgForecast, MsgSeries, MsgKeys) }
 // Memory is the NWS measurement memory and forecaster daemon. It keeps a
 // bounded raw-series ring per key alongside the forecasting battery.
 type Memory struct {
-	srv     *wire.Server
+	svc     *wire.Service
 	reg     *forecast.Registry
 	metrics *telemetry.Registry
 
@@ -52,26 +52,29 @@ type Memory struct {
 	KeepRaw int
 }
 
-// NewMemory constructs a memory daemon; call Start to serve.
-func NewMemory() *Memory {
+// NewMemory constructs a memory daemon on TCP; call Start to serve.
+func NewMemory() *Memory { return NewMemoryOn(nil) }
+
+// NewMemoryOn constructs a memory daemon on the given wire transport
+// (nil means TCP).
+func NewMemoryOn(tr wire.Transport) *Memory {
 	m := &Memory{
-		srv:     wire.NewServer(),
+		svc:     wire.NewService(wire.ServiceConfig{Transport: tr, Silent: true}),
 		reg:     forecast.NewRegistry(),
 		series:  make(map[forecast.Key][]float64),
 		KeepRaw: 256,
 	}
-	m.metrics = m.srv.Metrics()
-	m.srv.Logf = func(string, ...any) {}
-	m.srv.Register(MsgReport, wire.HandlerFunc(m.handleReport))
-	m.srv.Register(MsgForecast, wire.HandlerFunc(m.handleForecast))
-	m.srv.Register(MsgSeries, wire.HandlerFunc(m.handleSeries))
-	m.srv.Register(MsgKeys, wire.HandlerFunc(m.handleKeys))
+	m.metrics = m.svc.Metrics()
+	m.svc.Handle(MsgReport, wire.HandlerFunc(m.handleReport))
+	m.svc.Handle(MsgForecast, wire.HandlerFunc(m.handleForecast))
+	m.svc.Handle(MsgSeries, wire.HandlerFunc(m.handleSeries))
+	m.svc.Handle(MsgKeys, wire.HandlerFunc(m.handleKeys))
 	return m
 }
 
 // Start binds the listener and returns the bound address.
 func (m *Memory) Start(addr string) (string, error) {
-	bound, err := m.srv.Listen(addr)
+	bound, err := m.svc.StartAt(addr)
 	if err == nil && m.metrics.ID() == "" {
 		m.metrics.SetID("nws@" + bound)
 	}
@@ -85,14 +88,14 @@ func (m *Memory) Metrics() *telemetry.Registry { return m.metrics }
 // deployments); call before Start.
 func (m *Memory) SetMetrics(reg *telemetry.Registry) {
 	m.metrics = reg
-	m.srv.SetMetrics(reg)
+	m.svc.Server().SetMetrics(reg)
 }
 
 // Addr returns the bound address.
-func (m *Memory) Addr() string { return m.srv.Addr() }
+func (m *Memory) Addr() string { return m.svc.Addr() }
 
 // Close stops the daemon.
-func (m *Memory) Close() { m.srv.Close() }
+func (m *Memory) Close() { m.svc.Close() }
 
 // Report stores one measurement (in-process use).
 func (m *Memory) Report(key forecast.Key, v float64) {

@@ -92,9 +92,8 @@ func TestKeysEnumerated(t *testing.T) {
 func TestSensorMeasuresCPUAndRTT(t *testing.T) {
 	m := startMemory(t)
 	// A peer daemon whose MsgPing the sensor will time.
-	peer := wire.NewServer()
-	peer.Logf = func(string, ...any) {}
-	peerAddr, err := peer.Listen("127.0.0.1:0")
+	peer := wire.NewService(wire.ServiceConfig{ListenAddr: "127.0.0.1:0", Silent: true})
+	peerAddr, err := peer.Start()
 	if err != nil {
 		t.Fatal(err)
 	}

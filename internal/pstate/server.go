@@ -113,8 +113,11 @@ type ServerConfig struct {
 	// waits a jittered interval in [SyncInterval/2, 3*SyncInterval/2) so
 	// replica fleets don't synchronize their repair traffic).
 	SyncInterval time.Duration
+	// Transport selects the wire substrate for the listener and
+	// anti-entropy calls. Nil means TCP.
+	Transport wire.Transport
 	// Dialer overrides how anti-entropy connections are opened (fault
-	// injection, tests). Nil means wire.Dial.
+	// injection, tests). Nil means dialing the Transport.
 	Dialer wire.DialFunc
 	// Retry governs anti-entropy retransmission (nil: wire defaults).
 	Retry *wire.RetryPolicy
@@ -128,6 +131,7 @@ type ServerConfig struct {
 // Server is one persistent state manager daemon.
 type Server struct {
 	cfg     ServerConfig
+	svc     *wire.Service
 	srv     *wire.Server
 	metrics *telemetry.Registry
 
@@ -158,47 +162,46 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.SyncInterval <= 0 {
 		cfg.SyncInterval = 5 * time.Second
 	}
+	svc := wire.NewService(wire.ServiceConfig{
+		Name:       "pstate",
+		ListenAddr: cfg.ListenAddr,
+		Transport:  cfg.Transport,
+		Metrics:    cfg.Metrics,
+		Dialer:     cfg.Dialer,
+		Retry:      cfg.Retry,
+		Logf:       cfg.Logf,
+	})
 	s := &Server{
 		cfg:      cfg,
-		srv:      wire.NewServer(),
+		svc:      svc,
+		srv:      svc.Server(),
+		metrics:  svc.Metrics(),
+		peerWC:   svc.Client(),
 		objects:  make(map[string]*Object),
 		peers:    append([]string(nil), cfg.Peers...),
 		syncStop: make(chan struct{}),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	s.metrics = cfg.Metrics
-	if s.metrics == nil {
-		s.metrics = telemetry.NewRegistry()
-	}
-	s.srv.SetMetrics(s.metrics)
-	s.srv.Logf = cfg.Logf
-	s.peerWC = wire.NewClient(2 * time.Second)
-	s.peerWC.Dialer = cfg.Dialer
-	s.peerWC.Retry = cfg.Retry
-	s.peerWC.Metrics = s.metrics
 	if err := s.load(); err != nil {
 		return nil, err
 	}
-	s.srv.Register(MsgStore, wire.HandlerFunc(s.handleStore))
-	s.srv.Register(MsgFetch, wire.HandlerFunc(s.handleFetch))
-	s.srv.Register(MsgList, wire.HandlerFunc(s.handleList))
-	s.srv.Register(MsgDelete, wire.HandlerFunc(s.handleDelete))
-	s.srv.Register(MsgUsage, wire.HandlerFunc(s.handleUsage))
-	s.srv.Register(MsgStoreAt, wire.HandlerFunc(s.handleStoreAt))
-	s.srv.Register(MsgDigest, wire.HandlerFunc(s.handleDigest))
-	s.srv.Register(MsgPull, wire.HandlerFunc(s.handlePull))
+	svc.Handle(MsgStore, wire.HandlerFunc(s.handleStore))
+	svc.Handle(MsgFetch, wire.HandlerFunc(s.handleFetch))
+	svc.Handle(MsgList, wire.HandlerFunc(s.handleList))
+	svc.Handle(MsgDelete, wire.HandlerFunc(s.handleDelete))
+	svc.Handle(MsgUsage, wire.HandlerFunc(s.handleUsage))
+	svc.Handle(MsgStoreAt, wire.HandlerFunc(s.handleStoreAt))
+	svc.Handle(MsgDigest, wire.HandlerFunc(s.handleDigest))
+	svc.Handle(MsgPull, wire.HandlerFunc(s.handlePull))
 	return s, nil
 }
 
 // Start binds the listener, launches the anti-entropy loop, and returns
 // the bound address.
 func (s *Server) Start() (string, error) {
-	addr, err := s.srv.Listen(s.cfg.ListenAddr)
+	addr, err := s.svc.Start()
 	if err != nil {
 		return addr, err
-	}
-	if s.metrics.ID() == "" {
-		s.metrics.SetID("pstate@" + addr)
 	}
 	s.syncWG.Add(1)
 	go s.syncLoop()
@@ -236,8 +239,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.syncWG.Wait()
-	s.peerWC.Close()
-	s.srv.Close()
+	s.svc.Close()
 }
 
 // fileFor maps an object name to its storage path. Names are hashed so

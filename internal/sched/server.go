@@ -49,6 +49,9 @@ type ServerConfig struct {
 	StopWhenFound bool
 	// LogAddr, if set, forwards performance reports to a logging server.
 	LogAddr string
+	// Transport selects the wire substrate for the listener and outbound
+	// calls (log forwarding). Nil means TCP.
+	Transport wire.Transport
 	// SampleEdges is passed through to work units (bounds per-step cost).
 	SampleEdges int
 	// Now is injectable for simulation.
@@ -101,6 +104,7 @@ type clientRecord struct {
 // Server is one scheduling server.
 type Server struct {
 	cfg       ServerConfig
+	svc       *wire.Service
 	srv       *wire.Server
 	wc        *wire.Client
 	forecasts *forecast.Registry
@@ -126,25 +130,27 @@ type Server struct {
 // NewServer creates a scheduling server; call Start to serve.
 func NewServer(cfg ServerConfig) *Server {
 	cfg.fill()
+	svc := wire.NewService(wire.ServiceConfig{
+		Name:       "sched",
+		ListenAddr: cfg.ListenAddr,
+		Transport:  cfg.Transport,
+		Metrics:    cfg.Metrics,
+		Silent:     true,
+	})
 	s := &Server{
 		cfg:       cfg,
-		srv:       wire.NewServer(),
-		wc:        wire.NewClient(2 * time.Second),
+		svc:       svc,
+		srv:       svc.Server(),
+		wc:        svc.Client(),
+		metrics:   svc.Metrics(),
 		forecasts: forecast.NewRegistry(),
 		clients:   make(map[string]*clientRecord),
-	}
-	s.metrics = cfg.Metrics
-	if s.metrics == nil {
-		s.metrics = telemetry.NewRegistry()
 	}
 	// The injected scheduler clock is also the metrics clock: simulated
 	// runs (internal/simgrid) report spans and uptime in virtual time.
 	s.metrics.SetNow(s.cfg.Now)
-	s.srv.SetMetrics(s.metrics)
-	s.wc.Metrics = s.metrics
-	s.srv.Logf = func(string, ...any) {}
-	s.srv.Register(MsgReport, wire.HandlerFunc(s.handleReport))
-	s.srv.Register(MsgStats, wire.HandlerFunc(s.handleStats))
+	svc.Handle(MsgReport, wire.HandlerFunc(s.handleReport))
+	svc.Handle(MsgStats, wire.HandlerFunc(s.handleStats))
 	return s
 }
 
@@ -153,20 +159,15 @@ func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
 
 // Start binds the listener and returns the bound address.
 func (s *Server) Start() (string, error) {
-	addr, err := s.srv.Listen(s.cfg.ListenAddr)
-	if err == nil && s.metrics.ID() == "" {
-		s.metrics.SetID("sched@" + addr)
-	}
-	return addr, err
+	return s.svc.Start()
 }
 
 // Addr returns the bound address.
-func (s *Server) Addr() string { return s.srv.Addr() }
+func (s *Server) Addr() string { return s.svc.Addr() }
 
 // Close stops the daemon.
 func (s *Server) Close() {
-	s.srv.Close()
-	s.wc.Close()
+	s.svc.Close()
 }
 
 // Found returns the counter-examples reported so far.

@@ -59,28 +59,66 @@ func BenchmarkPacketWriteRead(b *testing.B) {
 	}
 }
 
-// BenchmarkLoopbackRoundTrip measures one full lingua franca
-// request/response over real TCP loopback — the cost every EveryWare
-// service call pays.
-func BenchmarkLoopbackRoundTrip(b *testing.B) {
-	s := NewServer()
-	s.Logf = func(string, ...any) {}
+// benchEchoService stands up an echo Service on the given transport and
+// returns its address plus a connected client.
+func benchEchoService(b *testing.B, tr Transport) (string, *Client) {
+	b.Helper()
 	const msgEcho MsgType = 200
-	s.Register(msgEcho, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
+	svc := NewService(ServiceConfig{ListenAddr: "127.0.0.1:0", Transport: tr, Silent: true})
+	svc.Handle(msgEcho, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
 		return &Packet{Type: msgEcho, Payload: req.Payload}, nil
 	}))
-	addr, err := s.Listen("127.0.0.1:0")
+	addr, err := svc.Start()
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer s.Close()
-	c := NewClient(time.Second)
-	defer c.Close()
+	b.Cleanup(func() { svc.Close() })
+	return addr, svc.Client()
+}
+
+func benchRoundTrip(b *testing.B, tr Transport) {
+	addr, c := benchEchoService(b, tr)
 	payload := make([]byte, 128)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Call(addr, &Packet{Type: msgEcho, Payload: payload}, time.Second); err != nil {
+		if _, err := c.Call(addr, &Packet{Type: 200, Payload: payload}, time.Second); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkRoundTripTCP measures one full lingua franca request/response
+// over real TCP loopback — the cost every EveryWare service call pays on
+// the default substrate.
+func BenchmarkRoundTripTCP(b *testing.B) { benchRoundTrip(b, TCP) }
+
+// BenchmarkRoundTripMem measures the same round trip over the in-memory
+// transport: the protocol-overhead floor with the kernel out of the
+// picture.
+func BenchmarkRoundTripMem(b *testing.B) { benchRoundTrip(b, NewMemTransport()) }
+
+// BenchmarkLoopbackRoundTrip is the historical name for the TCP round
+// trip, kept so recorded BENCH JSONs stay comparable across commits.
+func BenchmarkLoopbackRoundTrip(b *testing.B) { benchRoundTrip(b, TCP) }
+
+func benchConcurrentCalls(b *testing.B, tr Transport) {
+	addr, c := benchEchoService(b, tr)
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Call(addr, &Packet{Type: 200, Payload: payload}, time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentCallsTCP drives many goroutines through one shared
+// client connection: the correlation-tag demux multiplexes all in-flight
+// calls over a single TCP stream.
+func BenchmarkConcurrentCallsTCP(b *testing.B) { benchConcurrentCalls(b, TCP) }
+
+// BenchmarkConcurrentCallsMem is the same demux throughput measurement
+// over the in-memory transport.
+func BenchmarkConcurrentCallsMem(b *testing.B) { benchConcurrentCalls(b, NewMemTransport()) }

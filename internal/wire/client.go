@@ -21,8 +21,11 @@ type Client struct {
 	mu          sync.Mutex
 	conns       map[string]*Conn
 	DialTimeout time.Duration
+	// Transport selects the substrate connections are opened on. Nil
+	// means TCP. Ignored when Dialer is set.
+	Transport Transport
 	// Dialer overrides how connections are opened (fault injection,
-	// tests). Nil means Dial.
+	// tests). Nil means dialing the Transport directly.
 	Dialer DialFunc
 	// Retry, when set, governs retransmission: bounded attempts with
 	// forecast-driven exponential back-off. Nil preserves the historical
@@ -49,7 +52,13 @@ func (c *Client) conn(addr string) (*Conn, error) {
 	}
 	dial := c.Dialer
 	if dial == nil {
-		dial = Dial
+		tr := c.Transport
+		if tr == nil {
+			tr = TCP
+		}
+		dial = func(addr string, timeout time.Duration) (*Conn, error) {
+			return DialOn(tr, addr, timeout)
+		}
 	}
 	cc, err := dial(addr, c.DialTimeout)
 	if err != nil {

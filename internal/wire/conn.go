@@ -35,11 +35,16 @@ type Conn struct {
 // Close exactly once.
 func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
 
-// Dial connects to addr with a bounded connect time. The paper implemented
-// connect timeouts with a forked watchdog and later setitimer; Go's dialer
-// deadline provides the same semantics portably.
+// Dial connects to addr over TCP with a bounded connect time. The paper
+// implemented connect timeouts with a forked watchdog and later setitimer;
+// Go's dialer deadline provides the same semantics portably.
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOn(TCP, addr, timeout)
+}
+
+// DialOn connects to addr over an explicit transport.
+func DialOn(tr Transport, addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := tr.Dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}

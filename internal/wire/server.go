@@ -5,12 +5,28 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"everyware/internal/telemetry"
 )
+
+// underTest reports whether the process is a `go test` binary. Server
+// diagnostics default to silence there: per-connection error noise
+// (peers closing mid-call, chaos-injected resets) would otherwise leak
+// into every test's output.
+var underTest = strings.HasSuffix(os.Args[0], ".test") ||
+	strings.HasSuffix(os.Args[0], ".test.exe")
+
+func defaultLogf(format string, args ...any) {
+	if underTest {
+		return
+	}
+	log.Printf(format, args...)
+}
 
 // Handler processes one request packet and returns the response packet, or
 // an error which the server converts into a MsgError reply. Handlers must
@@ -27,10 +43,10 @@ func (f HandlerFunc) Handle(remote string, req *Packet) (*Packet, error) {
 	return f(remote, req)
 }
 
-// Server is a lingua franca service endpoint: it accepts TCP connections
-// and dispatches packets to handlers registered per message type. Every
-// EveryWare daemon (Gossip, scheduler, persistent state manager, logging
-// server) is built on this type.
+// Server is a lingua franca service endpoint: it accepts connections
+// from its Transport and dispatches packets to handlers registered per
+// message type. Every EveryWare daemon (Gossip, scheduler, persistent
+// state manager, logging server) is built on this type.
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[MsgType]Handler
@@ -38,8 +54,12 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
-	// Logf receives diagnostic messages; defaults to log.Printf. Settable
-	// before Serve for tests that want silence.
+	// Transport selects the substrate Listen binds on. Nil means TCP.
+	// Set before Listen.
+	Transport Transport
+	// Logf receives diagnostic messages; defaults to log.Printf, except
+	// under `go test` where per-connection noise would pollute test
+	// output — there the default discards. Settable before Listen.
 	Logf func(format string, args ...any)
 	// IdleTimeout closes connections with no traffic for this long.
 	// Zero means no idle limit.
@@ -66,7 +86,7 @@ func NewServer() *Server {
 	s := &Server{
 		handlers: make(map[MsgType]Handler),
 		conns:    make(map[net.Conn]struct{}),
-		Logf:     log.Printf,
+		Logf:     defaultLogf,
 		metrics:  telemetry.NewRegistry(),
 	}
 	s.Register(MsgPing, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
@@ -109,11 +129,15 @@ func (s *Server) Register(t MsgType, h Handler) {
 	s.handlers[t] = h
 }
 
-// Listen binds to addr ("host:port"; use ":0" for an ephemeral port) and
-// begins accepting in a background goroutine. It returns the bound
-// address.
+// Listen binds to addr on the server's Transport (":0" for an ephemeral
+// address) and begins accepting in a background goroutine. It returns
+// the bound address.
 func (s *Server) Listen(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
+	tr := s.Transport
+	if tr == nil {
+		tr = TCP
+	}
+	ln, err := tr.Listen(addr)
 	if err != nil {
 		return "", err
 	}

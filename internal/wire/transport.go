@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Transport is the substrate the lingua franca rides on. The paper's
+// messaging layer exists precisely so EveryWare programs run unchanged
+// across Globus, Legion, Condor, NetSolve, Java, NT, and Unix — the
+// substrate is swappable, the program logic is not. A Transport supplies
+// the two substrate operations the packet layer needs: opening a stream
+// to a peer and binding a listener. Everything above (packets, tagging,
+// retry, telemetry, daemons) is transport-agnostic.
+//
+// Two implementations ship with the toolkit: TCP (the default, real
+// sockets) and MemTransport (in-process synchronous pipes with an
+// address registry — whole fleets in one process, no ports). The faults
+// package wraps conns and listeners from either one identically.
+type Transport interface {
+	// Dial opens a stream to addr, bounded by timeout (0 = no bound).
+	Dial(addr string, timeout time.Duration) (net.Conn, error)
+	// Listen binds a listener at addr (":0" requests an ephemeral
+	// address).
+	Listen(addr string) (net.Listener, error)
+}
+
+// TCP is the default transport: real sockets via the net package.
+var TCP Transport = tcpTransport{}
+
+type tcpTransport struct{}
+
+func (tcpTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+func (tcpTransport) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// MemTransport is an in-process transport: listeners register in a
+// shared address table and dials connect synchronous net.Pipe pairs.
+// One MemTransport is one network — fleets sharing it can reach each
+// other, nothing else. Addresses are plain strings: a daemon may bind a
+// meaningful name ("g1") or ask for an ephemeral one (any address
+// ending in ":0", or ""), which allocates "mem:N".
+//
+// Semantics match TCP where the stack depends on it: dialing an
+// unbound or closed address is refused immediately, closing a listener
+// wakes blocked Accepts with net.ErrClosed, double-close errors, and
+// conns honor deadlines (net.Pipe supports them). There is no kernel
+// buffering — a Write blocks until the peer reads — which the packet
+// layer tolerates because every Conn's reads are owned by a demux loop.
+type MemTransport struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	seq       int
+}
+
+// NewMemTransport returns an empty in-process network.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{listeners: make(map[string]*memListener)}
+}
+
+// Listen binds addr. An empty addr or one ending in ":0" allocates a
+// fresh synthetic address; any other string is bound verbatim (so a
+// restarted daemon can reclaim its old address) and errors if taken.
+func (m *MemTransport) Listen(addr string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		m.seq++
+		addr = "mem:" + strconv.Itoa(m.seq)
+	} else if _, taken := m.listeners[addr]; taken {
+		return nil, fmt.Errorf("mem: listen %s: address already in use", addr)
+	}
+	l := &memListener{
+		m:     m,
+		addr:  memAddr(addr),
+		queue: make(chan net.Conn, 64),
+		done:  make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener bound at addr. Unbound addresses are
+// refused immediately, like a TCP connect to a closed port.
+func (m *MemTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	m.mu.Lock()
+	l := m.listeners[addr]
+	m.seq++
+	peer := memAddr("mem:dial-" + strconv.Itoa(m.seq))
+	m.mu.Unlock()
+	if l == nil {
+		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: memAddr(addr), Err: errRefused}
+	}
+	p1, p2 := net.Pipe()
+	local := &memConn{Conn: p1, local: peer, remote: l.addr}
+	remote := &memConn{Conn: p2, local: l.addr, remote: peer}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case l.queue <- remote:
+		return local, nil
+	case <-l.done:
+		p1.Close()
+		p2.Close()
+		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: memAddr(addr), Err: errRefused}
+	case <-timer:
+		p1.Close()
+		p2.Close()
+		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: memAddr(addr), Err: &TimeoutError{Op: "dial", Addr: addr}}
+	}
+}
+
+var errRefused = fmt.Errorf("connection refused")
+
+// memAddr is a net.Addr over a plain string.
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+// memConn gives a pipe end real local/remote addresses so server-side
+// logging and peer identification behave as they do over sockets.
+type memConn struct {
+	net.Conn
+	local, remote net.Addr
+}
+
+func (c *memConn) LocalAddr() net.Addr  { return c.local }
+func (c *memConn) RemoteAddr() net.Addr { return c.remote }
+
+// memListener is one bound address on a MemTransport.
+type memListener struct {
+	m     *MemTransport
+	addr  memAddr
+	queue chan net.Conn
+	done  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Accept waits for the next inbound pipe.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.queue:
+		return c, nil
+	case <-l.done:
+		return nil, &net.OpError{Op: "accept", Net: "mem", Addr: l.addr, Err: net.ErrClosed}
+	}
+}
+
+// Close unbinds the address and wakes blocked Accepts and Dials. A
+// second Close errors, matching net.Listener.
+func (l *memListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return &net.OpError{Op: "close", Net: "mem", Addr: l.addr, Err: net.ErrClosed}
+	}
+	l.closed = true
+	l.mu.Unlock()
+
+	l.m.mu.Lock()
+	if l.m.listeners[string(l.addr)] == l {
+		delete(l.m.listeners, string(l.addr))
+	}
+	l.m.mu.Unlock()
+	close(l.done)
+	// Connections dialed but never accepted would otherwise hang their
+	// dialer's first read forever.
+	for {
+		select {
+		case c := <-l.queue:
+			c.Close()
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *memListener) Addr() net.Addr { return l.addr }
