@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-wire figures examples chaos crash clean
+.PHONY: all build vet test test-race bench bench-wire trace figures examples chaos crash clean
 
 all: build vet test
 
@@ -33,6 +33,17 @@ bench:
 bench-wire:
 	$(GO) test -bench='RoundTrip|ConcurrentCalls' -benchmem -run='^$$' ./internal/wire/ \
 		| $(GO) run ./cmd/ew-benchjson -o BENCH_wire.json
+
+# Causal tracing suite: the trace plane (span records, wire envelope
+# compat, collector) under the race detector, then the propagation-
+# overhead benchmark — untraced vs unsampled vs fully-sampled round
+# trips — recorded as JSON. Compare RoundTripUnsampled against
+# RoundTripUntraced (and BenchmarkRoundTripMem in BENCH_wire.json): the
+# unsampled delta is the always-on cost of tracing and must stay <5%.
+trace:
+	$(GO) test -race -count=1 ./internal/dtrace/ ./internal/wire/ ./internal/logsvc/
+	$(GO) test -bench='RoundTrip|SpanRecord|EncodeSpans' -benchmem -run='^$$' ./internal/dtrace/ \
+		| $(GO) run ./cmd/ew-benchjson -o BENCH_dtrace.json
 
 # Replay the SC98 window and emit every figure plus CSV exports.
 figures:

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"everyware/internal/core"
+	"everyware/internal/dtrace"
 	"everyware/internal/telemetry"
 )
 
@@ -33,6 +34,8 @@ func main() {
 	cycles := flag.Int("cycles", 0, "stop after this many cycles (0 = run until signalled)")
 	sample := flag.Int("sample-edges", 0, "bound per-step edge evaluations (0 = all)")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
+	traceAddr := flag.String("trace", "", "trace collector address (a logsvc daemon; empty disables causal tracing)")
+	traceSample := flag.Int("trace-sample", 1, "record one trace in every N roots (head-based sampling)")
 	flag.Parse()
 
 	split := func(s string) []string {
@@ -41,7 +44,10 @@ func main() {
 		}
 		return strings.Split(s, ",")
 	}
-	comp := core.NewComponent(core.ComponentConfig{
+	reg := telemetry.NewRegistry()
+	tracer, stopTrace := dtrace.ForDaemon("client", *traceAddr, *traceSample, reg)
+	defer stopTrace()
+	cfg := core.ComponentConfig{
 		ID:          *id,
 		Infra:       *infra,
 		Schedulers:  split(*scheds),
@@ -49,13 +55,22 @@ func main() {
 		PStates:     split(*pstates),
 		LogServers:  split(*logs),
 		SampleEdges: *sample,
-	})
+		Metrics:     reg,
+	}
+	if tracer != nil {
+		cfg.Tracer = tracer
+	}
+	comp := core.NewComponent(cfg)
 	addr, err := comp.Start()
 	if err != nil {
 		log.Fatalf("ew-client: %v", err)
 	}
 	defer comp.Close()
 	fmt.Printf("ew-client: %s on %s (infra %s)\n", comp.Addr(), addr, *infra)
+	tracer.SetService("client:" + comp.Addr())
+	if *traceAddr != "" {
+		fmt.Printf("ew-client: tracing to %s (1 in %d)\n", *traceAddr, *traceSample)
+	}
 	if *httpAddr != "" {
 		hs, err := telemetry.ServeHTTP(comp.Metrics(), *httpAddr, nil)
 		if err != nil {

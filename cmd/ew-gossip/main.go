@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"everyware/internal/dtrace"
 	"everyware/internal/gossip"
 	"everyware/internal/telemetry"
 )
@@ -30,13 +31,22 @@ func main() {
 	join := flag.String("join", "", "comma-separated well-known Gossip addresses to join")
 	sync := flag.Duration("sync", time.Second, "state synchronization interval")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
+	traceAddr := flag.String("trace", "", "trace collector address (a logsvc daemon; empty disables causal tracing)")
+	traceSample := flag.Int("trace-sample", 1, "record one trace in every N roots (head-based sampling)")
 	verbose := flag.Bool("v", false, "log diagnostics")
 	flag.Parse()
 
+	reg := telemetry.NewRegistry()
+	tracer, stopTrace := dtrace.ForDaemon("gossip", *traceAddr, *traceSample, reg)
+	defer stopTrace()
 	cfg := gossip.ServerConfig{
 		ListenAddr:    *listen,
 		AdvertiseAddr: *advertise,
 		SyncInterval:  *sync,
+		Metrics:       reg,
+	}
+	if tracer != nil {
+		cfg.Tracer = tracer
 	}
 	if *join != "" {
 		cfg.WellKnown = strings.Split(*join, ",")
@@ -50,6 +60,10 @@ func main() {
 		log.Fatalf("ew-gossip: %v", err)
 	}
 	fmt.Printf("ew-gossip: serving on %s (pool: %v)\n", addr, cfg.WellKnown)
+	tracer.SetService("gossip@" + addr)
+	if *traceAddr != "" {
+		fmt.Printf("ew-gossip: tracing to %s (1 in %d)\n", *traceAddr, *traceSample)
+	}
 	if *httpAddr != "" {
 		hs, err := telemetry.ServeHTTP(srv.Metrics(), *httpAddr, nil)
 		if err != nil {

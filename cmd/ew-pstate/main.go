@@ -25,6 +25,7 @@ import (
 
 	// Register the counter-example validator.
 	_ "everyware/internal/core"
+	"everyware/internal/dtrace"
 	"everyware/internal/pstate"
 	"everyware/internal/telemetry"
 )
@@ -36,6 +37,8 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
 	peerList := flag.String("peers", "", "comma-separated sibling replica addresses for anti-entropy repair")
 	syncEvery := flag.Duration("sync", 5*time.Second, "mean anti-entropy period (jittered)")
+	traceAddr := flag.String("trace", "", "trace collector address (a logsvc daemon; empty disables causal tracing)")
+	traceSample := flag.Int("trace-sample", 1, "record one trace in every N roots (head-based sampling)")
 	flag.Parse()
 
 	var peers []string
@@ -44,14 +47,22 @@ func main() {
 			peers = append(peers, p)
 		}
 	}
-	srv, err := pstate.NewServer(pstate.ServerConfig{
+	reg := telemetry.NewRegistry()
+	tracer, stopTrace := dtrace.ForDaemon("pstate", *traceAddr, *traceSample, reg)
+	defer stopTrace()
+	cfg := pstate.ServerConfig{
 		ListenAddr:   *listen,
 		Dir:          *dir,
 		MaxBytes:     *quota,
 		Peers:        peers,
 		SyncInterval: *syncEvery,
+		Metrics:      reg,
 		Logf:         log.Printf,
-	})
+	}
+	if tracer != nil {
+		cfg.Tracer = tracer
+	}
+	srv, err := pstate.NewServer(cfg)
 	if err != nil {
 		log.Fatalf("ew-pstate: %v", err)
 	}
@@ -61,6 +72,10 @@ func main() {
 	}
 	fmt.Printf("ew-pstate: serving on %s, storing under %s (%d objects recovered)\n",
 		addr, *dir, len(srv.Names()))
+	tracer.SetService("pstate@" + addr)
+	if *traceAddr != "" {
+		fmt.Printf("ew-pstate: tracing to %s (1 in %d)\n", *traceAddr, *traceSample)
+	}
 	if len(peers) > 0 {
 		fmt.Printf("ew-pstate: anti-entropy with %v every ~%s\n", peers, *syncEvery)
 	}

@@ -25,8 +25,10 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
+	"everyware/internal/dtrace"
 	"everyware/internal/faults"
 	"everyware/internal/grid"
 	"everyware/internal/telemetry"
@@ -134,6 +136,8 @@ func chaosRun(seed int64, fc faults.Config, tr wire.Transport) {
 		Transport:     tr,
 		PartitionHeal: true,
 		PStateCrash:   true,
+		Trace:         true,
+		SchedOutage:   true,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ew-sc98: chaos: "+format+"\n", args...)
 		},
@@ -162,8 +166,54 @@ func chaosRun(seed int64, fc faults.Config, tr wire.Transport) {
 	if res.LostWrites != 0 {
 		log.Fatalf("ew-sc98: chaos: %d acknowledged checkpoint writes lost", res.LostWrites)
 	}
+	fmt.Printf("%-24s %d spans in %d traces\n", "causal traces", len(res.TraceSpans), len(res.Traces))
+	pick := pickTrace(res.Traces)
+	if pick == nil {
+		log.Fatal("ew-sc98: chaos: no trace spans 3+ daemons with a retried call")
+	}
+	fmt.Println()
+	fmt.Println("-- sample trace (3+ daemons, retried call; '*' marks the critical path) --")
+	fmt.Print(dtrace.Render(pick))
 	fmt.Println("chaos run survived: work delivered, the pool re-merged, and no acked write was lost")
 	fmt.Println()
+}
+
+// pickTrace selects a collected trace that crosses at least three daemons
+// and contains a retried call (a wire.call span with two or more
+// wire.attempt children) — the causal picture the chaos figure exists to
+// show. Among qualifiers the widest trace wins.
+func pickTrace(trees []*dtrace.Tree) *dtrace.Tree {
+	var best *dtrace.Tree
+	for _, t := range trees {
+		if len(t.Services()) < 3 || !hasRetry(t.Roots) {
+			continue
+		}
+		if best == nil || t.Spans > best.Spans {
+			best = t
+		}
+	}
+	return best
+}
+
+// hasRetry walks a span forest for a call with multiple attempt children.
+func hasRetry(nodes []*dtrace.Node) bool {
+	for _, n := range nodes {
+		if strings.HasPrefix(n.Name, "wire.call.") {
+			attempts := 0
+			for _, c := range n.Children {
+				if c.Name == "wire.attempt" {
+					attempts++
+				}
+			}
+			if attempts >= 2 {
+				return true
+			}
+		}
+		if hasRetry(n.Children) {
+			return true
+		}
+	}
+	return false
 }
 
 // telemetryFigure stands up the same miniature SC98 deployment as the

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"everyware/internal/dtrace"
 	"everyware/internal/sched"
 	"everyware/internal/telemetry"
 )
@@ -29,21 +30,35 @@ func main() {
 	logAddr := flag.String("log", "", "logging server address (optional)")
 	migrate := flag.Float64("migrate-below", 0.25, "migrate work from clients forecast below this fraction of the pool median (0 disables)")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
+	traceAddr := flag.String("trace", "", "trace collector address (a logsvc daemon; empty disables causal tracing)")
+	traceSample := flag.Int("trace-sample", 1, "record one trace in every N roots (head-based sampling)")
 	flag.Parse()
 
-	srv := sched.NewServer(sched.ServerConfig{
+	reg := telemetry.NewRegistry()
+	tracer, stopTrace := dtrace.ForDaemon("sched", *traceAddr, *traceSample, reg)
+	defer stopTrace()
+	cfg := sched.ServerConfig{
 		ListenAddr:           *listen,
 		N:                    *n,
 		K:                    *k,
 		DefaultSteps:         *steps,
 		LogAddr:              *logAddr,
 		MigrateBelowFraction: *migrate,
-	})
+		Metrics:              reg,
+	}
+	if tracer != nil {
+		cfg.Tracer = tracer
+	}
+	srv := sched.NewServer(cfg)
 	addr, err := srv.Start()
 	if err != nil {
 		log.Fatalf("ew-sched: %v", err)
 	}
 	fmt.Printf("ew-sched: serving on %s (R(%d) counter-examples on %d vertices)\n", addr, *k, *n)
+	tracer.SetService("sched@" + addr)
+	if *traceAddr != "" {
+		fmt.Printf("ew-sched: tracing to %s (1 in %d)\n", *traceAddr, *traceSample)
+	}
 	if *httpAddr != "" {
 		hs, err := telemetry.ServeHTTP(srv.Metrics(), *httpAddr, nil)
 		if err != nil {

@@ -1,0 +1,103 @@
+// Command ew-trace fetches causal traces from an EveryWare trace
+// collector (a logsvc daemon) and renders them as span trees: one line
+// per span, indented by causality, with per-hop latency, outcome,
+// annotations, and the trace's critical path marked with '*'.
+//
+// Usage:
+//
+//	ew-trace host:9301                  # every collected trace, oldest first
+//	ew-trace -last 5 host:9301          # only the five most recent traces
+//	ew-trace -trace 4f1c... host:9301   # one trace by (hex) ID
+//	ew-trace -min-daemons 3 host:9301   # only traces crossing 3+ daemons
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"everyware/internal/dtrace"
+	"everyware/internal/wire"
+)
+
+func main() {
+	max := flag.Int("max", 0, "fetch at most this many spans (0 = all the collector holds)")
+	traceID := flag.String("trace", "", "show only this trace (hex trace ID)")
+	last := flag.Int("last", 0, "show only the N most recently started traces (0 = all)")
+	minDaemons := flag.Int("min-daemons", 0, "show only traces spanning at least this many daemons")
+	minSpans := flag.Int("min-spans", 0, "show only traces with at least this many spans")
+	timeout := flag.Duration("timeout", 2*time.Second, "fetch timeout")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ew-trace [flags] collector-addr")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	addr := flag.Arg(0)
+
+	var id uint64
+	if *traceID != "" {
+		v, err := strconv.ParseUint(strings.TrimPrefix(*traceID, "0x"), 16, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ew-trace: bad trace ID %q: %v\n", *traceID, err)
+			os.Exit(2)
+		}
+		id = v
+	}
+
+	wc := wire.NewClient(*timeout)
+	defer wc.Close()
+	spans, err := dtrace.Fetch(wc, addr, *max, id, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ew-trace: fetch from %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	if len(spans) == 0 {
+		fmt.Println("ew-trace: collector holds no matching spans")
+		return
+	}
+
+	trees := dtrace.BuildTrees(spans)
+	kept := trees[:0]
+	for _, t := range trees {
+		if *minDaemons > 0 && len(t.Services()) < *minDaemons {
+			continue
+		}
+		if *minSpans > 0 && t.Spans < *minSpans {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	// Oldest first, so a terminal scroll ends on the most recent trace.
+	sort.Slice(kept, func(i, j int) bool { return startOf(kept[i]) < startOf(kept[j]) })
+	if *last > 0 && len(kept) > *last {
+		kept = kept[len(kept)-*last:]
+	}
+	if len(kept) == 0 {
+		fmt.Printf("ew-trace: %d spans fetched but no trace matched the filters\n", len(spans))
+		return
+	}
+	for i, t := range kept {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(dtrace.Render(t))
+	}
+	fmt.Printf("\n%d trace(s), %d span(s) from %s\n", len(kept), len(spans), addr)
+}
+
+// startOf returns the earliest root start in the tree (0 if rootless).
+func startOf(t *dtrace.Tree) int64 {
+	var s int64
+	for i, r := range t.Roots {
+		if i == 0 || r.Start < s {
+			s = r.Start
+		}
+	}
+	return s
+}

@@ -15,7 +15,10 @@ const MsgClique wire.MsgType = 10
 // The clique protocol is built to absorb duplicate and lost tokens
 // (sequence numbers discard stale deliveries), so its messages are safe to
 // retransmit when a connection dies mid-call.
-func init() { wire.RegisterIdempotent(MsgClique) }
+func init() {
+	wire.RegisterIdempotent(MsgClique)
+	wire.RegisterMsgName(MsgClique, "clique")
+}
 
 // encodeStrings appends a length-prefixed string list.
 func encodeStrings(e *wire.Encoder, ss []string) {
@@ -173,6 +176,9 @@ func NewEndpoint(srv *wire.Server, selfAddr string, client *wire.Client, sendTim
 		if err != nil {
 			return nil, fmt.Errorf("clique: decode: %w", err)
 		}
+		// Carry the inbound trace context (extracted by the wire server)
+		// so the handler's own downstream sends continue the same trace.
+		m.Trace = req.Trace
 		select {
 		case t.inbox <- m:
 		default: // backlogged: shed load, the protocol recovers
@@ -213,7 +219,7 @@ func (t *Endpoint) Send(to string, msg *Message) error {
 	filter := t.filter
 	t.hmu.RUnlock()
 	send := func() error {
-		req := &wire.Packet{Type: MsgClique, Payload: EncodeMessage(msg)}
+		req := &wire.Packet{Type: MsgClique, Payload: EncodeMessage(msg), Trace: msg.Trace}
 		if _, err := t.client.Call(to, req, t.timeout); err != nil {
 			return fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
 		}

@@ -2,10 +2,12 @@ package clique
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"everyware/internal/telemetry"
+	"everyware/internal/wire"
 )
 
 // Config parameterizes a clique Member.
@@ -30,6 +32,11 @@ type Config struct {
 	// clique.view.split / clique.view.merge counters, the clique.members
 	// gauge, and clique.partition.declared. Nil discards.
 	Metrics *telemetry.Registry
+	// Tracer, if set, roots a causal trace at every token origination;
+	// each hop of the circulation (carried by the wire layer's trace
+	// envelope) becomes a descendant span, so a rendered trace shows the
+	// token's path around the ring. Nil disables.
+	Tracer wire.Tracer
 }
 
 func (c *Config) fill() {
@@ -57,9 +64,11 @@ type Member struct {
 	lastHeard time.Time
 	stopped   bool
 	// tokenSeq/tokenStart time the in-flight token circulation this leader
-	// originated (zero when none).
+	// originated (zero when none); tokenSpan is the circulation's trace
+	// root, ended when the token returns (or superseded as lost).
 	tokenSeq   uint64
 	tokenStart time.Time
+	tokenSpan  wire.ActiveSpan
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -168,9 +177,16 @@ func (m *Member) heartbeat() {
 
 // originateToken starts one token circulation for view v.
 func (m *Member) originateToken(v View) {
+	sp := wire.StartSpan(m.cfg.Tracer, "clique.token_pass", wire.TraceContext{})
+	sp.Annotate("leader", v.Leader)
 	m.mu.Lock()
 	m.tokenSeq = v.Seq
 	m.tokenStart = time.Now()
+	if m.tokenSpan != nil {
+		// The previous circulation never came back.
+		m.tokenSpan.End("lost")
+	}
+	m.tokenSpan = sp
 	m.mu.Unlock()
 	t := &Token{
 		Origin:  v.Leader,
@@ -178,14 +194,16 @@ func (m *Member) originateToken(v View) {
 		Members: v.Members,
 		Visited: []string{v.Leader},
 	}
-	m.forwardToken(t)
+	m.forwardToken(t, sp.Context())
 }
 
 // forwardToken sends the token to the next unvisited ring member after
 // self, marking unreachable members failed; when everyone has been tried
 // the token is returned to the origin (or committed directly if self is
-// the origin).
-func (m *Member) forwardToken(t *Token) {
+// the origin). tc is the circulation's trace context: the origin passes
+// its root span, relays pass the context they received, so every hop
+// links back to the same trace.
+func (m *Member) forwardToken(t *Token, tc wire.TraceContext) {
 	self := m.tr.Self()
 	visited := make(map[string]bool, len(t.Visited))
 	for _, id := range t.Visited {
@@ -212,7 +230,7 @@ func (m *Member) forwardToken(t *Token) {
 		if cand == self || cand == t.Origin || visited[cand] || failed[cand] {
 			continue
 		}
-		msg := &Message{Kind: KindToken, From: self, Token: t}
+		msg := &Message{Kind: KindToken, From: self, Token: t, Trace: tc}
 		if err := m.tr.Send(cand, msg); err == nil {
 			return // next member now owns the token
 		}
@@ -224,7 +242,7 @@ func (m *Member) forwardToken(t *Token) {
 		m.commitToken(t)
 		return
 	}
-	msg := &Message{Kind: KindToken, From: self, Token: t}
+	msg := &Message{Kind: KindToken, From: self, Token: t, Trace: tc}
 	if err := m.tr.Send(t.Origin, msg); err != nil {
 		// Origin is gone: the timeout path will elect a new leader.
 		return
@@ -244,6 +262,8 @@ func (m *Member) commitToken(t *Token) {
 		m.cfg.Metrics.Histogram("clique.token.circulation").Observe(time.Since(m.tokenStart))
 		m.tokenStart = time.Time{}
 	}
+	tsp := m.tokenSpan
+	m.tokenSpan = nil
 	members := sortedUnion(t.Visited, []string{self})
 	// Remove any member recorded as failed (it may appear in Visited if it
 	// handled the token but later dropped off; Failed wins conservatively).
@@ -273,12 +293,21 @@ func (m *Member) commitToken(t *Token) {
 	if same {
 		m.lastHeard = time.Now()
 		m.mu.Unlock()
+		if tsp != nil {
+			tsp.Annotate("visited", strconv.Itoa(len(t.Visited)))
+			tsp.End("ok")
+		}
 		return
 	}
 	nv = View{Seq: m.view.Seq + 1, Leader: minID(members), Members: members}
 	m.commitLocked(nv)
 	v := m.view.Clone()
 	m.mu.Unlock()
+	if tsp != nil {
+		tsp.Annotate("visited", strconv.Itoa(len(t.Visited)))
+		tsp.Annotate("members", strconv.Itoa(len(v.Members)))
+		tsp.End("ok")
+	}
 	m.broadcastView(v)
 }
 
@@ -412,7 +441,9 @@ func (m *Member) onToken(msg *Message) {
 	if !already {
 		t.Visited = append(t.Visited, self)
 	}
-	m.forwardToken(t)
+	// Relay under the inbound trace context so the whole circulation
+	// stays one tree rooted at the origin's clique.token_pass span.
+	m.forwardToken(t, msg.Trace)
 }
 
 // onForeignView merges knowledge of another subclique's view. The member

@@ -16,6 +16,8 @@ package clique
 import (
 	"errors"
 	"sort"
+
+	"everyware/internal/wire"
 )
 
 // ErrUnreachable is returned by Endpoint.Send when the destination cannot
@@ -102,6 +104,12 @@ type Message struct {
 	From  string
 	View  View
 	Token *Token
+	// Trace is the causal trace context this message travels under. It is
+	// never part of the encoded payload — the wire layer's trace envelope
+	// carries it between daemons — so old peers interoperate unchanged.
+	// The Endpoint fills it on receive and attaches it on Send, which
+	// links every hop of a token circulation into the origin's trace.
+	Trace wire.TraceContext
 }
 
 // sortedUnion returns the sorted union of two ID sets.

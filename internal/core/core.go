@@ -148,6 +148,11 @@ type ComponentConfig struct {
 	// fresh one is created otherwise); the server, client, health tracker,
 	// and scheduling runner all report into it.
 	Metrics *telemetry.Registry
+	// Tracer, if set, records causal traces: each scheduling report and
+	// each checkpoint roots a trace whose tree spans the wire client's
+	// retry/fail-over attempts, the remote scheduler's decision, and the
+	// per-replica quorum writes. Nil disables.
+	Tracer wire.Tracer
 }
 
 // Component is one EveryWare application process: a lingua franca server,
@@ -188,6 +193,7 @@ func NewComponent(cfg ComponentConfig) *Component {
 		Dialer:      cfg.Dialer,
 		Retry:       cfg.Retry,
 		Silent:      true,
+		Tracer:      cfg.Tracer,
 	})
 	c := &Component{
 		cfg:       cfg,
@@ -206,6 +212,7 @@ func NewComponent(cfg ComponentConfig) *Component {
 			Timeout: cfg.CallTimeout,
 			Health:  c.health,
 			Metrics: c.metrics,
+			Tracer:  cfg.Tracer,
 		})
 		if err == nil {
 			c.replicas = rs
@@ -250,6 +257,7 @@ func (c *Component) Start() (string, error) {
 			MaxSchedulerFailures: c.cfg.MaxServiceFailures,
 			SchedulerCooldown:    c.cfg.ServiceCooldown,
 			Metrics:              c.metrics,
+			Tracer:               c.cfg.Tracer,
 		}, c.client)
 		if err != nil {
 			return "", err
@@ -403,16 +411,24 @@ func (c *Component) Checkpoint(name, class string, data []byte) error {
 	if c.replicas == nil {
 		return fmt.Errorf("core: no persistent state managers configured")
 	}
-	_, err := c.replicas.Store(name, class, data)
+	// Each checkpoint roots a trace: the quorum write underneath it fans
+	// out into per-replica StoreAt calls, so the tree shows exactly which
+	// managers acknowledged and which were retried or failed over.
+	sp := wire.StartSpan(c.cfg.Tracer, "core.checkpoint", wire.TraceContext{})
+	sp.Annotate("object", name)
+	_, err := c.replicas.StoreCtx(sp.Context(), name, class, data)
 	switch {
 	case err == nil:
 		c.metrics.Counter("core.checkpoint.ok").Inc()
+		sp.End("ok")
 		return nil
 	case errors.Is(err, pstate.ErrSpooled):
 		c.metrics.Counter("core.checkpoint.spooled").Inc()
+		sp.End("spooled")
 		return nil
 	default:
 		c.metrics.Counter("core.checkpoint.fail").Inc()
+		sp.End("error")
 		return err
 	}
 }
@@ -427,15 +443,19 @@ func (c *Component) Recover(name string) (*pstate.Object, error) {
 		c.metrics.Counter("core.recover.fail").Inc()
 		return nil, fmt.Errorf("core: no persistent state managers configured")
 	}
-	o, found, err := c.replicas.Fetch(name)
+	sp := wire.StartSpan(c.cfg.Tracer, "core.recover", wire.TraceContext{})
+	sp.Annotate("object", name)
+	o, found, err := c.replicas.FetchCtx(sp.Context(), name)
 	if err != nil || !found {
 		c.metrics.Counter("core.recover.fail").Inc()
+		sp.End("error")
 		if err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("core: %q not found at any persistent state manager", name)
 	}
 	c.metrics.Counter("core.recover.ok").Inc()
+	sp.End("ok")
 	return o, nil
 }
 

@@ -1,0 +1,153 @@
+package dtrace
+
+import (
+	"sync"
+	"time"
+
+	"everyware/internal/telemetry"
+	"everyware/internal/wire"
+)
+
+// ExporterConfig parameterizes an Exporter.
+type ExporterConfig struct {
+	// Client is the wire client used to ship batches (typically the
+	// daemon's Service client). Required.
+	Client *wire.Client
+	// Addr is the trace collector's address (a logsvc daemon). Required.
+	Addr string
+	// BatchSize flushes when this many spans are buffered (default 64).
+	BatchSize int
+	// FlushInterval flushes a partial batch at least this often
+	// (default 500ms).
+	FlushInterval time.Duration
+	// Timeout bounds each export call (default 2s).
+	Timeout time.Duration
+	// Buffer bounds the spans queued for export (default 4096). When the
+	// queue is full new spans are dropped — tracing must never block or
+	// grow without bound — and the drop is counted.
+	Buffer int
+	// Metrics, when set, records "dtrace.export.spans",
+	// "dtrace.export.dropped", and "dtrace.export.errors". Nil discards.
+	Metrics *telemetry.Registry
+}
+
+// Exporter ships finished spans to the trace collector in batches,
+// best-effort: a full queue drops spans (counted, never blocking), and a
+// failed export drops the batch (counted, no retry — MsgTraceExport is
+// not idempotent and duplicated spans would corrupt trees). It
+// implements Sink.
+type Exporter struct {
+	cfg  ExporterConfig
+	ch   chan Span
+	wg   sync.WaitGroup
+	once sync.Once
+	stop chan struct{}
+}
+
+// NewExporter starts the export loop.
+func NewExporter(cfg ExporterConfig) *Exporter {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 500 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 4096
+	}
+	ex := &Exporter{
+		cfg:  cfg,
+		ch:   make(chan Span, cfg.Buffer),
+		stop: make(chan struct{}),
+	}
+	ex.wg.Add(1)
+	go ex.loop()
+	return ex
+}
+
+// Emit implements Sink: it enqueues s for export, dropping it (and
+// counting the drop) if the queue is full or the exporter is closed.
+func (ex *Exporter) Emit(s Span) {
+	select {
+	case ex.ch <- s:
+	default:
+		ex.cfg.Metrics.Counter("dtrace.export.dropped").Inc()
+	}
+}
+
+// loop batches queued spans and ships them.
+func (ex *Exporter) loop() {
+	defer ex.wg.Done()
+	tick := time.NewTicker(ex.cfg.FlushInterval)
+	defer tick.Stop()
+	batch := make([]Span, 0, ex.cfg.BatchSize)
+	for {
+		select {
+		case s := <-ex.ch:
+			batch = append(batch, s)
+			if len(batch) >= ex.cfg.BatchSize {
+				ex.ship(batch)
+				batch = batch[:0]
+			}
+		case <-tick.C:
+			if len(batch) > 0 {
+				ex.ship(batch)
+				batch = batch[:0]
+			}
+		case <-ex.stop:
+			// Drain what is already queued, then ship the final batch.
+			for {
+				select {
+				case s := <-ex.ch:
+					batch = append(batch, s)
+					if len(batch) >= ex.cfg.BatchSize {
+						ex.ship(batch)
+						batch = batch[:0]
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if len(batch) > 0 {
+				ex.ship(batch)
+			}
+			return
+		}
+	}
+}
+
+// ship sends one batch to the collector.
+func (ex *Exporter) ship(batch []Span) {
+	req := &wire.Packet{Type: MsgTraceExport, Payload: EncodeSpans(batch)}
+	if _, err := ex.cfg.Client.Call(ex.cfg.Addr, req, ex.cfg.Timeout); err != nil {
+		ex.cfg.Metrics.Counter("dtrace.export.errors").Inc()
+		ex.cfg.Metrics.Counter("dtrace.export.dropped").Add(int64(len(batch)))
+		return
+	}
+	ex.cfg.Metrics.Counter("dtrace.export.spans").Add(int64(len(batch)))
+}
+
+// Close flushes queued spans and stops the export loop.
+func (ex *Exporter) Close() {
+	ex.once.Do(func() { close(ex.stop) })
+	ex.wg.Wait()
+}
+
+// Fetch retrieves up to max spans from the collector at addr, filtered
+// to one trace when traceID is non-zero (0 = all traces). It is the
+// client half of MsgTraceFetch, shared by ew-trace, tests, and the chaos
+// scenario.
+func Fetch(wc *wire.Client, addr string, max int, traceID uint64, timeout time.Duration) ([]Span, error) {
+	var e wire.Encoder
+	e.PutUint32(uint32(max))
+	e.PutUint64(traceID)
+	resp, err := wc.Call(addr, &wire.Packet{Type: MsgTraceFetch, Payload: e.Bytes()}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSpans(resp.Payload)
+}

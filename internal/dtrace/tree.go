@@ -1,0 +1,187 @@
+package dtrace
+
+import "sort"
+
+// Node is one span positioned in its trace tree.
+type Node struct {
+	Span
+	Children []*Node
+	// Orphan marks a node whose parent span was never collected (lost
+	// batch, unexported daemon); it is promoted to a root so the rest of
+	// its subtree still renders.
+	Orphan bool
+}
+
+// Tree is one assembled trace.
+type Tree struct {
+	TraceID uint64
+	// Roots are the trace's top-level spans: the true root (ParentID 0)
+	// plus any orphaned subtrees, ordered by start time.
+	Roots []*Node
+	// Spans counts the nodes in the tree.
+	Spans int
+}
+
+// Services returns the distinct span services in the tree, sorted — the
+// set of daemons the trace crossed.
+func (t *Tree) Services() []string {
+	seen := map[string]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		seen[n.Service] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Find returns the first node (pre-order, roots in start order) whose
+// name matches, or nil.
+func (t *Tree) Find(name string) *Node {
+	var found *Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if found != nil {
+			return
+		}
+		if n.Name == name {
+			found = n
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return found
+}
+
+// Duration returns the tree's span of wall time: latest end minus
+// earliest start across all nodes (meaningful within one clock domain).
+func (t *Tree) Duration() int64 {
+	var minStart, maxEnd int64
+	first := true
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if first || n.Start < minStart {
+			minStart = n.Start
+		}
+		if first || n.End() > maxEnd {
+			maxEnd = n.End()
+		}
+		first = false
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	if first {
+		return 0
+	}
+	return maxEnd - minStart
+}
+
+// BuildTrees assembles span records into per-trace trees, linking
+// children to parents by SpanID and promoting spans whose parent record
+// is missing to orphan roots. Trees are ordered by earliest start;
+// children within a node by start time.
+func BuildTrees(spans []Span) []*Tree {
+	byTrace := map[uint64][]Span{}
+	for _, s := range spans {
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	trees := make([]*Tree, 0, len(byTrace))
+	for id, ss := range byTrace {
+		nodes := make(map[uint64]*Node, len(ss))
+		for _, s := range ss {
+			// Duplicate SpanIDs (a re-exported batch) keep the first record.
+			if _, ok := nodes[s.SpanID]; !ok {
+				nodes[s.SpanID] = &Node{Span: s}
+			}
+		}
+		t := &Tree{TraceID: id, Spans: len(nodes)}
+		for _, n := range nodes {
+			if n.ParentID != 0 {
+				if p, ok := nodes[n.ParentID]; ok && p != n {
+					p.Children = append(p.Children, n)
+					continue
+				}
+				n.Orphan = true
+			}
+			t.Roots = append(t.Roots, n)
+		}
+		var sortChildren func(n *Node)
+		sortChildren = func(n *Node) {
+			sort.Slice(n.Children, func(i, j int) bool {
+				if n.Children[i].Start != n.Children[j].Start {
+					return n.Children[i].Start < n.Children[j].Start
+				}
+				return n.Children[i].SpanID < n.Children[j].SpanID
+			})
+			for _, c := range n.Children {
+				sortChildren(c)
+			}
+		}
+		sort.Slice(t.Roots, func(i, j int) bool {
+			if t.Roots[i].Start != t.Roots[j].Start {
+				return t.Roots[i].Start < t.Roots[j].Start
+			}
+			return t.Roots[i].SpanID < t.Roots[j].SpanID
+		})
+		for _, r := range t.Roots {
+			sortChildren(r)
+		}
+		trees = append(trees, t)
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		si, sj := int64(0), int64(0)
+		if len(trees[i].Roots) > 0 {
+			si = trees[i].Roots[0].Start
+		}
+		if len(trees[j].Roots) > 0 {
+			sj = trees[j].Roots[0].Start
+		}
+		if si != sj {
+			return si < sj
+		}
+		return trees[i].TraceID < trees[j].TraceID
+	})
+	return trees
+}
+
+// CriticalPath returns the chain of spans that determines when the tree
+// finishes: starting from the primary root, it repeatedly descends into
+// the child whose end time is latest. The returned set (keyed by SpanID)
+// is what the renderer highlights — shortening any span on this path
+// shortens the trace.
+func (t *Tree) CriticalPath() map[uint64]bool {
+	path := map[uint64]bool{}
+	if len(t.Roots) == 0 {
+		return path
+	}
+	n := t.Roots[0]
+	for n != nil {
+		path[n.SpanID] = true
+		var next *Node
+		for _, c := range n.Children {
+			if next == nil || c.End() > next.End() {
+				next = c
+			}
+		}
+		n = next
+	}
+	return path
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"everyware/internal/dtrace"
 	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
@@ -97,6 +98,124 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("delivered ops=%d cycles=%d errs=%d retries=%d merges=%d acked=%d lost=%d crashes=%d",
 		res.Ops, res.CompletedCycles, res.ComponentErrs, res.Retries, res.PartitionsHealed,
 		res.AckedWrites, res.LostWrites, res.PStateCrashes)
+}
+
+// TestChaosTracing runs the chaos scenario with causal tracing armed and
+// a forced outage of the first scheduler, then asserts on the collected
+// trace trees: at least one trace spans three or more daemons, retries
+// appear as correctly-parented wire.attempt child spans, and a report
+// that failed over carries two wire.call hops to distinct schedulers
+// under one sched.report root.
+func TestChaosTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos tracing skipped in -short mode")
+	}
+	cfg := chaosConfig(t, 424242)
+	cfg.PStateCrash = false
+	cfg.PartitionHeal = false
+	cfg.Trace = true
+	cfg.SchedOutage = true
+	cfg.Cycles = 8
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no useful operations delivered under chaos")
+	}
+	if len(res.TraceSpans) == 0 {
+		t.Fatal("collector received no spans")
+	}
+	if len(res.Traces) == 0 {
+		t.Fatal("no trace trees assembled")
+	}
+
+	var walk func(n *dtrace.Node, f func(*dtrace.Node))
+	walk = func(n *dtrace.Node, f func(*dtrace.Node)) {
+		f(n)
+		for _, c := range n.Children {
+			walk(c, f)
+		}
+	}
+	each := func(f func(*dtrace.Node)) {
+		for _, tr := range res.Traces {
+			for _, r := range tr.Roots {
+				walk(r, f)
+			}
+		}
+	}
+
+	// One causal chain must cross at least three daemons (e.g. a
+	// checkpoint fanning out across the pstate replicas, or a report
+	// reaching the scheduler and its log forward).
+	multiDaemon := 0
+	for _, tr := range res.Traces {
+		if len(tr.Services()) >= 3 {
+			multiDaemon++
+		}
+	}
+	if multiDaemon == 0 {
+		t.Error("no trace spans three or more daemons")
+	}
+
+	// Retries must be visible as child spans: a wire.call node with two or
+	// more wire.attempt children, each correctly parented on the call.
+	retried := false
+	each(func(n *dtrace.Node) {
+		if !strings.HasPrefix(n.Span.Name, "wire.call.") {
+			return
+		}
+		attempts := 0
+		for _, c := range n.Children {
+			if c.Span.Name != "wire.attempt" {
+				continue
+			}
+			if c.Span.ParentID != n.Span.SpanID || c.Span.TraceID != n.Span.TraceID {
+				t.Errorf("wire.attempt %016x misparented under %016x", c.Span.SpanID, n.Span.SpanID)
+			}
+			attempts++
+		}
+		if attempts >= 2 {
+			retried = true
+		}
+	})
+	if !retried {
+		t.Error("no trace shows a retried call (wire.call with >= 2 wire.attempt children)")
+	}
+
+	// The scheduler outage must have produced a fail-over trace: one
+	// sched.report root with calls to two distinct schedulers beneath it,
+	// the last of which succeeded.
+	failedOver := false
+	each(func(n *dtrace.Node) {
+		if n.Span.Name != "sched.report" {
+			return
+		}
+		addrs := make(map[string]bool)
+		okHop := false
+		for _, c := range n.Children {
+			if !strings.HasPrefix(c.Span.Name, "wire.call.") {
+				continue
+			}
+			if c.Span.ParentID != n.Span.SpanID {
+				t.Errorf("wire.call %016x misparented under sched.report %016x", c.Span.SpanID, n.Span.SpanID)
+			}
+			if addr, ok := c.Span.Get("addr"); ok {
+				addrs[addr] = true
+			}
+			if c.Span.Outcome == "ok" {
+				okHop = true
+			}
+		}
+		if fo, ok := n.Span.Get("failover"); ok && fo == "true" && len(addrs) >= 2 && okHop {
+			failedOver = true
+		}
+	})
+	if !failedOver {
+		t.Error("no sched.report trace shows a fail-over hop across two schedulers")
+	}
+	t.Logf("traces=%d spans=%d multiDaemon=%d retried=%v failedOver=%v",
+		len(res.Traces), len(res.TraceSpans), multiDaemon, retried, failedOver)
 }
 
 // TestChaosTransportParity is the lingua franca promise made testable:

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"everyware/internal/core"
+	"everyware/internal/dtrace"
 	"everyware/internal/gossip"
+	"everyware/internal/logsvc"
 	"everyware/internal/pstate"
 	"everyware/internal/sched"
 	"everyware/internal/telemetry"
@@ -51,6 +53,21 @@ type ScenarioConfig struct {
 	// scenario in-process — same protocol, same fault injector, no
 	// kernel sockets.
 	Transport wire.Transport
+	// Trace, when true, arms every daemon with a causal tracer reporting
+	// to a logsvc-backed trace collector started by the harness. The
+	// result then carries the collected spans and assembled trace trees,
+	// so chaos tests can assert that retries and fail-over hops appear as
+	// correctly-parented child spans.
+	Trace bool
+	// TraceSampleEvery is the head-based sampling rate for scenario
+	// tracers (default 1 = record every trace).
+	TraceSampleEvery int
+	// SchedOutage, when true, black-holes the first scheduler briefly
+	// while the workload runs. Reports in flight exhaust their retry
+	// ladder against it and fail over to the alternate, so a Trace run
+	// deterministically collects traces containing retry child spans and
+	// a fail-over hop (chaos alone makes those probabilistic).
+	SchedOutage bool
 	// PStateCrash, when true, runs the durability experiment: a
 	// background writer quorum-writes checkpoints throughout the run
 	// while the harness crashes pstate2 mid-persist (torn final write),
@@ -102,6 +119,13 @@ type ScenarioResult struct {
 	// Gossip pool relative to the pre-workload baseline (pool bootstrap
 	// also merges, so the baseline subtraction is required).
 	PartitionsHealed int64
+	// TraceSpans holds every span the collector received (Trace runs
+	// only); Traces is the same data assembled into per-trace trees.
+	TraceSpans []dtrace.Span
+	Traces     []*dtrace.Tree
+	// CollectorAddr is the trace collector's address (Trace runs only),
+	// so callers can point ew-trace at a still-running scenario.
+	CollectorAddr string
 }
 
 func (c *ScenarioConfig) fill() {
@@ -146,6 +170,44 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	in := New(fcfg)
 	in.SetEnabled(false) // clean bootstrap; chaos starts with the workload
 
+	// Trace collector: a logsvc daemon plus one shared exporter. Like the
+	// telemetry probe, the export path is an observer — it ships over a
+	// clean client so chaos perturbs the traced calls, not the records of
+	// them — while the traced daemons themselves stay fully injected.
+	var collectorAddr string
+	var exporter *dtrace.Exporter
+	tracerFor := func(label string) wire.Tracer { return nil }
+	if cfg.Trace {
+		ls, err := logsvc.NewServer(logsvc.ServerConfig{
+			ListenAddr: "127.0.0.1:0",
+			Transport:  cfg.Transport,
+		})
+		if err != nil {
+			return nil, err
+		}
+		collectorAddr, err = ls.Start()
+		if err != nil {
+			return nil, err
+		}
+		defer ls.Close()
+		in.RegisterName(collectorAddr, "logd")
+		expClient := wire.NewClient(time.Second)
+		expClient.Transport = cfg.Transport
+		defer expClient.Close()
+		exporter = dtrace.NewExporter(dtrace.ExporterConfig{
+			Client:        expClient,
+			Addr:          collectorAddr,
+			FlushInterval: 50 * time.Millisecond,
+		})
+		tracerFor = func(label string) wire.Tracer {
+			return dtrace.New(dtrace.Config{
+				Service:     label,
+				SampleEvery: cfg.TraceSampleEvery,
+				Sink:        exporter,
+			})
+		}
+	}
+
 	// Persistent state manager replicas. Each stores under its own
 	// subdirectory, anti-entropies against its siblings through an
 	// injected dialer (repair traffic rides the same chaotic network as
@@ -169,6 +231,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			Transport:    cfg.Transport,
 			Dialer:       in.DialerOn(cfg.Transport, label),
 			Retry:        retryPolicy(),
+			Tracer:       tracerFor(label),
 		}
 		if crasher != nil && i == 1 {
 			scfg.CrashPoints = crasher.Hook()
@@ -203,7 +266,13 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// Scheduling servers.
 	schedAddrs := make([]string, 0, cfg.Schedulers)
 	for i := 0; i < cfg.Schedulers; i++ {
-		ss := sched.NewServer(sched.ServerConfig{ListenAddr: "127.0.0.1:0", DefaultSteps: 400, Transport: cfg.Transport})
+		ss := sched.NewServer(sched.ServerConfig{
+			ListenAddr:   "127.0.0.1:0",
+			DefaultSteps: 400,
+			Transport:    cfg.Transport,
+			Tracer:       tracerFor(fmt.Sprintf("sched%d", i+1)),
+			LogAddr:      collectorAddr,
+		})
 		addr, err := ss.Start()
 		if err != nil {
 			return nil, err
@@ -232,6 +301,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			Transport:   cfg.Transport,
 			Dialer:      in.DialerOn(cfg.Transport, label),
 			Retry:       retryPolicy(),
+			Tracer:      tracerFor(label),
 		})
 		addr, err := g.Start()
 		if err != nil {
@@ -273,6 +343,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			MaxServiceFailures: 3,
 			ServiceCooldown:    200 * time.Millisecond,
 			WorkCheckpointKey:  "chaos/work/" + label,
+			Tracer:             tracerFor(label),
 		})
 		addr, err := comp.Start()
 		if err != nil {
@@ -371,6 +442,20 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		}(comp)
 	}
 
+	// Fail-over forcing: cut the first scheduler off mid-workload so
+	// in-flight reports exhaust their retry ladder against it (every
+	// attempt a recorded child span) and land on the alternate (the
+	// fail-over hop). Healed before the partition experiment so the two
+	// cuts never overlap.
+	if cfg.SchedOutage && cfg.Schedulers >= 2 {
+		time.Sleep(30 * time.Millisecond) // let some clean-path reports land first
+		in.Isolate("sched1")
+		cfg.Logf("isolated sched1")
+		time.Sleep(300 * time.Millisecond)
+		in.Heal()
+		cfg.Logf("healed sched1")
+	}
+
 	// Partition experiment: cut the last Gossip off from its pool peers
 	// while the workload runs, then heal and require a re-merge.
 	if cfg.PartitionHeal && cfg.Gossips >= 2 {
@@ -458,6 +543,21 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// Final telemetry sweep with chaos off: what did the run look like
 	// from each daemon's own instruments?
 	in.SetEnabled(false)
+
+	// Trace harvest: flush the exporter's final batch, then pull every
+	// span back from the collector and assemble the trees.
+	if cfg.Trace {
+		exporter.Close()
+		res.CollectorAddr = collectorAddr
+		spans, err := dtrace.Fetch(probe, collectorAddr, 0, 0, 2*time.Second)
+		if err != nil {
+			cfg.Logf("trace fetch: %v", err)
+		} else {
+			res.TraceSpans = spans
+			res.Traces = dtrace.BuildTrees(spans)
+			cfg.Logf("traces: %d spans in %d traces", len(spans), len(res.Traces))
+		}
+	}
 
 	// Durability verdict: drive anti-entropy until every replica's digest
 	// is identical, then check each acked write against each replica

@@ -34,6 +34,12 @@ const (
 func init() {
 	wire.RegisterIdempotent(MsgRegister, MsgGetState, MsgPutState,
 		MsgShareReg, MsgPoolInfo, MsgDeregister)
+	wire.RegisterMsgName(MsgRegister, "gossip.register")
+	wire.RegisterMsgName(MsgGetState, "gossip.get_state")
+	wire.RegisterMsgName(MsgPutState, "gossip.put_state")
+	wire.RegisterMsgName(MsgShareReg, "gossip.share_reg")
+	wire.RegisterMsgName(MsgPoolInfo, "gossip.pool_info")
+	wire.RegisterMsgName(MsgDeregister, "gossip.deregister")
 }
 
 // EncodeStamped serializes a Stamped value.

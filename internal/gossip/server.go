@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
@@ -47,6 +48,10 @@ type ServerConfig struct {
 	// one is created otherwise); the server, its client, and the clique
 	// member all report into it, and MsgTelemetry dumps it.
 	Metrics *telemetry.Registry
+	// Tracer, if set, roots a causal trace at every synchronization round
+	// and at every clique token origination, and continues traces arriving
+	// on inbound calls. Nil disables.
+	Tracer wire.Tracer
 }
 
 func (c *ServerConfig) fill() {
@@ -119,6 +124,7 @@ func NewServer(cfg ServerConfig) *Server {
 		Dialer:      cfg.Dialer,
 		Retry:       cfg.Retry,
 		Logf:        cfg.Logf,
+		Tracer:      cfg.Tracer,
 	})
 	s := &Server{
 		cfg:      cfg,
@@ -158,6 +164,7 @@ func (s *Server) Start() (string, error) {
 		HeartbeatInterval: s.cfg.Heartbeat,
 		TokenTimeout:      s.cfg.TokenTimeout,
 		Metrics:           s.metrics,
+		Tracer:            s.cfg.Tracer,
 	}, s.tr)
 	s.member.Start()
 	s.wg.Add(1)
@@ -364,17 +371,25 @@ func (s *Server) SyncRound() {
 			keys = append(keys, k)
 		}
 	}
+	if len(keys) == 0 {
+		return
+	}
+	// Each round with work roots its own trace: every get_state poll and
+	// put_state push across every responsible key lands in one tree.
+	root := wire.StartSpan(s.cfg.Tracer, "gossip.sync_round", wire.TraceContext{})
+	root.Annotate("keys", fmt.Sprintf("%d", len(keys)))
 	sort.Strings(keys)
 	for _, key := range keys {
 		regs := byKey[key]
 		sort.Slice(regs, func(i, j int) bool { return regs[i].Addr < regs[j].Addr })
-		s.syncKey(key, regs)
+		s.syncKey(root.Context(), key, regs)
 	}
+	root.End("ok")
 }
 
 // syncKey polls every holder of key, identifies the freshest copy by
 // pairwise comparison, and pushes it to the stale holders.
-func (s *Server) syncKey(key string, regs []Registration) {
+func (s *Server) syncKey(tc wire.TraceContext, key string, regs []Registration) {
 	cmp, ok := LookupComparator(regs[0].Comparator)
 	if !ok {
 		cmp, _ = LookupComparator(CmpCounter)
@@ -391,7 +406,7 @@ func (s *Server) syncKey(key string, regs []Registration) {
 		fkey := forecast.Key{Resource: r.Addr, Event: "get_state"}
 		to := s.timeout.Timeout(fkey)
 		start := time.Now()
-		resp, err := s.client.Call(r.Addr, &wire.Packet{Type: MsgGetState, Payload: getPayload}, to)
+		resp, err := s.client.Call(r.Addr, &wire.Packet{Type: MsgGetState, Payload: getPayload, Trace: tc}, to)
 		if err != nil {
 			s.timeout.Observe(fkey, to) // a timeout took at least this long
 			s.recordFailure(r)
@@ -437,7 +452,7 @@ func (s *Server) syncKey(key string, regs []Registration) {
 		fkey := forecast.Key{Resource: c.reg.Addr, Event: "put_state"}
 		to := s.timeout.Timeout(fkey)
 		start := time.Now()
-		_, err := s.client.Call(c.reg.Addr, &wire.Packet{Type: MsgPutState, Payload: putPayload}, to)
+		_, err := s.client.Call(c.reg.Addr, &wire.Packet{Type: MsgPutState, Payload: putPayload, Trace: tc}, to)
 		if err != nil {
 			s.timeout.Observe(fkey, to)
 			s.recordFailure(c.reg)

@@ -11,6 +11,7 @@ import (
 	"everyware/internal/simgrid"
 	"everyware/internal/telemetry"
 	"everyware/internal/trace"
+	"everyware/internal/wire"
 )
 
 // SC98Start is the beginning of the evaluation window: 23:36:56 PST on
@@ -58,6 +59,11 @@ type ScenarioConfig struct {
 	DisableTestWindow bool
 	// MaxReportAttempts bounds report retries per cycle (default 3).
 	MaxReportAttempts int
+	// Tracer, if set, records causal spans from the replay's real
+	// scheduling policy object. Build it with a dtrace.Config whose Now is
+	// the engine's virtual clock (see RunSC98's engine) so span times are
+	// virtual-time quantities spanning the replayed window.
+	Tracer wire.Tracer
 }
 
 func (c *ScenarioConfig) fill() {
@@ -266,6 +272,7 @@ func RunSC98(cfg ScenarioConfig) *Result {
 		StaleAfter:    20 * time.Minute,
 		MedianRefresh: time.Minute,
 		Now:           s.eng.Now,
+		Tracer:        cfg.Tracer,
 	})
 	s.state = ramsey.NewColoring(17).Encode()
 

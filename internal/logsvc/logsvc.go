@@ -16,10 +16,15 @@ import (
 	"sync"
 	"time"
 
+	"everyware/internal/dtrace"
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
 // Lingua franca message types for the logging service (range 40-49).
+// The trace collector's MsgTraceExport (43) and MsgTraceFetch (44) also
+// live in this range; their constants are defined in internal/dtrace so
+// the span exporter does not depend on this package.
 const (
 	// MsgAppend appends one entry (payload: Entry).
 	MsgAppend wire.MsgType = 40
@@ -31,7 +36,12 @@ const (
 
 // Tail and stats are reads. MsgAppend is not registered: a retransmit
 // would duplicate the log entry (appends are best-effort anyway).
-func init() { wire.RegisterIdempotent(MsgTail, MsgStats) }
+func init() {
+	wire.RegisterIdempotent(MsgTail, MsgStats)
+	wire.RegisterMsgName(MsgAppend, "log.append")
+	wire.RegisterMsgName(MsgTail, "log.tail")
+	wire.RegisterMsgName(MsgStats, "log.stats")
+}
 
 // Entry is one log record.
 type Entry struct {
@@ -91,16 +101,25 @@ type ServerConfig struct {
 	// MaxFileBytes stops file appends beyond this size (0 = unlimited) —
 	// the storage-load control the paper calls out.
 	MaxFileBytes int64
+	// MaxSpans bounds the trace collector's in-memory span ring
+	// (default 16384). The same storage-load control applies to traces:
+	// when the ring is full the oldest spans are evicted and the eviction
+	// is counted, never silent.
+	MaxSpans int
 	// Transport selects the wire substrate the listener binds on. Nil
 	// means TCP.
 	Transport wire.Transport
+	// Tracer enables causal tracing of the logging daemon's own RPCs.
+	Tracer wire.Tracer
 }
 
-// Server is one logging daemon.
+// Server is one logging daemon. Besides the paper's entry log it hosts
+// the trace collector: daemons export finished dtrace spans here
+// (MsgTraceExport) and viewers fetch them back (MsgTraceFetch).
 type Server struct {
 	cfg ServerConfig
 	svc *wire.Service
-	srv *wire.Server
+	reg *telemetry.Registry
 
 	mu        sync.Mutex
 	ring      []Entry
@@ -108,8 +127,15 @@ type Server struct {
 	full      bool
 	appended  int64
 	dropped   int64
+	evicted   int64
 	fileBytes int64
 	f         *os.File
+
+	spanRing    []dtrace.Span
+	spanNext    int
+	spanFull    bool
+	spanCount   int64
+	spanEvicted int64
 }
 
 // NewServer creates a logging server.
@@ -117,13 +143,23 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 65536
 	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 16384
+	}
 	svc := wire.NewService(wire.ServiceConfig{
 		Name:       "logsvc",
 		ListenAddr: cfg.ListenAddr,
 		Transport:  cfg.Transport,
 		Silent:     true,
+		Tracer:     cfg.Tracer,
 	})
-	s := &Server{cfg: cfg, svc: svc, srv: svc.Server(), ring: make([]Entry, cfg.MaxEntries)}
+	s := &Server{
+		cfg:      cfg,
+		svc:      svc,
+		reg:      svc.Metrics(),
+		ring:     make([]Entry, cfg.MaxEntries),
+		spanRing: make([]dtrace.Span, cfg.MaxSpans),
+	}
 	if cfg.File != "" {
 		f, err := os.OpenFile(cfg.File, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -140,6 +176,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	svc.Handle(MsgAppend, wire.HandlerFunc(s.handleAppend))
 	svc.Handle(MsgTail, wire.HandlerFunc(s.handleTail))
 	svc.Handle(MsgStats, wire.HandlerFunc(s.handleStats))
+	svc.Handle(dtrace.MsgTraceExport, wire.HandlerFunc(s.handleTraceExport))
+	svc.Handle(dtrace.MsgTraceFetch, wire.HandlerFunc(s.handleTraceFetch))
 	return s, nil
 }
 
@@ -160,10 +198,17 @@ func (s *Server) Close() {
 	}
 }
 
-// Append records one entry directly (in-process use).
+// Append records one entry directly (in-process use). The ring is
+// bounded: once full, each new entry evicts the oldest one and the
+// eviction is counted ("logsvc.dropped"), so log loss under pressure is
+// visible in MsgStats and ew-top rather than silent.
 func (s *Server) Append(en Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.full {
+		s.evicted++
+		s.reg.Counter("logsvc.dropped").Inc()
+	}
 	s.ring[s.next] = en
 	s.next++
 	if s.next == len(s.ring) {
@@ -212,6 +257,87 @@ func (s *Server) Stats() (appended, dropped int64) {
 	return s.appended, s.dropped
 }
 
+// StatsDetail is the full accounting MsgStats reports. RingDropped and
+// SpanDropped surface data loss that used to be silent: entries (and
+// spans) evicted from a full ring to make room for new ones.
+type StatsDetail struct {
+	// Appended counts entries ever accepted.
+	Appended int64
+	// FileDropped counts entries not written to the log file because of
+	// the MaxFileBytes quota.
+	FileDropped int64
+	// RingDropped counts entries evicted from the full in-memory ring.
+	RingDropped int64
+	// Spans counts trace spans ever accepted by the collector.
+	Spans int64
+	// SpanDropped counts spans evicted from the full span ring.
+	SpanDropped int64
+}
+
+// StatsDetail returns the full accounting.
+func (s *Server) StatsDetail() StatsDetail {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StatsDetail{
+		Appended:    s.appended,
+		FileDropped: s.dropped,
+		RingDropped: s.evicted,
+		Spans:       s.spanCount,
+		SpanDropped: s.spanEvicted,
+	}
+}
+
+// CollectSpans records finished trace spans directly (in-process use;
+// the MsgTraceExport handler calls it). The span ring is bounded like
+// the entry ring: full means oldest-evicted-and-counted, never silent.
+func (s *Server) CollectSpans(spans []dtrace.Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sp := range spans {
+		if s.spanFull {
+			s.spanEvicted++
+			s.reg.Counter("logsvc.trace.dropped").Inc()
+		}
+		s.spanRing[s.spanNext] = sp
+		s.spanNext++
+		if s.spanNext == len(s.spanRing) {
+			s.spanNext = 0
+			s.spanFull = true
+		}
+		s.spanCount++
+	}
+	s.reg.Counter("logsvc.trace.spans").Add(int64(len(spans)))
+}
+
+// Spans returns up to max collected spans, oldest first, filtered to one
+// trace when traceID is non-zero. max <= 0 means no limit; when the
+// limit bites, the most recent spans win (the interesting traces are the
+// live ones).
+func (s *Server) Spans(max int, traceID uint64) []dtrace.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := s.spanNext
+	if s.spanFull {
+		size = len(s.spanRing)
+	}
+	start := 0
+	if s.spanFull {
+		start = s.spanNext
+	}
+	out := make([]dtrace.Span, 0, size)
+	for i := 0; i < size; i++ {
+		sp := s.spanRing[(start+i)%len(s.spanRing)]
+		if traceID != 0 && sp.TraceID != traceID {
+			continue
+		}
+		out = append(out, sp)
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
 func (s *Server) handleAppend(_ string, req *wire.Packet) (*wire.Packet, error) {
 	en, err := DecodeEntry(req.Payload)
 	if err != nil {
@@ -237,11 +363,39 @@ func (s *Server) handleTail(_ string, req *wire.Packet) (*wire.Packet, error) {
 }
 
 func (s *Server) handleStats(_ string, _ *wire.Packet) (*wire.Packet, error) {
-	appended, dropped := s.Stats()
+	st := s.StatsDetail()
+	// Field order extends the original two-value reply; old clients read
+	// the first two Int64s and ignore the rest.
 	var e wire.Encoder
-	e.PutInt64(appended)
-	e.PutInt64(dropped)
+	e.PutInt64(st.Appended)
+	e.PutInt64(st.FileDropped)
+	e.PutInt64(st.RingDropped)
+	e.PutInt64(st.Spans)
+	e.PutInt64(st.SpanDropped)
 	return &wire.Packet{Type: MsgStats, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) handleTraceExport(_ string, req *wire.Packet) (*wire.Packet, error) {
+	spans, err := dtrace.DecodeSpans(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	s.CollectSpans(spans)
+	return &wire.Packet{Type: dtrace.MsgTraceExport}, nil
+}
+
+func (s *Server) handleTraceFetch(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	max, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	traceID, err := d.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	spans := s.Spans(int(max), traceID)
+	return &wire.Packet{Type: dtrace.MsgTraceFetch, Payload: dtrace.EncodeSpans(spans)}, nil
 }
 
 // Client reports log entries to a logging server.
@@ -269,6 +423,35 @@ func (c *Client) Log(level, format string, args ...any) error {
 	}
 	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgAppend, Payload: EncodeEntry(en)}, c.timeout)
 	return err
+}
+
+// Stats fetches the server's full accounting. Works against old servers
+// too: missing trailing fields decode as zero.
+func (c *Client) Stats() (StatsDetail, error) {
+	var st StatsDetail
+	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgStats}, c.timeout)
+	if err != nil {
+		return st, err
+	}
+	d := wire.NewDecoder(resp.Payload)
+	if st.Appended, err = d.Int64(); err != nil {
+		return st, err
+	}
+	if st.FileDropped, err = d.Int64(); err != nil {
+		return st, err
+	}
+	// Pre-tracing servers end here; treat the extended fields as zero.
+	if d.Remaining() == 0 {
+		return st, nil
+	}
+	if st.RingDropped, err = d.Int64(); err != nil {
+		return st, err
+	}
+	if st.Spans, err = d.Int64(); err != nil {
+		return st, err
+	}
+	st.SpanDropped, err = d.Int64()
+	return st, err
 }
 
 // Tail fetches the most recent n entries from the server.

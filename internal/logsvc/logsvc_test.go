@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"everyware/internal/dtrace"
 	"everyware/internal/wire"
 )
 
@@ -141,5 +142,97 @@ func TestFilePersistsAcrossRestart(t *testing.T) {
 	}
 	if !strings.Contains(string(raw), "first") || !strings.Contains(string(raw), "second") {
 		t.Fatalf("log file lost data: %q", raw)
+	}
+}
+
+// TestRingEvictionCounted: a full entry ring evicts oldest-first and the
+// loss is counted — in StatsDetail and in the "logsvc.dropped" counter
+// that MsgStats and ew-top surface.
+func TestRingEvictionCounted(t *testing.T) {
+	s := newTestServer(t, ServerConfig{MaxEntries: 4})
+	for i := 0; i < 10; i++ {
+		s.Append(Entry{Unix: int64(i), Line: "x"})
+	}
+	d := s.StatsDetail()
+	if d.Appended != 10 {
+		t.Fatalf("appended = %d", d.Appended)
+	}
+	if d.RingDropped != 6 {
+		t.Fatalf("ring dropped %d want 6", d.RingDropped)
+	}
+	if got := s.reg.Snapshot("").Value("logsvc.dropped"); got != 6 {
+		t.Fatalf("logsvc.dropped counter = %d want 6", got)
+	}
+}
+
+// TestSpanRingBounded: the trace collector's span ring wraps like the
+// entry ring — newest spans retained, evictions counted in
+// "logsvc.trace.dropped" — and Spans filters by trace and bounds by max
+// (most recent winning).
+func TestSpanRingBounded(t *testing.T) {
+	s := newTestServer(t, ServerConfig{MaxSpans: 4})
+	spans := make([]dtrace.Span, 10)
+	for i := range spans {
+		spans[i] = dtrace.Span{TraceID: uint64(1 + i%2), SpanID: uint64(i + 1), Start: int64(i), Name: "op", Outcome: "ok"}
+	}
+	s.CollectSpans(spans)
+	got := s.Spans(0, 0)
+	if len(got) != 4 {
+		t.Fatalf("span ring holds %d want 4", len(got))
+	}
+	if got[0].SpanID != 7 || got[3].SpanID != 10 {
+		t.Fatalf("ring kept wrong spans: first=%d last=%d", got[0].SpanID, got[3].SpanID)
+	}
+	d := s.StatsDetail()
+	if d.Spans != 10 || d.SpanDropped != 6 {
+		t.Fatalf("span accounting: spans=%d dropped=%d", d.Spans, d.SpanDropped)
+	}
+	snap := s.reg.Snapshot("")
+	if snap.Value("logsvc.trace.dropped") != 6 {
+		t.Fatalf("logsvc.trace.dropped = %d want 6", snap.Value("logsvc.trace.dropped"))
+	}
+	if snap.Value("logsvc.trace.spans") != 10 {
+		t.Fatalf("logsvc.trace.spans = %d want 10", snap.Value("logsvc.trace.spans"))
+	}
+	// Trace filter: only trace 2's surviving spans.
+	for _, sp := range s.Spans(0, 2) {
+		if sp.TraceID != 2 {
+			t.Fatalf("filter leaked trace %d", sp.TraceID)
+		}
+	}
+	// Bounded fetch keeps the most recent.
+	last := s.Spans(2, 0)
+	if len(last) != 2 || last[1].SpanID != 10 {
+		t.Fatalf("max=2 fetch: %+v", last)
+	}
+}
+
+// TestCollectorOverWire: the collector handlers — MsgTraceExport appends,
+// MsgTraceFetch reads back with max and trace-ID filters applied.
+func TestCollectorOverWire(t *testing.T) {
+	s := newTestServer(t, ServerConfig{})
+	wc := wire.NewClient(time.Second)
+	defer wc.Close()
+	in := []dtrace.Span{
+		{TraceID: 5, SpanID: 1, Name: "root", Outcome: "ok"},
+		{TraceID: 5, SpanID: 2, ParentID: 1, Name: "child", Outcome: "ok"},
+		{TraceID: 6, SpanID: 3, Name: "other", Outcome: "error"},
+	}
+	if _, err := wc.Call(s.Addr(), &wire.Packet{Type: dtrace.MsgTraceExport, Payload: dtrace.EncodeSpans(in)}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	all, err := dtrace.Fetch(wc, s.Addr(), 0, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("fetched %d spans want 3", len(all))
+	}
+	one, err := dtrace.Fetch(wc, s.Addr(), 0, 5, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 2 || one[0].TraceID != 5 {
+		t.Fatalf("trace filter: %+v", one)
 	}
 }

@@ -37,7 +37,13 @@ const (
 
 // Forecast/series/keys are reads. MsgReport appends a measurement to a
 // series, so a retransmit would skew the forecasters — not registered.
-func init() { wire.RegisterIdempotent(MsgForecast, MsgSeries, MsgKeys) }
+func init() {
+	wire.RegisterIdempotent(MsgForecast, MsgSeries, MsgKeys)
+	wire.RegisterMsgName(MsgReport, "nws.report")
+	wire.RegisterMsgName(MsgForecast, "nws.forecast")
+	wire.RegisterMsgName(MsgSeries, "nws.series")
+	wire.RegisterMsgName(MsgKeys, "nws.keys")
+}
 
 // Memory is the NWS measurement memory and forecaster daemon. It keeps a
 // bounded raw-series ring per key alongside the forecasting battery.
@@ -227,10 +233,16 @@ func encodeKey(e *wire.Encoder, k forecast.Key) {
 
 // Report stores one measurement.
 func (c *Client) Report(key forecast.Key, v float64) error {
+	return c.ReportCtx(wire.TraceContext{}, key, v)
+}
+
+// ReportCtx stores one measurement under an existing trace context (the
+// sensor passes its sweep's root span so every report lands in one tree).
+func (c *Client) ReportCtx(tc wire.TraceContext, key forecast.Key, v float64) error {
 	var e wire.Encoder
 	encodeKey(&e, key)
 	e.PutFloat64(v)
-	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgReport, Payload: e.Bytes()}, c.timeout)
+	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgReport, Payload: e.Bytes(), Trace: tc}, c.timeout)
 	return err
 }
 

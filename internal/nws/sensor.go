@@ -54,6 +54,10 @@ type SensorConfig struct {
 	// Metrics, if set, counts probe outcomes (nws.ping.ok / nws.ping.timeout
 	// / nws.ping.fail). Nil discards.
 	Metrics *telemetry.Registry
+	// Tracer, if set, roots a causal trace at every measurement sweep, so
+	// each report to the measurement memory (and its retries) links back
+	// to the sweep that produced it. Nil disables.
+	Tracer wire.Tracer
 }
 
 // Sensor periodically measures local CPU availability and network RTTs to
@@ -110,9 +114,12 @@ func (s *Sensor) Start() {
 
 // MeasureOnce performs one measurement sweep (also used by tests).
 func (s *Sensor) MeasureOnce() {
+	sweep := wire.StartSpan(s.cfg.Tracer, "nws.measure", wire.TraceContext{})
+	sweep.Annotate("sensor", s.cfg.Name)
+	tc := sweep.Context()
 	if !s.cfg.DisableCPU {
 		v := s.cfg.CPU()
-		_ = s.mc.Report(forecast.Key{Resource: s.cfg.Name, Event: "cpu_ops"}, v)
+		_ = s.mc.ReportCtx(tc, forecast.Key{Resource: s.cfg.Name, Event: "cpu_ops"}, v)
 	}
 	for _, peer := range s.cfg.Peers {
 		key := forecast.Key{Resource: s.cfg.Name + "->" + peer, Event: "rtt"}
@@ -123,15 +130,16 @@ func (s *Sensor) MeasureOnce() {
 				// The ping took at least the full timeout: report that as
 				// the sample so forecasts (and the time-outs derived from
 				// them) adapt upward instead of staying optimistic.
-				_ = s.mc.Report(key, s.cfg.PingTimeout.Seconds())
+				_ = s.mc.ReportCtx(tc, key, s.cfg.PingTimeout.Seconds())
 			} else {
 				s.cfg.Metrics.Counter("nws.ping.fail").Inc()
 			}
 			continue // fast failures (refused, reset) produce no sample
 		}
 		s.cfg.Metrics.Counter("nws.ping.ok").Inc()
-		_ = s.mc.Report(key, rtt.Seconds())
+		_ = s.mc.ReportCtx(tc, key, rtt.Seconds())
 	}
+	sweep.End("ok")
 	s.mu.Lock()
 	s.cycles++
 	s.mu.Unlock()

@@ -3,6 +3,8 @@ package pstate
 import (
 	"fmt"
 	"time"
+
+	"everyware/internal/wire"
 )
 
 // Anti-entropy: every persistent state manager periodically exchanges
@@ -52,12 +54,16 @@ func (s *Server) SyncNow() (int, error) {
 		return 0, nil
 	}
 	s.metrics.Counter("pstate.antientropy.rounds").Inc()
+	// Each round roots its own trace: the digest exchange and every
+	// pull/push repair against every peer land in one tree.
+	root := wire.StartSpan(s.cfg.Tracer, "pstate.antientropy", wire.TraceContext{})
+	tc := root.Context()
 	timeout := 2 * time.Second
 	repairs := 0
 	var maxLag int64
 	var lastErr error
 	for _, peer := range peers {
-		remote, err := fetchDigest(s.peerWC, peer, timeout)
+		remote, err := fetchDigest(s.peerWC, peer, tc, timeout)
 		if err != nil {
 			s.metrics.Counter("pstate.antientropy.errors").Inc()
 			lastErr = fmt.Errorf("pstate: digest from %s: %w", peer, err)
@@ -82,7 +88,7 @@ func (s *Server) SyncNow() (int, error) {
 					maxLag = int64(rent.Version)
 				}
 			}
-			o, found, err := pullObject(s.peerWC, peer, rent.Name, timeout)
+			o, found, err := pullObject(s.peerWC, peer, rent.Name, tc, timeout)
 			if err != nil || !found {
 				if err != nil {
 					s.metrics.Counter("pstate.antientropy.errors").Inc()
@@ -109,7 +115,7 @@ func (s *Server) SyncNow() (int, error) {
 			if o == nil {
 				continue
 			}
-			applied, _, err := storeAt(s.peerWC, peer, o, timeout)
+			applied, _, err := storeAt(s.peerWC, peer, o, tc, timeout)
 			if err != nil {
 				s.metrics.Counter("pstate.antientropy.errors").Inc()
 				lastErr = err
@@ -124,6 +130,12 @@ func (s *Server) SyncNow() (int, error) {
 	}
 	s.metrics.Counter("pstate.antientropy.repairs").Add(int64(repairs))
 	s.metrics.Gauge("pstate.replica.lag").Set(maxLag)
+	root.Annotate("repairs", fmt.Sprintf("%d", repairs))
+	if lastErr != nil {
+		root.End("error")
+	} else {
+		root.End("ok")
+	}
 	return repairs, lastErr
 }
 

@@ -39,6 +39,11 @@ type ReplicaSetConfig struct {
 	// Metrics, if set, records quorum outcomes, read repairs, and spool
 	// depth. Nil discards.
 	Metrics *telemetry.Registry
+	// Tracer, if set, records quorum writes/reads as spans when the
+	// operation runs under a trace context (StoreCtx/FetchCtx); each
+	// per-replica RPC then appears as a child via the wire client's call
+	// spans. Nil disables.
+	Tracer wire.Tracer
 }
 
 // ReplicaSet is the replicated-state client: versioned quorum writes (W of
@@ -125,23 +130,37 @@ func (r *ReplicaSet) fanOut(op func(addr string) replicaResult) []replicaResult 
 // A validation rejection from any replica fails the write outright (the
 // object itself is bad) and nothing is spooled.
 func (r *ReplicaSet) Store(name, class string, data []byte) (uint64, error) {
+	return r.StoreCtx(wire.TraceContext{}, name, class, data)
+}
+
+// StoreCtx is Store under a causal trace context: the quorum write is
+// recorded as a child span of tc, and every per-replica StoreAt call
+// nests under it via the wire client's call spans.
+func (r *ReplicaSet) StoreCtx(tc wire.TraceContext, name, class string, data []byte) (uint64, error) {
 	if name == "" {
 		return 0, fmt.Errorf("pstate: empty object name")
 	}
+	sp := wire.StartSpan(r.cfg.Tracer, "pstate.quorum_write", tc)
+	sp.Annotate("object", name)
+	tc = sp.Context()
 	r.FlushSpool() // opportunistic: reconnects drain the backlog first
-	ver := r.nextVersion(name)
+	ver := r.nextVersion(tc, name)
 	o := &Object{Name: name, Class: class, Version: ver, Data: data}
-	acks, err := r.quorumWrite(o)
+	acks, err := r.quorumWrite(tc, o)
 	if err != nil {
 		r.cfg.Metrics.Counter("pstate.replica.write.rejected").Inc()
+		sp.End("error")
 		return 0, err
 	}
+	sp.Annotate("acks", fmt.Sprintf("%d/%d", acks, len(r.cfg.Addrs)))
 	if acks >= r.cfg.WriteQuorum {
 		r.cfg.Metrics.Counter("pstate.replica.write.quorum_ok").Inc()
+		sp.End("ok")
 		return ver, nil
 	}
 	r.spoolPut(o)
 	r.cfg.Metrics.Counter("pstate.replica.write.spooled").Inc()
+	sp.End("spooled")
 	return ver, ErrSpooled
 }
 
@@ -150,9 +169,9 @@ func (r *ReplicaSet) Store(name, class string, data []byte) (uint64, error) {
 // miss it converge via anti-entropy.
 func (r *ReplicaSet) Delete(name string) error {
 	r.FlushSpool()
-	ver := r.nextVersion(name)
+	ver := r.nextVersion(wire.TraceContext{}, name)
 	ts := &Object{Name: name, Version: ver, Tombstone: true}
-	acks, err := r.quorumWrite(ts)
+	acks, err := r.quorumWrite(wire.TraceContext{}, ts)
 	if err != nil {
 		return err
 	}
@@ -169,10 +188,10 @@ func (r *ReplicaSet) Delete(name string) error {
 // reachable replicas and the local spool, plus one. Unreachable replicas
 // contribute nothing — a later anti-entropy round or read repair resolves
 // any resulting conflict deterministically.
-func (r *ReplicaSet) nextVersion(name string) uint64 {
+func (r *ReplicaSet) nextVersion(tc wire.TraceContext, name string) uint64 {
 	var high uint64
 	for _, res := range r.fanOut(func(addr string) replicaResult {
-		o, _, err := pullObject(r.wc, addr, name, r.cfg.Timeout)
+		o, _, err := pullObject(r.wc, addr, name, tc, r.cfg.Timeout)
 		return replicaResult{addr: addr, obj: o, err: err}
 	}) {
 		if res.err == nil && res.obj != nil && res.obj.Version > high {
@@ -191,10 +210,10 @@ func (r *ReplicaSet) nextVersion(name string) uint64 {
 // response — applied or superseded by a newer version — is an ack: either
 // way the replica durably holds a record at least as new as o. A
 // validation rejection (RemoteError) aborts with that error.
-func (r *ReplicaSet) quorumWrite(o *Object) (acks int, err error) {
+func (r *ReplicaSet) quorumWrite(tc wire.TraceContext, o *Object) (acks int, err error) {
 	var rejection error
 	for _, res := range r.fanOut(func(addr string) replicaResult {
-		_, cur, err := storeAt(r.wc, addr, o, r.cfg.Timeout)
+		_, cur, err := storeAt(r.wc, addr, o, tc, r.cfg.Timeout)
 		return replicaResult{addr: addr, ver: cur, err: err}
 	}) {
 		if res.err == nil {
@@ -220,9 +239,29 @@ func (r *ReplicaSet) quorumWrite(o *Object) (acks int, err error) {
 // the caller is mid-partition and stale data beats no data (the paper's
 // availability-first stance), but the quorum guarantee does not hold.
 func (r *ReplicaSet) Fetch(name string) (*Object, bool, error) {
+	return r.FetchCtx(wire.TraceContext{}, name)
+}
+
+// FetchCtx is Fetch under a causal trace context: the quorum read (and
+// any read repairs it triggers) is recorded as a child span of tc.
+func (r *ReplicaSet) FetchCtx(tc wire.TraceContext, name string) (*Object, bool, error) {
+	sp := wire.StartSpan(r.cfg.Tracer, "pstate.quorum_read", tc)
+	sp.Annotate("object", name)
+	tc = sp.Context()
+	o, found, err := r.fetch(tc, name)
+	switch {
+	case err != nil:
+		sp.End("error")
+	default:
+		sp.End("ok")
+	}
+	return o, found, err
+}
+
+func (r *ReplicaSet) fetch(tc wire.TraceContext, name string) (*Object, bool, error) {
 	r.FlushSpool()
 	results := r.fanOut(func(addr string) replicaResult {
-		o, _, err := pullObject(r.wc, addr, name, r.cfg.Timeout)
+		o, _, err := pullObject(r.wc, addr, name, tc, r.cfg.Timeout)
 		return replicaResult{addr: addr, obj: o, err: err}
 	})
 	responders := 0
@@ -265,7 +304,7 @@ func (r *ReplicaSet) Fetch(name string) (*Object, bool, error) {
 			continue
 		}
 		if res.obj == nil || freshest.Supersedes(res.obj) {
-			if applied, _, err := storeAt(r.wc, res.addr, freshest, r.cfg.Timeout); err == nil && applied {
+			if applied, _, err := storeAt(r.wc, res.addr, freshest, tc, r.cfg.Timeout); err == nil && applied {
 				r.cfg.Metrics.Counter("pstate.replica.read_repair").Inc()
 			}
 		}
@@ -281,7 +320,7 @@ func (r *ReplicaSet) List() ([]string, error) {
 	seen := make(map[string]DigestEntry)
 	responders := 0
 	for _, res := range r.fanOut(func(addr string) replicaResult {
-		dig, err := fetchDigest(r.wc, addr, r.cfg.Timeout)
+		dig, err := fetchDigest(r.wc, addr, wire.TraceContext{}, r.cfg.Timeout)
 		if err != nil {
 			return replicaResult{addr: addr, err: err}
 		}
@@ -351,7 +390,7 @@ func (r *ReplicaSet) FlushSpool() int {
 	sort.Slice(pending, func(i, j int) bool { return pending[i].Name < pending[j].Name })
 	flushed := 0
 	for _, o := range pending {
-		acks, err := r.quorumWrite(o)
+		acks, err := r.quorumWrite(wire.TraceContext{}, o)
 		if err != nil || acks < r.cfg.WriteQuorum {
 			continue
 		}
@@ -373,24 +412,25 @@ func (r *ReplicaSet) FlushSpool() int {
 // FetchDigest retrieves one replica's full digest over the wire — the
 // probe convergence checks and tools use to compare replica fleets.
 func FetchDigest(wc *wire.Client, addr string, timeout time.Duration) ([]DigestEntry, error) {
-	return fetchDigest(wc, addr, timeout)
+	return fetchDigest(wc, addr, wire.TraceContext{}, timeout)
 }
 
 // PullObject fetches one replication-plane record (tombstones included)
 // from a single replica, bypassing quorum — for per-replica durability
 // verification.
 func PullObject(wc *wire.Client, addr, name string, timeout time.Duration) (*Object, bool, error) {
-	return pullObject(wc, addr, name, timeout)
+	return pullObject(wc, addr, name, wire.TraceContext{}, timeout)
 }
 
 // --- replication-plane client calls (shared with anti-entropy) ---
 
 // storeAt sends a versioned replica write and decodes (applied, current
-// version).
-func storeAt(wc *wire.Client, addr string, o *Object, timeout time.Duration) (bool, uint64, error) {
+// version). tc, when valid, rides the packet so the per-replica write
+// appears in the caller's trace tree.
+func storeAt(wc *wire.Client, addr string, o *Object, tc wire.TraceContext, timeout time.Duration) (bool, uint64, error) {
 	var e wire.Encoder
 	putObject(&e, o)
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgStoreAt, Payload: e.Bytes()}, timeout)
+	resp, err := wc.Call(addr, &wire.Packet{Type: MsgStoreAt, Payload: e.Bytes(), Trace: tc}, timeout)
 	if err != nil {
 		return false, 0, err
 	}
@@ -404,10 +444,10 @@ func storeAt(wc *wire.Client, addr string, o *Object, timeout time.Duration) (bo
 }
 
 // pullObject fetches a replication-plane record (tombstones included).
-func pullObject(wc *wire.Client, addr, name string, timeout time.Duration) (*Object, bool, error) {
+func pullObject(wc *wire.Client, addr, name string, tc wire.TraceContext, timeout time.Duration) (*Object, bool, error) {
 	var e wire.Encoder
 	e.PutString(name)
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgPull, Payload: e.Bytes()}, timeout)
+	resp, err := wc.Call(addr, &wire.Packet{Type: MsgPull, Payload: e.Bytes(), Trace: tc}, timeout)
 	if err != nil {
 		return nil, false, err
 	}
@@ -424,8 +464,8 @@ func pullObject(wc *wire.Client, addr, name string, timeout time.Duration) (*Obj
 }
 
 // fetchDigest retrieves a replica's full digest.
-func fetchDigest(wc *wire.Client, addr string, timeout time.Duration) ([]DigestEntry, error) {
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgDigest}, timeout)
+func fetchDigest(wc *wire.Client, addr string, tc wire.TraceContext, timeout time.Duration) ([]DigestEntry, error) {
+	resp, err := wc.Call(addr, &wire.Packet{Type: MsgDigest, Trace: tc}, timeout)
 	if err != nil {
 		return nil, err
 	}

@@ -57,6 +57,14 @@ const (
 func init() {
 	wire.RegisterIdempotent(MsgFetch, MsgList, MsgUsage, MsgDelete,
 		MsgStoreAt, MsgDigest, MsgPull)
+	wire.RegisterMsgName(MsgStore, "pstate.store")
+	wire.RegisterMsgName(MsgFetch, "pstate.fetch")
+	wire.RegisterMsgName(MsgList, "pstate.list")
+	wire.RegisterMsgName(MsgDelete, "pstate.delete")
+	wire.RegisterMsgName(MsgUsage, "pstate.usage")
+	wire.RegisterMsgName(MsgStoreAt, "pstate.store_at")
+	wire.RegisterMsgName(MsgDigest, "pstate.digest")
+	wire.RegisterMsgName(MsgPull, "pstate.pull")
 }
 
 // CrashSite names a point inside Server.persist where the fault harness can
@@ -126,6 +134,10 @@ type ServerConfig struct {
 	// aborts immediately, leaving whatever the site had put on disk.
 	// Installed by the fault harness; nil in production.
 	CrashPoints func(CrashSite) error
+	// Tracer, if set, records causal trace spans: inbound traced requests
+	// get continuation spans, and each anti-entropy round roots a trace
+	// covering its digest exchanges and repairs. Nil disables.
+	Tracer wire.Tracer
 }
 
 // Server is one persistent state manager daemon.
@@ -170,6 +182,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Dialer:     cfg.Dialer,
 		Retry:      cfg.Retry,
 		Logf:       cfg.Logf,
+		Tracer:     cfg.Tracer,
 	})
 	s := &Server{
 		cfg:      cfg,

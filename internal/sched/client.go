@@ -48,6 +48,11 @@ type RunnerConfig struct {
 	// Metrics, if set, records report outcomes, scheduler fail-overs, and
 	// health-tracker transitions. Nil discards.
 	Metrics *telemetry.Registry
+	// Tracer, if set, roots a causal trace at every report: the wire
+	// client's call/attempt spans, each fail-over hop, and the remote
+	// scheduler's decision all become descendants of one sched.report
+	// span. Nil disables tracing for this runner.
+	Tracer wire.Tracer
 }
 
 // Runner is the client-side scheduling loop: it requests work, runs the
@@ -136,13 +141,18 @@ func (r *Runner) Stopped() bool { return r.stopped }
 // rejoin instantly on a roster update).
 func (r *Runner) report(rep Report) (Directive, error) {
 	payload := EncodeReport(rep)
+	// Each report roots a new trace: the call below propagates the root's
+	// context, so retries, fail-over hops, the scheduler's decision, and
+	// the forecast read underneath all land in one tree.
+	root := wire.StartSpan(r.cfg.Tracer, "sched.report", wire.TraceContext{})
+	root.Annotate("client", r.cfg.ClientID)
 	scheds := r.health.Filter(r.schedulers())
 	for attempt := 0; attempt < len(scheds); attempt++ {
 		addr := scheds[(r.curSched+attempt)%len(scheds)]
 		key := forecast.Key{Resource: addr, Event: "report"}
 		to := r.cfg.ReportTimeoutPolicy.Timeout(key)
 		start := time.Now()
-		resp, err := r.wc.Call(addr, &wire.Packet{Type: MsgReport, Payload: payload}, to)
+		resp, err := r.wc.Call(addr, &wire.Packet{Type: MsgReport, Payload: payload, Trace: root.Context()}, to)
 		if err != nil {
 			// A timed-out attempt took at least the full interval: record
 			// it at the timeout value so the next interval adapts upward.
@@ -161,10 +171,14 @@ func (r *Runner) report(rep Report) (Directive, error) {
 		if attempt > 0 {
 			// The report only landed on an alternate server.
 			r.cfg.Metrics.Counter("sched.client.failover").Inc()
+			root.Annotate("failover", "true")
 		}
+		root.Annotate("sched", addr)
+		root.End("ok")
 		return DecodeDirective(resp.Payload)
 	}
 	r.cfg.Metrics.Counter("sched.client.report.fail").Inc()
+	root.End("error")
 	return Directive{}, ErrNoScheduler
 }
 

@@ -60,6 +60,10 @@ type ServerConfig struct {
 	// one is created otherwise). Its clock follows Now, so simulated runs
 	// report virtual-time metrics.
 	Metrics *telemetry.Registry
+	// Tracer, if set, records causal trace spans: every report handled
+	// under a trace context yields a sched.decision span with the
+	// forecast read and the log-forward RPC as children. Nil disables.
+	Tracer wire.Tracer
 }
 
 func (c *ServerConfig) fill() {
@@ -136,6 +140,7 @@ func NewServer(cfg ServerConfig) *Server {
 		Transport:  cfg.Transport,
 		Metrics:    cfg.Metrics,
 		Silent:     true,
+		Tracer:     cfg.Tracer,
 	})
 	s := &Server{
 		cfg:       cfg,
@@ -213,14 +218,40 @@ func (s *Server) stepsFor(h ramsey.Heuristic) int64 {
 // exported so the SC98 simulation can drive the same policy code without a
 // network.
 func (s *Server) Handle(r Report) Directive {
+	return s.HandleCtx(wire.TraceContext{}, r)
+}
+
+// HandleCtx is Handle under a causal trace context: the scheduling
+// decision is recorded as a child span of tc (valid for reports arriving
+// over the wire with a trace envelope, or from the simulation's own
+// roots), with the forecast read nested inside it.
+func (s *Server) HandleCtx(tc wire.TraceContext, r Report) Directive {
 	sp := s.metrics.StartSpan("sched.decision")
-	d := s.handle(r)
+	dsp := wire.StartSpan(s.cfg.Tracer, "sched.decision", tc)
+	dsp.Annotate("client", r.ClientID)
+	d := s.handle(dsp.Context(), r)
 	sp.End(telemetry.OutcomeOK)
+	dsp.Annotate("directive", kindLabel(d.Kind))
+	dsp.End("ok")
 	s.metrics.Counter("sched.reports").Inc()
 	if d.Kind == DirNewWork {
 		s.metrics.Counter("sched.dispatched." + infraLabel(r.Infra)).Inc()
 	}
 	return d
+}
+
+// kindLabel names a directive kind for span annotations.
+func kindLabel(k DirectiveKind) string {
+	switch k {
+	case DirContinue:
+		return "continue"
+	case DirNewWork:
+		return "new_work"
+	case DirStop:
+		return "stop"
+	default:
+		return "unknown"
+	}
 }
 
 // infraLabel folds an infrastructure name into a metric-name component.
@@ -231,7 +262,7 @@ func infraLabel(infra string) string {
 	return infra
 }
 
-func (s *Server) handle(r Report) Directive {
+func (s *Server) handle(tc wire.TraceContext, r Report) Directive {
 	now := s.cfg.Now()
 	// Record the client's measured computational rate for forecasting.
 	rate := 0.0
@@ -242,7 +273,7 @@ func (s *Server) handle(r Report) Directive {
 	if r.WorkID != 0 {
 		s.forecasts.Record(key, rate)
 	}
-	s.forwardPerf(r, rate)
+	s.forwardPerf(tc, r, rate)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -296,8 +327,13 @@ func (s *Server) handle(r Report) Directive {
 	// and give the slow client a fresh exploratory unit.
 	if s.cfg.MigrateBelowFraction > 0 && len(s.clients) >= s.cfg.MinClientsForMigration {
 		myForecast := rate
+		fsp := wire.StartSpan(s.cfg.Tracer, "sched.forecast.read", tc)
+		fsp.Annotate("resource", r.ClientID)
 		if f, ok := s.forecasts.Forecast(key); ok {
 			myForecast = f.Value
+			fsp.End("ok")
+		} else {
+			fsp.End("miss")
 		}
 		med := s.medianForecastLocked()
 		if med > 0 && myForecast < s.cfg.MigrateBelowFraction*med {
@@ -391,8 +427,10 @@ func (s *Server) expireStaleLocked(now time.Time) {
 }
 
 // forwardPerf sends the report's performance information to the logging
-// service before it is discarded (section 3.1.3).
-func (s *Server) forwardPerf(r Report, rate float64) {
+// service before it is discarded (section 3.1.3). The append carries the
+// decision's trace context, so the log hop appears in the report's trace
+// tree.
+func (s *Server) forwardPerf(tc wire.TraceContext, r Report, rate float64) {
 	if s.cfg.LogAddr == "" {
 		return
 	}
@@ -404,7 +442,7 @@ func (s *Server) forwardPerf(r Report, rate float64) {
 	}
 	go func() {
 		_, _ = s.wc.Call(s.cfg.LogAddr,
-			&wire.Packet{Type: logsvc.MsgAppend, Payload: logsvc.EncodeEntry(en)}, 2*time.Second)
+			&wire.Packet{Type: logsvc.MsgAppend, Payload: logsvc.EncodeEntry(en), Trace: tc}, 2*time.Second)
 	}()
 }
 
@@ -417,7 +455,7 @@ func (s *Server) handleReport(_ string, req *wire.Packet) (*wire.Packet, error) 
 	if err != nil {
 		return nil, err
 	}
-	dr := s.Handle(r)
+	dr := s.HandleCtx(req.Trace, r)
 	return &wire.Packet{Type: MsgReport, Payload: EncodeDirective(dr)}, nil
 }
 

@@ -30,7 +30,11 @@ const (
 // Reports are last-write-wins per client (the scheduler keeps only the
 // latest record and re-issues a directive), and stats are read-only, so
 // both survive duplicate delivery and may be retransmitted on ambiguity.
-func init() { wire.RegisterIdempotent(MsgReport, MsgStats) }
+func init() {
+	wire.RegisterIdempotent(MsgReport, MsgStats)
+	wire.RegisterMsgName(MsgReport, "sched.report")
+	wire.RegisterMsgName(MsgStats, "sched.stats")
+}
 
 // WorkUnit describes one unit of Ramsey search work.
 type WorkUnit struct {

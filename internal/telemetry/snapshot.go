@@ -202,6 +202,15 @@ var standardColumns = []tableColumn{
 	{"repairs", func(s Snapshot) string { return count(s.Value("pstate.antientropy.repairs")) }},
 	{"lag", func(s Snapshot) string { return count(s.Value("pstate.replica.lag")) }},
 	{"ckpt", func(s Snapshot) string { return count(s.SumPrefix("core.checkpoint.")) }},
+	// Observability health: log entries evicted from a full logsvc ring,
+	// trace spans exported by a daemon, and spans lost anywhere on the
+	// trace path (exporter queue/batch drops plus collector ring
+	// evictions).
+	{"log-drop", func(s Snapshot) string { return count(s.Value("logsvc.dropped")) }},
+	{"spans", func(s Snapshot) string { return count(s.Value("dtrace.export.spans")) }},
+	{"span-drop", func(s Snapshot) string {
+		return count(s.Value("dtrace.export.dropped") + s.Value("logsvc.trace.dropped"))
+	}},
 	{"p95", func(s Snapshot) string {
 		sm, ok := s.Find("wire.client.call.ok")
 		if !ok || sm.Hist == nil || sm.Hist.Count == 0 {

@@ -2,6 +2,11 @@
 // evaluation section reports: sustained computational rates and host
 // counts, averaged over five-minute periods, broken down by
 // infrastructure (Figures 2, 3 and 4).
+//
+// Despite the name, this package has nothing to do with request
+// tracing: it is the evaluation's figure/time-series machinery. Causal
+// distributed tracing — cross-daemon span trees over the lingua
+// franca's trace-context envelope — lives in everyware/internal/dtrace.
 package trace
 
 import (

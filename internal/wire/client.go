@@ -37,6 +37,15 @@ type Client struct {
 	// ("wire.client.call.<outcome>") and the "wire.client.retries"
 	// counter. Nil discards.
 	Metrics *telemetry.Registry
+	// Tracer, when set, records causal trace spans for calls that carry a
+	// trace context (req.Trace valid): one span per Call as a child of the
+	// caller's span, and one child span per transmission attempt, so
+	// retries and back-off are visible in the trace tree. The context
+	// propagated on the wire is the attempt span's, making the remote
+	// server's spans children of the attempt that reached it. The client
+	// never starts a trace itself — roots belong to domain operations.
+	// Nil propagates req.Trace unchanged and records nothing.
+	Tracer Tracer
 }
 
 // NewClient returns a Client with the given connect timeout.
@@ -93,18 +102,34 @@ func (c *Client) drop(addr string) {
 //   - a *RemoteError is a definitive answer and never retries.
 func (c *Client) Call(addr string, req *Packet, timeout time.Duration) (*Packet, error) {
 	sp := c.Metrics.StartSpan("wire.client.call")
-	resp, outcome, retries, err := c.call(addr, req, timeout)
+	var call ActiveSpan
+	// Only sampled contexts get call/attempt spans: an unsampled trace
+	// records nothing anywhere by design, so the fast path pays for the
+	// trailer bytes only (the <5% propagation-overhead budget).
+	if c.Tracer != nil && req.Trace.Valid() && req.Trace.Sampled {
+		call = c.Tracer.StartSpan("wire.call."+MsgName(req.Type), req.Trace)
+		call.Annotate("addr", addr)
+	}
+	resp, outcome, retries, err := c.call(addr, req, timeout, call)
 	if retries > 0 {
 		c.Metrics.Counter("wire.client.retries").Add(int64(retries))
 	}
 	sp.End(outcome)
+	if call != nil {
+		if retries > 0 {
+			call.Annotate("retries", itoa(uint64(retries)))
+		}
+		call.End(string(outcome))
+	}
 	return resp, err
 }
 
 // call is the uninstrumented retry ladder. It reports the telemetry
 // outcome class and the number of retransmissions (attempts beyond the
-// first) alongside the result.
-func (c *Client) call(addr string, req *Packet, timeout time.Duration) (*Packet, telemetry.Outcome, int, error) {
+// first) alongside the result. When callSpan is non-nil, each
+// transmission attempt is recorded as its child span and the attempt
+// span's context rides the packet.
+func (c *Client) call(addr string, req *Packet, timeout time.Duration, callSpan ActiveSpan) (*Packet, telemetry.Outcome, int, error) {
 	pol := c.Retry
 	attempts := 2 // historical behaviour: one retransmit
 	if pol != nil {
@@ -117,47 +142,62 @@ func (c *Client) call(addr string, req *Packet, timeout time.Duration) (*Packet,
 		if attempt > 1 && pol != nil {
 			pol.sleep(pol.BackoffFor(addr, attempt-1))
 		}
-		cc, err := c.conn(addr)
-		if err != nil {
-			lastErr = err // dial failure: nothing was sent, retry freely
-			lastOutcome = "dial_error"
-			continue
+		var asp ActiveSpan
+		if callSpan != nil {
+			asp = c.Tracer.StartSpan("wire.attempt", callSpan.Context())
+			asp.Annotate("attempt", itoa(uint64(attempt)))
+			req.Trace = asp.Context()
 		}
-		resp, err := cc.Call(req, timeout)
-		if err == nil {
-			return resp, telemetry.OutcomeOK, retries, nil
+		resp, outcome, done, err := c.attempt(addr, req, timeout, pol)
+		if asp != nil {
+			asp.End(string(outcome))
 		}
-		var remote *RemoteError
-		if errors.As(err, &remote) {
-			return nil, "remote_error", retries, err // definitive remote answer
-		}
-		var sendErr *SendError
-		if errors.As(err, &sendErr) {
-			// Not fully written: the server cannot have processed it.
-			c.drop(addr)
-			lastErr = err
-			lastOutcome = "send_error"
-			continue
-		}
-		if IsTimeout(err) {
-			// Fully sent, no reply within the interval. The connection
-			// stays cached (a late reply is discarded by the demux).
-			if pol == nil || !IsIdempotent(req.Type) {
-				return nil, telemetry.OutcomeTimeout, retries, err
-			}
-			lastErr = err
-			lastOutcome = telemetry.OutcomeTimeout
-			continue
-		}
-		// Connection broke after a complete send: outcome unknown.
-		c.drop(addr)
-		if !IsIdempotent(req.Type) {
-			return nil, "ambiguous", retries, &AmbiguousError{Addr: addr, Err: err}
+		if done {
+			return resp, outcome, retries, err
 		}
 		lastErr = err
-		lastOutcome = telemetry.OutcomeReset
+		lastOutcome = outcome
 	}
 	return nil, lastOutcome, attempts - 1, lastErr
+}
+
+// attempt performs one transmission attempt. done reports a definitive
+// result (success or a non-retryable failure); otherwise the ladder may
+// try again and err/outcome describe this attempt's failure.
+func (c *Client) attempt(addr string, req *Packet, timeout time.Duration, pol *RetryPolicy) (resp *Packet, outcome telemetry.Outcome, done bool, err error) {
+	cc, err := c.conn(addr)
+	if err != nil {
+		// Dial failure: nothing was sent, retry freely.
+		return nil, "dial_error", false, err
+	}
+	resp, err = cc.Call(req, timeout)
+	if err == nil {
+		return resp, telemetry.OutcomeOK, true, nil
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return nil, "remote_error", true, err // definitive remote answer
+	}
+	var sendErr *SendError
+	if errors.As(err, &sendErr) {
+		// Not fully written: the server cannot have processed it.
+		c.drop(addr)
+		return nil, "send_error", false, err
+	}
+	if IsTimeout(err) {
+		// Fully sent, no reply within the interval. The connection
+		// stays cached (a late reply is discarded by the demux).
+		if pol == nil || !IsIdempotent(req.Type) {
+			return nil, telemetry.OutcomeTimeout, true, err
+		}
+		return nil, telemetry.OutcomeTimeout, false, err
+	}
+	// Connection broke after a complete send: outcome unknown.
+	c.drop(addr)
+	if !IsIdempotent(req.Type) {
+		return nil, "ambiguous", true, &AmbiguousError{Addr: addr, Err: err}
+	}
+	return nil, telemetry.OutcomeReset, false, err
 }
 
 // Ping measures one request/response round trip to addr. The duration is

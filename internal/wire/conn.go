@@ -172,9 +172,12 @@ func (c *Conn) demuxLoop() {
 			c.pmu.Unlock()
 			return
 		}
+		// A pre-tracing peer echoes the request tag verbatim, including the
+		// trace-context tag bit; mask it so correlation sees the raw tag.
+		tag := p.Tag &^ traceTagBit
 		c.pmu.Lock()
-		ch := c.pending[p.Tag]
-		delete(c.pending, p.Tag)
+		ch := c.pending[tag]
+		delete(c.pending, tag)
 		c.pmu.Unlock()
 		if ch != nil {
 			ch <- p

@@ -54,10 +54,17 @@ const (
 // Packet is one typed, delimited message on a lingua franca stream. Tag
 // correlates a response with its request: a reply carries the request's
 // tag. Payload encoding is message-type specific (see Codec).
+//
+// Trace, when valid, is the causal trace context the packet carries. It
+// is encoded as an optional backwards-compatible trailer after the
+// payload (see trace.go); old peers ignore it. Trace is set by senders
+// before WritePacket and populated on the receiving side by
+// ExtractTrace; it never appears inside Payload.
 type Packet struct {
 	Type    MsgType
 	Tag     uint64
 	Payload []byte
+	Trace   TraceContext
 }
 
 // ErrorPacket constructs a MsgError reply carrying msg, correlated to tag.
@@ -90,17 +97,31 @@ func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
 
 // WritePacket encodes p with its header and writes it to w in a single
 // Write call so concurrent writers interleave only at packet granularity.
+// A valid p.Trace is appended as the trace-context trailer and signalled
+// via the reserved tag bit; if the trailer would push the body past
+// MaxPayload the context is dropped (tracing is best-effort, the message
+// is not).
 func WritePacket(w io.Writer, p *Packet) error {
 	if len(p.Payload) > MaxPayload {
 		return ErrPayloadTooLarge
 	}
-	buf := make([]byte, HeaderSize+len(p.Payload))
+	tag := p.Tag
+	body := len(p.Payload)
+	traced := p.Trace.Valid() && body+traceTrailerLen <= MaxPayload
+	if traced {
+		tag |= traceTagBit
+		body += traceTrailerLen
+	}
+	buf := make([]byte, HeaderSize, HeaderSize+body)
 	binary.BigEndian.PutUint32(buf[0:], Magic)
 	buf[4] = Version
 	binary.BigEndian.PutUint32(buf[5:], uint32(p.Type))
-	binary.BigEndian.PutUint64(buf[9:], p.Tag)
-	binary.BigEndian.PutUint32(buf[17:], uint32(len(p.Payload)))
-	copy(buf[HeaderSize:], p.Payload)
+	binary.BigEndian.PutUint64(buf[9:], tag)
+	binary.BigEndian.PutUint32(buf[17:], uint32(body))
+	buf = append(buf, p.Payload...)
+	if traced {
+		buf = appendTraceTrailer(buf, p.Trace)
+	}
 	_, err := w.Write(buf)
 	return err
 }

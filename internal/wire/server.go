@@ -74,6 +74,13 @@ type Server struct {
 	// the hook the fault-injection harness uses to perturb inbound
 	// connections. The wrapper must preserve Addr.
 	WrapListener func(net.Listener) net.Listener
+	// Tracer, when set before Listen, records a continuation span for
+	// every request that arrives carrying a trace context: the span is a
+	// child of the sender's (attempt) span and becomes the parent seen by
+	// handlers via req.Trace, so downstream RPCs a handler issues extend
+	// the same trace. Requests without a context are never traced — the
+	// server does not start traces.
+	Tracer Tracer
 
 	// metrics records per-type service times and answers MsgTelemetry.
 	// NewServer installs a fresh registry; SetMetrics swaps in a shared one.
@@ -210,6 +217,10 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 			return
 		}
+		// Recognise and strip an inbound trace-context trailer (and the
+		// reserved tag bit) regardless of whether this server traces, so
+		// handlers always see the bare payload and correlation tag.
+		req.ExtractTrace()
 		s.mu.RLock()
 		h, ok := s.handlers[req.Type]
 		reg := s.metrics
@@ -218,6 +229,17 @@ func (s *Server) serveConn(nc net.Conn) {
 		if !ok {
 			resp = ErrorPacket(req.Tag, "no handler for message type")
 		} else {
+			var serve ActiveSpan
+			// Unsampled contexts skip the continuation span: the inbound
+			// context already reaches the handler on req.Trace, and an
+			// unsampled trace records nothing anywhere by design.
+			if s.Tracer != nil && req.Trace.Valid() && req.Trace.Sampled {
+				serve = s.Tracer.StartSpan("wire.serve."+MsgName(req.Type), req.Trace)
+				serve.Annotate("peer", remote)
+				// Handlers see the serve span as their parent so the RPCs
+				// they issue downstream nest under this hop.
+				req.Trace = serve.Context()
+			}
 			var handleStart time.Time
 			if s.Observe != nil {
 				handleStart = time.Now()
@@ -228,6 +250,13 @@ func (s *Server) serveConn(nc net.Conn) {
 				sp.End("err")
 			} else {
 				sp.End(telemetry.OutcomeOK)
+			}
+			if serve != nil {
+				if herr != nil {
+					serve.End("error")
+				} else {
+					serve.End(string(telemetry.OutcomeOK))
+				}
 			}
 			if s.Observe != nil {
 				s.Observe(req.Type, time.Since(handleStart))
@@ -242,6 +271,9 @@ func (s *Server) serveConn(nc net.Conn) {
 				resp.Tag = req.Tag
 			}
 		}
+		// Responses never carry a trace envelope: causality flows in the
+		// request direction only (see trace.go).
+		resp.Trace = TraceContext{}
 		if err := WritePacket(nc, resp); err != nil {
 			s.Logf("wire: write to %s: %v", remote, err)
 			return

@@ -44,6 +44,14 @@ type ServiceConfig struct {
 	IdleTimeout time.Duration
 	// WrapListener decorates the bound listener (fault injection).
 	WrapListener func(net.Listener) net.Listener
+	// Tracer, when set, enables causal distributed tracing for this
+	// daemon: the server records a continuation span for every inbound
+	// request carrying a trace context, and the client records call and
+	// per-attempt child spans for outbound RPCs issued under one. The
+	// tracer also owns the daemon's head-based sampling policy for the
+	// traces it roots. Nil disables tracing (contexts from peers are still
+	// stripped from payloads, just not recorded).
+	Tracer Tracer
 }
 
 // Service is the unified daemon runtime: one constructor bundling the
@@ -59,6 +67,7 @@ type Service struct {
 	srv        *Server
 	client     *Client
 	metrics    *telemetry.Registry
+	tracer     Tracer
 }
 
 // NewService assembles a Service. Handlers are registered with Handle
@@ -83,17 +92,20 @@ func NewService(cfg ServiceConfig) *Service {
 	case cfg.Logf != nil:
 		srv.Logf = cfg.Logf
 	}
+	srv.Tracer = cfg.Tracer
 	client := NewClient(cfg.DialTimeout)
 	client.Transport = cfg.Transport
 	client.Dialer = cfg.Dialer
 	client.Retry = cfg.Retry
 	client.Metrics = reg
+	client.Tracer = cfg.Tracer
 	return &Service{
 		name:       cfg.Name,
 		listenAddr: cfg.ListenAddr,
 		srv:        srv,
 		client:     client,
 		metrics:    reg,
+		tracer:     cfg.Tracer,
 	}
 }
 
@@ -133,6 +145,9 @@ func (s *Service) Client() *Client { return s.client }
 
 // Metrics returns the shared telemetry registry.
 func (s *Service) Metrics() *telemetry.Registry { return s.metrics }
+
+// Tracer returns the configured tracer (nil when tracing is disabled).
+func (s *Service) Tracer() Tracer { return s.tracer }
 
 // Close shuts down the client's cached connections, then the server
 // (stopping the accept loop and draining connection goroutines).
