@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-wire trace figures examples chaos crash clean
+.PHONY: all build vet test test-race bench bench-wire trace figures examples chaos crash heal clean
 
 all: build vet test
 
@@ -65,6 +65,18 @@ crash:
 		-run 'TestPersistCrashPoints|TestTombstone|TestAntiEntropy|TestQuorum|TestSpool|TestPersistenceAcrossRestart|TestTornWriteRecovered' \
 		./internal/pstate/
 	$(GO) test -race -count=1 -v -run 'TestRecoverNotStaleAfterPartition' ./internal/faults/
+
+# Self-healing suite: failure detector and reconcile-loop unit tests,
+# the deployment self-heal test, and the chaos convergence run (kill a
+# scheduler AND a roster replica mid-workload; the controller must
+# restart/promote with zero acked checkpoints lost) — all under the race
+# detector. The failover MTTR benchmark is recorded as JSON.
+heal:
+	$(GO) test -race -count=1 ./internal/ctrl/
+	$(GO) test -race -count=1 -run 'TestDeploymentSelfHeals|TestDeploymentCloseIdempotent' ./internal/core/
+	$(GO) test -race -count=1 -v -run 'TestCtrlHeal' ./internal/faults/
+	$(GO) test -bench='Detector|ReconcileTick|FailoverMTTR' -benchmem -run='^$$' ./internal/ctrl/ \
+		| $(GO) run ./cmd/ew-benchjson -o BENCH_ctrl.json
 
 examples:
 	$(GO) run ./examples/quickstart

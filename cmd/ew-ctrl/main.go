@@ -1,0 +1,200 @@
+// Command ew-ctrl is the self-healing control plane's CLI: it runs the
+// controller daemon, runs a heartbeat sidecar next to any other daemon,
+// and renders the operator's view of a running controller — one line
+// per member with role, liveness verdict, suspicion level (phi),
+// heartbeat age, and config version, plus the active pstate quorum
+// roster, the standby pool, and the repair counters (restarts,
+// promotions, rollouts, crash-loop backoffs).
+//
+// Usage:
+//
+//	ew-ctrl -mode serve -listen :9701 -pstate h1:9201,h2:9201,h3:9201 -gossip h1:9001
+//	ew-ctrl -mode beat -id sched1 -role sched -addr h1:9101 -ctrl h1:9701
+//	ew-ctrl h1:9701                  # live membership view, refreshed every 2s
+//	ew-ctrl -once h1:9701            # one snapshot and exit
+//	ew-ctrl -role pstate h1:9701     # only persistent state members
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"everyware/internal/ctrl"
+	"everyware/internal/wire"
+)
+
+func main() {
+	mode := flag.String("mode", "watch", "serve (controller daemon), beat (heartbeat sidecar), or watch (membership viewer)")
+	listen := flag.String("listen", ":9701", "serve: controller listen address")
+	pstates := flag.String("pstate", "", "serve: comma-separated initial pstate quorum roster")
+	gossips := flag.String("gossip", "", "serve: comma-separated Gossip hosts to publish membership/roster through")
+	id := flag.String("id", "", "beat: fleet-unique member name (e.g. sched1)")
+	memberRole := flag.String("role", "", "beat: member role (gossip, sched, pstate, logsvc); watch: only show this role")
+	memberAddr := flag.String("addr", "", "beat: the member daemon's address to probe and attest")
+	ctrls := flag.String("ctrl", "", "beat: comma-separated controller addresses")
+	interval := flag.Duration("interval", 2*time.Second, "serve: reconcile period; beat: heartbeat period; watch: poll interval")
+	once := flag.Bool("once", false, "watch: poll once, print the view, and exit")
+	timeout := flag.Duration("timeout", 2*time.Second, "RPC timeout")
+	flag.Parse()
+
+	switch *mode {
+	case "serve":
+		serve(*listen, splitAddrs(*pstates), splitAddrs(*gossips), *interval)
+	case "beat":
+		beat(*id, *memberRole, *memberAddr, splitAddrs(*ctrls), *interval)
+	case "watch":
+		watch(flag.Args(), *memberRole, *interval, *timeout, *once)
+	default:
+		fmt.Fprintf(os.Stderr, "ew-ctrl: unknown mode %q (serve, beat, watch)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// serve runs the controller daemon until interrupted. Standby promotion
+// needs no host cooperation; restart-in-place requires a process
+// manager next to each daemon, so the standalone controller logs deaths
+// and heals the pstate roster.
+func serve(listen string, pstates, gossips []string, interval time.Duration) {
+	srv, err := ctrl.NewServer(ctrl.ServerConfig{
+		ListenAddr: listen,
+		Interval:   interval,
+		Gossips:    gossips,
+		PStates:    pstates,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ew-ctrl: %v\n", err)
+		os.Exit(1)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ew-ctrl: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("ew-ctrl: controller on %s (roster %s)\n", addr, strings.Join(pstates, " "))
+	waitForSignal()
+}
+
+// beat runs one member's heartbeat sidecar until interrupted.
+func beat(id, role, addr string, ctrls []string, interval time.Duration) {
+	if id == "" || role == "" || addr == "" || len(ctrls) == 0 {
+		fmt.Fprintln(os.Stderr, "ew-ctrl: beat mode needs -id, -role, -addr, and -ctrl")
+		os.Exit(2)
+	}
+	b := ctrl.NewBeater(ctrl.BeaterConfig{
+		Member:   ctrl.Member{ID: id, Role: role, Addr: addr},
+		Ctrls:    ctrls,
+		Interval: interval,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	b.Start()
+	defer b.Close()
+	fmt.Printf("ew-ctrl: beating for %s (%s at %s) -> %s\n", id, role, addr, strings.Join(ctrls, " "))
+	waitForSignal()
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
+// watch polls a controller and renders the membership table.
+func watch(args []string, role string, interval, timeout time.Duration, once bool) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ew-ctrl [flags] controller-addr")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	addr := args[0]
+	wc := wire.NewClient(timeout)
+	defer wc.Close()
+
+	render := func() error {
+		st, err := ctrl.FetchStatus(wc, addr, timeout)
+		if err != nil {
+			return fmt.Errorf("status from %s: %w", addr, err)
+		}
+		members, err := ctrl.FetchMembers(wc, addr, timeout)
+		if err != nil {
+			return fmt.Errorf("membership from %s: %w", addr, err)
+		}
+		if role != "" {
+			kept := members[:0]
+			for _, m := range members {
+				if m.Role == role {
+					kept = append(kept, m)
+				}
+			}
+			members = kept
+		}
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].Role != members[j].Role {
+				return members[i].Role < members[j].Role
+			}
+			return members[i].ID < members[j].ID
+		})
+
+		fmt.Printf("spec v%d  live %d  dead %d  |  restarts %d  promotions %d  rollouts %d  backoffs %d\n",
+			st.SpecVersion, st.Live, st.Dead, st.Restarts, st.Promotions, st.Rollouts, st.Backoffs)
+		fmt.Printf("roster   %s\n", strings.Join(st.Roster, " "))
+		if len(st.Standbys) > 0 {
+			fmt.Printf("standbys %s\n", strings.Join(st.Standbys, " "))
+		}
+		fmt.Println()
+		fmt.Printf("%-10s %-8s %-22s %-6s %8s %10s %6s %5s\n",
+			"MEMBER", "ROLE", "ADDR", "STATE", "PHI", "LAST BEAT", "BEATS", "CFG")
+		now := time.Now()
+		for _, m := range members {
+			state := "alive"
+			if !m.Alive {
+				state = "DEAD"
+			}
+			age := "never"
+			if m.LastSeenUnixNanos > 0 {
+				age = now.Sub(time.Unix(0, m.LastSeenUnixNanos)).Truncate(time.Millisecond).String()
+			}
+			fmt.Printf("%-10s %-8s %-22s %-6s %8.2f %10s %6d %5d\n",
+				m.ID, m.Role, m.Addr, state, m.Phi, age, m.Beats, m.ConfigVer)
+		}
+		return nil
+	}
+
+	if once {
+		if err := render(); err != nil {
+			fmt.Fprintf(os.Stderr, "ew-ctrl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for {
+		// Clear the screen and home the cursor between frames.
+		fmt.Print("\033[2J\033[H")
+		fmt.Printf("ew-ctrl  %s  (%s, every %s)\n\n", time.Now().Format("15:04:05"), addr, interval)
+		if err := render(); err != nil {
+			fmt.Fprintf(os.Stderr, "ew-ctrl: %v\n", err)
+		}
+		time.Sleep(interval)
+	}
+}

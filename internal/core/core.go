@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"everyware/internal/ctrl"
 	"everyware/internal/forecast"
 	"everyware/internal/gossip"
 	"everyware/internal/logsvc"
@@ -247,6 +248,20 @@ func (c *Component) Start() (string, error) {
 		return "", err
 	}
 	c.registerKey(BestStateKey, ramsey.BestComparator)
+	if c.replicas != nil {
+		// Subscribe to the persistent state roster the control plane
+		// republishes after a standby promotion: the quorum client follows
+		// the active membership without a restart, the same way scheduler
+		// birth/death circulates below.
+		err := c.OnReplicated(ctrl.PStateRosterKey, gossip.CmpCounter, func(s gossip.Stamped) {
+			if roster, err := DecodeRoster(s.Data); err == nil && len(roster) > 0 {
+				c.replicas.SetAddrs(roster)
+			}
+		})
+		if err != nil && len(c.cfg.Gossips) > 0 {
+			return "", err
+		}
+	}
 	if len(c.cfg.Schedulers) > 0 {
 		runner, err := sched.NewRunner(sched.RunnerConfig{
 			ClientID:             c.cfg.ID,

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"everyware/internal/ctrl"
 	"everyware/internal/gossip"
 	"everyware/internal/logsvc"
 	"everyware/internal/pstate"
@@ -40,6 +42,20 @@ type DeploymentConfig struct {
 	// Transport selects the wire substrate every service binds on
 	// (nil = TCP). Components must be given the same transport.
 	Transport wire.Transport
+	// Controller starts the self-healing control plane: every daemon is
+	// shadowed by a heartbeat sidecar, the controller's failure detector
+	// declares silent daemons dead, dead daemons are recreated in place
+	// at the same address, and a dead persistent state replica is
+	// replaced by promoting a standby into the quorum roster.
+	Controller bool
+	// StandbyPStateDirs starts additional persistent state managers that
+	// are deliberately OUTSIDE the active quorum roster — promotion
+	// candidates the controller drafts when a roster replica dies.
+	// Requires Controller.
+	StandbyPStateDirs []string
+	// HeartbeatInterval is the beater cadence and the controller's
+	// reconcile period (default 200ms for local runs).
+	HeartbeatInterval time.Duration
 }
 
 // Deployment is a running local constellation.
@@ -48,13 +64,30 @@ type Deployment struct {
 	SchedAddrs  []string
 	PStateAddr  string
 	PStateAddrs []string
-	LogAddr     string
+	// StandbyPStateAddrs lists the persistent state managers running
+	// outside the active roster (promotion candidates).
+	StandbyPStateAddrs []string
+	LogAddr            string
+	// CtrlAddr is the control-plane daemon's address ("" without
+	// Controller).
+	CtrlAddr string
 
-	gossips []*gossip.Server
-	scheds  []*sched.Server
-	ps      *pstate.Server
-	extraPS []*pstate.Server
-	logs    *logsvc.Server
+	cfg DeploymentConfig
+
+	// mu guards the daemon handles: the controller's restart hook swaps
+	// them in place concurrently with accessors and Close.
+	mu        sync.Mutex
+	closed    bool
+	gossips   []*gossip.Server
+	scheds    []*sched.Server
+	ps        *pstate.Server
+	extraPS   []*pstate.Server
+	standbyPS []*pstate.Server
+	logs      *logsvc.Server
+	psDirs    map[string]string // pstate addr -> data directory
+
+	ctrlSrv *ctrl.Server
+	beaters []*ctrl.Beater
 
 	rosterSvc   *wire.Service
 	rosterAgent *gossip.Agent
@@ -78,7 +111,10 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if cfg.SyncInterval == 0 {
 		cfg.SyncInterval = 200 * time.Millisecond
 	}
-	d := &Deployment{transport: cfg.Transport}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 200 * time.Millisecond
+	}
+	d := &Deployment{cfg: cfg, transport: cfg.Transport, psDirs: make(map[string]string)}
 	ok := false
 	defer func() {
 		if !ok {
@@ -164,6 +200,7 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		d.ps = ps
 		d.PStateAddr = ps.Addr()
 		d.PStateAddrs = append(d.PStateAddrs, ps.Addr())
+		d.psDirs[ps.Addr()] = cfg.PStateDir
 	}
 	for i, dir := range cfg.ExtraPStateDirs {
 		ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: dir, Transport: cfg.Transport})
@@ -175,6 +212,7 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		}
 		d.extraPS = append(d.extraPS, ps)
 		d.PStateAddrs = append(d.PStateAddrs, ps.Addr())
+		d.psDirs[ps.Addr()] = dir
 	}
 	// Replicated persistent state: every manager anti-entropies against
 	// its siblings so the fleet converges even when a checkpoint missed
@@ -188,22 +226,209 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		}
 		ps.SetPeers(peers)
 	}
+	// Standby managers live outside the roster: no peers, no traffic —
+	// cold spares the controller promotes (and backfills) on demand.
+	for i, dir := range cfg.StandbyPStateDirs {
+		ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: "127.0.0.1:0", Dir: dir, Transport: cfg.Transport})
+		if err != nil {
+			return nil, fmt.Errorf("core: standby pstate %d: %w", i, err)
+		}
+		if _, err := ps.Start(); err != nil {
+			return nil, fmt.Errorf("core: standby pstate %d: %w", i, err)
+		}
+		d.standbyPS = append(d.standbyPS, ps)
+		d.StandbyPStateAddrs = append(d.StandbyPStateAddrs, ps.Addr())
+		d.psDirs[ps.Addr()] = dir
+	}
+
+	if cfg.Controller {
+		if err := d.startController(); err != nil {
+			return nil, err
+		}
+	}
 	ok = true
 	return d, nil
 }
 
+// startController launches the control-plane daemon plus one heartbeat
+// sidecar per service daemon.
+func (d *Deployment) startController() error {
+	cs, err := ctrl.NewServer(ctrl.ServerConfig{
+		ListenAddr: "127.0.0.1:0",
+		Transport:  d.transport,
+		Interval:   d.cfg.HeartbeatInterval,
+		Gossips:    append([]string(nil), d.GossipAddrs...),
+		PStates:    append([]string(nil), d.PStateAddrs...),
+		Restart:    d.restartMember,
+	})
+	if err != nil {
+		return fmt.Errorf("core: controller: %w", err)
+	}
+	addr, err := cs.Start()
+	if err != nil {
+		return fmt.Errorf("core: controller: %w", err)
+	}
+	d.ctrlSrv = cs
+	d.CtrlAddr = addr
+	beat := func(id, role, daemonAddr string) {
+		b := ctrl.NewBeater(ctrl.BeaterConfig{
+			Member:    ctrl.Member{ID: id, Role: role, Addr: daemonAddr},
+			Ctrls:     []string{addr},
+			Interval:  d.cfg.HeartbeatInterval,
+			Transport: d.transport,
+		})
+		b.Start()
+		d.beaters = append(d.beaters, b)
+	}
+	for i, a := range d.GossipAddrs {
+		beat(fmt.Sprintf("g%d", i+1), ctrl.RoleGossip, a)
+	}
+	for i, a := range d.SchedAddrs {
+		beat(fmt.Sprintf("sched%d", i+1), ctrl.RoleSched, a)
+	}
+	for i, a := range d.PStateAddrs {
+		beat(fmt.Sprintf("pstate%d", i+1), ctrl.RolePState, a)
+	}
+	for i, a := range d.StandbyPStateAddrs {
+		beat(fmt.Sprintf("pstate%d", len(d.PStateAddrs)+i+1), ctrl.RolePState, a)
+	}
+	beat("logd1", ctrl.RoleLogSvc, d.LogAddr)
+	return nil
+}
+
+// restartMember is the controller's restart hook: recreate the dead
+// daemon in place — same address, same data directory — so the rest of
+// the fleet's configuration stays valid.
+func (d *Deployment) restartMember(m ctrl.Member) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("core: deployment closed")
+	}
+	switch m.Role {
+	case ctrl.RoleSched:
+		for i, a := range d.SchedAddrs {
+			if a != m.Addr {
+				continue
+			}
+			d.scheds[i].Close() // release the address before rebinding it
+			s := sched.NewServer(sched.ServerConfig{
+				ListenAddr:   m.Addr,
+				N:            d.cfg.N,
+				K:            d.cfg.K,
+				Heuristics:   d.cfg.Heuristics,
+				DefaultSteps: d.cfg.StepsPerCycle,
+				LogAddr:      d.LogAddr,
+				Transport:    d.transport,
+			})
+			if _, err := s.Start(); err != nil {
+				return err
+			}
+			d.scheds[i] = s
+			return nil
+		}
+	case ctrl.RolePState:
+		dir, okDir := d.psDirs[m.Addr]
+		if !okDir {
+			break
+		}
+		var slot **pstate.Server
+		if d.ps != nil && d.ps.Addr() == m.Addr {
+			slot = &d.ps
+		}
+		for i := range d.extraPS {
+			if slot == nil && d.extraPS[i].Addr() == m.Addr {
+				slot = &d.extraPS[i]
+			}
+		}
+		for i := range d.standbyPS {
+			if slot == nil && d.standbyPS[i].Addr() == m.Addr {
+				slot = &d.standbyPS[i]
+			}
+		}
+		if slot == nil {
+			break
+		}
+		(*slot).Close()
+		ps, err := pstate.NewServer(pstate.ServerConfig{ListenAddr: m.Addr, Dir: dir, Transport: d.transport})
+		if err != nil {
+			return err
+		}
+		if _, err := ps.Start(); err != nil {
+			return err
+		}
+		*slot = ps
+		return nil
+	case ctrl.RoleLogSvc:
+		if m.Addr != d.LogAddr {
+			break
+		}
+		d.logs.Close()
+		ls, err := logsvc.NewServer(logsvc.ServerConfig{ListenAddr: m.Addr, File: d.cfg.LogFile, Transport: d.transport})
+		if err != nil {
+			return err
+		}
+		if _, err := ls.Start(); err != nil {
+			return err
+		}
+		d.logs = ls
+		return nil
+	case ctrl.RoleGossip:
+		for i, a := range d.GossipAddrs {
+			if a != m.Addr {
+				continue
+			}
+			well := make([]string, 0, len(d.GossipAddrs)-1)
+			for j, g := range d.GossipAddrs {
+				if j != i {
+					well = append(well, g)
+				}
+			}
+			d.gossips[i].Close()
+			g := gossip.NewServer(gossip.ServerConfig{
+				ListenAddr:   m.Addr,
+				WellKnown:    well,
+				SyncInterval: d.cfg.SyncInterval,
+				Heartbeat:    d.cfg.SyncInterval,
+				Transport:    d.transport,
+			})
+			if _, err := g.Start(); err != nil {
+				return err
+			}
+			d.gossips[i] = g
+			return nil
+		}
+	}
+	return fmt.Errorf("core: no restartable daemon %q (%s) at %s", m.ID, m.Role, m.Addr)
+}
+
 // Schedulers exposes the running scheduling servers (e.g. to read Found).
-func (d *Deployment) Schedulers() []*sched.Server { return d.scheds }
+func (d *Deployment) Schedulers() []*sched.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*sched.Server(nil), d.scheds...)
+}
 
 // GossipServers exposes the running Gossip pool.
-func (d *Deployment) GossipServers() []*gossip.Server { return d.gossips }
+func (d *Deployment) GossipServers() []*gossip.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*gossip.Server(nil), d.gossips...)
+}
 
 // PState exposes the primary persistent state manager (nil if not
 // configured).
-func (d *Deployment) PState() *pstate.Server { return d.ps }
+func (d *Deployment) PState() *pstate.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ps
+}
 
-// PStates exposes every running persistent state manager.
+// PStates exposes every running persistent state manager in the active
+// roster (standbys excluded).
 func (d *Deployment) PStates() []*pstate.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := []*pstate.Server{}
 	if d.ps != nil {
 		out = append(out, d.ps)
@@ -211,8 +436,23 @@ func (d *Deployment) PStates() []*pstate.Server {
 	return append(out, d.extraPS...)
 }
 
+// StandbyPStates exposes the persistent state managers outside the
+// active roster.
+func (d *Deployment) StandbyPStates() []*pstate.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*pstate.Server(nil), d.standbyPS...)
+}
+
 // LogServer exposes the logging server.
-func (d *Deployment) LogServer() *logsvc.Server { return d.logs }
+func (d *Deployment) LogServer() *logsvc.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.logs
+}
+
+// Controller exposes the control-plane daemon (nil without Controller).
+func (d *Deployment) Controller() *ctrl.Server { return d.ctrlSrv }
 
 // NewComponentConfig returns a ComponentConfig wired to this deployment.
 func (d *Deployment) NewComponentConfig(id, infra string) ComponentConfig {
@@ -239,8 +479,27 @@ func (d *Deployment) PublishRoster() {
 	}
 }
 
-// Close stops every service.
+// Close stops every service. Idempotent: the control plane restarts
+// daemons in place, so a second Close (or one racing a restart) must
+// tear down whatever is currently running without double-close panics.
 func (d *Deployment) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	// Stop the healing machinery first so nothing is resurrected while
+	// the fleet is being dismantled; restartMember refuses once closed.
+	for _, b := range d.beaters {
+		b.Close()
+	}
+	if d.ctrlSrv != nil {
+		d.ctrlSrv.Close()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, g := range d.gossips {
 		g.Close()
 	}
@@ -251,6 +510,9 @@ func (d *Deployment) Close() {
 		d.ps.Close()
 	}
 	for _, ps := range d.extraPS {
+		ps.Close()
+	}
+	for _, ps := range d.standbyPS {
 		ps.Close()
 	}
 	if d.logs != nil {

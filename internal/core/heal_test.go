@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"everyware/internal/ctrl"
+	"everyware/internal/wire"
+)
+
+// A deployment with the control plane on heals itself: a killed
+// scheduler is recreated in place at the same address, and a killed
+// roster replica is replaced by promoting the standby.
+func TestDeploymentSelfHeals(t *testing.T) {
+	d := startDeployment(t, DeploymentConfig{
+		Schedulers:        2,
+		PStateDir:         t.TempDir(),
+		ExtraPStateDirs:   []string{t.TempDir(), t.TempDir()},
+		StandbyPStateDirs: []string{t.TempDir()},
+		Controller:        true,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if d.CtrlAddr == "" || d.Controller() == nil {
+		t.Fatal("controller not started")
+	}
+	if len(d.StandbyPStateAddrs) != 1 {
+		t.Fatalf("standbys: %v", d.StandbyPStateAddrs)
+	}
+	probe := wire.NewClient(time.Second)
+	t.Cleanup(probe.Close)
+	// 2 schedulers + 3 roster pstates + 1 standby + 1 gossip + 1 logd.
+	eventually(t, 10*time.Second, func() bool {
+		st, err := ctrl.FetchStatus(probe, d.CtrlAddr, time.Second)
+		return err == nil && st.Live == 8 && len(st.Standbys) == 1
+	}, "fleet never fully attested to the controller")
+
+	// Kill a scheduler. The beater goes silent (its probe fails), the
+	// detector declares the member dead, and the restart hook recreates
+	// the daemon at the same address.
+	victim := d.SchedAddrs[1]
+	d.Schedulers()[1].Close()
+	eventually(t, 15*time.Second, func() bool {
+		st, err := ctrl.FetchStatus(probe, d.CtrlAddr, time.Second)
+		if err != nil || st.Restarts < 1 {
+			return false
+		}
+		_, err = probe.Call(victim, &wire.Packet{Type: wire.MsgPing}, 200*time.Millisecond)
+		return err == nil
+	}, "killed scheduler never came back")
+
+	// Kill a roster replica. Promotion drafts the standby into the
+	// quorum; the replica set and the published roster follow.
+	standby := d.StandbyPStateAddrs[0]
+	dead := d.PStateAddrs[2]
+	d.PStates()[2].Close()
+	eventually(t, 15*time.Second, func() bool {
+		st, err := ctrl.FetchStatus(probe, d.CtrlAddr, time.Second)
+		if err != nil || st.Promotions < 1 {
+			return false
+		}
+		inRoster := func(a string) bool {
+			for _, r := range st.Roster {
+				if r == a {
+					return true
+				}
+			}
+			return false
+		}
+		return inRoster(standby) && !inRoster(dead)
+	}, "standby never promoted into the roster")
+}
+
+// Close is idempotent, including after the controller has restarted
+// daemons in place (the handles Close tears down are not the ones
+// StartDeployment created).
+func TestDeploymentCloseIdempotent(t *testing.T) {
+	d, err := StartDeployment(DeploymentConfig{
+		PStateDir:         t.TempDir(),
+		Controller:        true,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d.Close() // second close must be a no-op, not a panic
+	// And a restart hook arriving after close is refused.
+	if err := d.restartMember(ctrl.Member{ID: "sched1", Role: ctrl.RoleSched, Addr: d.SchedAddrs[0]}); err == nil {
+		t.Fatal("restart after close succeeded")
+	}
+}

@@ -1,0 +1,376 @@
+package ctrl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"everyware/internal/gossip"
+	"everyware/internal/pstate"
+	"everyware/internal/telemetry"
+	"everyware/internal/wire"
+)
+
+// ServerConfig parameterizes the control-plane daemon.
+type ServerConfig struct {
+	// ListenAddr is the bind address (":0" for ephemeral).
+	ListenAddr string
+	// Transport selects the wire substrate (nil = TCP).
+	Transport wire.Transport
+	// Dialer overrides outbound connection setup (fault injection).
+	Dialer wire.DialFunc
+	// Retry is the outbound retry policy.
+	Retry *wire.RetryPolicy
+	// Metrics is the daemon registry (nil creates one).
+	Metrics *telemetry.Registry
+	// Logf receives controller diagnostics.
+	Logf func(format string, args ...any)
+	// Tracer enables causal tracing for controller RPCs.
+	Tracer wire.Tracer
+	// Now is the controller clock (default time.Now; injectable for
+	// virtual time).
+	Now func() time.Time
+
+	// Interval is the reconcile/publish period (default 500ms). Negative
+	// disables the background loop — tests drive Tick directly.
+	Interval time.Duration
+	// CallTimeout bounds controller RPCs (default 2s).
+	CallTimeout time.Duration
+	// Detector tunes the failure detector (Now is inherited if unset).
+	Detector DetectorConfig
+
+	// Gossips lists Gossip hosts; the controller registers there and
+	// publishes the membership table and the pstate roster. Empty
+	// disables publication.
+	Gossips []string
+	// PStates is the initial active persistent state roster — both the
+	// quorum the controller stores its fleet spec in and the membership
+	// it heals via standby promotion. Standbys are not listed: any live
+	// pstate-role member whose address is outside the roster is a
+	// promotion candidate.
+	PStates []string
+	// Spec is the initial desired state. Stored durably on start unless
+	// the replicated store already holds a newer version.
+	Spec *FleetSpec
+
+	// Restart is the dead-daemon hook: recreate member m in place (same
+	// ID, same address). Nil disables restarts.
+	Restart func(m Member) error
+	// ApplyConfig rolls member m onto config version ver. Nil disables
+	// rollouts.
+	ApplyConfig func(m Member, ver uint64, config []byte) error
+
+	// BackoffBase/BackoffMax bound the crash-loop restart back-off
+	// (defaults 1s / 30s). Each consecutive restart of the same member
+	// doubles the delay before the next attempt is allowed.
+	BackoffBase, BackoffMax time.Duration
+	// CrashLoopReset is how long a member must stay alive before its
+	// restart history is forgiven (default 1 minute).
+	CrashLoopReset time.Duration
+	// MaxErrorRate is the health-gate ceiling on a member's served-error
+	// fraction during rollouts (default 0.5).
+	MaxErrorRate float64
+}
+
+// Server is the control-plane daemon: it accumulates heartbeats into a
+// membership table, runs the failure detector over them, and executes
+// the reconcile loop (restarts, rollouts, standby promotion) against
+// the declared fleet spec.
+type Server struct {
+	cfg     ServerConfig
+	svc     *wire.Service
+	client  *wire.Client
+	metrics *telemetry.Registry
+	det     *Detector
+	agent   *gossip.Agent
+	rs      *pstate.ReplicaSet
+	now     func() time.Time
+	logf    func(string, ...any)
+
+	mu          sync.Mutex
+	members     map[string]Member
+	alive       map[string]bool
+	deadSince   map[string]time.Time
+	aliveSince  map[string]time.Time
+	roster      []string
+	spec        *FleetSpec
+	restartNext map[string]time.Time
+	restartN    map[string]int
+	rolling     map[string]string // role -> member ID mid-rollout
+	registered  bool
+	lastTable   string // stable reduction of the last published membership
+	lastRoster  string
+	tickN       uint64
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewServer assembles a controller (Start binds and begins reconciling).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Interval == 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = time.Second
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 30 * time.Second
+	}
+	if cfg.CrashLoopReset <= 0 {
+		cfg.CrashLoopReset = time.Minute
+	}
+	if cfg.MaxErrorRate <= 0 {
+		cfg.MaxErrorRate = 0.5
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Detector.Now == nil {
+		cfg.Detector.Now = cfg.Now
+	}
+	svc := wire.NewService(wire.ServiceConfig{
+		Name:       "ctrl",
+		ListenAddr: cfg.ListenAddr,
+		Transport:  cfg.Transport,
+		Metrics:    cfg.Metrics,
+		Dialer:     cfg.Dialer,
+		Retry:      cfg.Retry,
+		Logf:       cfg.Logf,
+		Tracer:     cfg.Tracer,
+	})
+	s := &Server{
+		cfg:         cfg,
+		svc:         svc,
+		client:      svc.Client(),
+		metrics:     svc.Metrics(),
+		det:         NewDetector(cfg.Detector),
+		now:         cfg.Now,
+		members:     make(map[string]Member),
+		alive:       make(map[string]bool),
+		deadSince:   make(map[string]time.Time),
+		aliveSince:  make(map[string]time.Time),
+		roster:      append([]string(nil), cfg.PStates...),
+		spec:        cfg.Spec,
+		restartNext: make(map[string]time.Time),
+		restartN:    make(map[string]int),
+		rolling:     make(map[string]string),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	s.logf = func(format string, args ...any) {
+		if cfg.Logf != nil {
+			cfg.Logf("ctrl: "+format, args...)
+		}
+	}
+	s.metrics.SetNow(cfg.Now)
+	svc.Handle(MsgHeartbeat, wire.HandlerFunc(s.handleHeartbeat))
+	svc.Handle(MsgMembers, wire.HandlerFunc(s.handleMembers))
+	svc.Handle(MsgStatus, wire.HandlerFunc(s.handleStatus))
+	return s, nil
+}
+
+// Start binds the listener, recovers durable state (fleet spec, roster)
+// from the replicated store, registers with Gossip, and launches the
+// reconcile loop. Returns the bound address.
+func (s *Server) Start() (string, error) {
+	addr, err := s.svc.Start()
+	if err != nil {
+		return "", err
+	}
+	if len(s.cfg.PStates) > 0 {
+		rs, err := pstate.NewReplicaSet(s.client, pstate.ReplicaSetConfig{
+			Addrs:   s.cfg.PStates,
+			Timeout: s.cfg.CallTimeout,
+			Metrics: s.metrics,
+			Tracer:  s.cfg.Tracer,
+		})
+		if err != nil {
+			s.svc.Close()
+			return "", err
+		}
+		s.rs = rs
+		s.recoverDurable()
+	}
+	if len(s.cfg.Gossips) > 0 {
+		s.agent = gossip.NewAgent(s.svc.Server(), addr)
+		if err := s.agent.Track(MembershipKey, gossip.CmpCounter, nil); err != nil {
+			s.svc.Close()
+			return "", err
+		}
+		if err := s.agent.Track(PStateRosterKey, gossip.CmpCounter, nil); err != nil {
+			s.svc.Close()
+			return "", err
+		}
+		s.register()
+	}
+	if s.cfg.Interval > 0 {
+		go s.loop()
+	} else {
+		close(s.done)
+	}
+	return addr, nil
+}
+
+// recoverDurable adopts the stored fleet spec (if newer than the
+// configured one) and the last persisted roster, then writes the
+// configured spec down if the store has nothing newer. A controller
+// restart therefore resumes reconciling the same desired state — the
+// spec's durability is the pstate quorum's, not this process's.
+func (s *Server) recoverDurable() {
+	stored, found, err := LoadSpec(s.rs)
+	switch {
+	case err != nil:
+		s.logf("spec load: %v", err)
+	case found && (s.spec == nil || stored.Version > s.spec.Version):
+		s.spec = stored
+	}
+	if s.spec != nil && (!found || stored.Version < s.spec.Version) {
+		if err := StoreSpec(s.rs, s.spec); err != nil && err != pstate.ErrSpooled {
+			s.logf("spec store: %v", err)
+		}
+	}
+	if o, ok, err := s.rs.Fetch(RosterObjectName); err == nil && ok {
+		if roster, err := DecodeRoster(o.Data); err == nil && len(roster) > 0 {
+			s.mu.Lock()
+			s.roster = roster
+			s.mu.Unlock()
+			s.rs.SetAddrs(roster)
+		}
+	}
+}
+
+// register announces the controller's published keys to the first
+// reachable Gossip host; retried from the reconcile loop until it lands.
+func (s *Server) register() {
+	for _, g := range s.cfg.Gossips {
+		if err := s.agent.Register(s.client, g, MembershipKey, gossip.CmpCounter, s.cfg.CallTimeout); err != nil {
+			continue
+		}
+		if err := s.agent.Register(s.client, g, PStateRosterKey, gossip.CmpCounter, s.cfg.CallTimeout); err != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.registered = true
+		s.mu.Unlock()
+		return
+	}
+}
+
+func (s *Server) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Tick()
+		}
+	}
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.svc.Addr() }
+
+// Metrics returns the controller's telemetry registry.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
+
+// Detector exposes the failure detector (tests and ew-ctrl).
+func (s *Server) Detector() *Detector { return s.det }
+
+// Roster returns the current active pstate roster.
+func (s *Server) Roster() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.roster...)
+}
+
+// Close stops the reconcile loop and the daemon.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.svc.Close()
+	})
+}
+
+// handleHeartbeat ingests one liveness attestation.
+func (s *Server) handleHeartbeat(from string, req *wire.Packet) (*wire.Packet, error) {
+	hb, err := DecodeHeartbeat(req.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: bad heartbeat: %w", err)
+	}
+	if hb.ID == "" {
+		return nil, fmt.Errorf("ctrl: heartbeat without member ID")
+	}
+	s.metrics.Counter("ctrl.heartbeats").Inc()
+	s.mu.Lock()
+	s.members[hb.ID] = hb.Member
+	s.mu.Unlock()
+	s.det.Observe(hb.ID)
+	return &wire.Packet{Type: MsgHeartbeat}, nil
+}
+
+// membershipTable snapshots the controller's verdict on every member.
+func (s *Server) membershipTable() []MemberStatus {
+	s.mu.Lock()
+	members := make([]Member, 0, len(s.members))
+	for _, m := range s.members {
+		members = append(members, m)
+	}
+	s.mu.Unlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	out := make([]MemberStatus, 0, len(members))
+	for _, m := range members {
+		st := MemberStatus{Member: m}
+		st.Phi, st.Alive = s.det.verdict(m.ID)
+		if last, ok := s.det.LastSeen(m.ID); ok {
+			st.LastSeenUnixNanos = last.UnixNano()
+		}
+		st.Beats = s.det.Beats(m.ID)
+		out = append(out, st)
+	}
+	return out
+}
+
+func (s *Server) handleMembers(string, *wire.Packet) (*wire.Packet, error) {
+	return &wire.Packet{Type: MsgMembers, Payload: EncodeMembership(s.membershipTable())}, nil
+}
+
+func (s *Server) handleStatus(string, *wire.Packet) (*wire.Packet, error) {
+	table := s.membershipTable()
+	s.mu.Lock()
+	st := Status{
+		Roster: append([]string(nil), s.roster...),
+	}
+	if s.spec != nil {
+		st.SpecVersion = s.spec.Version
+	}
+	inRoster := make(map[string]bool, len(s.roster))
+	for _, a := range s.roster {
+		inRoster[a] = true
+	}
+	s.mu.Unlock()
+	for _, m := range table {
+		if m.Alive {
+			st.Live++
+		} else {
+			st.Dead++
+		}
+		if m.Role == RolePState && m.Alive && !inRoster[m.Addr] {
+			st.Standbys = append(st.Standbys, m.Addr)
+		}
+	}
+	st.Restarts = s.metrics.Counter("ctrl.restarts").Value()
+	st.Promotions = s.metrics.Counter("ctrl.promotions").Value()
+	st.Rollouts = s.metrics.Counter("ctrl.rollouts").Value()
+	st.Backoffs = s.metrics.Counter("ctrl.backoffs").Value()
+	return &wire.Packet{Type: MsgStatus, Payload: EncodeStatus(st)}, nil
+}

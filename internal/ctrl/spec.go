@@ -1,0 +1,149 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"everyware/internal/pstate"
+	"everyware/internal/wire"
+)
+
+// Durable spec storage coordinates.
+const (
+	// SpecObjectName is the pstate object the fleet spec lives under.
+	SpecObjectName = "everyware/fleet/spec"
+	// SpecClass is the pstate object class; a registered validator rejects
+	// malformed specs at ingest on every replica.
+	SpecClass = "ctrl/fleetspec"
+	// RosterObjectName persists the controller's current pstate roster so
+	// a restarted controller resumes with the post-promotion quorum rather
+	// than its stale configured one.
+	RosterObjectName = "everyware/fleet/roster"
+	// RosterClass is the roster object's validated class.
+	RosterClass = "ctrl/roster"
+)
+
+func init() {
+	// Every replica refuses a spec or roster write it cannot decode — a
+	// corrupted record never becomes the fleet's desired state.
+	if err := pstate.RegisterValidator(SpecClass, func(name string, data []byte) error {
+		_, err := DecodeFleetSpec(data)
+		return err
+	}); err != nil {
+		panic(err)
+	}
+	if err := pstate.RegisterValidator(RosterClass, func(name string, data []byte) error {
+		_, err := DecodeRoster(data)
+		return err
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// ServiceSpec declares the desired shape of one service role.
+type ServiceSpec struct {
+	// Role matches the Role field daemons report in heartbeats.
+	Role string
+	// Count is how many live members of the role the fleet should run.
+	Count int
+	// ConfigVer is the configuration version members should converge to
+	// (0 = unmanaged). The rollout loop advances one member at a time.
+	ConfigVer uint64
+	// Config is the opaque role configuration handed to the ApplyConfig
+	// hook during rollouts.
+	Config []byte
+}
+
+// FleetSpec is the declarative desired state of the whole fleet.
+type FleetSpec struct {
+	// Version orders specs: the controller adopts the highest version it
+	// reads from the replicated store.
+	Version uint64
+	// Services lists the desired state per role.
+	Services []ServiceSpec
+}
+
+// Service returns the spec for role (nil if undeclared).
+func (s *FleetSpec) Service(role string) *ServiceSpec {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Services {
+		if s.Services[i].Role == role {
+			return &s.Services[i]
+		}
+	}
+	return nil
+}
+
+// Encode lays out the spec's wire/storage form.
+func (s *FleetSpec) Encode() []byte {
+	var e wire.Encoder
+	e.PutUint64(s.Version)
+	e.PutUint32(uint32(len(s.Services)))
+	for _, svc := range s.Services {
+		e.PutString(svc.Role)
+		e.PutUint32(uint32(svc.Count))
+		e.PutUint64(svc.ConfigVer)
+		e.PutBytes(svc.Config)
+	}
+	return e.Bytes()
+}
+
+// DecodeFleetSpec parses a stored spec.
+func DecodeFleetSpec(p []byte) (*FleetSpec, error) {
+	d := wire.NewDecoder(p)
+	var s FleetSpec
+	var err error
+	if s.Version, err = d.Uint64(); err != nil {
+		return nil, fmt.Errorf("ctrl: fleet spec version: %w", err)
+	}
+	n, err := d.Count(4)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: fleet spec services: %w", err)
+	}
+	s.Services = make([]ServiceSpec, 0, n)
+	for i := 0; i < n; i++ {
+		var svc ServiceSpec
+		if svc.Role, err = d.String(); err != nil {
+			return nil, err
+		}
+		if svc.Role == "" {
+			return nil, fmt.Errorf("ctrl: fleet spec service %d: empty role", i)
+		}
+		cnt, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		svc.Count = int(cnt)
+		if svc.ConfigVer, err = d.Uint64(); err != nil {
+			return nil, err
+		}
+		if svc.Config, err = d.Bytes(); err != nil {
+			return nil, err
+		}
+		s.Services = append(s.Services, svc)
+	}
+	return &s, nil
+}
+
+// StoreSpec writes the spec through a quorum. ErrSpooled degrades to
+// success from the caller's perspective only if they accept the spool
+// contract; StoreSpec surfaces it unchanged.
+func StoreSpec(rs *pstate.ReplicaSet, spec *FleetSpec) error {
+	_, err := rs.Store(SpecObjectName, SpecClass, spec.Encode())
+	return err
+}
+
+// LoadSpec quorum-reads the stored spec. found is false when no spec has
+// ever been stored.
+func LoadSpec(rs *pstate.ReplicaSet) (*FleetSpec, bool, error) {
+	o, found, err := rs.Fetch(SpecObjectName)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	spec, err := DecodeFleetSpec(o.Data)
+	if err != nil {
+		return nil, false, err
+	}
+	return spec, true, nil
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"everyware/internal/core"
+	"everyware/internal/ctrl"
 	"everyware/internal/dtrace"
 	"everyware/internal/gossip"
 	"everyware/internal/logsvc"
@@ -76,8 +77,37 @@ type ScenarioConfig struct {
 	// converged to identical digests and that every acknowledged write
 	// is recoverable from every single replica.
 	PStateCrash bool
+	// WriteLoad runs the background durability writer (and its end-of-run
+	// acked-write audit) without the crash-point machinery. PStateCrash
+	// implies it.
+	WriteLoad bool
+	// Ctrl starts the self-healing control plane: a controller daemon,
+	// one heartbeat sidecar per service daemon, restart hooks that
+	// recreate dead daemons in place, and standby promotion for dead
+	// roster replicas.
+	Ctrl bool
+	// StandbyPStates starts additional persistent state managers OUTSIDE
+	// the active quorum roster — the promotion candidates. They are
+	// labelled pstate<PStates+1>... and carry no peers until promoted.
+	StandbyPStates int
+	// Kills schedules daemon deaths mid-run (any labelled daemon — a
+	// scheduler, a Gossip, a replica). With Ctrl on and KillSpec.Restart
+	// zero, healing is the controller's job.
+	Kills []KillSpec
 	// Logf receives progress diagnostics (defaults to discard).
 	Logf func(format string, args ...any)
+}
+
+// KillSpec schedules the death of one named daemon mid-scenario.
+type KillSpec struct {
+	// Target is the daemon's scenario label (sched2, pstate1, g3, ...).
+	Target string
+	// At is when the kill fires, measured from chaos-on.
+	At time.Duration
+	// Restart, when positive, recreates the daemon (same address, same
+	// state directory) that long after the kill. Zero leaves the corpse
+	// alone — under Ctrl the control plane notices and heals.
+	Restart time.Duration
 }
 
 // ScenarioResult summarizes a chaos run.
@@ -126,6 +156,16 @@ type ScenarioResult struct {
 	// CollectorAddr is the trace collector's address (Trace runs only),
 	// so callers can point ew-trace at a still-running scenario.
 	CollectorAddr string
+	// Restarts, Promotions, Backoffs are the controller's final action
+	// counters (Ctrl runs only).
+	Restarts, Promotions, Backoffs int64
+	// MTTRRestart is the mean detector-declared-dead-to-recovered time;
+	// MTTRPromote the mean dead-to-standby-promoted time (Ctrl runs with
+	// at least one such repair; zero otherwise).
+	MTTRRestart, MTTRPromote time.Duration
+	// FinalRoster is the persistent state quorum at the end of the run —
+	// differs from the initial roster when a promotion fired.
+	FinalRoster []string
 }
 
 func (c *ScenarioConfig) fill() {
@@ -143,6 +183,9 @@ func (c *ScenarioConfig) fill() {
 	}
 	if c.PStates == 0 {
 		c.PStates = 3
+	}
+	if c.PStateCrash {
+		c.WriteLoad = true
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -217,11 +260,23 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.PStateCrash {
 		crasher = NewCrasher(cfg.Seed, "pstate2", 0, 0)
 	}
-	psrvs := make([]*pstate.Server, cfg.PStates)
-	psAddrs := make([]string, cfg.PStates)
-	psDirs := make([]string, cfg.PStates)
+	// The fleet registry maps every daemon's scenario label to kill and
+	// restart-in-place closures — KillSpec targets and the controller's
+	// restart hook both resolve through it. fleetMu guards the daemon
+	// handle slices, which restarts swap live.
+	type daemonCtl struct {
+		kill    func()
+		restart func() error
+	}
+	var fleetMu sync.Mutex
+	fleet := make(map[string]*daemonCtl)
+
+	nPS := cfg.PStates + cfg.StandbyPStates
+	psrvs := make([]*pstate.Server, nPS)
+	psAddrs := make([]string, nPS)
+	psDirs := make([]string, nPS)
 	psSync := 60 * time.Millisecond
-	for i := 0; i < cfg.PStates; i++ {
+	for i := 0; i < nPS; i++ {
 		label := fmt.Sprintf("pstate%d", i+1)
 		psDirs[i] = filepath.Join(cfg.Dir, label)
 		scfg := pstate.ServerConfig{
@@ -244,73 +299,173 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		i := i
-		defer func() { psrvs[i].Close() }()
+		i, label := i, label
+		defer func() {
+			fleetMu.Lock()
+			h := psrvs[i]
+			fleetMu.Unlock()
+			h.Close()
+		}()
 		in.RegisterName(addr, label)
 		psrvs[i] = ps
 		psAddrs[i] = addr
+		fleet[label] = &daemonCtl{
+			kill: func() {
+				fleetMu.Lock()
+				h := psrvs[i]
+				fleetMu.Unlock()
+				h.Close()
+			},
+			restart: func() error {
+				np, err := pstate.NewServer(pstate.ServerConfig{
+					ListenAddr:   psAddrs[i],
+					Dir:          psDirs[i],
+					SyncInterval: psSync,
+					Transport:    cfg.Transport,
+					Dialer:       in.DialerOn(cfg.Transport, label),
+					Retry:        retryPolicy(),
+					Tracer:       tracerFor(label),
+				})
+				if err != nil {
+					return err
+				}
+				if _, err := np.Start(); err != nil {
+					return err
+				}
+				fleetMu.Lock()
+				psrvs[i] = np
+				fleetMu.Unlock()
+				return nil
+			},
+		}
 	}
+	// Only the first PStates managers form the active quorum roster;
+	// standbys carry no peers until the controller promotes one.
+	rosterAddrs := append([]string(nil), psAddrs[:cfg.PStates]...)
 	psPeers := func(self int) []string {
 		peers := make([]string, 0, cfg.PStates-1)
-		for j, a := range psAddrs {
+		for j, a := range rosterAddrs {
 			if j != self {
 				peers = append(peers, a)
 			}
 		}
 		return peers
 	}
-	for i, ps := range psrvs {
-		ps.SetPeers(psPeers(i))
+	for i := 0; i < cfg.PStates; i++ {
+		psrvs[i].SetPeers(psPeers(i))
 	}
 
 	// Scheduling servers.
-	schedAddrs := make([]string, 0, cfg.Schedulers)
+	schedSrvs := make([]*sched.Server, cfg.Schedulers)
+	schedAddrs := make([]string, cfg.Schedulers)
 	for i := 0; i < cfg.Schedulers; i++ {
-		ss := sched.NewServer(sched.ServerConfig{
-			ListenAddr:   "127.0.0.1:0",
-			DefaultSteps: 400,
-			Transport:    cfg.Transport,
-			Tracer:       tracerFor(fmt.Sprintf("sched%d", i+1)),
-			LogAddr:      collectorAddr,
-		})
+		label := fmt.Sprintf("sched%d", i+1)
+		newSched := func(listen string) *sched.Server {
+			return sched.NewServer(sched.ServerConfig{
+				ListenAddr:   listen,
+				DefaultSteps: 400,
+				Transport:    cfg.Transport,
+				Tracer:       tracerFor(label),
+				LogAddr:      collectorAddr,
+			})
+		}
+		ss := newSched("127.0.0.1:0")
 		addr, err := ss.Start()
 		if err != nil {
 			return nil, err
 		}
-		defer ss.Close()
-		in.RegisterName(addr, fmt.Sprintf("sched%d", i+1))
-		schedAddrs = append(schedAddrs, addr)
+		i := i
+		defer func() {
+			fleetMu.Lock()
+			h := schedSrvs[i]
+			fleetMu.Unlock()
+			h.Close()
+		}()
+		in.RegisterName(addr, label)
+		schedSrvs[i] = ss
+		schedAddrs[i] = addr
+		fleet[label] = &daemonCtl{
+			kill: func() {
+				fleetMu.Lock()
+				h := schedSrvs[i]
+				fleetMu.Unlock()
+				h.Close()
+			},
+			restart: func() error {
+				ns := newSched(schedAddrs[i])
+				if _, err := ns.Start(); err != nil {
+					return err
+				}
+				fleetMu.Lock()
+				schedSrvs[i] = ns
+				fleetMu.Unlock()
+				return nil
+			},
+		}
 	}
 
 	// Gossip pool: g1 is the well-known member; the rest join through it.
 	// All pool and component traffic dials through the injector.
-	gossips := make([]*gossip.Server, 0, cfg.Gossips)
+	gossips := make([]*gossip.Server, cfg.Gossips)
 	gossipAddrs := make([]string, 0, cfg.Gossips)
 	for i := 0; i < cfg.Gossips; i++ {
 		label := fmt.Sprintf("g%d", i+1)
-		g := gossip.NewServer(gossip.ServerConfig{
-			ListenAddr:   "127.0.0.1:0",
-			WellKnown:    append([]string(nil), gossipAddrs...),
-			SyncInterval: 40 * time.Millisecond,
-			Heartbeat:    25 * time.Millisecond,
-			MaxFailures:  20,
-			// Short calls keep the clique snappy: TokenTimeout floors at
-			// 2x this, so partition detection and re-merge stay sub-second
-			// even when injected faults stall individual token hops.
-			CallTimeout: 250 * time.Millisecond,
-			Transport:   cfg.Transport,
-			Dialer:      in.DialerOn(cfg.Transport, label),
-			Retry:       retryPolicy(),
-			Tracer:      tracerFor(label),
-		})
+		newGossip := func(listen string, well []string) *gossip.Server {
+			return gossip.NewServer(gossip.ServerConfig{
+				ListenAddr:   listen,
+				WellKnown:    well,
+				SyncInterval: 40 * time.Millisecond,
+				Heartbeat:    25 * time.Millisecond,
+				MaxFailures:  20,
+				// Short calls keep the clique snappy: TokenTimeout floors at
+				// 2x this, so partition detection and re-merge stay sub-second
+				// even when injected faults stall individual token hops.
+				CallTimeout: 250 * time.Millisecond,
+				Transport:   cfg.Transport,
+				Dialer:      in.DialerOn(cfg.Transport, label),
+				Retry:       retryPolicy(),
+				Tracer:      tracerFor(label),
+			})
+		}
+		g := newGossip("127.0.0.1:0", append([]string(nil), gossipAddrs...))
 		addr, err := g.Start()
 		if err != nil {
 			return nil, err
 		}
-		defer g.Close()
+		i := i
+		defer func() {
+			fleetMu.Lock()
+			h := gossips[i]
+			fleetMu.Unlock()
+			h.Close()
+		}()
 		in.RegisterName(addr, label)
-		gossips = append(gossips, g)
+		gossips[i] = g
 		gossipAddrs = append(gossipAddrs, addr)
+		fleet[label] = &daemonCtl{
+			kill: func() {
+				fleetMu.Lock()
+				h := gossips[i]
+				fleetMu.Unlock()
+				h.Close()
+			},
+			restart: func() error {
+				well := make([]string, 0, cfg.Gossips-1)
+				for j, a := range gossipAddrs {
+					if j != i {
+						well = append(well, a)
+					}
+				}
+				ng := newGossip(gossipAddrs[i], well)
+				if _, err := ng.Start(); err != nil {
+					return err
+				}
+				fleetMu.Lock()
+				gossips[i] = ng
+				fleetMu.Unlock()
+				return nil
+			},
+		}
 	}
 	if !waitFor(15*time.Second, func() bool {
 		for _, g := range gossips {
@@ -327,6 +482,92 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	cfg.Logf("pool formed: %d gossips, %d schedulers", cfg.Gossips, cfg.Schedulers)
 
+	// The probe client dials directly (no injector) — introspection is an
+	// observer, not a chaos participant.
+	probe := wire.NewClient(2 * time.Second)
+	probe.Transport = cfg.Transport
+	defer probe.Close()
+
+	// Self-healing control plane: the controller ingests beater
+	// heartbeats from every daemon, restarts the dead through the fleet
+	// registry, and promotes a standby when a roster replica dies. Beats
+	// ride a clean transport — attestation is an observer; the failure
+	// signal is the daemon itself going silent, not injected packet loss.
+	var ctrlSrv *ctrl.Server
+	var beaters []*ctrl.Beater
+	if cfg.Ctrl {
+		cs, err := ctrl.NewServer(ctrl.ServerConfig{
+			ListenAddr:  "127.0.0.1:0",
+			Transport:   cfg.Transport,
+			Interval:    50 * time.Millisecond,
+			CallTimeout: 500 * time.Millisecond,
+			// The compute components are CPU-hungry enough (Ramsey search
+			// on every core, worse under -race) to starve beater goroutines
+			// well past the tight statistical bound; a generous floor keeps
+			// scheduling hiccups from reading as mass death.
+			Detector: ctrl.DetectorConfig{Floor: 2 * time.Second},
+			Gossips:  append([]string(nil), gossipAddrs...),
+			PStates:  append([]string(nil), rosterAddrs...),
+			Logf:     cfg.Logf,
+			Restart: func(m ctrl.Member) error {
+				fleetMu.Lock()
+				dc := fleet[m.ID]
+				fleetMu.Unlock()
+				if dc == nil {
+					return fmt.Errorf("faults: no restartable daemon %q", m.ID)
+				}
+				return dc.restart()
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("faults: controller: %w", err)
+		}
+		ctrlAddr, err := cs.Start()
+		if err != nil {
+			return nil, fmt.Errorf("faults: controller: %w", err)
+		}
+		ctrlSrv = cs
+		defer cs.Close()
+		in.RegisterName(ctrlAddr, "ctrl")
+		beat := func(id, role, addr string) {
+			b := ctrl.NewBeater(ctrl.BeaterConfig{
+				Member:    ctrl.Member{ID: id, Role: role, Addr: addr},
+				Ctrls:     []string{ctrlAddr},
+				Interval:  40 * time.Millisecond,
+				Transport: cfg.Transport,
+			})
+			b.Start()
+			beaters = append(beaters, b)
+		}
+		for i, a := range psAddrs {
+			beat(fmt.Sprintf("pstate%d", i+1), ctrl.RolePState, a)
+		}
+		for i, a := range schedAddrs {
+			beat(fmt.Sprintf("sched%d", i+1), ctrl.RoleSched, a)
+		}
+		for i, a := range gossipAddrs {
+			beat(fmt.Sprintf("g%d", i+1), ctrl.RoleGossip, a)
+		}
+		defer func() {
+			for _, b := range beaters {
+				b.Close()
+			}
+		}()
+		// Hold the run until every member has attested at least once: the
+		// controller cannot heal a daemon it never met, and the workload's
+		// CPU appetite throttles beaters hard enough that an early kill
+		// could otherwise outrun a member's first heartbeat.
+		fleetSize := int64(nPS + cfg.Schedulers + cfg.Gossips)
+		attested := waitFor(15*time.Second, func() bool {
+			st, err := ctrl.FetchStatus(probe, ctrlAddr, time.Second)
+			return err == nil && st.Live >= fleetSize
+		})
+		if !attested {
+			return nil, fmt.Errorf("faults: fleet never fully attested to the controller")
+		}
+		cfg.Logf("fleet attested: %d members live", fleetSize)
+	}
+
 	// Compute components.
 	comps := make([]*core.Component, 0, cfg.Components)
 	for i := 0; i < cfg.Components; i++ {
@@ -336,7 +577,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			Infra:              "chaos",
 			Schedulers:         schedAddrs,
 			Gossips:            gossipAddrs,
-			PStates:            append([]string(nil), psAddrs...),
+			PStates:            append([]string(nil), rosterAddrs...),
 			Transport:          cfg.Transport,
 			Dialer:             in.DialerOn(cfg.Transport, label),
 			Retry:              retryPolicy(),
@@ -356,11 +597,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 
 	// Telemetry baseline: pool bootstrap already produced clique merges, so
 	// the partition experiment must count merge growth, not the absolute
-	// counter. The probe client dials directly (no injector) — introspection
-	// is an observer, not a chaos participant.
-	probe := wire.NewClient(2 * time.Second)
-	probe.Transport = cfg.Transport
-	defer probe.Close()
+	// counter.
 	baselineMerges := make(map[string]int64, len(gossipAddrs))
 	for _, addr := range gossipAddrs {
 		if s, err := wire.FetchSnapshot(probe, addr, "clique.", time.Second); err == nil {
@@ -372,6 +609,33 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	in.SetEnabled(true)
 	res := &ScenarioResult{}
 
+	// Scheduled kills: each fires At after chaos-on. A positive Restart
+	// has the harness resurrect the daemon itself; zero leaves the corpse
+	// for the control plane (or permanently dead in a no-Ctrl run).
+	var killWG sync.WaitGroup
+	for _, k := range cfg.Kills {
+		dc := fleet[k.Target]
+		if dc == nil {
+			return nil, fmt.Errorf("faults: kill target %q is not a registered daemon", k.Target)
+		}
+		k := k
+		killWG.Add(1)
+		go func() {
+			defer killWG.Done()
+			time.Sleep(k.At)
+			dc.kill()
+			cfg.Logf("killed %s", k.Target)
+			if k.Restart > 0 {
+				time.Sleep(k.Restart)
+				if err := dc.restart(); err != nil {
+					cfg.Logf("restart %s: %v", k.Target, err)
+				} else {
+					cfg.Logf("restarted %s", k.Target)
+				}
+			}
+		}()
+	}
+
 	// Durability writer: quorum-writes checkpoints continuously through
 	// its own injected client and records which writes were acknowledged
 	// (quorum reached — spooled writes are explicitly NOT acked). The
@@ -381,13 +645,13 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	acked := make(map[string]uint64) // name -> highest acked version
 	writerStop := make(chan struct{})
 	var writerWG sync.WaitGroup
-	if cfg.PStateCrash {
+	if cfg.WriteLoad {
 		wcW := wire.NewClient(500 * time.Millisecond)
 		wcW.Dialer = in.DialerOn(cfg.Transport, "cw")
 		wcW.Retry = retryPolicy()
 		defer wcW.Close()
 		rs, err := pstate.NewReplicaSet(wcW, pstate.ReplicaSetConfig{
-			Addrs:   psAddrs,
+			Addrs:   rosterAddrs,
 			Timeout: 500 * time.Millisecond,
 		})
 		if err != nil {
@@ -401,6 +665,11 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 				case <-writerStop:
 					return
 				default:
+				}
+				// Follow the control plane's roster: after a promotion the
+				// quorum writes land on the promoted standby, not the corpse.
+				if ctrlSrv != nil && seq%16 == 0 {
+					rs.SetAddrs(ctrlSrv.Roster())
 				}
 				name := fmt.Sprintf("chaos/ckpt/%d", seq%8)
 				payload := []byte(fmt.Sprintf("seq=%d", seq))
@@ -497,7 +766,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		if !waitFor(10*time.Second, func() bool { return crasher.Crashes() >= 1 }) {
 			cfg.Logf("pstate2 crash point never fired")
 		}
-		psrvs[1].Close()
+		fleetMu.Lock()
+		h := psrvs[1]
+		fleetMu.Unlock()
+		h.Close()
 		cfg.Logf("killed pstate2 (%s) after torn-write crash", psAddrs[1])
 		restarted, err := pstate.NewServer(pstate.ServerConfig{
 			ListenAddr:   psAddrs[1],
@@ -514,7 +786,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		if _, err := restarted.Start(); err != nil {
 			return nil, fmt.Errorf("faults: pstate2 restart: %w", err)
 		}
+		fleetMu.Lock()
 		psrvs[1] = restarted
+		fleetMu.Unlock()
 		cfg.Logf("restarted pstate2 from %s", psDirs[1])
 		if cfg.PStates >= 3 {
 			stale := fmt.Sprintf("pstate%d", cfg.PStates)
@@ -529,6 +803,38 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 
 	wg.Wait()
+	killWG.Wait()
+	// Heal wait: with the control plane on, hold the run open (the writer
+	// still pounding, chaos still armed) until the controller reports no
+	// dead members — restarts finished, promotions absorbed, quorum
+	// writes landing on the final roster.
+	if ctrlSrv != nil && len(cfg.Kills) > 0 {
+		// A kill the harness does not undo must be healed by the
+		// controller: a roster replica by standby promotion (when a
+		// standby exists), everything else by restart-in-place. Requiring
+		// the action counters — not just Dead == 0 — keeps the wait
+		// honest when the detector has not yet noticed a fresh corpse.
+		var wantRestarts, wantPromotes int64
+		for _, k := range cfg.Kills {
+			if k.Restart > 0 {
+				continue
+			}
+			var idx int
+			if n, _ := fmt.Sscanf(k.Target, "pstate%d", &idx); n == 1 && idx <= cfg.PStates && cfg.StandbyPStates > 0 {
+				wantPromotes++
+			} else {
+				wantRestarts++
+			}
+		}
+		healed := waitFor(20*time.Second, func() bool {
+			st, err := ctrl.FetchStatus(probe, ctrlSrv.Addr(), time.Second)
+			return err == nil && st.Dead == 0 &&
+				st.Restarts >= wantRestarts && st.Promotions >= wantPromotes
+		})
+		cfg.Logf("heal wait: healed=%v", healed)
+		// Let the roster-following writer land a few post-heal acks.
+		time.Sleep(200 * time.Millisecond)
+	}
 	close(writerStop)
 	writerWG.Wait()
 	for _, comp := range comps {
@@ -563,14 +869,25 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// is identical, then check each acked write against each replica
 	// individually — durable means any single surviving replica can serve
 	// it at (or past) the acknowledged version.
-	if cfg.PStateCrash {
-		res.PStateCrashes = crasher.Crashes()
+	if cfg.WriteLoad {
+		if crasher != nil {
+			res.PStateCrashes = crasher.Crashes()
+		}
+		// The verdict runs over the FINAL roster: the controller's view
+		// when a promotion may have fired, the initial quorum otherwise.
+		// Forced sync rounds ride the wire protocol so promoted standbys
+		// (whose local handles the harness never swapped) participate too.
+		finalAddrs := append([]string(nil), rosterAddrs...)
+		if ctrlSrv != nil {
+			finalAddrs = ctrlSrv.Roster()
+		}
+		res.FinalRoster = append([]string(nil), finalAddrs...)
 		res.PStateConverged = waitFor(15*time.Second, func() bool {
-			for _, ps := range psrvs {
-				ps.SyncNow()
+			for _, addr := range finalAddrs {
+				pstate.SyncNowAt(probe, addr, time.Second)
 			}
 			var ref []pstate.DigestEntry
-			for i, addr := range psAddrs {
+			for i, addr := range finalAddrs {
 				dig, err := pstate.FetchDigest(probe, addr, time.Second)
 				if err != nil {
 					return false
@@ -586,7 +903,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		ackedMu.Lock()
 		res.AckedWrites = len(acked)
 		for name, ver := range acked {
-			for _, addr := range psAddrs {
+			for _, addr := range finalAddrs {
 				o, found, err := pstate.PullObject(probe, addr, name, time.Second)
 				if err != nil || !found || o.Tombstone || o.Version < ver {
 					res.LostWrites++
@@ -597,8 +914,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			}
 		}
 		ackedMu.Unlock()
-		cfg.Logf("durability: converged=%v acked=%d lost=%d crashes=%d",
-			res.PStateConverged, res.AckedWrites, res.LostWrites, res.PStateCrashes)
+		cfg.Logf("durability: converged=%v acked=%d lost=%d crashes=%d roster=%v",
+			res.PStateConverged, res.AckedWrites, res.LostWrites, res.PStateCrashes, finalAddrs)
 	}
 	res.Snapshots = make(map[string]telemetry.Snapshot)
 	collect := func(label, addr string) {
@@ -619,6 +936,23 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	for i, comp := range comps {
 		collect(fmt.Sprintf("c%d", i+1), comp.Addr())
+	}
+	if ctrlSrv != nil {
+		collect("ctrl", ctrlSrv.Addr())
+		if st, err := ctrl.FetchStatus(probe, ctrlSrv.Addr(), time.Second); err == nil {
+			res.Restarts, res.Promotions, res.Backoffs = st.Restarts, st.Promotions, st.Backoffs
+		}
+		mean := func(name string) time.Duration {
+			if sm, ok := ctrlSrv.Metrics().Snapshot(name).Find(name); ok {
+				return sm.Hist.Mean()
+			}
+			return 0
+		}
+		res.MTTRRestart = mean("ctrl.mttr")
+		res.MTTRPromote = mean("ctrl.mttr.promote")
+		if res.FinalRoster == nil {
+			res.FinalRoster = ctrlSrv.Roster()
+		}
 	}
 	res.Retries = telemetry.SumCounter(res.Snapshots, "wire.client.retries")
 	for i, addr := range gossipAddrs {

@@ -59,6 +59,10 @@ type ReplicaSet struct {
 	wc  *wire.Client
 
 	mu    sync.Mutex
+	addrs []string // current roster (mutable: SetAddrs follows promotions)
+	w, r  int      // current quorum sizes
+	autoW bool     // WriteQuorum was defaulted: recompute majority on roster change
+	autoR bool
 	spool map[string]*Object // name -> freshest unflushed write
 }
 
@@ -69,10 +73,11 @@ func NewReplicaSet(wc *wire.Client, cfg ReplicaSetConfig) (*ReplicaSet, error) {
 		return nil, fmt.Errorf("pstate: replica set needs at least one manager address")
 	}
 	majority := len(cfg.Addrs)/2 + 1
-	if cfg.WriteQuorum <= 0 {
+	autoW, autoR := cfg.WriteQuorum <= 0, cfg.ReadQuorum <= 0
+	if autoW {
 		cfg.WriteQuorum = majority
 	}
-	if cfg.ReadQuorum <= 0 {
+	if autoR {
 		cfg.ReadQuorum = majority
 	}
 	if cfg.WriteQuorum > len(cfg.Addrs) || cfg.ReadQuorum > len(cfg.Addrs) {
@@ -82,11 +87,72 @@ func NewReplicaSet(wc *wire.Client, cfg ReplicaSetConfig) (*ReplicaSet, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
-	return &ReplicaSet{cfg: cfg, wc: wc, spool: make(map[string]*Object)}, nil
+	return &ReplicaSet{
+		cfg:   cfg,
+		wc:    wc,
+		addrs: append([]string(nil), cfg.Addrs...),
+		w:     cfg.WriteQuorum,
+		r:     cfg.ReadQuorum,
+		autoW: autoW,
+		autoR: autoR,
+		spool: make(map[string]*Object),
+	}, nil
 }
 
-// Addrs returns the replica addresses.
-func (r *ReplicaSet) Addrs() []string { return append([]string(nil), r.cfg.Addrs...) }
+// Addrs returns the current replica addresses.
+func (r *ReplicaSet) Addrs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.addrs...)
+}
+
+// SetAddrs repoints the replica set at a new roster — the control
+// plane's promotion path: clients learn the post-promotion quorum over
+// Gossip and follow it without restarting. Defaulted quorum sizes are
+// recomputed as a majority of the new roster; explicitly configured
+// ones are kept (clamped to the roster size). An empty or unchanged
+// roster is a no-op.
+func (r *ReplicaSet) SetAddrs(addrs []string) {
+	if len(addrs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	same := len(addrs) == len(r.addrs)
+	if same {
+		for i := range addrs {
+			if addrs[i] != r.addrs[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		r.mu.Unlock()
+		return
+	}
+	r.addrs = append([]string(nil), addrs...)
+	majority := len(addrs)/2 + 1
+	if r.autoW {
+		r.w = majority
+	} else if r.w > len(addrs) {
+		r.w = len(addrs)
+	}
+	if r.autoR {
+		r.r = majority
+	} else if r.r > len(addrs) {
+		r.r = len(addrs)
+	}
+	r.mu.Unlock()
+	r.cfg.Metrics.Counter("pstate.replica.roster_changes").Inc()
+}
+
+// quorums snapshots the roster and quorum sizes for one operation, so a
+// concurrent SetAddrs cannot split an operation across two rosters.
+func (r *ReplicaSet) quorums() (addrs []string, w, rq int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addrs, r.w, r.r
+}
 
 // replicaResult is one replica's answer to a fan-out operation.
 type replicaResult struct {
@@ -99,10 +165,10 @@ type replicaResult struct {
 // fanOut runs op against every replica in parallel and collects results.
 // Per-replica health is recorded; a *wire.RemoteError counts as a response
 // (the replica is alive and answered definitively).
-func (r *ReplicaSet) fanOut(op func(addr string) replicaResult) []replicaResult {
-	results := make([]replicaResult, len(r.cfg.Addrs))
+func (r *ReplicaSet) fanOut(addrs []string, op func(addr string) replicaResult) []replicaResult {
+	results := make([]replicaResult, len(addrs))
 	var wg sync.WaitGroup
-	for i, addr := range r.cfg.Addrs {
+	for i, addr := range addrs {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
@@ -146,14 +212,14 @@ func (r *ReplicaSet) StoreCtx(tc wire.TraceContext, name, class string, data []b
 	r.FlushSpool() // opportunistic: reconnects drain the backlog first
 	ver := r.nextVersion(tc, name)
 	o := &Object{Name: name, Class: class, Version: ver, Data: data}
-	acks, err := r.quorumWrite(tc, o)
+	acks, n, w, err := r.quorumWrite(tc, o)
 	if err != nil {
 		r.cfg.Metrics.Counter("pstate.replica.write.rejected").Inc()
 		sp.End("error")
 		return 0, err
 	}
-	sp.Annotate("acks", fmt.Sprintf("%d/%d", acks, len(r.cfg.Addrs)))
-	if acks >= r.cfg.WriteQuorum {
+	sp.Annotate("acks", fmt.Sprintf("%d/%d", acks, n))
+	if acks >= w {
 		r.cfg.Metrics.Counter("pstate.replica.write.quorum_ok").Inc()
 		sp.End("ok")
 		return ver, nil
@@ -171,11 +237,11 @@ func (r *ReplicaSet) Delete(name string) error {
 	r.FlushSpool()
 	ver := r.nextVersion(wire.TraceContext{}, name)
 	ts := &Object{Name: name, Version: ver, Tombstone: true}
-	acks, err := r.quorumWrite(wire.TraceContext{}, ts)
+	acks, _, w, err := r.quorumWrite(wire.TraceContext{}, ts)
 	if err != nil {
 		return err
 	}
-	if acks >= r.cfg.WriteQuorum {
+	if acks >= w {
 		r.cfg.Metrics.Counter("pstate.replica.write.quorum_ok").Inc()
 		return nil
 	}
@@ -189,8 +255,9 @@ func (r *ReplicaSet) Delete(name string) error {
 // contribute nothing — a later anti-entropy round or read repair resolves
 // any resulting conflict deterministically.
 func (r *ReplicaSet) nextVersion(tc wire.TraceContext, name string) uint64 {
+	addrs, _, _ := r.quorums()
 	var high uint64
-	for _, res := range r.fanOut(func(addr string) replicaResult {
+	for _, res := range r.fanOut(addrs, func(addr string) replicaResult {
 		o, _, err := pullObject(r.wc, addr, name, tc, r.cfg.Timeout)
 		return replicaResult{addr: addr, obj: o, err: err}
 	}) {
@@ -209,10 +276,13 @@ func (r *ReplicaSet) nextVersion(tc wire.TraceContext, name string) uint64 {
 // quorumWrite sends o to every replica and counts acknowledgements. A
 // response — applied or superseded by a newer version — is an ack: either
 // way the replica durably holds a record at least as new as o. A
-// validation rejection (RemoteError) aborts with that error.
-func (r *ReplicaSet) quorumWrite(tc wire.TraceContext, o *Object) (acks int, err error) {
+// validation rejection (RemoteError) aborts with that error. The roster
+// and write quorum are snapshotted once (n, w) so a concurrent roster
+// change cannot split the write.
+func (r *ReplicaSet) quorumWrite(tc wire.TraceContext, o *Object) (acks, n, w int, err error) {
+	addrs, w, _ := r.quorums()
 	var rejection error
-	for _, res := range r.fanOut(func(addr string) replicaResult {
+	for _, res := range r.fanOut(addrs, func(addr string) replicaResult {
 		_, cur, err := storeAt(r.wc, addr, o, tc, r.cfg.Timeout)
 		return replicaResult{addr: addr, ver: cur, err: err}
 	}) {
@@ -226,9 +296,9 @@ func (r *ReplicaSet) quorumWrite(tc wire.TraceContext, o *Object) (acks int, err
 		}
 	}
 	if rejection != nil {
-		return acks, rejection
+		return acks, len(addrs), w, rejection
 	}
-	return acks, nil
+	return acks, len(addrs), w, nil
 }
 
 // Fetch performs a quorum read: pull from every replica in parallel,
@@ -260,7 +330,8 @@ func (r *ReplicaSet) FetchCtx(tc wire.TraceContext, name string) (*Object, bool,
 
 func (r *ReplicaSet) fetch(tc wire.TraceContext, name string) (*Object, bool, error) {
 	r.FlushSpool()
-	results := r.fanOut(func(addr string) replicaResult {
+	addrs, _, readQuorum := r.quorums()
+	results := r.fanOut(addrs, func(addr string) replicaResult {
 		o, _, err := pullObject(r.wc, addr, name, tc, r.cfg.Timeout)
 		return replicaResult{addr: addr, obj: o, err: err}
 	})
@@ -287,9 +358,9 @@ func (r *ReplicaSet) fetch(tc wire.TraceContext, name string) (*Object, bool, er
 		if freshest != nil && !freshest.Tombstone {
 			return freshest, true, nil
 		}
-		return nil, false, fmt.Errorf("pstate: %q: %w (0/%d replicas reachable)", name, ErrNoQuorum, len(r.cfg.Addrs))
+		return nil, false, fmt.Errorf("pstate: %q: %w (0/%d replicas reachable)", name, ErrNoQuorum, len(addrs))
 	}
-	if responders < r.cfg.ReadQuorum {
+	if responders < readQuorum {
 		r.cfg.Metrics.Counter("pstate.replica.read.degraded").Inc()
 	} else {
 		r.cfg.Metrics.Counter("pstate.replica.read.quorum_ok").Inc()
@@ -317,9 +388,10 @@ func (r *ReplicaSet) fetch(tc wire.TraceContext, name string) (*Object, bool, er
 
 // List merges the live object names visible across all reachable replicas.
 func (r *ReplicaSet) List() ([]string, error) {
+	addrs, _, _ := r.quorums()
 	seen := make(map[string]DigestEntry)
 	responders := 0
-	for _, res := range r.fanOut(func(addr string) replicaResult {
+	for _, res := range r.fanOut(addrs, func(addr string) replicaResult {
 		dig, err := fetchDigest(r.wc, addr, wire.TraceContext{}, r.cfg.Timeout)
 		if err != nil {
 			return replicaResult{addr: addr, err: err}
@@ -390,8 +462,8 @@ func (r *ReplicaSet) FlushSpool() int {
 	sort.Slice(pending, func(i, j int) bool { return pending[i].Name < pending[j].Name })
 	flushed := 0
 	for _, o := range pending {
-		acks, err := r.quorumWrite(wire.TraceContext{}, o)
-		if err != nil || acks < r.cfg.WriteQuorum {
+		acks, _, w, err := r.quorumWrite(wire.TraceContext{}, o)
+		if err != nil || acks < w {
 			continue
 		}
 		r.mu.Lock()

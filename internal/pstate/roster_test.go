@@ -1,0 +1,131 @@
+package pstate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"everyware/internal/wire"
+)
+
+// The SyncNow/SetPeers wire entry points let a controller re-point a
+// replica's anti-entropy peers and force a backfill round remotely —
+// the mechanics behind standby promotion.
+func TestRemoteSetPeersAndSyncNow(t *testing.T) {
+	srvs := newPeeredServers(t, 2)
+	rs := newReplicaSet(t, srvs)
+	for i := 0; i < 8; i++ {
+		if _, err := rs.Store(fmt.Sprintf("obj-%d", i), "", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A third manager starts empty and unpeered — a cold standby.
+	standby, err := NewServer(ServerConfig{
+		ListenAddr:   "127.0.0.1:0",
+		Dir:          t.TempDir(),
+		SyncInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbAddr, err := standby.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(standby.Close)
+
+	wc := wire.NewClient(time.Second)
+	t.Cleanup(wc.Close)
+	if err := SetPeersAt(wc, sbAddr, addrsOf(srvs), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := standby.Peers()
+	if len(got) != 2 {
+		t.Fatalf("standby peers after SetPeersAt: %v", got)
+	}
+	n, err := SyncNowAt(wc, sbAddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("forced sync transferred nothing")
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		if standby.Fetch(name) == nil {
+			t.Fatalf("standby missing %s after remote sync", name)
+		}
+	}
+	// SetPeersAt with an empty list detaches the replica again.
+	if err := SetPeersAt(wc, sbAddr, nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := standby.Peers(); len(got) != 0 {
+		t.Fatalf("peers after detach: %v", got)
+	}
+}
+
+// SetAddrs swaps the client-side roster live: quorum sizes follow the
+// new membership and in-flight configuration survives a no-op call.
+func TestReplicaSetSetAddrs(t *testing.T) {
+	srvs := newPeeredServers(t, 3)
+	rs := newReplicaSet(t, srvs)
+	if _, err := rs.Store("before", "", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	old := rs.Addrs()
+	if len(old) != 3 {
+		t.Fatalf("addrs: %v", old)
+	}
+	// Identical and empty rosters are no-ops.
+	rs.SetAddrs(append([]string(nil), old...))
+	rs.SetAddrs(nil)
+	if got := rs.Addrs(); len(got) != 3 {
+		t.Fatalf("addrs after no-op swaps: %v", got)
+	}
+
+	// Replace replica 0 with a fresh peered manager; writes and reads keep
+	// working against the new roster without rebuilding the client.
+	repl, err := NewServer(ServerConfig{
+		ListenAddr:   "127.0.0.1:0",
+		Dir:          t.TempDir(),
+		SyncInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAddr, err := repl.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(repl.Close)
+	newRoster := []string{rAddr, old[1], old[2]}
+	repl.SetPeers([]string{old[1], old[2]})
+	srvs[1].SetPeers([]string{rAddr, old[2]})
+	srvs[2].SetPeers([]string{rAddr, old[1]})
+	rs.SetAddrs(newRoster)
+	srvs[0].Close() // the replaced replica drops out entirely
+
+	if _, err := rs.Store("after", "", []byte("a")); err != nil {
+		t.Fatalf("store on swapped roster: %v", err)
+	}
+	if o, found, err := rs.Fetch("after"); err != nil || !found || string(o.Data) != "a" {
+		t.Fatalf("fetch on swapped roster: %+v found=%v err=%v", o, found, err)
+	}
+	// The pre-swap object is still readable: two of the three current
+	// members hold it, which satisfies the read quorum.
+	if _, found, err := rs.Fetch("before"); err != nil || !found {
+		t.Fatalf("pre-swap object lost: found=%v err=%v", found, err)
+	}
+	// Roster growth recomputes the write quorum: 5 members -> majority 3.
+	grown := append(append([]string(nil), newRoster...), "127.0.0.1:1", "127.0.0.1:2")
+	rs.SetAddrs(grown)
+	if got := rs.Addrs(); len(got) != 5 {
+		t.Fatalf("addrs after growth: %v", got)
+	}
+	// With only 3 of 5 members real and reachable, a majority write still
+	// succeeds (3 acks needed) even though two addresses are dead air.
+	if _, err := rs.Store("grown", "", []byte("g")); err != nil {
+		t.Fatalf("store on grown roster: %v", err)
+	}
+}

@@ -46,6 +46,14 @@ const (
 	// tombstones too, so a repairing peer can learn about deletions
 	// (payload: name; response: found, Object).
 	MsgPull wire.MsgType = 37
+	// MsgSyncNow forces one anti-entropy round — the control plane's
+	// backfill trigger when a promoted standby joins the quorum
+	// (response: records transferred, round fully clean).
+	MsgSyncNow wire.MsgType = 38
+	// MsgSetPeers replaces the replica's anti-entropy sibling list — how
+	// the control plane installs a post-promotion roster without a
+	// restart (payload: addresses; response: empty).
+	MsgSetPeers wire.MsgType = 39
 )
 
 // Fetch/list/usage are reads and delete is a keyed removal — all safe to
@@ -54,9 +62,11 @@ const (
 // digest/pull are reads. MsgStore is deliberately NOT registered: every
 // store bumps the object version, so a blind resend after an ambiguous
 // outcome would double-apply; callers must decide (see Client.Store).
+// MsgSyncNow is a repair trigger (running it twice just converges twice)
+// and MsgSetPeers installs an absolute list, so both retransmit safely.
 func init() {
 	wire.RegisterIdempotent(MsgFetch, MsgList, MsgUsage, MsgDelete,
-		MsgStoreAt, MsgDigest, MsgPull)
+		MsgStoreAt, MsgDigest, MsgPull, MsgSyncNow, MsgSetPeers)
 	wire.RegisterMsgName(MsgStore, "pstate.store")
 	wire.RegisterMsgName(MsgFetch, "pstate.fetch")
 	wire.RegisterMsgName(MsgList, "pstate.list")
@@ -65,6 +75,8 @@ func init() {
 	wire.RegisterMsgName(MsgStoreAt, "pstate.store_at")
 	wire.RegisterMsgName(MsgDigest, "pstate.digest")
 	wire.RegisterMsgName(MsgPull, "pstate.pull")
+	wire.RegisterMsgName(MsgSyncNow, "pstate.sync_now")
+	wire.RegisterMsgName(MsgSetPeers, "pstate.set_peers")
 }
 
 // CrashSite names a point inside Server.persist where the fault harness can
@@ -206,6 +218,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	svc.Handle(MsgStoreAt, wire.HandlerFunc(s.handleStoreAt))
 	svc.Handle(MsgDigest, wire.HandlerFunc(s.handleDigest))
 	svc.Handle(MsgPull, wire.HandlerFunc(s.handlePull))
+	svc.Handle(MsgSyncNow, wire.HandlerFunc(s.handleSyncNow))
+	svc.Handle(MsgSetPeers, wire.HandlerFunc(s.handleSetPeers))
 	return s, nil
 }
 
@@ -812,4 +826,68 @@ func (s *Server) handlePull(_ string, req *wire.Packet) (*wire.Packet, error) {
 		putObject(&e, o)
 	}
 	return &wire.Packet{Type: MsgPull, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) handleSyncNow(_ string, _ *wire.Packet) (*wire.Packet, error) {
+	n, err := s.SyncNow()
+	var e wire.Encoder
+	e.PutUint32(uint32(n))
+	e.PutBool(err == nil)
+	return &wire.Packet{Type: MsgSyncNow, Payload: e.Bytes()}, nil
+}
+
+func (s *Server) handleSetPeers(_ string, req *wire.Packet) (*wire.Packet, error) {
+	d := wire.NewDecoder(req.Payload)
+	n, err := d.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	peers := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		peers = append(peers, p)
+	}
+	s.SetPeers(peers)
+	s.metrics.Gauge("pstate.peers").Set(int64(len(peers)))
+	return &wire.Packet{Type: MsgSetPeers}, nil
+}
+
+// SyncNowAt forces one anti-entropy round on a remote replica — the
+// control plane's backfill trigger after promoting a standby. Returns
+// the records transferred and whether the round completed without peer
+// errors.
+func SyncNowAt(wc *wire.Client, addr string, timeout time.Duration) (int, error) {
+	resp, err := wc.Call(addr, &wire.Packet{Type: MsgSyncNow}, timeout)
+	if err != nil {
+		return 0, err
+	}
+	d := wire.NewDecoder(resp.Payload)
+	n, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	clean, err := d.Bool()
+	if err != nil {
+		return int(n), err
+	}
+	if !clean {
+		return int(n), fmt.Errorf("pstate: sync on %s finished with peer errors", addr)
+	}
+	return int(n), nil
+}
+
+// SetPeersAt replaces a remote replica's anti-entropy sibling list — how
+// the control plane installs a post-promotion roster without restarting
+// the replica.
+func SetPeersAt(wc *wire.Client, addr string, peers []string, timeout time.Duration) error {
+	var e wire.Encoder
+	e.PutUint32(uint32(len(peers)))
+	for _, p := range peers {
+		e.PutString(p)
+	}
+	_, err := wc.Call(addr, &wire.Packet{Type: MsgSetPeers, Payload: e.Bytes()}, timeout)
+	return err
 }

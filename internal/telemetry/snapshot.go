@@ -202,6 +202,20 @@ var standardColumns = []tableColumn{
 	{"repairs", func(s Snapshot) string { return count(s.Value("pstate.antientropy.repairs")) }},
 	{"lag", func(s Snapshot) string { return count(s.Value("pstate.replica.lag")) }},
 	{"ckpt", func(s Snapshot) string { return count(s.SumPrefix("core.checkpoint.")) }},
+	// Control plane health (controller daemon): fleet membership as
+	// live/total from the detector's current verdicts, plus the repair
+	// action counters — dead-daemon restarts, standby promotions, and
+	// config rollouts.
+	{"fleet", func(s Snapshot) string {
+		live, dead := s.Value("ctrl.members.live"), s.Value("ctrl.members.dead")
+		if live == 0 && dead == 0 {
+			return ""
+		}
+		return fmt.Sprintf("%d/%d", live, live+dead)
+	}},
+	{"restarts", func(s Snapshot) string { return count(s.Value("ctrl.restarts")) }},
+	{"promote", func(s Snapshot) string { return count(s.Value("ctrl.promotions")) }},
+	{"rollout", func(s Snapshot) string { return count(s.Value("ctrl.rollouts")) }},
 	// Observability health: log entries evicted from a full logsvc ring,
 	// trace spans exported by a daemon, and spans lost anywhere on the
 	// trace path (exporter queue/batch drops plus collector ring
