@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-wire trace figures examples chaos crash heal clean
+.PHONY: all build vet test test-race bench bench-wire trace figures examples chaos crash heal scale clean
 
 all: build vet test
 
@@ -77,6 +77,19 @@ heal:
 	$(GO) test -race -count=1 -v -run 'TestCtrlHeal' ./internal/faults/
 	$(GO) test -bench='Detector|ReconcileTick|FailoverMTTR' -benchmem -run='^$$' ./internal/ctrl/ \
 		| $(GO) run ./cmd/ew-benchjson -o BENCH_ctrl.json
+
+# Web-scale suite: the scale plane (ring, router, admission, coalescing,
+# hierarchy) and the sharded-scheduler integration under the race
+# detector, the shard-kill chaos test over real daemons, then the E14
+# virtual-client sweep recorded as JSON. CI caps the sweep at 100k
+# clients; run `EW_SWEEP_MAX_CLIENTS=1000000 make scale` for the full
+# curve (the overload point recirculates its backlog and takes ~1 min).
+scale:
+	$(GO) test -race -count=1 ./internal/scale/... ./internal/sched/
+	$(GO) test -race -count=1 -run 'TestScaleShardKill' -v ./internal/faults/
+	EW_SWEEP_MAX_CLIENTS=$${EW_SWEEP_MAX_CLIENTS:-100000} \
+		$(GO) test -bench=Sweep -benchmem -benchtime=1x -run='^$$' -timeout 30m ./internal/scale/sweep/ \
+		| $(GO) run ./cmd/ew-benchjson -o BENCH_scale.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -21,6 +21,7 @@ import (
 
 	"everyware/internal/core"
 	"everyware/internal/dtrace"
+	"everyware/internal/scale"
 	"everyware/internal/telemetry"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	logs := flag.String("log", "", "comma-separated logging server addresses (optional)")
 	cycles := flag.Int("cycles", 0, "stop after this many cycles (0 = run until signalled)")
 	sample := flag.Int("sample-edges", 0, "bound per-step edge evaluations (0 = all)")
+	shardRing := flag.Bool("shard-ring", false, "treat -sched as a consistent-hash shard fleet: route reports by client ID instead of primary-plus-failover (gossip-published rings supersede)")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
 	traceAddr := flag.String("trace", "", "trace collector address (a logsvc daemon; empty disables causal tracing)")
 	traceSample := flag.Int("trace-sample", 1, "record one trace in every N roots (head-based sampling)")
@@ -66,6 +68,10 @@ func main() {
 		log.Fatalf("ew-client: %v", err)
 	}
 	defer comp.Close()
+	if *shardRing {
+		comp.Runner().SetRing(scale.NewRing(split(*scheds), scale.DefaultVNodes))
+		fmt.Printf("ew-client: sharding reports across %d schedulers\n", len(split(*scheds)))
+	}
 	fmt.Printf("ew-client: %s on %s (infra %s)\n", comp.Addr(), addr, *infra)
 	tracer.SetService("client:" + comp.Addr())
 	if *traceAddr != "" {

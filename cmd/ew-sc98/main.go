@@ -15,6 +15,7 @@
 //	ew-sc98 -fig chaos             # mini SC98 over real daemons + fault injection
 //	ew-sc98 -fig chaos -mem        # same scenario over the in-memory transport
 //	ew-sc98 -fig telemetry         # mini SC98 over real daemons, per-daemon metrics table
+//	ew-sc98 -fig scale             # web-scale sweep: sharded scheduling under virtual time
 //	ew-sc98 -fig all               # everything
 package main
 
@@ -31,13 +32,15 @@ import (
 	"everyware/internal/dtrace"
 	"everyware/internal/faults"
 	"everyware/internal/grid"
+	"everyware/internal/scale"
+	"everyware/internal/scale/sweep"
 	"everyware/internal/telemetry"
 	"everyware/internal/trace"
 	"everyware/internal/wire"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "2 | 3a | 3b | 3c | 4 | java | timeouts | condor | consistency | chaos | telemetry | all")
+	fig := flag.String("fig", "all", "2 | 3a | 3b | 3c | 4 | java | timeouts | condor | consistency | chaos | telemetry | scale | all")
 	seed := flag.Int64("seed", 1998, "scenario seed")
 	duration := flag.Duration("duration", grid.SC98Duration, "window length")
 	csv := flag.Bool("csv", false, "emit CSV instead of charts")
@@ -48,6 +51,7 @@ func main() {
 	torn := flag.Float64("chaos-torn", 0.02, "chaos: per-message torn-write probability")
 	delay := flag.Float64("chaos-delay", 0.03, "chaos: per-message delay probability")
 	mem := flag.Bool("mem", false, "chaos/telemetry: run the daemons over the in-memory wire transport (no TCP sockets)")
+	scaleClients := flag.Int("scale-clients", 1_000_000, "scale: largest client population in the sweep")
 	flag.Parse()
 
 	var tr wire.Transport
@@ -97,6 +101,8 @@ func main() {
 		}, tr)
 	case "telemetry":
 		telemetryFigure(*seed, tr)
+	case "scale":
+		scaleFigure(*seed, *scaleClients)
 	case "all":
 		figure2(res, *csv)
 		figure3a(res, *csv, false)
@@ -214,6 +220,63 @@ func hasRetry(nodes []*dtrace.Node) bool {
 		}
 	}
 	return false
+}
+
+// scaleFigure runs the web-scale sweep (the E14 experiment): 100k -> 1M
+// virtual clients reporting through region gateways into a sharded
+// scheduler fleet, shards scaled with the population, plus an overload
+// point where admission control sheds and a chaos point where a shard
+// dies mid-run. Prints the sweep table; exits non-zero if any point
+// loses a report.
+func scaleFigure(seed int64, maxClients int) {
+	fmt.Println("== Web scale: sharded scheduling sweep (virtual time) ==")
+	fmt.Printf("%9s %7s %8s %9s %9s %7s %10s %10s %11s %10s %10s\n",
+		"clients", "shards", "regions", "reports", "acked", "shed%", "p50", "p95", "shard recs", "B/client", "failovers")
+	points := []struct {
+		label string
+		cfg   sweep.Config
+	}{
+		{"", sweep.Config{Clients: 100_000, Shards: 8, AdmitRate: 2000, AdmitBurst: 1000}},
+		{"", sweep.Config{Clients: 300_000, Shards: 24, AdmitRate: 2000, AdmitBurst: 1000}},
+		{"", sweep.Config{Clients: 1_000_000, Shards: 80, AdmitRate: 2000, AdmitBurst: 1000}},
+		{"overload", sweep.Config{Clients: 300_000, Shards: 8, AdmitRate: 2000, AdmitBurst: 1000}},
+		{"shard kill", sweep.Config{Clients: 100_000, Shards: 8, AdmitRate: 2000, AdmitBurst: 1000,
+			KillAt: 10 * time.Second, KillShard: 3}},
+	}
+	lost := false
+	for _, p := range points {
+		if p.cfg.Clients > maxClients {
+			continue
+		}
+		p.cfg.Seed = seed
+		res := sweep.Run(p.cfg)
+		fmt.Printf("%9d %7d %8d %9d %9d %6.1f%% %10s %10s %11d %10.1f %10d",
+			res.Clients, res.Shards, res.Regions, res.Reports, res.Acked,
+			100*res.ShedRate, res.P50.Round(time.Millisecond), res.P95.Round(time.Millisecond),
+			res.MaxShardRecords, res.HeapPerClient, res.Failovers)
+		if p.label != "" {
+			fmt.Printf("  (%s)", p.label)
+		}
+		fmt.Println()
+		if res.Lost != 0 {
+			fmt.Printf("ew-sc98: scale: %d reports lost at %d clients\n", res.Lost, res.Clients)
+			lost = true
+		}
+	}
+	flat, hier := res2Traffic(maxClients)
+	fmt.Printf("gossip traffic model at %d members: flat %.3g msgs/round vs hierarchical %.3g (%.0fx less)\n",
+		maxClients, float64(flat), float64(hier), float64(flat)/float64(hier))
+	if lost {
+		log.Fatal("ew-sc98: scale: report conservation violated")
+	}
+	fmt.Println("per-shard state and p50 decision latency stay bounded as shards scale with the population")
+	fmt.Println()
+}
+
+// res2Traffic sizes the flat-vs-hierarchical gossip comparison at the
+// sweep's largest population.
+func res2Traffic(n int) (flat, hier int) {
+	return scale.GossipTraffic(n, 4096)
 }
 
 // telemetryFigure stands up the same miniature SC98 deployment as the

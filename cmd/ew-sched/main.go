@@ -29,6 +29,8 @@ func main() {
 	steps := flag.Int64("steps", 2000, "heuristic steps per client report")
 	logAddr := flag.String("log", "", "logging server address (optional)")
 	migrate := flag.Float64("migrate-below", 0.25, "migrate work from clients forecast below this fraction of the pool median (0 disables)")
+	admitRate := flag.Float64("admit-rate", 0, "admission control: sustained reports/sec before shedding low-priority traffic (0 disables)")
+	admitBurst := flag.Float64("admit-burst", 0, "admission token bucket depth (default -admit-rate)")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and pprof on this address (optional)")
 	traceAddr := flag.String("trace", "", "trace collector address (a logsvc daemon; empty disables causal tracing)")
 	traceSample := flag.Int("trace-sample", 1, "record one trace in every N roots (head-based sampling)")
@@ -44,6 +46,8 @@ func main() {
 		DefaultSteps:         *steps,
 		LogAddr:              *logAddr,
 		MigrateBelowFraction: *migrate,
+		AdmitRate:            *admitRate,
+		AdmitBurst:           *admitBurst,
 		Metrics:              reg,
 	}
 	if tracer != nil {

@@ -17,7 +17,9 @@ import (
 	"time"
 
 	"everyware/internal/ramsey"
+	"everyware/internal/scale"
 	"everyware/internal/sched"
+	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
 
@@ -161,19 +163,46 @@ type GatewayConfig struct {
 	CallTimeout time.Duration
 	// Transport selects the wire substrate (nil = TCP).
 	Transport wire.Transport
+	// Router, if set, routes reports by applet key over the scheduler
+	// ring (scale.RingKey updates arrive via SetRing), failing over along
+	// ring successors before the static Schedulers list.
+	Router *scale.Router
+	// BatchReturns aggregates parcel-return reports per destination shard
+	// and delivers them as sched.MsgReportBatch calls, so the gateway's
+	// outbound scheduler traffic grows with shard count, not applet
+	// count. The applet's return is acknowledged once buffered — deferred
+	// delivery, the same degraded-success contract as pstate's spool.
+	// Fetches stay synchronous (the applet is waiting for a parcel).
+	BatchReturns bool
+	// BatchMax flushes a shard's buffer at this many pending reports
+	// (default 64).
+	BatchMax int
+	// BatchDelay bounds how long a buffered return waits (default 100ms).
+	BatchDelay time.Duration
+	// Region labels this gateway's region for hierarchy rollups.
+	Region int
+	// Metrics, if set, records gateway and aggregation telemetry.
+	Metrics *telemetry.Registry
 }
 
 // Gateway bridges browser applets to the EveryWare scheduling service.
 type Gateway struct {
-	cfg GatewayConfig
-	svc *wire.Service
-	wc  *wire.Client
+	cfg     GatewayConfig
+	svc     *wire.Service
+	wc      *wire.Client
+	router  *scale.Router
+	coal    *scale.Coalescer[sched.Report]
+	metrics *telemetry.Registry
+	done    chan struct{}
+	wg      sync.WaitGroup
 
 	mu       sync.Mutex
 	assigned map[string]sched.WorkUnit // per applet
 	parcels  int64
 	returns  int64
 	founds   int64
+	shed     int64
+	batched  int64
 }
 
 // NewGateway constructs a gateway; call Start to serve.
@@ -184,18 +213,41 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
+	if cfg.BatchDelay <= 0 {
+		cfg.BatchDelay = 100 * time.Millisecond
+	}
 	svc := wire.NewService(wire.ServiceConfig{
 		Name:        "applet-gw",
 		ListenAddr:  cfg.ListenAddr,
 		Transport:   cfg.Transport,
 		DialTimeout: cfg.CallTimeout,
+		Metrics:     cfg.Metrics,
 		Silent:      true,
 	})
+	router := cfg.Router
+	if router == nil {
+		router = scale.NewRouter(nil, svc.Metrics())
+	}
 	g := &Gateway{
 		cfg:      cfg,
 		svc:      svc,
 		wc:       svc.Client(),
+		router:   router,
+		metrics:  svc.Metrics(),
+		done:     make(chan struct{}),
 		assigned: make(map[string]sched.WorkUnit),
+	}
+	if cfg.BatchReturns {
+		g.coal = scale.NewCoalescer[sched.Report](scale.CoalescerConfig{
+			MaxBatch: cfg.BatchMax,
+			MaxDelay: cfg.BatchDelay,
+			Metrics:  g.metrics,
+		})
+		// ew-top's region column keys off this gauge's presence.
+		g.metrics.Gauge("scale.region").Set(int64(cfg.Region))
 	}
 	svc.Handle(MsgFetchParcel, wire.HandlerFunc(g.handleFetch))
 	svc.Handle(MsgReturnParcel, wire.HandlerFunc(g.handleReturn))
@@ -204,13 +256,41 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 }
 
 // Start binds the listener and returns the bound address.
-func (g *Gateway) Start() (string, error) { return g.svc.Start() }
+func (g *Gateway) Start() (string, error) {
+	addr, err := g.svc.Start()
+	if err != nil {
+		return "", err
+	}
+	if g.coal != nil {
+		g.wg.Add(1)
+		go g.flushLoop()
+	}
+	return addr, nil
+}
 
 // Addr returns the bound address.
 func (g *Gateway) Addr() string { return g.svc.Addr() }
 
-// Close stops the gateway.
-func (g *Gateway) Close() { g.svc.Close() }
+// Close flushes any buffered reports and stops the gateway.
+func (g *Gateway) Close() {
+	select {
+	case <-g.done:
+	default:
+		close(g.done)
+	}
+	g.wg.Wait()
+	if g.coal != nil {
+		for _, b := range g.coal.Flush() {
+			g.deliverBatch(b)
+		}
+	}
+	g.svc.Close()
+}
+
+// SetRing installs a scheduler ring update (decoded from gossip
+// scale.RingKey state): subsequent reports route to the shard owning each
+// applet's key.
+func (g *Gateway) SetRing(ring *scale.Ring) { g.router.SetRing(ring) }
 
 // Stats returns (parcels handed out, results returned, counter-examples).
 func (g *Gateway) Stats() (parcels, returns, founds int64) {
@@ -219,11 +299,35 @@ func (g *Gateway) Stats() (parcels, returns, founds int64) {
 	return g.parcels, g.returns, g.founds
 }
 
-// reportToScheduler forwards a report and returns the directive.
+// Rollup summarizes this gateway for its region's hierarchy rollup: the
+// population it fronts and the report/shed totals since start.
+func (g *Gateway) Rollup() scale.Rollup {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return scale.Rollup{
+		Region:  g.cfg.Region,
+		Members: 1,
+		Clients: g.parcels,
+		Reports: g.returns,
+		Shed:    g.shed,
+	}
+}
+
+// targets returns the failover-ordered scheduler addresses for a client
+// key: the ring route when a ring is installed, else the static list.
+func (g *Gateway) targets(clientID string) []string {
+	if order := g.router.Route(clientID, 3); len(order) > 0 {
+		return order
+	}
+	return g.cfg.Schedulers
+}
+
+// reportToScheduler forwards a report and returns the directive, failing
+// over along the ring successors (or the static list).
 func (g *Gateway) reportToScheduler(r sched.Report) (sched.Directive, error) {
 	payload := sched.EncodeReport(r)
 	var lastErr error
-	for _, addr := range g.cfg.Schedulers {
+	for _, addr := range g.targets(r.ClientID) {
 		resp, err := g.wc.Call(addr, &wire.Packet{Type: sched.MsgReport, Payload: payload}, g.cfg.CallTimeout)
 		if err != nil {
 			lastErr = err
@@ -231,7 +335,73 @@ func (g *Gateway) reportToScheduler(r sched.Report) (sched.Directive, error) {
 		}
 		return sched.DecodeDirective(resp.Payload)
 	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no scheduler configured")
+	}
 	return sched.Directive{}, fmt.Errorf("applet: no viable scheduler: %w", lastErr)
+}
+
+// flushLoop drains aged report buffers on the batch cadence.
+func (g *Gateway) flushLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.BatchDelay)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.done:
+			return
+		case <-t.C:
+			for _, b := range g.coal.Tick() {
+				g.deliverBatch(b)
+			}
+		}
+	}
+}
+
+// enqueueReturn buffers a return report for batched delivery, flushing
+// inline when the destination's buffer fills.
+func (g *Gateway) enqueueReturn(r sched.Report) {
+	dest := g.targets(r.ClientID)[0]
+	g.mu.Lock()
+	g.batched++
+	g.mu.Unlock()
+	if b := g.coal.Add(dest, r.ClientID, r); b != nil {
+		g.deliverBatch(b)
+	}
+}
+
+// deliverBatch sends one coalesced batch to its shard, failing over to
+// the ring successors of the first report's key. Reports the shard shed
+// re-enter the buffer (deferred delivery); on total failure the whole
+// batch re-enters, so buffered reports survive shard deaths and land
+// after the ring re-forms.
+func (g *Gateway) deliverBatch(b *scale.Batch[sched.Report]) {
+	if len(b.Items) == 0 {
+		return
+	}
+	targets := append([]string{b.Dest}, g.targets(b.Items[0].ClientID)[1:]...)
+	for _, addr := range targets {
+		entries, err := sched.SendReportBatch(g.wc, addr, b.Items, g.cfg.CallTimeout)
+		if err != nil {
+			continue
+		}
+		g.metrics.Counter("applet.gw.batch.delivered").Add(int64(len(entries)))
+		for i, en := range entries {
+			if en.Shed && i < len(b.Items) {
+				g.mu.Lock()
+				g.shed++
+				g.mu.Unlock()
+				g.metrics.Counter("applet.gw.batch.shed").Inc()
+				g.coal.Requeue(addr, b.Items[i].ClientID, b.Items[i])
+			}
+		}
+		return
+	}
+	// No shard reachable: requeue everything for the next flush.
+	g.metrics.Counter("applet.gw.batch.requeued").Add(int64(len(b.Items)))
+	for _, r := range b.Items {
+		g.coal.Requeue(b.Dest, r.ClientID, r)
+	}
 }
 
 func (g *Gateway) handleFetch(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -284,7 +454,7 @@ func (g *Gateway) handleReturn(_ string, req *wire.Packet) (*wire.Packet, error)
 	if !ok || w.ID != r.ParcelID {
 		return nil, fmt.Errorf("applet: unknown parcel %d for applet %q", r.ParcelID, r.AppletID)
 	}
-	_, err = g.reportToScheduler(sched.Report{
+	rep := sched.Report{
 		ClientID:   "applet-" + r.AppletID,
 		Infra:      "java",
 		WorkID:     r.ParcelID,
@@ -293,8 +463,14 @@ func (g *Gateway) handleReturn(_ string, req *wire.Packet) (*wire.Packet, error)
 		Conflicts:  r.Conflicts,
 		Found:      r.Found,
 		State:      r.State,
-	})
-	if err != nil {
+	}
+	if g.coal != nil {
+		// Aggregated path: buffer for the shard batch and acknowledge the
+		// applet now (deferred delivery).
+		g.enqueueReturn(rep)
+		return &wire.Packet{Type: MsgReturnParcel}, nil
+	}
+	if _, err = g.reportToScheduler(rep); err != nil {
 		return nil, err
 	}
 	return &wire.Packet{Type: MsgReturnParcel}, nil

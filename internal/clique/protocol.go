@@ -132,9 +132,11 @@ func sortedUnion(a, b []string) []string {
 	return out
 }
 
-// minID returns the smallest ID in ids ("" if empty) — the leader-election
-// rule.
-func minID(ids []string) string {
+// LeaderID returns the smallest ID in ids ("" if empty) — the clique
+// leader-election rule. Exported so higher layers that partition members
+// into regions (the scale hierarchy) elect the same leader the region's
+// own clique protocol would converge on.
+func LeaderID(ids []string) string {
 	if len(ids) == 0 {
 		return ""
 	}
@@ -146,3 +148,6 @@ func minID(ids []string) string {
 	}
 	return m
 }
+
+// minID is the protocol-internal alias for LeaderID.
+func minID(ids []string) string { return LeaderID(ids) }

@@ -29,6 +29,7 @@ import (
 	"everyware/internal/logsvc"
 	"everyware/internal/pstate"
 	"everyware/internal/ramsey"
+	"everyware/internal/scale"
 	"everyware/internal/sched"
 	"everyware/internal/telemetry"
 	"everyware/internal/wire"
@@ -283,6 +284,17 @@ func (c *Component) Start() (string, error) {
 		err = c.OnReplicated(SchedulerRosterKey, gossip.CmpCounter, func(s gossip.Stamped) {
 			if roster, err := DecodeRoster(s.Data); err == nil && len(roster) > 0 {
 				runner.SetSchedulers(roster)
+			}
+		})
+		if err != nil && len(c.cfg.Gossips) > 0 {
+			return "", err
+		}
+		// Subscribe to the scheduler ring: once a ring arrives, reports
+		// route to the shard owning this client's key instead of walking
+		// the flat roster.
+		err = c.OnReplicated(scale.RingKey, gossip.CmpCounter, func(s gossip.Stamped) {
+			if ring, err := scale.DecodeRing(s.Data); err == nil && len(ring.Nodes) > 0 {
+				runner.SetRing(ring)
 			}
 		})
 		if err != nil && len(c.cfg.Gossips) > 0 {

@@ -10,6 +10,7 @@ import (
 	"everyware/internal/logsvc"
 	"everyware/internal/pstate"
 	"everyware/internal/ramsey"
+	"everyware/internal/scale"
 	"everyware/internal/sched"
 	"everyware/internal/wire"
 )
@@ -91,6 +92,7 @@ type Deployment struct {
 
 	rosterSvc   *wire.Service
 	rosterAgent *gossip.Agent
+	ring        *scale.Ring
 	transport   wire.Transport
 }
 
@@ -186,6 +188,12 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 	if err := d.rosterAgent.Register(d.rosterSvc.Client(), d.GossipAddrs[0], SchedulerRosterKey, gossip.CmpCounter, 2*time.Second); err != nil {
 		return nil, fmt.Errorf("core: roster registration: %w", err)
+	}
+	if err := d.rosterAgent.Track(scale.RingKey, gossip.CmpCounter, nil); err != nil {
+		return nil, err
+	}
+	if err := d.rosterAgent.Register(d.rosterSvc.Client(), d.GossipAddrs[0], scale.RingKey, gossip.CmpCounter, 2*time.Second); err != nil {
+		return nil, fmt.Errorf("core: ring registration: %w", err)
 	}
 	d.PublishRoster()
 
@@ -472,11 +480,50 @@ func (d *Deployment) NewComponentConfig(id, infra string) ComponentConfig {
 
 // PublishRoster re-announces the current scheduler list through the
 // Gossip service (called automatically at start; call again after adding
-// or removing schedulers).
+// or removing schedulers). The consistent-hash ring over the same
+// membership is published alongside it: the roster is the flat failover
+// list for old-style clients, the ring is the sharded routing table.
 func (d *Deployment) PublishRoster() {
-	if d.rosterAgent != nil {
-		d.rosterAgent.Set(SchedulerRosterKey, EncodeRoster(d.SchedAddrs))
+	if d.rosterAgent == nil {
+		return
 	}
+	d.rosterAgent.Set(SchedulerRosterKey, EncodeRoster(d.SchedAddrs))
+	if d.ring == nil {
+		d.ring = scale.NewRing(d.SchedAddrs, 0)
+	} else {
+		d.ring = d.ring.WithNodes(d.SchedAddrs)
+	}
+	d.rosterAgent.Set(scale.RingKey, scale.EncodeRing(d.ring))
+}
+
+// Ring returns the most recently published scheduler ring.
+func (d *Deployment) Ring() *scale.Ring { return d.ring }
+
+// RemoveScheduler stops the scheduling server at addr, drops it from the
+// roster, and republishes both the roster and a re-sharded ring through
+// the Gossip service. Components re-route their reports to the surviving
+// shards on the next ring update; consistent hashing bounds how many
+// work-keys move. Returns false if no scheduler binds addr.
+func (d *Deployment) RemoveScheduler(addr string) bool {
+	d.mu.Lock()
+	idx := -1
+	for i, a := range d.SchedAddrs {
+		if a == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		d.mu.Unlock()
+		return false
+	}
+	s := d.scheds[idx]
+	d.scheds = append(d.scheds[:idx], d.scheds[idx+1:]...)
+	d.SchedAddrs = append(d.SchedAddrs[:idx], d.SchedAddrs[idx+1:]...)
+	d.mu.Unlock()
+	s.Close()
+	d.PublishRoster()
+	return true
 }
 
 // Close stops every service. Idempotent: the control plane restarts

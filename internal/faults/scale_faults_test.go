@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"everyware/internal/core"
+	"everyware/internal/sched"
+	"everyware/internal/wire"
+)
+
+// TestScaleShardKillReshardNoLostReports is the web-scale chaos
+// experiment over real daemons: a three-shard scheduling fleet with the
+// ring published through Gossip, three components routing reports by
+// work-key. One shard is killed mid-run. The components must fail over
+// along the ring while the stale ring is still current, the deployment's
+// re-shard must propagate (ring version bump observed by every client),
+// and every report acked to a client must be recorded by a scheduler
+// that was alive when it acked — zero lost acked reports.
+func TestScaleShardKillReshardNoLostReports(t *testing.T) {
+	tr := wire.NewMemTransport()
+	d, err := core.StartDeployment(core.DeploymentConfig{
+		Gossips:      1,
+		Schedulers:   3,
+		SyncInterval: 25 * time.Millisecond,
+		Transport:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	var comps []*core.Component
+	for i := 0; i < 3; i++ {
+		c := core.NewComponent(d.NewComponentConfig(fmt.Sprintf("scale-c%d", i), "unix"))
+		if _, err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		comps = append(comps, c)
+	}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Every component must learn the sharded ring through Gossip before
+	// the experiment starts.
+	waitFor("ring delivery", func() bool {
+		for _, c := range comps {
+			if r := c.Runner().Router().Ring(); r == nil || len(r.Nodes) != 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// acked counts reports the clients saw succeed; recorded sums what
+	// the schedulers persisted. The victim's count is frozen at kill
+	// time — it was alive for everything it acked.
+	var acked int64
+	cycle := func(c *core.Component) {
+		t.Helper()
+		if _, err := c.Runner().Cycle(); err != nil {
+			t.Fatalf("cycle: %v", err)
+		}
+		acked++
+	}
+	for i := 0; i < 3; i++ {
+		for _, c := range comps {
+			cycle(c)
+		}
+	}
+
+	// Kill the shard that owns the first component's work-key, without
+	// telling anyone: the ring is now stale and the owner is dead.
+	victimAddr := d.Ring().Lookup("scale-c0")
+	var victim *sched.Server
+	for _, s := range d.Schedulers() {
+		if s.Addr() == victimAddr {
+			victim = s
+		}
+	}
+	if victim == nil {
+		t.Fatalf("no scheduler at ring owner %s", victimAddr)
+	}
+	victimRecorded, _, _ := victim.Stats()
+	victim.Close()
+
+	// Reports keyed to the dead owner must fail over along the ring.
+	for i := 0; i < 2; i++ {
+		for _, c := range comps {
+			cycle(c)
+		}
+	}
+	if comps[0].Metrics().Snapshot("sched.").Value("sched.client.failover") == 0 {
+		t.Fatal("no ring failover after the owner died")
+	}
+
+	// Now the deployment notices: the shard leaves the roster and a
+	// re-sharded ring (bounded key movement) is published through Gossip.
+	if !d.RemoveScheduler(victimAddr) {
+		t.Fatalf("RemoveScheduler(%s) found nothing", victimAddr)
+	}
+	waitFor("re-shard propagation", func() bool {
+		for _, c := range comps {
+			r := c.Runner().Router().Ring()
+			if r == nil || r.Contains(victimAddr) || len(r.Nodes) != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, c := range comps {
+		if got := c.Metrics().Snapshot("scale.").Value("scale.ring.updates"); got < 2 {
+			t.Fatalf("component saw %v ring updates, want >= 2", got)
+		}
+	}
+
+	// Post-reshard reports route directly to live shards.
+	for i := 0; i < 3; i++ {
+		for _, c := range comps {
+			cycle(c)
+		}
+	}
+
+	var recorded int64 = victimRecorded
+	for _, s := range d.Schedulers() {
+		n, _, _ := s.Stats()
+		recorded += n
+	}
+	if recorded < acked {
+		t.Fatalf("%d acked reports but only %d recorded by live-at-ack schedulers — %d lost",
+			acked, recorded, acked-recorded)
+	}
+	t.Logf("acked=%d recorded=%d (victim froze at %d)", acked, recorded, victimRecorded)
+}

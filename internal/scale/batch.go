@@ -1,0 +1,187 @@
+package scale
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"everyware/internal/telemetry"
+)
+
+// CoalescerConfig parameterizes per-destination report coalescing.
+type CoalescerConfig struct {
+	// MaxBatch flushes a destination once it holds this many distinct
+	// keys (default 64).
+	MaxBatch int
+	// MaxDelay is the longest a report waits before Tick flushes it
+	// (default 250ms).
+	MaxDelay time.Duration
+	// Now overrides the clock (virtual time under simulation).
+	Now func() time.Time
+	// Metrics records scale.batch.* counters. Nil discards.
+	Metrics *telemetry.Registry
+}
+
+// Batch is one flushed destination: the coalesced items bound for a
+// single shard.
+type Batch[T any] struct {
+	Dest  string
+	Items []T
+	// Coalesced counts superseded writes — reports absorbed because a
+	// newer one for the same key arrived before the flush.
+	Coalesced int
+}
+
+// Coalescer batches items per destination shard and coalesces
+// last-write-wins per key, so a gateway fronting thousands of clients
+// sends each shard one bounded batch per flush interval instead of one
+// packet per client report. It is the client half of the aggregation
+// layer; the server half is the shard's batch handler.
+type Coalescer[T any] struct {
+	cfg CoalescerConfig
+
+	mu    sync.Mutex
+	dests map[string]*destBuf[T]
+
+	items     *telemetry.Counter
+	coalesced *telemetry.Counter
+	flushes   *telemetry.Counter
+}
+
+type destBuf[T any] struct {
+	order     []string
+	byKey     map[string]T
+	oldest    time.Time
+	coalesced int
+}
+
+// NewCoalescer builds a coalescer.
+func NewCoalescer[T any](cfg CoalescerConfig) *Coalescer[T] {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 250 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Coalescer[T]{
+		cfg:       cfg,
+		dests:     make(map[string]*destBuf[T]),
+		items:     cfg.Metrics.Counter("scale.batch.items"),
+		coalesced: cfg.Metrics.Counter("scale.batch.coalesced"),
+		flushes:   cfg.Metrics.Counter("scale.batch.flushes"),
+	}
+}
+
+// Add buffers item for dest under key, coalescing over any pending item
+// with the same key. When the destination reaches MaxBatch it is flushed
+// and returned; otherwise Add returns nil.
+func (c *Coalescer[T]) Add(dest, key string, item T) *Batch[T] {
+	c.items.Inc()
+	c.mu.Lock()
+	b := c.dests[dest]
+	if b == nil {
+		b = &destBuf[T]{byKey: make(map[string]T), oldest: c.cfg.Now()}
+		c.dests[dest] = b
+	}
+	if _, dup := b.byKey[key]; dup {
+		b.coalesced++
+		c.coalesced.Inc()
+	} else {
+		b.order = append(b.order, key)
+	}
+	b.byKey[key] = item
+	var out *Batch[T]
+	if len(b.order) >= c.cfg.MaxBatch {
+		out = c.takeLocked(dest, b)
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// Requeue re-buffers an item without ever triggering a size flush — the
+// path for reports that came back shed or undeliverable. The buffer may
+// transiently exceed MaxBatch; the next Tick (or the next Add reaching
+// the threshold) drains it, so requeue loops cannot recurse into
+// delivery.
+func (c *Coalescer[T]) Requeue(dest, key string, item T) {
+	c.mu.Lock()
+	b := c.dests[dest]
+	if b == nil {
+		b = &destBuf[T]{byKey: make(map[string]T), oldest: c.cfg.Now()}
+		c.dests[dest] = b
+	}
+	if _, dup := b.byKey[key]; !dup {
+		b.order = append(b.order, key)
+	} else {
+		// The pending item (typically the client's next report) absorbs
+		// the requeued one; that is a coalesce, and counting it keeps
+		// report conservation auditable.
+		b.coalesced++
+		c.coalesced.Inc()
+	}
+	b.byKey[key] = item
+	c.mu.Unlock()
+}
+
+// Tick flushes every destination whose oldest pending item has waited at
+// least MaxDelay. Call it from the gateway's flush ticker (real time) or
+// a simgrid event (virtual time).
+func (c *Coalescer[T]) Tick() []*Batch[T] {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	var out []*Batch[T]
+	for _, dest := range c.destsLocked() {
+		if b := c.dests[dest]; now.Sub(b.oldest) >= c.cfg.MaxDelay {
+			out = append(out, c.takeLocked(dest, b))
+		}
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// Flush drains every destination unconditionally.
+func (c *Coalescer[T]) Flush() []*Batch[T] {
+	c.mu.Lock()
+	var out []*Batch[T]
+	for _, dest := range c.destsLocked() {
+		out = append(out, c.takeLocked(dest, c.dests[dest]))
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// destsLocked returns the destinations in sorted order, so flush order —
+// and therefore delivery order — is deterministic. Simulation replays
+// depend on it; real gateways get reproducible behaviour for free.
+func (c *Coalescer[T]) destsLocked() []string {
+	out := make([]string, 0, len(c.dests))
+	for dest := range c.dests {
+		out = append(out, dest)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pending returns the buffered item count across destinations.
+func (c *Coalescer[T]) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, b := range c.dests {
+		n += len(b.order)
+	}
+	return n
+}
+
+func (c *Coalescer[T]) takeLocked(dest string, b *destBuf[T]) *Batch[T] {
+	out := &Batch[T]{Dest: dest, Items: make([]T, 0, len(b.order)), Coalesced: b.coalesced}
+	for _, k := range b.order {
+		out.Items = append(out.Items, b.byKey[k])
+	}
+	delete(c.dests, dest)
+	c.flushes.Inc()
+	return out
+}

@@ -1,0 +1,113 @@
+package scale
+
+import (
+	"testing"
+	"time"
+
+	"everyware/internal/telemetry"
+)
+
+func TestCoalescerSizeFlush(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := NewCoalescer[int](CoalescerConfig{MaxBatch: 3, MaxDelay: time.Second, Now: clk.now})
+	if b := c.Add("shard-a", "k1", 1); b != nil {
+		t.Fatalf("flushed below MaxBatch: %+v", b)
+	}
+	if b := c.Add("shard-a", "k2", 2); b != nil {
+		t.Fatalf("flushed below MaxBatch: %+v", b)
+	}
+	// Same key coalesces, does not grow the batch.
+	if b := c.Add("shard-a", "k1", 10); b != nil {
+		t.Fatalf("coalesce counted as growth: %+v", b)
+	}
+	b := c.Add("shard-a", "k3", 3)
+	if b == nil {
+		t.Fatal("MaxBatch reached but no flush")
+	}
+	if b.Dest != "shard-a" || len(b.Items) != 3 || b.Coalesced != 1 {
+		t.Fatalf("bad batch: %+v", b)
+	}
+	// Coalescing is last-write-wins: k1 carries 10, not 1, and order is
+	// first-seen.
+	if b.Items[0] != 10 || b.Items[1] != 2 || b.Items[2] != 3 {
+		t.Fatalf("bad coalesced items: %v", b.Items)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending after flush: %d", c.Pending())
+	}
+}
+
+func TestCoalescerTickFlushesByAge(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	m := telemetry.NewRegistry()
+	c := NewCoalescer[string](CoalescerConfig{MaxBatch: 100, MaxDelay: time.Second, Now: clk.now, Metrics: m})
+	c.Add("shard-a", "k1", "x")
+	clk.advance(600 * time.Millisecond)
+	c.Add("shard-b", "k1", "y")
+	if got := c.Tick(); got != nil {
+		t.Fatalf("tick before MaxDelay flushed: %v", got)
+	}
+	clk.advance(500 * time.Millisecond)
+	// shard-a is now 1.1s old (flush), shard-b only 0.5s (keep).
+	got := c.Tick()
+	if len(got) != 1 || got[0].Dest != "shard-a" {
+		t.Fatalf("tick flushed %v, want only shard-a", got)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (shard-b)", c.Pending())
+	}
+	all := c.Flush()
+	if len(all) != 1 || all[0].Dest != "shard-b" {
+		t.Fatalf("flush drained %v, want shard-b", all)
+	}
+	snap := m.Snapshot("scale.batch.")
+	if snap.Value("scale.batch.items") != 2 || snap.Value("scale.batch.flushes") != 2 {
+		t.Fatalf("bad batch telemetry: %+v", snap.Samples)
+	}
+}
+
+func TestRegionsDeterministicAndCovering(t *testing.T) {
+	members := shardNames(40)
+	a := Regions(members, 8)
+	b := Regions(members, 8)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("want 5 regions, got %d and %d", len(a), len(b))
+	}
+	total := 0
+	for i := range a {
+		total += len(a[i])
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("partition not deterministic")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("partition not deterministic")
+			}
+		}
+		if lead := LeaderOf(a[i]); len(a[i]) > 0 && lead != a[i][0] {
+			t.Fatalf("leader %q is not the region's min ID %q", lead, a[i][0])
+		}
+	}
+	if total != 40 {
+		t.Fatalf("partition covers %d of 40 members", total)
+	}
+}
+
+func TestGossipTrafficSublinear(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		flat, hier := GossipTraffic(n, 16)
+		if hier >= flat {
+			t.Errorf("n=%d: hierarchical traffic %d not below flat %d", n, hier, flat)
+		}
+	}
+	// Doubling the fleet must grow hierarchical traffic far slower than
+	// the flat O(n^2).
+	_, h1 := GossipTraffic(512, 16)
+	_, h2 := GossipTraffic(1024, 16)
+	f1, _ := GossipTraffic(512, 16)
+	f2, _ := GossipTraffic(1024, 16)
+	if float64(h2)/float64(h1) >= float64(f2)/float64(f1) {
+		t.Errorf("hierarchical growth %.2fx not below flat growth %.2fx",
+			float64(h2)/float64(h1), float64(f2)/float64(f1))
+	}
+}

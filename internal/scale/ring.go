@@ -1,0 +1,211 @@
+package scale
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"everyware/internal/wire"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 64 vnodes
+// keep the max/mean load ratio under ~1.25 for small fleets while the
+// ring stays a few KB on the wire.
+const DefaultVNodes = 64
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash uint64
+	node int // index into Ring.Nodes
+}
+
+// Ring is an immutable consistent-hash ring over scheduler addresses.
+// Every mutation (Add/Remove/WithNodes) returns a new ring with Version
+// bumped, so readers can swap rings atomically and observers can assert
+// re-shards by watching the version. The zero ring routes nothing.
+type Ring struct {
+	// Version increases by one on every membership change. Gossip
+	// freshness and the chaos re-shard assertions both key off it.
+	Version uint64
+	// Nodes is the sorted physical membership (scheduler addresses).
+	Nodes []string
+	// VNodes is the virtual-node count per physical node.
+	VNodes int
+
+	points []point // sorted by hash
+}
+
+// NewRing builds a ring at Version 1 over the given nodes. vnodes <= 0
+// selects DefaultVNodes. Duplicate nodes are dropped.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{Version: 1, VNodes: vnodes}
+	r.Nodes = dedupSorted(nodes)
+	r.build()
+	return r
+}
+
+func dedupSorted(nodes []string) []string {
+	out := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// build recomputes the vnode points from Nodes.
+func (r *Ring) build() {
+	r.points = make([]point, 0, len(r.Nodes)*r.VNodes)
+	for i, n := range r.Nodes {
+		for v := 0; v < r.VNodes; v++ {
+			r.points = append(r.points, point{hash: HashKey(n + "#" + strconv.Itoa(v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// HashKey maps an arbitrary key onto the hash circle: FNV-64a followed
+// by a splitmix64 finalizer. Raw FNV clusters on near-identical strings
+// (sequential host names, "#0".."#63" vnode suffixes); the avalanche step
+// spreads those clusters uniformly around the circle.
+func HashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Lookup returns the node owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	return r.Nodes[r.points[r.search(HashKey(key))].node]
+}
+
+// search returns the index of the first point at or clockwise of h.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Successors returns up to n distinct nodes in ring order starting at the
+// owner of key — the failover sequence a client walks when the primary
+// shard is unreachable.
+func (r *Ring) Successors(key string, n int) []string {
+	if r == nil || len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.Nodes) {
+		n = len(r.Nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i, start := 0, r.search(HashKey(key)); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.Nodes[p.node])
+		}
+	}
+	return out
+}
+
+// WithNodes returns a new ring with the given membership and Version+1.
+func (r *Ring) WithNodes(nodes []string) *Ring {
+	nr := &Ring{Version: r.Version + 1, VNodes: r.VNodes, Nodes: dedupSorted(nodes)}
+	if nr.VNodes <= 0 {
+		nr.VNodes = DefaultVNodes
+	}
+	nr.build()
+	return nr
+}
+
+// Add returns a new ring including node (Version+1).
+func (r *Ring) Add(node string) *Ring {
+	return r.WithNodes(append(append([]string(nil), r.Nodes...), node))
+}
+
+// Remove returns a new ring excluding node (Version+1).
+func (r *Ring) Remove(node string) *Ring {
+	nodes := make([]string, 0, len(r.Nodes))
+	for _, n := range r.Nodes {
+		if n != node {
+			nodes = append(nodes, n)
+		}
+	}
+	return r.WithNodes(nodes)
+}
+
+// Contains reports whether node is a ring member.
+func (r *Ring) Contains(node string) bool {
+	if r == nil {
+		return false
+	}
+	for _, n := range r.Nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// EncodeRing serializes a ring (version, vnodes, nodes). The vnode points
+// are recomputed on decode, so the wire form stays O(nodes).
+func EncodeRing(r *Ring) []byte {
+	var e wire.Encoder
+	e.PutUint64(r.Version)
+	e.PutUint32(uint32(r.VNodes))
+	e.PutUint32(uint32(len(r.Nodes)))
+	for _, n := range r.Nodes {
+		e.PutString(n)
+	}
+	return e.Bytes()
+}
+
+// DecodeRing parses a ring and rebuilds its vnode points.
+func DecodeRing(p []byte) (*Ring, error) {
+	d := wire.NewDecoder(p)
+	r := &Ring{}
+	var err error
+	if r.Version, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	v32, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r.VNodes = int(v32)
+	if r.VNodes <= 0 || r.VNodes > 4096 {
+		return nil, fmt.Errorf("scale: ring vnodes %d out of range", r.VNodes)
+	}
+	n, err := d.Count(2)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, s)
+	}
+	r.Nodes = dedupSorted(nodes)
+	r.build()
+	return r, nil
+}

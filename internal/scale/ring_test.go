@@ -1,0 +1,177 @@
+package scale
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func shardNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("sched-%02d:9%03d", i, i)
+	}
+	return out
+}
+
+func TestRingLookupDeterministic(t *testing.T) {
+	r := NewRing(shardNames(5), 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("client-%d", i)
+		a, b := r.Lookup(key), r.Lookup(key)
+		if a == "" || a != b {
+			t.Fatalf("lookup %q unstable: %q vs %q", key, a, b)
+		}
+	}
+	// Node order at construction must not matter.
+	rev := NewRing([]string{"sched-04:9004", "sched-03:9003", "sched-02:9002", "sched-01:9001", "sched-00:9000"}, 0)
+	fwd := NewRing(shardNames(5), 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("client-%d", i)
+		if fwd.Lookup(key) != rev.Lookup(key) {
+			t.Fatalf("lookup %q depends on construction order", key)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(shardNames(8), 0)
+	counts := map[string]int{}
+	const keys = 80000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("client-%d", i))]++
+	}
+	mean := keys / 8
+	for node, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("node %s holds %d keys, mean %d — imbalance beyond 2x", node, c, mean)
+		}
+	}
+	if len(counts) != 8 {
+		t.Fatalf("only %d of 8 nodes own keys", len(counts))
+	}
+}
+
+// TestRingBoundedMovement is the consistent-hashing property: adding or
+// removing ONE node moves at most (keys/n + slack) keys, where n is the
+// larger membership. A naive mod-n hash would move ~(n-1)/n of all keys.
+func TestRingBoundedMovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const keys = 20000
+	keyset := make([]string, keys)
+	for i := range keyset {
+		keyset[i] = fmt.Sprintf("client-%d-%d", i, rng.Int63())
+	}
+	for _, n := range []int{2, 4, 8, 16} {
+		base := NewRing(shardNames(n), 0)
+		grown := base.Add("sched-new:9999")
+		if grown.Version != base.Version+1 {
+			t.Fatalf("Add did not bump version: %d -> %d", base.Version, grown.Version)
+		}
+		moved := 0
+		for _, k := range keyset {
+			if base.Lookup(k) != grown.Lookup(k) {
+				moved++
+			}
+		}
+		// Ideal movement is keys/(n+1); allow 50% slack for vnode
+		// placement variance.
+		bound := keys/(n+1) + keys/(2*(n+1))
+		if moved > bound {
+			t.Errorf("add to %d nodes moved %d keys, bound %d", n, moved, bound)
+		}
+		if moved == 0 {
+			t.Errorf("add to %d nodes moved no keys — new node owns nothing", n)
+		}
+
+		shrunk := grown.Remove("sched-new:9999")
+		movedBack := 0
+		for _, k := range keyset {
+			if grown.Lookup(k) != shrunk.Lookup(k) {
+				movedBack++
+			}
+			// Removal must restore exactly the base mapping.
+			if base.Lookup(k) != shrunk.Lookup(k) {
+				t.Fatalf("remove did not restore base mapping for %q", k)
+			}
+		}
+		if movedBack != moved {
+			t.Errorf("asymmetric movement: add moved %d, remove moved %d", moved, movedBack)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(shardNames(4), 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("client-%d", i)
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("want 3 successors, got %v", succ)
+		}
+		if succ[0] != r.Lookup(key) {
+			t.Fatalf("first successor %q is not the owner %q", succ[0], r.Lookup(key))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor in %v", succ)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Successors("k", 10); len(got) != 4 {
+		t.Fatalf("successors capped at membership: want 4, got %v", got)
+	}
+}
+
+func TestRingCodecRoundTrip(t *testing.T) {
+	r := NewRing(shardNames(5), 32)
+	r = r.Add("extra:1").Remove("sched-00:9000")
+	back, err := DecodeRing(EncodeRing(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != r.Version || back.VNodes != r.VNodes || !reflect.DeepEqual(back.Nodes, r.Nodes) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, r)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("client-%d", i)
+		if back.Lookup(key) != r.Lookup(key) {
+			t.Fatalf("decoded ring routes %q differently", key)
+		}
+	}
+}
+
+func TestRingEmptyAndNil(t *testing.T) {
+	var nilRing *Ring
+	if nilRing.Lookup("k") != "" || nilRing.Successors("k", 2) != nil || nilRing.Contains("k") {
+		t.Fatal("nil ring must route nothing")
+	}
+	empty := NewRing(nil, 0)
+	if empty.Lookup("k") != "" {
+		t.Fatal("empty ring must route nothing")
+	}
+}
+
+func TestRouterVersionGate(t *testing.T) {
+	r1 := NewRing(shardNames(3), 0)
+	r2 := r1.Add("sched-03:9003")
+	rt := NewRouter(nil, nil)
+	if rt.Route("k", 2) != nil {
+		t.Fatal("router with no ring must return nil")
+	}
+	if !rt.SetRing(r2) {
+		t.Fatal("first install refused")
+	}
+	if rt.SetRing(r1) {
+		t.Fatal("stale ring (lower version) installed")
+	}
+	if rt.Ring().Version != r2.Version {
+		t.Fatalf("router holds version %d, want %d", rt.Ring().Version, r2.Version)
+	}
+	if got := rt.Route("client-1", 2); len(got) != 2 {
+		t.Fatalf("route returned %v", got)
+	}
+}

@@ -1,0 +1,66 @@
+package scale
+
+import (
+	"sync/atomic"
+
+	"everyware/internal/telemetry"
+)
+
+// Router holds the current scheduler ring behind an atomic pointer and
+// answers routing queries on the report hot path without locking. The
+// sched client installs ring updates arriving through gossip via SetRing;
+// every report then routes to its work-key's shard with the ring
+// successors as the failover order.
+type Router struct {
+	ring    atomic.Pointer[Ring]
+	metrics *telemetry.Registry
+}
+
+// NewRouter builds a router, optionally seeded with an initial ring.
+func NewRouter(r *Ring, metrics *telemetry.Registry) *Router {
+	rt := &Router{metrics: metrics}
+	if r != nil {
+		rt.ring.Store(r)
+	}
+	return rt
+}
+
+// SetRing installs a new ring if it is newer than the current one
+// (version-compared, so stale gossip replays are ignored). It reports
+// whether the ring was installed.
+func (rt *Router) SetRing(r *Ring) bool {
+	if rt == nil || r == nil {
+		return false
+	}
+	for {
+		cur := rt.ring.Load()
+		if cur != nil && cur.Version >= r.Version {
+			return false
+		}
+		if rt.ring.CompareAndSwap(cur, r) {
+			rt.metrics.Counter("scale.ring.updates").Inc()
+			rt.metrics.Gauge("scale.ring.version").Set(int64(r.Version))
+			rt.metrics.Gauge("scale.ring.shards").Set(int64(len(r.Nodes)))
+			return true
+		}
+	}
+}
+
+// Ring returns the current ring (nil before the first SetRing).
+func (rt *Router) Ring() *Ring {
+	if rt == nil {
+		return nil
+	}
+	return rt.ring.Load()
+}
+
+// Route returns the failover-ordered shard addresses for key: the owner
+// first, then up to n-1 ring successors. Nil before the first ring
+// installs — callers fall back to their static scheduler list.
+func (rt *Router) Route(key string, n int) []string {
+	r := rt.Ring()
+	if r == nil || len(r.Nodes) == 0 {
+		return nil
+	}
+	return r.Successors(key, n)
+}

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// BenchmarkSweep is the E14 experiment: the 100k -> 1M virtual-client
+// sweep, shards scaled with the population so per-shard offered load
+// stays constant (~1250 reports/sec). The custom metrics land in
+// BENCH_scale.json via ew-benchjson: p50/p95 decision latency, shed
+// rate, per-shard resident records, and heap bytes per client must stay
+// bounded as the population grows. The final point overloads 8 shards
+// with the 300k population to show admission control shedding instead
+// of collapsing.
+//
+// EW_SWEEP_MAX_CLIENTS (or -short) caps the population for CI runs.
+func BenchmarkSweep(b *testing.B) {
+	maxClients := 1_000_000
+	if s := os.Getenv("EW_SWEEP_MAX_CLIENTS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			maxClients = v
+		}
+	}
+	if testing.Short() && maxClients > 100_000 {
+		maxClients = 100_000
+	}
+	points := []struct {
+		clients, shards int
+		admitRate       float64
+	}{
+		{100_000, 8, 2000},
+		{300_000, 24, 2000},
+		{1_000_000, 80, 2000},
+		{300_000, 8, 2000}, // overload: 3750 offered vs 2000 admitted per shard
+	}
+	for _, p := range points {
+		if p.clients > maxClients {
+			continue
+		}
+		name := fmt.Sprintf("clients=%d/shards=%d", p.clients, p.shards)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := Run(Config{
+					Clients:    p.clients,
+					Shards:     p.shards,
+					AdmitRate:  p.admitRate,
+					AdmitBurst: p.admitRate / 2,
+					Seed:       98,
+				})
+				if res.Lost != 0 {
+					b.Fatalf("%d reports lost", res.Lost)
+				}
+				b.ReportMetric(float64(res.P50.Microseconds()), "p50_us")
+				b.ReportMetric(float64(res.P95.Microseconds()), "p95_us")
+				b.ReportMetric(res.ShedRate*100, "shed_pct")
+				b.ReportMetric(float64(res.MaxShardRecords), "shard_records")
+				b.ReportMetric(res.HeapPerClient, "heapB/client")
+			}
+		})
+	}
+}

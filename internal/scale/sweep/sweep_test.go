@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSweepConservesReports(t *testing.T) {
+	res := Run(Config{Clients: 20000, Shards: 4, Seed: 1})
+	if res.Reports == 0 || res.Acked == 0 {
+		t.Fatalf("sweep generated nothing: %+v", res)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("%d reports lost (generated=%d acked=%d pending=%d)",
+			res.Lost, res.Reports, res.Acked, res.Pending)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("shedding without admission control: %d", res.Shed)
+	}
+	if res.P50 <= 0 || res.P95 < res.P50 || res.Max < res.P95 {
+		t.Fatalf("latency quantiles disordered: p50=%v p95=%v max=%v", res.P50, res.P95, res.Max)
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	a := Run(Config{Clients: 10000, Shards: 4, Seed: 42})
+	b := Run(Config{Clients: 10000, Shards: 4, Seed: 42})
+	if a.Reports != b.Reports || a.Acked != b.Acked || a.P50 != b.P50 ||
+		a.MaxShardRecords != b.MaxShardRecords || a.Events != b.Events {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestSweepPerShardStateBounded(t *testing.T) {
+	// Scale population and shard count together: per-shard resident
+	// state must stay roughly flat — that is the point of sharding.
+	small := Run(Config{Clients: 20000, Shards: 4, Seed: 7})
+	big := Run(Config{Clients: 80000, Shards: 16, Seed: 7})
+	if small.MaxShardRecords == 0 || big.MaxShardRecords == 0 {
+		t.Fatal("no resident state recorded")
+	}
+	// Ring balance is within ~2x of mean; allow 3x headroom across scales.
+	if big.MaxShardRecords > 3*small.MaxShardRecords {
+		t.Fatalf("per-shard state grew superlinearly: 4-shard max %d, 16-shard max %d",
+			small.MaxShardRecords, big.MaxShardRecords)
+	}
+	if big.P50 > 4*small.P50 {
+		t.Fatalf("p50 decision latency not bounded: %v -> %v", small.P50, big.P50)
+	}
+}
+
+func TestSweepAdmissionSheds(t *testing.T) {
+	// Starve the shards: each allows ~100 reports/sec against a ~1000/sec
+	// offered load, so admission control must shed and the shed reports
+	// must be requeued (pending), never lost.
+	res := Run(Config{
+		Clients:    4000,
+		Shards:     2,
+		Duration:   15 * time.Second,
+		AdmitRate:  40,
+		AdmitBurst: 20,
+		Seed:       3,
+	})
+	if res.Shed == 0 {
+		t.Fatalf("overloaded sweep shed nothing: %+v", res)
+	}
+	if res.ShedRate <= 0 {
+		t.Fatal("shed rate not computed")
+	}
+	if res.Lost != 0 {
+		t.Fatalf("%d reports lost under overload", res.Lost)
+	}
+}
+
+func TestSweepShardKillFailsOverWithoutLoss(t *testing.T) {
+	res := Run(Config{
+		Clients:   20000,
+		Shards:    4,
+		Seed:      9,
+		KillAt:    10 * time.Second,
+		KillShard: 1,
+	})
+	if res.Failovers == 0 {
+		t.Fatal("no batch failed over after the shard kill")
+	}
+	if res.RingVersion < 2 {
+		t.Fatalf("ring never re-sharded: version %d", res.RingVersion)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("%d reports lost across the kill", res.Lost)
+	}
+	if res.Acked == 0 {
+		t.Fatal("no reports acked")
+	}
+}
+
+func TestSweepHierTrafficSublinear(t *testing.T) {
+	res := Run(Config{Clients: 20000, Shards: 4, Seed: 5})
+	if res.GossipHier >= res.GossipFlat {
+		t.Fatalf("hierarchical gossip traffic %g not below flat %g", res.GossipHier, res.GossipFlat)
+	}
+}

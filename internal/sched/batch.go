@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"time"
+
+	"everyware/internal/wire"
+)
+
+// MsgReportBatch carries many coalesced client reports to one scheduler
+// shard in a single lingua franca call; the response is one BatchEntry
+// per report in order. Gateways fronting thousands of applets use it so
+// per-scheduler inbound message rate grows with shard count, not client
+// count.
+const MsgReportBatch wire.MsgType = 52
+
+// Reports are last-write-wins per client whether they arrive alone or
+// batched, so a batch may be retransmitted on ambiguity.
+func init() {
+	wire.RegisterIdempotent(MsgReportBatch)
+	wire.RegisterMsgName(MsgReportBatch, "sched.report_batch")
+}
+
+// BatchEntry is the scheduler's per-report answer inside a batch reply.
+type BatchEntry struct {
+	// Shed reports that admission control refused this report: the
+	// directive is a bare DirShed and nothing was recorded. The client
+	// keeps computing and re-reports later (degraded success).
+	Shed bool
+	// Dir is the directive for this report (valid when !Shed).
+	Dir Directive
+}
+
+// EncodeReportBatch serializes a report batch.
+func EncodeReportBatch(reports []Report) []byte {
+	var e wire.Encoder
+	e.PutUint32(uint32(len(reports)))
+	for _, r := range reports {
+		e.PutBytes(EncodeReport(r))
+	}
+	return e.Bytes()
+}
+
+// DecodeReportBatch parses a report batch.
+func DecodeReportBatch(p []byte) ([]Report, error) {
+	d := wire.NewDecoder(p)
+	n, err := d.Count(4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Report, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := d.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		r, err := DecodeReport(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// EncodeBatchReply serializes the per-report answers.
+func EncodeBatchReply(entries []BatchEntry) []byte {
+	var e wire.Encoder
+	e.PutUint32(uint32(len(entries)))
+	for _, en := range entries {
+		e.PutBool(en.Shed)
+		e.PutBytes(EncodeDirective(en.Dir))
+	}
+	return e.Bytes()
+}
+
+// DecodeBatchReply parses the per-report answers.
+func DecodeBatchReply(p []byte) ([]BatchEntry, error) {
+	d := wire.NewDecoder(p)
+	n, err := d.Count(5)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var en BatchEntry
+		if en.Shed, err = d.Bool(); err != nil {
+			return nil, err
+		}
+		b, err := d.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if en.Dir, err = DecodeDirective(b); err != nil {
+			return nil, err
+		}
+		out = append(out, en)
+	}
+	return out, nil
+}
+
+// SendReportBatch delivers a coalesced report batch to one scheduler
+// shard and returns the per-report answers — the gateway half of the
+// aggregation layer.
+func SendReportBatch(wc *wire.Client, addr string, reports []Report, timeout time.Duration) ([]BatchEntry, error) {
+	resp, err := wc.Call(addr, &wire.Packet{Type: MsgReportBatch, Payload: EncodeReportBatch(reports)}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBatchReply(resp.Payload)
+}

@@ -8,6 +8,7 @@ import (
 
 	"everyware/internal/forecast"
 	"everyware/internal/ramsey"
+	"everyware/internal/scale"
 	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
@@ -45,6 +46,15 @@ type RunnerConfig struct {
 	// (default 10s). A roster update via SetSchedulers clears the marks —
 	// the rejoin path when scheduler birth/death circulates over Gossip.
 	SchedulerCooldown time.Duration
+	// Router, if set, routes reports over the scheduler ring: the report
+	// goes to the shard owning this client's key, failing over along
+	// RingFailover ring successors, and only then to the static list.
+	// Rings arrive through gossip via SetRing. A shared Router lets many
+	// runners in one process track one ring.
+	Router *scale.Router
+	// RingFailover is how many distinct shards (owner included) a ring-
+	// routed report tries before falling back (default 3).
+	RingFailover int
 	// Metrics, if set, records report outcomes, scheduler fail-overs, and
 	// health-tracker transitions. Nil discards.
 	Metrics *telemetry.Registry
@@ -69,6 +79,7 @@ type Runner struct {
 	stopped       bool
 	lastReportDur time.Duration
 	health        *wire.HealthTracker
+	router        *scale.Router
 
 	rosterMu sync.Mutex
 	roster   []string // overrides cfg.Schedulers when non-nil
@@ -91,8 +102,26 @@ func (r *Runner) SetSchedulers(addrs []string) {
 	r.health.Reset(addrs...)
 }
 
-// schedulers returns the active scheduler list.
+// SetRing installs a scheduler ring (typically decoded from the gossip
+// scale.RingKey state). A newer ring clears dead marks on its members —
+// the publication announces them viable — so routing converges on the
+// new shard layout immediately.
+func (r *Runner) SetRing(ring *scale.Ring) {
+	if r.router.SetRing(ring) {
+		r.health.Reset(ring.Nodes...)
+	}
+}
+
+// Router exposes the runner's ring router.
+func (r *Runner) Router() *scale.Router { return r.router }
+
+// schedulers returns the failover-ordered report targets: the ring route
+// for this client when a ring is installed, else the gossip roster, else
+// the configured static list.
 func (r *Runner) schedulers() []string {
+	if order := r.router.Route(r.cfg.ClientID, r.cfg.RingFailover); len(order) > 0 {
+		return order
+	}
 	r.rosterMu.Lock()
 	defer r.rosterMu.Unlock()
 	if r.roster != nil {
@@ -112,13 +141,21 @@ func NewRunner(cfg RunnerConfig, wc *wire.Client) (*Runner, error) {
 	if cfg.ReportTimeoutPolicy == nil {
 		cfg.ReportTimeoutPolicy = forecast.NewTimeoutPolicy(forecast.NewRegistry())
 	}
+	if cfg.RingFailover <= 0 {
+		cfg.RingFailover = 3
+	}
 	health := wire.NewHealthTracker(cfg.MaxSchedulerFailures, cfg.SchedulerCooldown)
 	health.Metrics = cfg.Metrics
+	router := cfg.Router
+	if router == nil {
+		router = scale.NewRouter(nil, cfg.Metrics)
+	}
 	return &Runner{
 		cfg:    cfg,
 		wc:     wc,
 		ops:    &ramsey.OpCounter{},
 		health: health,
+		router: router,
 	}, nil
 }
 
@@ -256,6 +293,11 @@ func (r *Runner) Cycle() (Directive, error) {
 		case DirStop:
 			r.stopped = true
 			return dr, nil
+		case DirShed:
+			// Admission refused the bootstrap: no work yet, try again on
+			// the next cycle (degraded success, not an error).
+			r.cfg.Metrics.Counter("sched.client.report.shed").Inc()
+			return dr, nil
 		default:
 			return Directive{}, fmt.Errorf("sched: first contact got directive %d without work", dr.Kind)
 		}
@@ -308,6 +350,11 @@ func (r *Runner) Cycle() (Directive, error) {
 		}
 	case DirStop:
 		r.stopped = true
+	case DirShed:
+		// The shard refused the report under load: nothing was recorded,
+		// but the computed progress is intact — keep working the current
+		// unit with the same budget and re-report next cycle.
+		r.cfg.Metrics.Counter("sched.client.report.shed").Inc()
 	}
 	return dr, nil
 }

@@ -9,6 +9,7 @@ import (
 	"everyware/internal/forecast"
 	"everyware/internal/logsvc"
 	"everyware/internal/ramsey"
+	"everyware/internal/scale"
 	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
@@ -54,6 +55,14 @@ type ServerConfig struct {
 	Transport wire.Transport
 	// SampleEdges is passed through to work units (bounds per-step cost).
 	SampleEdges int
+	// AdmitRate, if positive, enables admission control: the sustained
+	// report rate (reports/second) this shard accepts before shedding,
+	// priority-aware (transient applet traffic sheds first). Shed reports
+	// get a bare DirShed — a degraded success; the client re-reports
+	// later. Zero admits everything.
+	AdmitRate float64
+	// AdmitBurst is the admission token bucket depth (default AdmitRate).
+	AdmitBurst float64
 	// Now is injectable for simulation.
 	Now func() time.Time
 	// Metrics, if set, is the daemon's shared telemetry registry (a fresh
@@ -113,6 +122,7 @@ type Server struct {
 	wc        *wire.Client
 	forecasts *forecast.Registry
 	metrics   *telemetry.Registry
+	admit     *scale.Admitter
 
 	mu        sync.Mutex
 	clients   map[string]*clientRecord
@@ -154,7 +164,16 @@ func NewServer(cfg ServerConfig) *Server {
 	// The injected scheduler clock is also the metrics clock: simulated
 	// runs (internal/simgrid) report spans and uptime in virtual time.
 	s.metrics.SetNow(s.cfg.Now)
+	if cfg.AdmitRate > 0 {
+		s.admit = scale.NewAdmitter(scale.AdmitterConfig{
+			Rate:    cfg.AdmitRate,
+			Burst:   cfg.AdmitBurst,
+			Now:     s.cfg.Now,
+			Metrics: s.metrics,
+		})
+	}
 	svc.Handle(MsgReport, wire.HandlerFunc(s.handleReport))
+	svc.Handle(MsgReportBatch, wire.HandlerFunc(s.handleReportBatch))
 	svc.Handle(MsgStats, wire.HandlerFunc(s.handleStats))
 	return s
 }
@@ -221,6 +240,17 @@ func (s *Server) Handle(r Report) Directive {
 	return s.HandleCtx(wire.TraceContext{}, r)
 }
 
+// TryHandle runs admission control before the scheduling policy: a shed
+// report returns (DirShed, true) without touching any scheduler state —
+// the degraded-success path. The simulation and both wire handlers route
+// through it so admission behaves identically everywhere.
+func (s *Server) TryHandle(tc wire.TraceContext, r Report) (Directive, bool) {
+	if err := s.admit.Admit(scale.PriorityFor(r.Infra)); err != nil {
+		return Directive{Kind: DirShed}, true
+	}
+	return s.HandleCtx(tc, r), false
+}
+
 // HandleCtx is Handle under a causal trace context: the scheduling
 // decision is recorded as a child span of tc (valid for reports arriving
 // over the wire with a trace envelope, or from the simulation's own
@@ -249,6 +279,8 @@ func kindLabel(k DirectiveKind) string {
 		return "new_work"
 	case DirStop:
 		return "stop"
+	case DirShed:
+		return "shed"
 	default:
 		return "unknown"
 	}
@@ -455,8 +487,27 @@ func (s *Server) handleReport(_ string, req *wire.Packet) (*wire.Packet, error) 
 	if err != nil {
 		return nil, err
 	}
-	dr := s.HandleCtx(req.Trace, r)
+	dr, _ := s.TryHandle(req.Trace, r)
 	return &wire.Packet{Type: MsgReport, Payload: EncodeDirective(dr)}, nil
+}
+
+// handleReportBatch answers a gateway's coalesced report batch: every
+// report passes admission individually (priority-aware, so a batch of
+// mixed infrastructures sheds its applet entries first), then the normal
+// per-report policy. The reply carries one entry per report in order.
+func (s *Server) handleReportBatch(_ string, req *wire.Packet) (*wire.Packet, error) {
+	reports, err := DecodeReportBatch(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Counter("sched.batch.calls").Inc()
+	s.metrics.Counter("sched.batch.reports").Add(int64(len(reports)))
+	entries := make([]BatchEntry, 0, len(reports))
+	for _, r := range reports {
+		dr, shed := s.TryHandle(req.Trace, r)
+		entries = append(entries, BatchEntry{Shed: shed, Dir: dr})
+	}
+	return &wire.Packet{Type: MsgReportBatch, Payload: EncodeBatchReply(entries)}, nil
 }
 
 func (s *Server) handleStats(_ string, _ *wire.Packet) (*wire.Packet, error) {

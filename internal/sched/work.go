@@ -204,6 +204,11 @@ const (
 	DirNewWork
 	// DirStop: shut down (resource reclaimed or application finished).
 	DirStop
+	// DirShed: admission control refused the report. Nothing was
+	// recorded; the client keeps its current unit and budget and
+	// re-reports later — a degraded success mirroring pstate's
+	// ErrSpooled contract, never a work loss.
+	DirShed
 )
 
 // Directive is the scheduler's reply to a report.

@@ -193,6 +193,25 @@ var standardColumns = []tableColumn{
 	{"reports", func(s Snapshot) string { return count(s.Value("sched.reports")) }},
 	{"dispatch", func(s Snapshot) string { return count(s.SumPrefix("sched.dispatched.")) }},
 	{"found", func(s Snapshot) string { return count(s.Value("sched.found")) }},
+	// Web-scale health: the routing ring's shard count, the admission
+	// controller's shed rate (shed / offered), and which region of the
+	// hierarchy a gateway daemon serves.
+	{"shards", func(s Snapshot) string { return count(s.Value("scale.ring.shards")) }},
+	{"shed%", func(s Snapshot) string {
+		shed := s.Value("scale.shed.total")
+		offered := s.Value("scale.admit.ok") + shed
+		if offered == 0 {
+			return ""
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(shed)/float64(offered))
+	}},
+	{"region", func(s Snapshot) string {
+		sm, ok := s.Find("scale.region")
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("r%d", sm.Value)
+	}},
 	{"stores", func(s Snapshot) string { return count(s.SumPrefix("pstate.store.")) }},
 	{"fetches", func(s Snapshot) string { return count(s.SumPrefix("pstate.fetch.")) }},
 	// Replication health: write-behind spool depth (component side),

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Protocol constants for the packet layer. The header delineates record
@@ -112,7 +113,8 @@ func WritePacket(w io.Writer, p *Packet) error {
 		tag |= traceTagBit
 		body += traceTrailerLen
 	}
-	buf := make([]byte, HeaderSize, HeaderSize+body)
+	bp := writeBufs.Get().(*[]byte)
+	buf := (*bp)[:HeaderSize]
 	binary.BigEndian.PutUint32(buf[0:], Magic)
 	buf[4] = Version
 	binary.BigEndian.PutUint32(buf[5:], uint32(p.Type))
@@ -123,7 +125,27 @@ func WritePacket(w io.Writer, p *Packet) error {
 		buf = appendTraceTrailer(buf, p.Trace)
 	}
 	_, err := w.Write(buf)
+	// Oversized one-off bodies are not worth retaining; everything else
+	// goes back to the pool (Write must not retain buf — io.Writer's
+	// contract).
+	if cap(buf) <= maxPooledWriteBuf {
+		*bp = buf[:0]
+		writeBufs.Put(bp)
+	}
 	return err
+}
+
+// maxPooledWriteBuf caps the encode buffers retained by the pool; a rare
+// multi-megabyte state transfer should not pin its buffer forever.
+const maxPooledWriteBuf = 64 << 10
+
+// writeBufs pools WritePacket encode buffers. The request/response hot
+// path otherwise allocates one header+payload buffer per packet.
+var writeBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
 }
 
 // ReadPacket reads one packet from r, validating the header. It blocks
