@@ -66,15 +66,18 @@ crash:
 		./internal/pstate/
 	$(GO) test -race -count=1 -v -run 'TestRecoverNotStaleAfterPartition' ./internal/faults/
 
-# Self-healing suite: failure detector and reconcile-loop unit tests,
-# the deployment self-heal test, and the chaos convergence run (kill a
-# scheduler AND a roster replica mid-workload; the controller must
-# restart/promote with zero acked checkpoints lost) — all under the race
-# detector. The failover MTTR benchmark is recorded as JSON.
+# Self-healing suite: failure detector, reconcile-loop, and HA
+# (election/fencing/autoscale/rollout) unit tests, the deployment
+# self-heal and controller-failover tests, and the chaos convergence
+# runs — kill a scheduler AND a roster replica mid-workload, then kill
+# the ACTING LEADER mid-heal; a follower must finish the repair with
+# zero acked checkpoints lost — all under the race detector. The
+# member-failover and leader-failover MTTR benchmarks are recorded as
+# JSON.
 heal:
 	$(GO) test -race -count=1 ./internal/ctrl/
-	$(GO) test -race -count=1 -run 'TestDeploymentSelfHeals|TestDeploymentCloseIdempotent' ./internal/core/
-	$(GO) test -race -count=1 -v -run 'TestCtrlHeal' ./internal/faults/
+	$(GO) test -race -count=1 -run 'TestDeploymentSelfHeals|TestDeploymentControlPlaneFailover|TestDeploymentAddAndRetireScheduler|TestDeploymentCloseIdempotent' ./internal/core/
+	$(GO) test -race -count=1 -v -run 'TestCtrlHeal|TestCtrlLeaderFailoverHeal' -timeout 10m ./internal/faults/
 	$(GO) test -bench='Detector|ReconcileTick|FailoverMTTR' -benchmem -run='^$$' ./internal/ctrl/ \
 		| $(GO) run ./cmd/ew-benchjson -o BENCH_ctrl.json
 

@@ -9,7 +9,9 @@
 // Usage:
 //
 //	ew-ctrl -mode serve -listen :9701 -pstate h1:9201,h2:9201,h3:9201 -gossip h1:9001
-//	ew-ctrl -mode beat -id sched1 -role sched -addr h1:9101 -ctrl h1:9701
+//	ew-ctrl -mode serve -listen h1:9701 -id ctrl1 \
+//	        -peers h1:9701,h2:9701,h3:9701 -pstate ...   # one member of a replicated group
+//	ew-ctrl -mode beat -id sched1 -role sched -addr h1:9101 -ctrl h1:9701,h2:9701,h3:9701
 //	ew-ctrl h1:9701                  # live membership view, refreshed every 2s
 //	ew-ctrl -once h1:9701            # one snapshot and exit
 //	ew-ctrl -role pstate h1:9701     # only persistent state members
@@ -34,7 +36,8 @@ func main() {
 	listen := flag.String("listen", ":9701", "serve: controller listen address")
 	pstates := flag.String("pstate", "", "serve: comma-separated initial pstate quorum roster")
 	gossips := flag.String("gossip", "", "serve: comma-separated Gossip hosts to publish membership/roster through")
-	id := flag.String("id", "", "beat: fleet-unique member name (e.g. sched1)")
+	id := flag.String("id", "", "serve: this controller's name in the replicated group; beat: fleet-unique member name (e.g. sched1)")
+	peers := flag.String("peers", "", "serve: comma-separated addresses of EVERY controller in the replicated group, including this one; empty runs solo")
 	memberRole := flag.String("role", "", "beat: member role (gossip, sched, pstate, logsvc); watch: only show this role")
 	memberAddr := flag.String("addr", "", "beat: the member daemon's address to probe and attest")
 	ctrls := flag.String("ctrl", "", "beat: comma-separated controller addresses")
@@ -45,7 +48,7 @@ func main() {
 
 	switch *mode {
 	case "serve":
-		serve(*listen, splitAddrs(*pstates), splitAddrs(*gossips), *interval)
+		serve(*listen, *id, splitAddrs(*peers), splitAddrs(*pstates), splitAddrs(*gossips), *interval)
 	case "beat":
 		beat(*id, *memberRole, *memberAddr, splitAddrs(*ctrls), *interval)
 	case "watch":
@@ -69,10 +72,14 @@ func splitAddrs(s string) []string {
 // serve runs the controller daemon until interrupted. Standby promotion
 // needs no host cooperation; restart-in-place requires a process
 // manager next to each daemon, so the standalone controller logs deaths
-// and heals the pstate roster.
-func serve(listen string, pstates, gossips []string, interval time.Duration) {
+// and heals the pstate roster. With -peers, the controller joins the
+// replicated group: it ingests every broadcast heartbeat either way,
+// but only acts when it is the elected, epoch-fenced leader.
+func serve(listen, id string, peers, pstates, gossips []string, interval time.Duration) {
 	srv, err := ctrl.NewServer(ctrl.ServerConfig{
 		ListenAddr: listen,
+		ID:         id,
+		Peers:      peers,
 		Interval:   interval,
 		Gossips:    gossips,
 		PStates:    pstates,
@@ -90,7 +97,12 @@ func serve(listen string, pstates, gossips []string, interval time.Duration) {
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Printf("ew-ctrl: controller on %s (roster %s)\n", addr, strings.Join(pstates, " "))
+	if len(peers) > 0 {
+		fmt.Printf("ew-ctrl: controller %s on %s in group %s (roster %s)\n",
+			id, addr, strings.Join(peers, " "), strings.Join(pstates, " "))
+	} else {
+		fmt.Printf("ew-ctrl: controller on %s (roster %s)\n", addr, strings.Join(pstates, " "))
+	}
 	waitForSignal()
 }
 
@@ -156,6 +168,8 @@ func watch(args []string, role string, interval, timeout time.Duration, once boo
 			return members[i].ID < members[j].ID
 		})
 
+		fmt.Printf("ctrl %s  role %s  epoch %d  leader %s\n",
+			st.ControllerID, st.Role, st.Epoch, st.LeaderID)
 		fmt.Printf("spec v%d  live %d  dead %d  |  restarts %d  promotions %d  rollouts %d  backoffs %d\n",
 			st.SpecVersion, st.Live, st.Dead, st.Restarts, st.Promotions, st.Rollouts, st.Backoffs)
 		fmt.Printf("roster   %s\n", strings.Join(st.Roster, " "))
@@ -163,8 +177,8 @@ func watch(args []string, role string, interval, timeout time.Duration, once boo
 			fmt.Printf("standbys %s\n", strings.Join(st.Standbys, " "))
 		}
 		fmt.Println()
-		fmt.Printf("%-10s %-8s %-22s %-6s %8s %10s %6s %5s\n",
-			"MEMBER", "ROLE", "ADDR", "STATE", "PHI", "LAST BEAT", "BEATS", "CFG")
+		fmt.Printf("%-10s %-8s %-22s %-6s %8s %10s %6s %5s %-8s\n",
+			"MEMBER", "ROLE", "ADDR", "STATE", "PHI", "LAST BEAT", "BEATS", "CFG", "VER")
 		now := time.Now()
 		for _, m := range members {
 			state := "alive"
@@ -175,8 +189,8 @@ func watch(args []string, role string, interval, timeout time.Duration, once boo
 			if m.LastSeenUnixNanos > 0 {
 				age = now.Sub(time.Unix(0, m.LastSeenUnixNanos)).Truncate(time.Millisecond).String()
 			}
-			fmt.Printf("%-10s %-8s %-22s %-6s %8.2f %10s %6d %5d\n",
-				m.ID, m.Role, m.Addr, state, m.Phi, age, m.Beats, m.ConfigVer)
+			fmt.Printf("%-10s %-8s %-22s %-6s %8.2f %10s %6d %5d %-8s\n",
+				m.ID, m.Role, m.Addr, state, m.Phi, age, m.Beats, m.ConfigVer, m.Version)
 		}
 		return nil
 	}

@@ -49,6 +49,23 @@ type DeploymentConfig struct {
 	// at the same address, and a dead persistent state replica is
 	// replaced by promoting a standby into the quorum roster.
 	Controller bool
+	// Controllers is the control-plane replica count (default 1; needs
+	// Controller). With more than one, the controllers form a replicated
+	// group: all of them ingest every heartbeat (beaters broadcast), a
+	// clique election picks the acting leader, and the leader fences its
+	// reconcile actions through the pstate epoch register — kill the
+	// leader and a warm follower takes over.
+	Controllers int
+	// SchedulerMin/SchedulerMax, when Max > 0, enable forecast-driven
+	// autoscaling of the scheduler role between those bounds: the leader
+	// polls shard queue depths and admission-shed rates, forecasts the
+	// load, and grows or shrinks the scheduler fleet one daemon at a
+	// time. Requires Controller and a persistent state quorum (the fleet
+	// spec lives there).
+	SchedulerMin, SchedulerMax int
+	// SchedulerTargetLoad is the per-shard load the autoscaler sizes the
+	// scheduler fleet for (default 100).
+	SchedulerTargetLoad float64
 	// StandbyPStateDirs starts additional persistent state managers that
 	// are deliberately OUTSIDE the active quorum roster — promotion
 	// candidates the controller drafts when a roster replica dies.
@@ -69,9 +86,10 @@ type Deployment struct {
 	// outside the active roster (promotion candidates).
 	StandbyPStateAddrs []string
 	LogAddr            string
-	// CtrlAddr is the control-plane daemon's address ("" without
-	// Controller).
-	CtrlAddr string
+	// CtrlAddr is the first control-plane daemon's address ("" without
+	// Controller); CtrlAddrs lists the whole replicated group.
+	CtrlAddr  string
+	CtrlAddrs []string
 
 	cfg DeploymentConfig
 
@@ -87,8 +105,9 @@ type Deployment struct {
 	logs      *logsvc.Server
 	psDirs    map[string]string // pstate addr -> data directory
 
-	ctrlSrv *ctrl.Server
-	beaters []*ctrl.Beater
+	ctrlSrvs   []*ctrl.Server
+	beaters    map[string]*ctrl.Beater // member ID -> sidecar
+	nextSchedN int
 
 	rosterSvc   *wire.Service
 	rosterAgent *gossip.Agent
@@ -116,7 +135,15 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if cfg.HeartbeatInterval == 0 {
 		cfg.HeartbeatInterval = 200 * time.Millisecond
 	}
-	d := &Deployment{cfg: cfg, transport: cfg.Transport, psDirs: make(map[string]string)}
+	if cfg.Controllers <= 0 {
+		cfg.Controllers = 1
+	}
+	d := &Deployment{
+		cfg:       cfg,
+		transport: cfg.Transport,
+		psDirs:    make(map[string]string),
+		beaters:   make(map[string]*ctrl.Beater),
+	}
 	ok := false
 	defer func() {
 		if !ok {
@@ -170,6 +197,7 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		d.scheds = append(d.scheds, s)
 		d.SchedAddrs = append(d.SchedAddrs, addr)
 	}
+	d.nextSchedN = cfg.Schedulers
 
 	// Publish the scheduler roster through the Gossip service so clients
 	// can learn the viable schedulers dynamically (section 5.4).
@@ -250,7 +278,7 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 
 	if cfg.Controller {
-		if err := d.startController(); err != nil {
+		if err := d.startControllers(); err != nil {
 			return nil, err
 		}
 	}
@@ -258,50 +286,170 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	return d, nil
 }
 
-// startController launches the control-plane daemon plus one heartbeat
-// sidecar per service daemon.
-func (d *Deployment) startController() error {
-	cs, err := ctrl.NewServer(ctrl.ServerConfig{
-		ListenAddr: "127.0.0.1:0",
-		Transport:  d.transport,
-		Interval:   d.cfg.HeartbeatInterval,
-		Gossips:    append([]string(nil), d.GossipAddrs...),
-		PStates:    append([]string(nil), d.PStateAddrs...),
-		Restart:    d.restartMember,
-	})
-	if err != nil {
-		return fmt.Errorf("core: controller: %w", err)
+// startControllers launches the control-plane group plus one heartbeat
+// sidecar per service daemon. Every controller ingests every heartbeat
+// (the sidecars broadcast), so follower detector state is warm; the
+// group elects its acting leader over a controller clique once all the
+// members' addresses are known.
+func (d *Deployment) startControllers() error {
+	var spec *ctrl.FleetSpec
+	if d.cfg.SchedulerMax > 0 {
+		spec = &ctrl.FleetSpec{Version: 1, Services: []ctrl.ServiceSpec{{
+			Role:  ctrl.RoleSched,
+			Count: d.cfg.Schedulers,
+			Min:   d.cfg.SchedulerMin,
+			Max:   d.cfg.SchedulerMax,
+		}}}
 	}
-	addr, err := cs.Start()
-	if err != nil {
-		return fmt.Errorf("core: controller: %w", err)
+	for i := 0; i < d.cfg.Controllers; i++ {
+		cfg := ctrl.ServerConfig{
+			ListenAddr:  "127.0.0.1:0",
+			Transport:   d.transport,
+			Interval:    d.cfg.HeartbeatInterval,
+			ID:          fmt.Sprintf("ctrl%d", i+1),
+			Grouped:     d.cfg.Controllers > 1,
+			Gossips:     append([]string(nil), d.GossipAddrs...),
+			PStates:     append([]string(nil), d.PStateAddrs...),
+			Restart:     d.restartMember,
+			ApplyConfig: d.applyMemberSpec,
+			TargetLoad:  d.cfg.SchedulerTargetLoad,
+		}
+		if spec != nil {
+			cfg.Spec = spec
+			cfg.ScaleUp = d.scaleUpRole
+			cfg.ScaleDown = d.retireMember
+		}
+		cs, err := ctrl.NewServer(cfg)
+		if err != nil {
+			return fmt.Errorf("core: controller %d: %w", i+1, err)
+		}
+		addr, err := cs.Start()
+		if err != nil {
+			return fmt.Errorf("core: controller %d: %w", i+1, err)
+		}
+		d.ctrlSrvs = append(d.ctrlSrvs, cs)
+		d.CtrlAddrs = append(d.CtrlAddrs, addr)
 	}
-	d.ctrlSrv = cs
-	d.CtrlAddr = addr
-	beat := func(id, role, daemonAddr string) {
-		b := ctrl.NewBeater(ctrl.BeaterConfig{
-			Member:    ctrl.Member{ID: id, Role: role, Addr: daemonAddr},
-			Ctrls:     []string{addr},
-			Interval:  d.cfg.HeartbeatInterval,
-			Transport: d.transport,
-		})
-		b.Start()
-		d.beaters = append(d.beaters, b)
+	d.CtrlAddr = d.CtrlAddrs[0]
+	if d.cfg.Controllers > 1 {
+		// Addresses are only known after every bind: wire the election
+		// clique now. Leadership settles within a few election intervals.
+		for _, cs := range d.ctrlSrvs {
+			cs.JoinGroup(append([]string(nil), d.CtrlAddrs...))
+		}
 	}
 	for i, a := range d.GossipAddrs {
-		beat(fmt.Sprintf("g%d", i+1), ctrl.RoleGossip, a)
+		d.startBeater(fmt.Sprintf("g%d", i+1), ctrl.RoleGossip, a)
 	}
 	for i, a := range d.SchedAddrs {
-		beat(fmt.Sprintf("sched%d", i+1), ctrl.RoleSched, a)
+		d.startBeater(fmt.Sprintf("sched%d", i+1), ctrl.RoleSched, a)
 	}
 	for i, a := range d.PStateAddrs {
-		beat(fmt.Sprintf("pstate%d", i+1), ctrl.RolePState, a)
+		d.startBeater(fmt.Sprintf("pstate%d", i+1), ctrl.RolePState, a)
 	}
 	for i, a := range d.StandbyPStateAddrs {
-		beat(fmt.Sprintf("pstate%d", len(d.PStateAddrs)+i+1), ctrl.RolePState, a)
+		d.startBeater(fmt.Sprintf("pstate%d", len(d.PStateAddrs)+i+1), ctrl.RolePState, a)
 	}
-	beat("logd1", ctrl.RoleLogSvc, d.LogAddr)
+	d.startBeater("logd1", ctrl.RoleLogSvc, d.LogAddr)
 	return nil
+}
+
+// startBeater launches one member's heartbeat sidecar, broadcasting to
+// the whole controller group.
+func (d *Deployment) startBeater(id, role, daemonAddr string) {
+	b := ctrl.NewBeater(ctrl.BeaterConfig{
+		Member:    ctrl.Member{ID: id, Role: role, Addr: daemonAddr},
+		Ctrls:     append([]string(nil), d.CtrlAddrs...),
+		Interval:  d.cfg.HeartbeatInterval,
+		Transport: d.transport,
+	})
+	b.Start()
+	d.mu.Lock()
+	d.beaters[id] = b
+	d.mu.Unlock()
+}
+
+// applyMemberSpec is the controllers' rollout hook: recreate the daemon
+// in place (the local stand-in for installing a new release or config),
+// then have its sidecar attest the new versions — the heartbeat stream
+// is how the rollout loop learns the member converged.
+func (d *Deployment) applyMemberSpec(m ctrl.Member, spec ctrl.ServiceSpec) error {
+	if err := d.restartMember(m); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	b := d.beaters[m.ID]
+	d.mu.Unlock()
+	if b != nil {
+		b.SetConfigVer(spec.ConfigVer)
+		b.SetVersion(spec.Version)
+	}
+	return nil
+}
+
+// scaleUpRole is the controllers' growth hook: start one daemon of the
+// role. Only the scheduler role autoscales in the local constellation.
+func (d *Deployment) scaleUpRole(role string) error {
+	if role != ctrl.RoleSched {
+		return fmt.Errorf("core: role %q does not autoscale", role)
+	}
+	_, err := d.AddScheduler()
+	return err
+}
+
+// retireMember is the controllers' shrink hook: stop the member's
+// daemon and its sidecar and drop it from the published roster.
+func (d *Deployment) retireMember(m ctrl.Member) error {
+	if m.Role != ctrl.RoleSched {
+		return fmt.Errorf("core: role %q does not autoscale", m.Role)
+	}
+	d.mu.Lock()
+	b := d.beaters[m.ID]
+	delete(d.beaters, m.ID)
+	d.mu.Unlock()
+	if b != nil {
+		b.Close()
+	}
+	if !d.RemoveScheduler(m.Addr) {
+		return fmt.Errorf("core: no scheduler at %s to retire", m.Addr)
+	}
+	return nil
+}
+
+// AddScheduler starts one more scheduling server, republishes the
+// roster and the sharding ring, and (under a control plane) shadows the
+// new daemon with a heartbeat sidecar. Returns the new shard's address.
+func (d *Deployment) AddScheduler() (string, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return "", fmt.Errorf("core: deployment closed")
+	}
+	s := sched.NewServer(sched.ServerConfig{
+		ListenAddr:   "127.0.0.1:0",
+		N:            d.cfg.N,
+		K:            d.cfg.K,
+		Heuristics:   d.cfg.Heuristics,
+		DefaultSteps: d.cfg.StepsPerCycle,
+		LogAddr:      d.LogAddr,
+		Transport:    d.transport,
+	})
+	addr, err := s.Start()
+	if err != nil {
+		d.mu.Unlock()
+		return "", err
+	}
+	d.scheds = append(d.scheds, s)
+	d.SchedAddrs = append(d.SchedAddrs, addr)
+	d.nextSchedN++
+	id := fmt.Sprintf("sched%d", d.nextSchedN)
+	hasCtrl := len(d.CtrlAddrs) > 0
+	d.mu.Unlock()
+	d.PublishRoster()
+	if hasCtrl {
+		d.startBeater(id, ctrl.RoleSched, addr)
+	}
+	return addr, nil
 }
 
 // restartMember is the controller's restart hook: recreate the dead
@@ -459,8 +607,30 @@ func (d *Deployment) LogServer() *logsvc.Server {
 	return d.logs
 }
 
-// Controller exposes the control-plane daemon (nil without Controller).
-func (d *Deployment) Controller() *ctrl.Server { return d.ctrlSrv }
+// Controller exposes the first control-plane daemon (nil without
+// Controller).
+func (d *Deployment) Controller() *ctrl.Server {
+	if len(d.ctrlSrvs) == 0 {
+		return nil
+	}
+	return d.ctrlSrvs[0]
+}
+
+// Controllers exposes the whole control-plane group.
+func (d *Deployment) Controllers() []*ctrl.Server {
+	return append([]*ctrl.Server(nil), d.ctrlSrvs...)
+}
+
+// LeaderController returns the controller currently acting as the
+// fenced group leader (nil when none has won the election yet).
+func (d *Deployment) LeaderController() *ctrl.Server {
+	for _, cs := range d.ctrlSrvs {
+		if cs.Role() == ctrl.CtrlLeader {
+			return cs
+		}
+	}
+	return nil
+}
 
 // NewComponentConfig returns a ComponentConfig wired to this deployment.
 func (d *Deployment) NewComponentConfig(id, infra string) ComponentConfig {
@@ -539,11 +709,17 @@ func (d *Deployment) Close() {
 	d.mu.Unlock()
 	// Stop the healing machinery first so nothing is resurrected while
 	// the fleet is being dismantled; restartMember refuses once closed.
+	d.mu.Lock()
+	beaters := make([]*ctrl.Beater, 0, len(d.beaters))
 	for _, b := range d.beaters {
+		beaters = append(beaters, b)
+	}
+	d.mu.Unlock()
+	for _, b := range beaters {
 		b.Close()
 	}
-	if d.ctrlSrv != nil {
-		d.ctrlSrv.Close()
+	for _, cs := range d.ctrlSrvs {
+		cs.Close()
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

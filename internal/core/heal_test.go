@@ -70,6 +70,107 @@ func TestDeploymentSelfHeals(t *testing.T) {
 	}, "standby never promoted into the roster")
 }
 
+// A replicated control plane survives its own leader: all controllers
+// ingest the broadcast heartbeat stream, so when the acting leader dies
+// a follower with warm detector state wins the election, fences under a
+// higher epoch, and completes the heal the dead leader would have run.
+func TestDeploymentControlPlaneFailover(t *testing.T) {
+	d := startDeployment(t, DeploymentConfig{
+		Schedulers:        1,
+		PStateDir:         t.TempDir(),
+		ExtraPStateDirs:   []string{t.TempDir(), t.TempDir()},
+		Controller:        true,
+		Controllers:       3,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if len(d.CtrlAddrs) != 3 {
+		t.Fatalf("controller group: %v", d.CtrlAddrs)
+	}
+	probe := wire.NewClient(time.Second)
+	t.Cleanup(probe.Close)
+
+	// A leader emerges and fences; the whole fleet attests to it.
+	// 1 scheduler + 3 roster pstates + 1 gossip + 1 logd = 6 members.
+	var leader *ctrl.Server
+	eventually(t, 10*time.Second, func() bool {
+		leader = d.LeaderController()
+		return leader != nil && leader.Epoch() > 0
+	}, "no controller won the election")
+	eventually(t, 10*time.Second, func() bool {
+		st, err := ctrl.FetchStatus(probe, leader.Addr(), time.Second)
+		return err == nil && st.Live == 6
+	}, "fleet never fully attested to the leader")
+	epoch0 := leader.Epoch()
+
+	// Kill the leader, then a scheduler: the heal must be finished by a
+	// successor that was never asked to bootstrap.
+	leaderAddr := leader.Addr()
+	leader.Close()
+	victim := d.SchedAddrs[0]
+	d.Schedulers()[0].Close()
+
+	var successor *ctrl.Server
+	eventually(t, 20*time.Second, func() bool {
+		successor = d.LeaderController()
+		return successor != nil && successor.Addr() != leaderAddr && successor.Epoch() > epoch0
+	}, "no follower took over under a higher epoch")
+	eventually(t, 20*time.Second, func() bool {
+		st, err := ctrl.FetchStatus(probe, successor.Addr(), time.Second)
+		if err != nil || st.Restarts < 1 {
+			return false
+		}
+		_, err = probe.Call(victim, &wire.Packet{Type: wire.MsgPing}, 200*time.Millisecond)
+		return err == nil
+	}, "successor never healed the killed scheduler")
+}
+
+// AddScheduler grows the fleet under the control plane (new shard
+// published and attested); retireMember shrinks it back.
+func TestDeploymentAddAndRetireScheduler(t *testing.T) {
+	d := startDeployment(t, DeploymentConfig{
+		Schedulers:        1,
+		PStateDir:         t.TempDir(),
+		Controller:        true,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	probe := wire.NewClient(time.Second)
+	t.Cleanup(probe.Close)
+
+	addr, err := d.AddScheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SchedAddrs) != 2 || d.SchedAddrs[1] != addr {
+		t.Fatalf("roster after add: %v", d.SchedAddrs)
+	}
+	if _, err := probe.Call(addr, &wire.Packet{Type: wire.MsgPing}, time.Second); err != nil {
+		t.Fatalf("new shard not serving: %v", err)
+	}
+	// The new shard is shadowed: it shows up in the attested membership.
+	eventually(t, 10*time.Second, func() bool {
+		ms, err := ctrl.FetchMembers(probe, d.CtrlAddr, time.Second)
+		if err != nil {
+			return false
+		}
+		for _, m := range ms {
+			if m.ID == "sched2" && m.Alive {
+				return true
+			}
+		}
+		return false
+	}, "added scheduler never attested")
+
+	if err := d.retireMember(ctrl.Member{ID: "sched2", Role: ctrl.RoleSched, Addr: addr}); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SchedAddrs) != 1 {
+		t.Fatalf("roster after retire: %v", d.SchedAddrs)
+	}
+	if _, err := probe.Call(addr, &wire.Packet{Type: wire.MsgPing}, 200*time.Millisecond); err == nil {
+		t.Fatal("retired shard still serving")
+	}
+}
+
 // Close is idempotent, including after the controller has restarted
 // daemons in place (the handles Close tears down are not the ones
 // StartDeployment created).

@@ -12,8 +12,10 @@ import (
 type BeaterConfig struct {
 	// Member identifies the daemon being attested.
 	Member Member
-	// Ctrls lists controller addresses; each beat goes to the first that
-	// accepts it.
+	// Ctrls lists controller addresses; each beat is broadcast to every
+	// one of them, so follower controllers accumulate the same warm
+	// failure-detector state as the leader and a takeover needs no
+	// re-bootstrap.
 	Ctrls []string
 	// Interval is the beat period (default 1s).
 	Interval time.Duration
@@ -47,6 +49,7 @@ type Beater struct {
 	probe     bool
 	seq       atomic.Uint64
 	cfgVer    atomic.Uint64
+	version   atomic.Value // string
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	once      sync.Once
@@ -75,12 +78,17 @@ func NewBeater(cfg BeaterConfig) *Beater {
 		b.probe = *cfg.Probe
 	}
 	b.cfgVer.Store(cfg.Member.ConfigVer)
+	b.version.Store(cfg.Member.Version)
 	return b
 }
 
 // SetConfigVer updates the config version carried in subsequent beats —
 // the rollout loop's completion signal.
 func (b *Beater) SetConfigVer(v uint64) { b.cfgVer.Store(v) }
+
+// SetVersion updates the release version carried in subsequent beats —
+// the rolling-upgrade loop's completion signal.
+func (b *Beater) SetVersion(v string) { b.version.Store(v) }
 
 // Start launches the background beat loop.
 func (b *Beater) Start() {
@@ -100,9 +108,12 @@ func (b *Beater) Start() {
 	}()
 }
 
-// BeatOnce probes the member (when configured) and delivers one
-// heartbeat. Returns the first error when nothing was delivered —
-// normal while the member or every controller is down.
+// BeatOnce probes the member (when configured) and broadcasts one
+// heartbeat to every controller — leader and followers alike maintain
+// independent detector state from the same stream. Success is at least
+// one delivery; the error (the first seen) surfaces only when no
+// controller accepted the beat, which is normal while the member or the
+// whole controller group is down.
 func (b *Beater) BeatOnce() error {
 	if b.probe {
 		if _, err := b.client.Call(b.cfg.Member.Addr, &wire.Packet{Type: wire.MsgPing}, b.cfg.Timeout); err != nil {
@@ -115,15 +126,22 @@ func (b *Beater) BeatOnce() error {
 		Unix:   time.Now().UnixNano(),
 	}
 	hb.ConfigVer = b.cfgVer.Load()
+	if v, ok := b.version.Load().(string); ok {
+		hb.Version = v
+	}
 	var firstErr error
+	delivered := false
 	for _, addr := range b.cfg.Ctrls {
-		err := SendHeartbeat(b.client, addr, hb, b.cfg.Timeout)
-		if err == nil {
-			return nil
+		if err := SendHeartbeat(b.client, addr, hb, b.cfg.Timeout); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
-		if firstErr == nil {
-			firstErr = err
-		}
+		delivered = true
+	}
+	if delivered {
+		return nil
 	}
 	if firstErr != nil && b.cfg.Logf != nil {
 		b.cfg.Logf("ctrl: beat %s: %v", b.cfg.Member.ID, firstErr)

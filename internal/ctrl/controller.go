@@ -10,11 +10,13 @@ import (
 )
 
 // Tick runs one reconcile round: refresh the desired-state spec, sweep
-// the failure detector for liveness transitions, heal the pstate quorum
-// by standby promotion, restart dead daemons behind crash-loop
-// back-off, advance config rollouts one member at a time, and publish
-// membership and roster through Gossip. The background loop calls Tick
-// every Interval; tests call it directly.
+// the failure detector for liveness transitions, and — on the fenced
+// leader only — heal the pstate quorum by standby promotion, restart
+// dead daemons behind crash-loop back-off, advance rollouts one member
+// at a time, autoscale, and publish membership and roster through
+// Gossip. Followers sweep too (their detector state must stay warm for
+// takeover) and track the durable roster, but never act. The background
+// loop calls Tick every Interval; tests call it directly.
 func (s *Server) Tick() {
 	s.mu.Lock()
 	s.tickN++
@@ -26,14 +28,24 @@ func (s *Server) Tick() {
 	if s.cfg.Interval > 0 && s.cfg.Interval < 500*time.Millisecond {
 		every = uint64((500 * time.Millisecond) / s.cfg.Interval)
 	}
-	if s.rs != nil && n%every == 0 {
+	refresh := s.rs != nil && n%every == 0
+	if refresh {
 		s.refreshSpec()
+		if !s.leading() {
+			s.adoptRoster()
+		}
 	}
 	s.sweep()
-	s.promoteDeadReplicas()
-	s.restartDead()
-	s.rollout()
-	s.publish()
+	s.maybeRearm()
+	if s.leading() && s.ensureFenced() {
+		s.promoteDeadReplicas()
+		s.restartDead()
+		s.rollout()
+		if refresh {
+			s.autoscale()
+		}
+		s.publish()
+	}
 	if !s.isRegistered() && s.agent != nil {
 		s.register()
 	}
@@ -273,11 +285,27 @@ func (s *Server) restartDead() {
 	}
 }
 
-// rollout advances config versions one member per role at a time: the
-// next stale live member is handed the new config via the ApplyConfig
-// hook, and the next candidate is not touched until the previous one
-// reports the new version, is judged alive, and passes the health gate
-// (answers pings with an acceptable served-error rate).
+// staleFor reports whether member m trails the role spec — an older
+// config version, or (for rolling upgrades) a different release version.
+func staleFor(m Member, svc ServiceSpec) bool {
+	if svc.ConfigVer > 0 && m.ConfigVer < svc.ConfigVer {
+		return true
+	}
+	if svc.Version != "" && m.Version != svc.Version {
+		return true
+	}
+	return false
+}
+
+// rollout advances config and release versions one member per role at a
+// time: the next stale live member is handed the new spec via the
+// ApplyConfig hook, and the next candidate is not touched until the
+// previous one reports the new versions, is judged alive, and passes
+// the health gate (answers pings with an acceptable served-error rate).
+// Members on the old version keep serving throughout — a mixed-version
+// fleet is the rollout's normal operating state, not an error. The
+// in-flight marker is persisted, so a leader elected mid-rollout
+// resumes exactly where its predecessor stopped.
 func (s *Server) rollout() {
 	if s.cfg.ApplyConfig == nil {
 		return
@@ -289,7 +317,7 @@ func (s *Server) rollout() {
 		return
 	}
 	for _, svc := range spec.Services {
-		if svc.ConfigVer == 0 {
+		if svc.ConfigVer == 0 && svc.Version == "" {
 			continue
 		}
 		s.mu.Lock()
@@ -302,39 +330,57 @@ func (s *Server) rollout() {
 		}
 		s.mu.Unlock()
 		if inflight != "" {
-			if !have || cur.ConfigVer < svc.ConfigVer || !curAlive || !s.healthGate(cur) {
+			if !have || staleFor(cur, svc) || !curAlive || !s.healthGate(cur) {
 				continue // previous member still converging: hold the rollout
 			}
-			s.mu.Lock()
-			delete(s.rolling, svc.Role)
-			s.mu.Unlock()
+			s.setRolling(svc.Role, "")
 		}
 		next, ok := s.nextStale(svc)
 		if !ok {
 			continue
 		}
-		s.logf("rolling %s %s to config v%d", svc.Role, next.ID, svc.ConfigVer)
-		if err := s.cfg.ApplyConfig(next, svc.ConfigVer, svc.Config); err != nil {
+		s.logf("rolling %s %s to config v%d version %q", svc.Role, next.ID, svc.ConfigVer, svc.Version)
+		if err := s.cfg.ApplyConfig(next, svc); err != nil {
 			s.metrics.Counter("ctrl.rollout.errors").Inc()
 			s.logf("rollout %s: %v", next.ID, err)
 			continue
 		}
-		s.mu.Lock()
-		s.rolling[svc.Role] = next.ID
-		s.mu.Unlock()
+		s.setRolling(svc.Role, next.ID)
 		s.metrics.Counter("ctrl.rollouts").Inc()
 	}
 }
 
-// nextStale picks the lowest-ID live member of the role running an
-// older config version.
+// setRolling updates the in-flight rollout marker for a role ("" clears
+// it) and persists the marker, so the rollout position survives the
+// leader that was driving it.
+func (s *Server) setRolling(role, id string) {
+	s.mu.Lock()
+	if id == "" {
+		delete(s.rolling, role)
+	} else {
+		s.rolling[role] = id
+	}
+	cp := make(map[string]string, len(s.rolling))
+	for k, v := range s.rolling {
+		cp[k] = v
+	}
+	s.mu.Unlock()
+	if s.rs != nil {
+		if _, err := s.rs.Store(RolloutObjectName, RolloutClass, EncodeRollout(cp)); err != nil && err != pstate.ErrSpooled {
+			s.logf("rollout marker persist: %v", err)
+		}
+	}
+}
+
+// nextStale picks the lowest-ID live member of the role trailing the
+// spec's config or release version.
 func (s *Server) nextStale(svc ServiceSpec) (Member, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var best Member
 	found := false
 	for id, m := range s.members {
-		if m.Role != svc.Role || !s.alive[id] || m.ConfigVer >= svc.ConfigVer {
+		if m.Role != svc.Role || !s.alive[id] || !staleFor(m, svc) {
 			continue
 		}
 		if !found || m.ID < best.ID {

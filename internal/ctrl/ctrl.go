@@ -70,6 +70,18 @@ const (
 	RolePState    = "pstate"
 	RoleLogSvc    = "logsvc"
 	RoleComponent = "component"
+	RoleCtrl      = "ctrl"
+)
+
+// Controller roles within the replicated controller group.
+const (
+	// CtrlLeader holds the fencing epoch and runs the reconcile actions.
+	CtrlLeader = "leader"
+	// CtrlFollower ingests heartbeats (warm detector state) but never acts.
+	CtrlFollower = "follower"
+	// CtrlDeposed believed it led but failed an epoch fence check; it
+	// stands down until the controller clique elects it again.
+	CtrlDeposed = "deposed"
 )
 
 // Member identifies one heartbeating daemon.
@@ -85,6 +97,11 @@ type Member struct {
 	// ConfigVer is the configuration version the daemon is running; the
 	// rollout loop advances members whose version trails the spec.
 	ConfigVer uint64
+	// Version is the software/config release the daemon is running (e.g.
+	// "v2"); the rolling-upgrade loop advances members whose Version
+	// differs from the spec's target, one at a time, so a mixed-version
+	// fleet is a normal transient state.
+	Version string
 }
 
 // Heartbeat is one liveness attestation.
@@ -117,6 +134,7 @@ func putMember(e *wire.Encoder, m Member) {
 	e.PutString(m.Role)
 	e.PutString(m.Addr)
 	e.PutUint64(m.ConfigVer)
+	e.PutString(m.Version)
 }
 
 // getMember decodes a member.
@@ -132,7 +150,10 @@ func getMember(d *wire.Decoder) (Member, error) {
 	if m.Addr, err = d.String(); err != nil {
 		return m, err
 	}
-	m.ConfigVer, err = d.Uint64()
+	if m.ConfigVer, err = d.Uint64(); err != nil {
+		return m, err
+	}
+	m.Version, err = d.String()
 	return m, err
 }
 
@@ -248,6 +269,19 @@ type Status struct {
 	Live, Dead int64
 	// Action counters since controller start.
 	Restarts, Promotions, Rollouts, Backoffs int64
+	// ControllerID identifies the answering controller.
+	ControllerID string
+	// Role is the controller's current role in the replicated group
+	// (CtrlLeader, CtrlFollower, CtrlDeposed).
+	Role string
+	// LeaderID is the controller-clique leader this controller follows.
+	LeaderID string
+	// Epoch is the fencing epoch this controller holds (0 = none — only
+	// an acting leader holds one).
+	Epoch uint64
+	// SpecEpoch is the fencing epoch under which the adopted fleet spec
+	// was authored.
+	SpecEpoch uint64
 }
 
 // EncodeStatus lays out a controller status report.
@@ -268,6 +302,13 @@ func EncodeStatus(st Status) []byte {
 	e.PutInt64(st.Promotions)
 	e.PutInt64(st.Rollouts)
 	e.PutInt64(st.Backoffs)
+	// HA fields ride at the end so a pre-HA decoder still parses the
+	// prefix it knows about.
+	e.PutString(st.ControllerID)
+	e.PutString(st.Role)
+	e.PutString(st.LeaderID)
+	e.PutUint64(st.Epoch)
+	e.PutUint64(st.SpecEpoch)
 	return e.Bytes()
 }
 
@@ -304,6 +345,24 @@ func DecodeStatus(p []byte) (Status, error) {
 		if *v, err = d.Int64(); err != nil {
 			return st, err
 		}
+	}
+	if d.Remaining() == 0 {
+		return st, nil // pre-HA controller: no leadership fields
+	}
+	if st.ControllerID, err = d.String(); err != nil {
+		return st, err
+	}
+	if st.Role, err = d.String(); err != nil {
+		return st, err
+	}
+	if st.LeaderID, err = d.String(); err != nil {
+		return st, err
+	}
+	if st.Epoch, err = d.Uint64(); err != nil {
+		return st, err
+	}
+	if st.SpecEpoch, err = d.Uint64(); err != nil {
+		return st, err
 	}
 	return st, nil
 }

@@ -389,18 +389,18 @@ func TestRolloutOneAtATimeBehindHealthGate(t *testing.T) {
 		Spec: &FleetSpec{Version: 1, Services: []ServiceSpec{
 			{Role: "worker", Count: 3, ConfigVer: 2, Config: []byte("v2")},
 		}},
-		ApplyConfig: func(m Member, ver uint64, config []byte) error {
+		ApplyConfig: func(m Member, spec ServiceSpec) error {
 			mu.Lock()
 			defer mu.Unlock()
 			// One-at-a-time invariant: every previously applied member
 			// already reports the target version.
 			for _, id := range applied {
-				if vers[id] < ver {
+				if vers[id] < spec.ConfigVer {
 					return fmt.Errorf("rollout touched %s while %s still at v%d", m.ID, id, vers[id])
 				}
 			}
 			applied = append(applied, m.ID)
-			vers[m.ID] = ver
+			vers[m.ID] = spec.ConfigVer
 			return nil
 		},
 	})

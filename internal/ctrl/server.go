@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"everyware/internal/clique"
+	"everyware/internal/forecast"
 	"everyware/internal/gossip"
 	"everyware/internal/pstate"
 	"everyware/internal/telemetry"
@@ -40,6 +42,49 @@ type ServerConfig struct {
 	// Detector tunes the failure detector (Now is inherited if unset).
 	Detector DetectorConfig
 
+	// ID names this controller in the replicated group — the epoch
+	// register's holder string and the ControllerID in status reports.
+	// Default: the bound listen address.
+	ID string
+	// Peers lists every controller address in the replicated group
+	// (including this one). The controllers form a sub-clique over these
+	// addresses and elect the min-address leader; only the leader, fenced
+	// by the pstate epoch register, runs reconcile actions. Empty means
+	// solo mode: this controller always leads (but still fences its
+	// actions through the epoch register when a durable store exists).
+	Peers []string
+	// ElectionInterval is the controller clique's heartbeat period
+	// (default 200ms). A dead leader is succeeded within roughly four
+	// intervals — the clique token timeout.
+	ElectionInterval time.Duration
+	// Grouped, with an empty Peers list, starts the controller as a mute
+	// follower awaiting JoinGroup — for harnesses that only learn the
+	// group's addresses after every member has bound an ephemeral port.
+	Grouped bool
+
+	// Load returns the current autoscale load signal for a role (ok false
+	// = no signal this round). Nil falls back to polling live members'
+	// telemetry for scheduler queue depth plus admission-shed deltas.
+	Load func(role string) (float64, bool)
+	// ScaleUp starts one new daemon of the role; the new member enters
+	// the fleet by heartbeating. Nil disables growth actuation.
+	ScaleUp func(role string) error
+	// ScaleDown retires member m (stop its daemon and beater). Nil
+	// disables shrink actuation.
+	ScaleDown func(m Member) error
+	// TargetLoad is the per-replica load the autoscaler sizes roles for
+	// (default 100).
+	TargetLoad float64
+	// UpStreak / DownStreak are how many consecutive autoscale decisions
+	// must agree before the count moves (defaults 2 and 5 — shrinking
+	// demands sustained quiet, growing reacts faster). One count change
+	// at most per decision round, fleet-wide.
+	UpStreak, DownStreak int
+	// ScaleCooldown is the minimum gap between actuations of the same
+	// role (default 5s) — long enough for a started daemon to begin
+	// heartbeating before the live count is re-judged.
+	ScaleCooldown time.Duration
+
 	// Gossips lists Gossip hosts; the controller registers there and
 	// publishes the membership table and the pstate roster. Empty
 	// disables publication.
@@ -57,9 +102,9 @@ type ServerConfig struct {
 	// Restart is the dead-daemon hook: recreate member m in place (same
 	// ID, same address). Nil disables restarts.
 	Restart func(m Member) error
-	// ApplyConfig rolls member m onto config version ver. Nil disables
-	// rollouts.
-	ApplyConfig func(m Member, ver uint64, config []byte) error
+	// ApplyConfig rolls member m onto the role spec's config version and
+	// release version. Nil disables rollouts.
+	ApplyConfig func(m Member, spec ServiceSpec) error
 
 	// BackoffBase/BackoffMax bound the crash-loop restart back-off
 	// (defaults 1s / 30s). Each consecutive restart of the same member
@@ -74,9 +119,11 @@ type ServerConfig struct {
 }
 
 // Server is the control-plane daemon: it accumulates heartbeats into a
-// membership table, runs the failure detector over them, and executes
-// the reconcile loop (restarts, rollouts, standby promotion) against
-// the declared fleet spec.
+// membership table, runs the failure detector over them, and — when it
+// is the elected, epoch-fenced leader of the controller group — executes
+// the reconcile loop (restarts, rollouts, standby promotion, autoscale)
+// against the declared fleet spec. Followers ingest the same heartbeat
+// stream, so their detector state is warm the moment they take over.
 type Server struct {
 	cfg     ServerConfig
 	svc     *wire.Service
@@ -85,8 +132,13 @@ type Server struct {
 	det     *Detector
 	agent   *gossip.Agent
 	rs      *pstate.ReplicaSet
+	fc      *forecast.Registry
 	now     func() time.Time
 	logf    func(string, ...any)
+	id      string
+
+	clq   *clique.Member
+	clqEP *clique.Endpoint
 
 	mu          sync.Mutex
 	members     map[string]Member
@@ -102,6 +154,19 @@ type Server struct {
 	lastTable   string // stable reduction of the last published membership
 	lastRoster  string
 	tickN       uint64
+
+	// Leadership and fencing state.
+	isLeader    bool      // controller-clique verdict: we lead the group
+	leaderID    string    // current clique leader address
+	epoch       uint64    // fencing epoch held (0 = none)
+	needAcquire bool      // claim a fresh epoch before acting
+	fencedOut   bool      // deposed: fence rejected, awaiting a new view
+	deposedAt   time.Time // when the fence last rejected this leader
+
+	// Autoscaler state.
+	upN, downN map[string]int       // per-role decision streaks
+	scaleWait  map[string]time.Time // per-role actuation cooldown
+	lastShed   map[string]float64   // per-member shed counter watermark
 
 	stop      chan struct{}
 	done      chan struct{}
@@ -128,6 +193,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxErrorRate <= 0 {
 		cfg.MaxErrorRate = 0.5
 	}
+	if cfg.ElectionInterval <= 0 {
+		cfg.ElectionInterval = 200 * time.Millisecond
+	}
+	if cfg.TargetLoad <= 0 {
+		cfg.TargetLoad = 100
+	}
+	if cfg.UpStreak <= 0 {
+		cfg.UpStreak = 2
+	}
+	if cfg.DownStreak <= 0 {
+		cfg.DownStreak = 5
+	}
+	if cfg.ScaleCooldown <= 0 {
+		cfg.ScaleCooldown = 5 * time.Second
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -150,6 +230,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		client:      svc.Client(),
 		metrics:     svc.Metrics(),
 		det:         NewDetector(cfg.Detector),
+		fc:          forecast.NewRegistry(),
 		now:         cfg.Now,
 		members:     make(map[string]Member),
 		alive:       make(map[string]bool),
@@ -160,9 +241,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		restartNext: make(map[string]time.Time),
 		restartN:    make(map[string]int),
 		rolling:     make(map[string]string),
+		upN:         make(map[string]int),
+		downN:       make(map[string]int),
+		scaleWait:   make(map[string]time.Time),
+		lastShed:    make(map[string]float64),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	s.fc.Now = cfg.Now
 	s.logf = func(format string, args ...any) {
 		if cfg.Logf != nil {
 			cfg.Logf("ctrl: "+format, args...)
@@ -182,6 +268,10 @@ func (s *Server) Start() (string, error) {
 	addr, err := s.svc.Start()
 	if err != nil {
 		return "", err
+	}
+	s.id = s.cfg.ID
+	if s.id == "" {
+		s.id = addr
 	}
 	if len(s.cfg.PStates) > 0 {
 		rs, err := pstate.NewReplicaSet(s.client, pstate.ReplicaSetConfig{
@@ -209,6 +299,7 @@ func (s *Server) Start() (string, error) {
 		}
 		s.register()
 	}
+	s.startElection(addr)
 	if s.cfg.Interval > 0 {
 		go s.loop()
 	} else {
@@ -292,11 +383,26 @@ func (s *Server) Roster() []string {
 	return append([]string(nil), s.roster...)
 }
 
-// Close stops the reconcile loop and the daemon.
+// Close stops the reconcile loop, the election plane, and the daemon.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		<-s.done
+		s.mu.Lock()
+		clq, clqEP := s.clq, s.clqEP
+		// Renounce leadership: a closed controller's handle must not
+		// masquerade as the acting leader to harnesses scanning a group
+		// for who leads — the survivors elect the real successor.
+		s.isLeader = false
+		s.fencedOut = false
+		s.epoch = 0
+		s.mu.Unlock()
+		if clq != nil {
+			clq.Stop()
+		}
+		if clqEP != nil {
+			clqEP.Close()
+		}
 		s.svc.Close()
 	})
 }
@@ -348,10 +454,22 @@ func (s *Server) handleStatus(string, *wire.Packet) (*wire.Packet, error) {
 	table := s.membershipTable()
 	s.mu.Lock()
 	st := Status{
-		Roster: append([]string(nil), s.roster...),
+		Roster:       append([]string(nil), s.roster...),
+		ControllerID: s.id,
+		LeaderID:     s.leaderID,
+		Epoch:        s.epoch,
+	}
+	switch {
+	case s.fencedOut:
+		st.Role = CtrlDeposed
+	case s.isLeader:
+		st.Role = CtrlLeader
+	default:
+		st.Role = CtrlFollower
 	}
 	if s.spec != nil {
 		st.SpecVersion = s.spec.Version
+		st.SpecEpoch = s.spec.Epoch
 	}
 	inRoster := make(map[string]bool, len(s.roster))
 	for _, a := range s.roster {

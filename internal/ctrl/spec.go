@@ -2,6 +2,7 @@ package ctrl
 
 import (
 	"fmt"
+	"sort"
 
 	"everyware/internal/pstate"
 	"everyware/internal/wire"
@@ -20,6 +21,16 @@ const (
 	RosterObjectName = "everyware/fleet/roster"
 	// RosterClass is the roster object's validated class.
 	RosterClass = "ctrl/roster"
+	// EpochObjectName is the control plane's fencing register: the pstate
+	// epoch a leader must hold (and keep validating) before any reconcile
+	// action. A deposed leader's actions stop here.
+	EpochObjectName = "everyware/fleet/epoch"
+	// RolloutObjectName persists the in-flight rollout marker (role ->
+	// member mid-upgrade) so a leader elected mid-rollout resumes where
+	// its predecessor stopped instead of double-rolling a replica.
+	RolloutObjectName = "everyware/fleet/rollout"
+	// RolloutClass is the rollout marker's validated class.
+	RolloutClass = "ctrl/rollout"
 )
 
 func init() {
@@ -33,6 +44,12 @@ func init() {
 	}
 	if err := pstate.RegisterValidator(RosterClass, func(name string, data []byte) error {
 		_, err := DecodeRoster(data)
+		return err
+	}); err != nil {
+		panic(err)
+	}
+	if err := pstate.RegisterValidator(RolloutClass, func(name string, data []byte) error {
+		_, err := DecodeRollout(data)
 		return err
 	}); err != nil {
 		panic(err)
@@ -51,6 +68,13 @@ type ServiceSpec struct {
 	// Config is the opaque role configuration handed to the ApplyConfig
 	// hook during rollouts.
 	Config []byte
+	// Min and Max bound the autoscaler for this role. The autoscaler only
+	// manages roles with Max > 0; Count always stays within [Min, Max].
+	Min, Max int
+	// Version is the software/config release members should converge to
+	// ("" = unmanaged). The rollout loop upgrades one member at a time
+	// behind the health gate; members at other versions keep serving.
+	Version string
 }
 
 // FleetSpec is the declarative desired state of the whole fleet.
@@ -60,6 +84,10 @@ type FleetSpec struct {
 	Version uint64
 	// Services lists the desired state per role.
 	Services []ServiceSpec
+	// Epoch is the fencing epoch the authoring leader held when it wrote
+	// this spec — an audit trail tying every desired-state change to one
+	// uncontested leadership term.
+	Epoch uint64
 }
 
 // Service returns the spec for role (nil if undeclared).
@@ -75,7 +103,11 @@ func (s *FleetSpec) Service(role string) *ServiceSpec {
 	return nil
 }
 
-// Encode lays out the spec's wire/storage form.
+// Encode lays out the spec's wire/storage form. The HA fields (spec
+// epoch, per-role autoscale bounds and target version) ride in a
+// trailing block after the original layout, so specs persisted by a
+// pre-HA controller still decode — and a pre-HA decoder parses the
+// prefix of a new spec untouched.
 func (s *FleetSpec) Encode() []byte {
 	var e wire.Encoder
 	e.PutUint64(s.Version)
@@ -85,6 +117,12 @@ func (s *FleetSpec) Encode() []byte {
 		e.PutUint32(uint32(svc.Count))
 		e.PutUint64(svc.ConfigVer)
 		e.PutBytes(svc.Config)
+	}
+	e.PutUint64(s.Epoch)
+	for _, svc := range s.Services {
+		e.PutUint32(uint32(svc.Min))
+		e.PutUint32(uint32(svc.Max))
+		e.PutString(svc.Version)
 	}
 	return e.Bytes()
 }
@@ -123,7 +161,66 @@ func DecodeFleetSpec(p []byte) (*FleetSpec, error) {
 		}
 		s.Services = append(s.Services, svc)
 	}
+	if d.Remaining() == 0 {
+		return &s, nil // pre-HA spec: no trailing block
+	}
+	if s.Epoch, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	for i := range s.Services {
+		mn, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		mx, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		s.Services[i].Min, s.Services[i].Max = int(mn), int(mx)
+		if s.Services[i].Version, err = d.String(); err != nil {
+			return nil, err
+		}
+	}
 	return &s, nil
+}
+
+// EncodeRollout lays out the in-flight rollout marker: sorted
+// role -> member-ID pairs.
+func EncodeRollout(rolling map[string]string) []byte {
+	roles := make([]string, 0, len(rolling))
+	for r := range rolling {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	var e wire.Encoder
+	e.PutUint32(uint32(len(roles)))
+	for _, r := range roles {
+		e.PutString(r)
+		e.PutString(rolling[r])
+	}
+	return e.Bytes()
+}
+
+// DecodeRollout parses a rollout marker.
+func DecodeRollout(p []byte) (map[string]string, error) {
+	d := wire.NewDecoder(p)
+	n, err := d.Count(2)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		role, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		id, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		out[role] = id
+	}
+	return out, nil
 }
 
 // StoreSpec writes the spec through a quorum. ErrSpooled degrades to

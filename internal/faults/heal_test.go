@@ -74,3 +74,65 @@ func TestCtrlHeal(t *testing.T) {
 		res.Restarts, res.Promotions, res.Backoffs, res.MTTRRestart, res.MTTRPromote,
 		res.AckedWrites, res.FinalRoster)
 }
+
+// TestCtrlLeaderFailoverHeal is the HA control-plane acceptance run: a
+// replicated three-controller group runs the fleet, a scheduler is
+// killed to open a heal, and then the ACTING LEADER is killed before the
+// detector's dead threshold can possibly have let it finish the repair.
+// A follower — warm from the broadcast heartbeat stream — must win the
+// election, fence a strictly higher epoch, and complete the heal, all
+// while a background writer quorum-writes checkpoints that must survive
+// to the last byte: zero acked writes lost.
+func TestCtrlLeaderFailoverHeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("leader-failover scenario skipped in -short mode")
+	}
+	res, err := RunScenario(ScenarioConfig{
+		Seed: 77,
+		Faults: Config{
+			Drop:     0.02,
+			Dup:      0.01,
+			Delay:    0.02,
+			MaxDelay: 5 * time.Millisecond,
+		},
+		Gossips:    3,
+		Schedulers: 2,
+		Components: 3,
+		Cycles:     6,
+		PStates:    3,
+		Ctrls:      3,
+		WriteLoad:  true,
+		Dir:        t.TempDir(),
+		Kills: []KillSpec{
+			// The scheduler dies first; the leader dies 200ms later —
+			// well inside the detector's 2s floor, so the heal is still
+			// pending when leadership changes hands.
+			{Target: "sched1", At: 300 * time.Millisecond},
+			{Target: "ctrl-leader", At: 500 * time.Millisecond},
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no useful operations delivered across the leader failover")
+	}
+	if res.Restarts < 1 {
+		t.Errorf("controller restarts = %d, want >= 1 (sched1 was killed and the successor owns the heal)", res.Restarts)
+	}
+	if res.LeaderFailoverMTTR <= 0 || res.LeaderFailoverMTTR > 20*time.Second {
+		t.Errorf("leader failover MTTR = %v, want within (0, 20s]", res.LeaderFailoverMTTR)
+	}
+	if res.AckedWrites == 0 {
+		t.Fatal("writer never got a checkpoint acknowledged")
+	}
+	if res.LostWrites != 0 {
+		t.Errorf("lost %d acked checkpoint writes across the leader failover", res.LostWrites)
+	}
+	if !res.PStateConverged {
+		t.Error("final roster never converged to identical digests")
+	}
+	t.Logf("leader failover: mttr=%v restarts=%d mttr(restart)=%v acked=%d",
+		res.LeaderFailoverMTTR, res.Restarts, res.MTTRRestart, res.AckedWrites)
+}

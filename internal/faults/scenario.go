@@ -3,6 +3,7 @@ package faults
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +87,16 @@ type ScenarioConfig struct {
 	// recreate dead daemons in place, and standby promotion for dead
 	// roster replicas.
 	Ctrl bool
+	// Ctrls sizes the replicated controller group (default 1 when Ctrl
+	// is set; setting it above zero implies Ctrl). The controllers form
+	// a sub-clique, elect the min-address leader, and fence reconcile
+	// actions through the pstate epoch register. Beaters broadcast every
+	// heartbeat to the whole group, so followers hold warm detector
+	// state and can finish a heal the dead leader started. Controllers
+	// are labelled ctrl1..N and are themselves killable via KillSpec —
+	// including the dynamic "ctrl-leader" target, resolved when the kill
+	// fires.
+	Ctrls int
 	// StandbyPStates starts additional persistent state managers OUTSIDE
 	// the active quorum roster — the promotion candidates. They are
 	// labelled pstate<PStates+1>... and carry no peers until promoted.
@@ -100,7 +111,9 @@ type ScenarioConfig struct {
 
 // KillSpec schedules the death of one named daemon mid-scenario.
 type KillSpec struct {
-	// Target is the daemon's scenario label (sched2, pstate1, g3, ...).
+	// Target is the daemon's scenario label (sched2, pstate1, g3,
+	// ctrl1, ...) or the dynamic "ctrl-leader", which resolves to
+	// whichever controller is the acting group leader at fire time.
 	Target string
 	// At is when the kill fires, measured from chaos-on.
 	At time.Duration
@@ -163,6 +176,11 @@ type ScenarioResult struct {
 	// MTTRPromote the mean dead-to-standby-promoted time (Ctrl runs with
 	// at least one such repair; zero otherwise).
 	MTTRRestart, MTTRPromote time.Duration
+	// LeaderFailoverMTTR is the observed control-plane takeover time
+	// when a "ctrl-leader" kill fired: from closing the acting leader to
+	// a surviving controller leading under a strictly higher fencing
+	// epoch. Zero when no leader kill was scheduled (or never healed).
+	LeaderFailoverMTTR time.Duration
 	// FinalRoster is the persistent state quorum at the end of the run —
 	// differs from the initial roster when a promotion fired.
 	FinalRoster []string
@@ -186,6 +204,12 @@ func (c *ScenarioConfig) fill() {
 	}
 	if c.PStateCrash {
 		c.WriteLoad = true
+	}
+	if c.Ctrls > 0 {
+		c.Ctrl = true
+	}
+	if c.Ctrl && c.Ctrls == 0 {
+		c.Ctrls = 1
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -488,51 +512,144 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	probe.Transport = cfg.Transport
 	defer probe.Close()
 
-	// Self-healing control plane: the controller ingests beater
-	// heartbeats from every daemon, restarts the dead through the fleet
-	// registry, and promotes a standby when a roster replica dies. Beats
-	// ride a clean transport — attestation is an observer; the failure
-	// signal is the daemon itself going silent, not injected packet loss.
-	var ctrlSrv *ctrl.Server
+	// Self-healing control plane: every controller in the group ingests
+	// the broadcast beater heartbeats from every daemon; the elected,
+	// epoch-fenced leader restarts the dead through the fleet registry
+	// and promotes a standby when a roster replica dies. Beats ride a
+	// clean transport — attestation is an observer; the failure signal is
+	// the daemon itself going silent, not injected packet loss.
+	var ctrlSrvs []*ctrl.Server
+	var ctrlAddrs []string
+	var ctrlAlive []bool
+	// ctrlLeader resolves the ACTING leader — elected and holding a
+	// fencing epoch, so its reconcile actions count — among the
+	// controllers the harness has not killed. Liveness is the harness's
+	// bookkeeping, not the corpse's: a closed server's last role stays
+	// frozen at leader. The epoch requirement also skips a transient
+	// singleton "leader" that won its own partition but cannot fence.
+	ctrlLeader := func() (int, *ctrl.Server) {
+		fleetMu.Lock()
+		defer fleetMu.Unlock()
+		for i, cs := range ctrlSrvs {
+			if ctrlAlive[i] && cs.Role() == ctrl.CtrlLeader && cs.Epoch() > 0 {
+				return i, cs
+			}
+		}
+		return -1, nil
+	}
+	// sumCtrl totals a counter across every controller handle, dead or
+	// alive — a repair performed by a since-killed leader still counts.
+	sumCtrl := func(name string) int64 {
+		fleetMu.Lock()
+		srvs := append([]*ctrl.Server(nil), ctrlSrvs...)
+		fleetMu.Unlock()
+		var tot int64
+		for _, cs := range srvs {
+			tot += cs.Metrics().Snapshot(name).Value(name)
+		}
+		return tot
+	}
 	var beaters []*ctrl.Beater
 	if cfg.Ctrl {
-		cs, err := ctrl.NewServer(ctrl.ServerConfig{
-			ListenAddr:  "127.0.0.1:0",
-			Transport:   cfg.Transport,
-			Interval:    50 * time.Millisecond,
-			CallTimeout: 500 * time.Millisecond,
-			// The compute components are CPU-hungry enough (Ramsey search
-			// on every core, worse under -race) to starve beater goroutines
-			// well past the tight statistical bound; a generous floor keeps
-			// scheduling hiccups from reading as mass death.
-			Detector: ctrl.DetectorConfig{Floor: 2 * time.Second},
-			Gossips:  append([]string(nil), gossipAddrs...),
-			PStates:  append([]string(nil), rosterAddrs...),
-			Logf:     cfg.Logf,
-			Restart: func(m ctrl.Member) error {
+		nCtrl := cfg.Ctrls
+		ctrlSrvs = make([]*ctrl.Server, nCtrl)
+		ctrlAddrs = make([]string, nCtrl)
+		ctrlAlive = make([]bool, nCtrl)
+		newCtrl := func(i int, listen string, peers []string) (*ctrl.Server, error) {
+			return ctrl.NewServer(ctrl.ServerConfig{
+				ListenAddr:  listen,
+				Transport:   cfg.Transport,
+				ID:          fmt.Sprintf("ctrl%d", i+1),
+				Interval:    50 * time.Millisecond,
+				CallTimeout: 500 * time.Millisecond,
+				// The token timeout is 4x this. The compute workload starves
+				// goroutines for long stretches under -race, and a too-tight
+				// timeout makes the controller clique flap into singleton
+				// views that churn fencing epochs; 100ms keeps takeover
+				// sub-second while riding out scheduling hiccups.
+				ElectionInterval: 100 * time.Millisecond,
+				// Replicated controllers bind ephemeral ports first and
+				// learn the group via JoinGroup below; a restart passes the
+				// by-then-static peer list instead.
+				Grouped: nCtrl > 1 && peers == nil,
+				Peers:   peers,
+				// The compute components are CPU-hungry enough (Ramsey search
+				// on every core, worse under -race) to starve beater goroutines
+				// well past the tight statistical bound; a generous floor keeps
+				// scheduling hiccups from reading as mass death.
+				Detector: ctrl.DetectorConfig{Floor: 2 * time.Second},
+				Gossips:  append([]string(nil), gossipAddrs...),
+				PStates:  append([]string(nil), rosterAddrs...),
+				Logf:     cfg.Logf,
+				Restart: func(m ctrl.Member) error {
+					fleetMu.Lock()
+					dc := fleet[m.ID]
+					fleetMu.Unlock()
+					if dc == nil {
+						return fmt.Errorf("faults: no restartable daemon %q", m.ID)
+					}
+					return dc.restart()
+				},
+			})
+		}
+		for i := 0; i < nCtrl; i++ {
+			label := fmt.Sprintf("ctrl%d", i+1)
+			cs, err := newCtrl(i, "127.0.0.1:0", nil)
+			if err != nil {
+				return nil, fmt.Errorf("faults: controller: %w", err)
+			}
+			addr, err := cs.Start()
+			if err != nil {
+				return nil, fmt.Errorf("faults: controller: %w", err)
+			}
+			i := i
+			defer func() {
 				fleetMu.Lock()
-				dc := fleet[m.ID]
+				h := ctrlSrvs[i]
 				fleetMu.Unlock()
-				if dc == nil {
-					return fmt.Errorf("faults: no restartable daemon %q", m.ID)
-				}
-				return dc.restart()
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("faults: controller: %w", err)
+				h.Close()
+			}()
+			in.RegisterName(addr, label)
+			ctrlSrvs[i] = cs
+			ctrlAddrs[i] = addr
+			ctrlAlive[i] = true
+			fleet[label] = &daemonCtl{
+				kill: func() {
+					fleetMu.Lock()
+					h := ctrlSrvs[i]
+					ctrlAlive[i] = false
+					fleetMu.Unlock()
+					h.Close()
+				},
+				restart: func() error {
+					peers := append([]string(nil), ctrlAddrs...)
+					if nCtrl == 1 {
+						peers = nil // solo mode, no clique to rejoin
+					}
+					nc, err := newCtrl(i, ctrlAddrs[i], peers)
+					if err != nil {
+						return err
+					}
+					if _, err := nc.Start(); err != nil {
+						return err
+					}
+					fleetMu.Lock()
+					ctrlSrvs[i] = nc
+					ctrlAlive[i] = true
+					fleetMu.Unlock()
+					return nil
+				},
+			}
 		}
-		ctrlAddr, err := cs.Start()
-		if err != nil {
-			return nil, fmt.Errorf("faults: controller: %w", err)
+		if nCtrl > 1 {
+			for _, cs := range ctrlSrvs {
+				cs.JoinGroup(append([]string(nil), ctrlAddrs...))
+			}
 		}
-		ctrlSrv = cs
-		defer cs.Close()
-		in.RegisterName(ctrlAddr, "ctrl")
 		beat := func(id, role, addr string) {
 			b := ctrl.NewBeater(ctrl.BeaterConfig{
 				Member:    ctrl.Member{ID: id, Role: role, Addr: addr},
-				Ctrls:     []string{ctrlAddr},
+				Ctrls:     append([]string(nil), ctrlAddrs...),
 				Interval:  40 * time.Millisecond,
 				Transport: cfg.Transport,
 			})
@@ -553,19 +670,24 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 				b.Close()
 			}
 		}()
-		// Hold the run until every member has attested at least once: the
-		// controller cannot heal a daemon it never met, and the workload's
-		// CPU appetite throttles beaters hard enough that an early kill
-		// could otherwise outrun a member's first heartbeat.
+		// Hold the run until the group has a leader and every member has
+		// attested to it at least once: the controller cannot heal a
+		// daemon it never met, and the workload's CPU appetite throttles
+		// beaters hard enough that an early kill could otherwise outrun a
+		// member's first heartbeat.
 		fleetSize := int64(nPS + cfg.Schedulers + cfg.Gossips)
 		attested := waitFor(15*time.Second, func() bool {
-			st, err := ctrl.FetchStatus(probe, ctrlAddr, time.Second)
+			_, cs := ctrlLeader()
+			if cs == nil {
+				return false
+			}
+			st, err := ctrl.FetchStatus(probe, cs.Addr(), time.Second)
 			return err == nil && st.Live >= fleetSize
 		})
 		if !attested {
 			return nil, fmt.Errorf("faults: fleet never fully attested to the controller")
 		}
-		cfg.Logf("fleet attested: %d members live", fleetSize)
+		cfg.Logf("fleet attested: %d members live across %d controllers", fleetSize, nCtrl)
 	}
 
 	// Compute components.
@@ -611,9 +733,58 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 
 	// Scheduled kills: each fires At after chaos-on. A positive Restart
 	// has the harness resurrect the daemon itself; zero leaves the corpse
-	// for the control plane (or permanently dead in a no-Ctrl run).
+	// for the control plane (or permanently dead in a no-Ctrl run). The
+	// "ctrl-leader" target is dynamic — resolved when the kill fires, it
+	// takes down whichever controller is leading right then and times the
+	// group's recovery to a successor under a strictly higher epoch.
 	var killWG sync.WaitGroup
+	var failoverNanos atomic.Int64
 	for _, k := range cfg.Kills {
+		if k.Target == "ctrl-leader" {
+			if !cfg.Ctrl {
+				return nil, fmt.Errorf("faults: kill target %q requires the control plane", k.Target)
+			}
+			k := k
+			killWG.Add(1)
+			go func() {
+				defer killWG.Done()
+				time.Sleep(k.At)
+				var idx int
+				var victim *ctrl.Server
+				if !waitFor(10*time.Second, func() bool {
+					idx, victim = ctrlLeader()
+					return victim != nil
+				}) {
+					cfg.Logf("ctrl-leader kill: no acting leader to kill")
+					return
+				}
+				epoch0 := victim.Epoch()
+				start := time.Now()
+				fleetMu.Lock()
+				ctrlAlive[idx] = false
+				fleetMu.Unlock()
+				victim.Close()
+				cfg.Logf("killed ctrl-leader (ctrl%d, epoch %d)", idx+1, epoch0)
+				if waitFor(20*time.Second, func() bool {
+					j, nl := ctrlLeader()
+					return nl != nil && j != idx && nl.Epoch() > epoch0
+				}) {
+					failoverNanos.Store(int64(time.Since(start)))
+					cfg.Logf("leader failover: successor fenced in %v", time.Since(start))
+				} else {
+					cfg.Logf("leader failover: no successor fenced a higher epoch")
+				}
+				if k.Restart > 0 {
+					time.Sleep(k.Restart)
+					if err := fleet[fmt.Sprintf("ctrl%d", idx+1)].restart(); err != nil {
+						cfg.Logf("restart ctrl%d: %v", idx+1, err)
+					} else {
+						cfg.Logf("restarted ctrl%d", idx+1)
+					}
+				}
+			}()
+			continue
+		}
 		dc := fleet[k.Target]
 		if dc == nil {
 			return nil, fmt.Errorf("faults: kill target %q is not a registered daemon", k.Target)
@@ -667,9 +838,13 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 				default:
 				}
 				// Follow the control plane's roster: after a promotion the
-				// quorum writes land on the promoted standby, not the corpse.
-				if ctrlSrv != nil && seq%16 == 0 {
-					rs.SetAddrs(ctrlSrv.Roster())
+				// quorum writes land on the promoted standby, not the
+				// corpse. Only the acting leader's roster is authoritative
+				// — followers adopt the durable roster when they take over.
+				if cfg.Ctrl && seq%16 == 0 {
+					if _, cs := ctrlLeader(); cs != nil {
+						rs.SetAddrs(cs.Roster())
+					}
 				}
 				name := fmt.Sprintf("chaos/ckpt/%d", seq%8)
 				payload := []byte(fmt.Sprintf("seq=%d", seq))
@@ -808,15 +983,21 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// still pounding, chaos still armed) until the controller reports no
 	// dead members — restarts finished, promotions absorbed, quorum
 	// writes landing on the final roster.
-	if ctrlSrv != nil && len(cfg.Kills) > 0 {
+	if cfg.Ctrl && len(cfg.Kills) > 0 {
 		// A kill the harness does not undo must be healed by the
 		// controller: a roster replica by standby promotion (when a
 		// standby exists), everything else by restart-in-place. Requiring
 		// the action counters — not just Dead == 0 — keeps the wait
 		// honest when the detector has not yet noticed a fresh corpse.
+		// A dead controller is healed by election, not by the reconcile
+		// loop, so ctrl kills count toward neither; the failover
+		// measurement above covers them. The wait polls whoever leads
+		// NOW — after a leader kill that is the successor — and sums the
+		// action counters across all controller handles, because the
+		// repairs may be split between a dead leader and its heir.
 		var wantRestarts, wantPromotes int64
 		for _, k := range cfg.Kills {
-			if k.Restart > 0 {
+			if k.Restart > 0 || strings.HasPrefix(k.Target, "ctrl") {
 				continue
 			}
 			var idx int
@@ -827,9 +1008,14 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			}
 		}
 		healed := waitFor(20*time.Second, func() bool {
-			st, err := ctrl.FetchStatus(probe, ctrlSrv.Addr(), time.Second)
+			_, cs := ctrlLeader()
+			if cs == nil {
+				return false
+			}
+			st, err := ctrl.FetchStatus(probe, cs.Addr(), time.Second)
 			return err == nil && st.Dead == 0 &&
-				st.Restarts >= wantRestarts && st.Promotions >= wantPromotes
+				sumCtrl("ctrl.restarts") >= wantRestarts &&
+				sumCtrl("ctrl.promotions") >= wantPromotes
 		})
 		cfg.Logf("heal wait: healed=%v", healed)
 		// Let the roster-following writer land a few post-heal acks.
@@ -878,8 +1064,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		// Forced sync rounds ride the wire protocol so promoted standbys
 		// (whose local handles the harness never swapped) participate too.
 		finalAddrs := append([]string(nil), rosterAddrs...)
-		if ctrlSrv != nil {
-			finalAddrs = ctrlSrv.Roster()
+		if cfg.Ctrl {
+			if _, cs := ctrlLeader(); cs != nil {
+				finalAddrs = cs.Roster()
+			}
 		}
 		res.FinalRoster = append([]string(nil), finalAddrs...)
 		res.PStateConverged = waitFor(15*time.Second, func() bool {
@@ -937,21 +1125,43 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	for i, comp := range comps {
 		collect(fmt.Sprintf("c%d", i+1), comp.Addr())
 	}
-	if ctrlSrv != nil {
-		collect("ctrl", ctrlSrv.Addr())
-		if st, err := ctrl.FetchStatus(probe, ctrlSrv.Addr(), time.Second); err == nil {
-			res.Restarts, res.Promotions, res.Backoffs = st.Restarts, st.Promotions, st.Backoffs
-		}
-		mean := func(name string) time.Duration {
-			if sm, ok := ctrlSrv.Metrics().Snapshot(name).Find(name); ok {
-				return sm.Hist.Mean()
+	if cfg.Ctrl {
+		for i, addr := range ctrlAddrs {
+			fleetMu.Lock()
+			alive := ctrlAlive[i]
+			fleetMu.Unlock()
+			if alive {
+				collect(fmt.Sprintf("ctrl%d", i+1), addr)
 			}
-			return 0
 		}
-		res.MTTRRestart = mean("ctrl.mttr")
-		res.MTTRPromote = mean("ctrl.mttr.promote")
+		// Action counters sum across the whole group (a since-killed
+		// leader's repairs still happened); the MTTR histograms live on
+		// whichever controller performed the repair, so take the largest
+		// per-controller mean rather than averaging in idle followers.
+		res.Restarts = sumCtrl("ctrl.restarts")
+		res.Promotions = sumCtrl("ctrl.promotions")
+		res.Backoffs = sumCtrl("ctrl.backoffs")
+		res.LeaderFailoverMTTR = time.Duration(failoverNanos.Load())
+		meanAcross := func(name string) time.Duration {
+			fleetMu.Lock()
+			srvs := append([]*ctrl.Server(nil), ctrlSrvs...)
+			fleetMu.Unlock()
+			var best time.Duration
+			for _, cs := range srvs {
+				if sm, ok := cs.Metrics().Snapshot(name).Find(name); ok {
+					if m := sm.Hist.Mean(); m > best {
+						best = m
+					}
+				}
+			}
+			return best
+		}
+		res.MTTRRestart = meanAcross("ctrl.mttr")
+		res.MTTRPromote = meanAcross("ctrl.mttr.promote")
 		if res.FinalRoster == nil {
-			res.FinalRoster = ctrlSrv.Roster()
+			if _, cs := ctrlLeader(); cs != nil {
+				res.FinalRoster = cs.Roster()
+			}
 		}
 	}
 	res.Retries = telemetry.SumCounter(res.Snapshots, "wire.client.retries")

@@ -220,6 +220,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	svc.Handle(MsgPull, wire.HandlerFunc(s.handlePull))
 	svc.Handle(MsgSyncNow, wire.HandlerFunc(s.handleSyncNow))
 	svc.Handle(MsgSetPeers, wire.HandlerFunc(s.handleSetPeers))
+	svc.Handle(MsgEpochAdvance, wire.HandlerFunc(s.handleEpochAdvance))
+	svc.Handle(MsgEpochGet, wire.HandlerFunc(s.handleEpochGet))
 	return s, nil
 }
 

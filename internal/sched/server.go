@@ -267,6 +267,13 @@ func (s *Server) HandleCtx(tc wire.TraceContext, r Report) Directive {
 	if d.Kind == DirNewWork {
 		s.metrics.Counter("sched.dispatched." + infraLabel(r.Infra)).Inc()
 	}
+	// Publish the shard's backlog — active clients plus stashed migrated
+	// work — as a gauge. This is the control plane's autoscale load
+	// signal: it rises when one shard carries more of the pool than its
+	// peers, and the controller sizes the scheduler role from it.
+	s.mu.Lock()
+	s.metrics.Gauge("sched.queue.depth").Set(int64(len(s.clients) + len(s.migrated)))
+	s.mu.Unlock()
 	return d
 }
 

@@ -232,6 +232,26 @@ var standardColumns = []tableColumn{
 		}
 		return fmt.Sprintf("%d/%d", live, live+dead)
 	}},
+	// Replicated control plane: which role this controller holds in the
+	// leader election, and the fencing epoch it acts under (held only by
+	// the acting leader; followers and deposed leaders show none).
+	{"role", func(s Snapshot) string {
+		sm, ok := s.Find("ctrl.leader")
+		if !ok {
+			return ""
+		}
+		if sm.Value == 1 {
+			return "leader"
+		}
+		return "follower"
+	}},
+	{"epoch", func(s Snapshot) string {
+		sm, ok := s.Find("ctrl.epoch")
+		if !ok || sm.Value == 0 {
+			return ""
+		}
+		return count(sm.Value)
+	}},
 	{"restarts", func(s Snapshot) string { return count(s.Value("ctrl.restarts")) }},
 	{"promote", func(s Snapshot) string { return count(s.Value("ctrl.promotions")) }},
 	{"rollout", func(s Snapshot) string { return count(s.Value("ctrl.rollouts")) }},
