@@ -27,11 +27,15 @@ bench:
 	$(GO) test -bench='Quorum|DigestSync' -benchmem -run='^$$' ./internal/pstate/ \
 		| $(GO) run ./cmd/ew-benchjson -o BENCH_pstate.json
 
-# Transport comparison: the same lingua franca round trip and
-# concurrent-caller demux throughput over TCP loopback vs the in-memory
-# transport, recorded as JSON for commit-over-commit comparison.
+# Transport comparison: the same lingua franca round trip,
+# concurrent-caller demux throughput, and pipelined-window cost over TCP
+# loopback vs the in-memory transport, recorded as JSON for
+# commit-over-commit comparison. The allocation gate runs first: a
+# pooling regression on the zero-alloc hot path fails the target before
+# any numbers are recorded.
 bench-wire:
-	$(GO) test -bench='RoundTrip|ConcurrentCalls' -benchmem -run='^$$' ./internal/wire/ \
+	$(GO) test -run 'TestMemRoundTripAllocGate' -count=1 ./internal/wire/
+	$(GO) test -bench='RoundTrip|ConcurrentCalls|Pipelined' -benchmem -run='^$$' ./internal/wire/ \
 		| $(GO) run ./cmd/ew-benchjson -o BENCH_wire.json
 
 # Causal tracing suite: the trace plane (span records, wire envelope

@@ -35,7 +35,7 @@ func main() {
 	const msgEcho wire.MsgType = 100
 	svc.Handle(msgEcho, wire.HandlerFunc(func(_ string, req *wire.Packet) (*wire.Packet, error) {
 		time.Sleep(time.Duration(delayMs.Load()) * time.Millisecond)
-		return &wire.Packet{Type: msgEcho}, nil
+		return wire.Reply(msgEcho, nil), nil
 	}))
 	addr, err := svc.Start()
 	if err != nil {
@@ -50,7 +50,10 @@ func main() {
 
 	call := func(timeout time.Duration) (time.Duration, bool) {
 		start := time.Now()
-		_, err := client.Call(addr, &wire.Packet{Type: msgEcho}, timeout)
+		resp, err := client.Call(addr, wire.NewRequest(msgEcho, nil), timeout)
+		if err == nil {
+			resp.Release()
+		}
 		return time.Since(start), err == nil
 	}
 

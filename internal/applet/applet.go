@@ -43,9 +43,10 @@ type Parcel struct {
 	State []byte
 }
 
-// EncodeParcel serializes a parcel.
-func EncodeParcel(p Parcel) []byte {
-	var e wire.Encoder
+// EncodeWire implements wire.Message: the parcel encodes in place into a
+// pooled reply buffer, reserving its full size once.
+func (p Parcel) EncodeWire(e *wire.Encoder) {
+	e.Grow(8 + 4 + 4 + 4 + len(p.Heur) + 8 + 8 + 4 + len(p.State))
 	e.PutUint64(p.ID)
 	e.PutUint32(uint32(p.N))
 	e.PutUint32(uint32(p.K))
@@ -53,6 +54,12 @@ func EncodeParcel(p Parcel) []byte {
 	e.PutInt64(p.Seed)
 	e.PutInt64(p.Steps)
 	e.PutBytes(p.State)
+}
+
+// EncodeParcel serializes a parcel.
+func EncodeParcel(p Parcel) []byte {
+	var e wire.Encoder
+	p.EncodeWire(&e)
 	return e.Bytes()
 }
 
@@ -83,12 +90,13 @@ func DecodeParcel(b []byte) (Parcel, error) {
 	if p.Steps, err = d.Int64(); err != nil {
 		return p, err
 	}
+	// Bytes copies out of the packet buffer already; keep nil for empty.
 	st, err := d.Bytes()
 	if err != nil {
 		return p, err
 	}
 	if len(st) > 0 {
-		p.State = append([]byte(nil), st...)
+		p.State = st
 	}
 	return p, nil
 }
@@ -104,9 +112,10 @@ type ParcelResult struct {
 	State      []byte
 }
 
-// EncodeParcelResult serializes a result.
-func EncodeParcelResult(r ParcelResult) []byte {
-	var e wire.Encoder
+// EncodeWire implements wire.Message: the result encodes in place into a
+// pooled request buffer, reserving its full size once.
+func (r ParcelResult) EncodeWire(e *wire.Encoder) {
+	e.Grow(4 + len(r.AppletID) + 8 + 8 + 8 + 4 + 1 + 4 + len(r.State))
 	e.PutString(r.AppletID)
 	e.PutUint64(r.ParcelID)
 	e.PutInt64(r.Ops)
@@ -114,6 +123,12 @@ func EncodeParcelResult(r ParcelResult) []byte {
 	e.PutUint32(uint32(r.Conflicts))
 	e.PutBool(r.Found)
 	e.PutBytes(r.State)
+}
+
+// EncodeParcelResult serializes a result.
+func EncodeParcelResult(r ParcelResult) []byte {
+	var e wire.Encoder
+	r.EncodeWire(&e)
 	return e.Bytes()
 }
 
@@ -142,12 +157,13 @@ func DecodeParcelResult(b []byte) (ParcelResult, error) {
 	if r.Found, err = d.Bool(); err != nil {
 		return r, err
 	}
+	// Bytes copies out of the packet buffer already; keep nil for empty.
 	st, err := d.Bytes()
 	if err != nil {
 		return r, err
 	}
 	if len(st) > 0 {
-		r.State = append([]byte(nil), st...)
+		r.State = st
 	}
 	return r, nil
 }
@@ -280,9 +296,7 @@ func (g *Gateway) Close() {
 	}
 	g.wg.Wait()
 	if g.coal != nil {
-		for _, b := range g.coal.Flush() {
-			g.deliverBatch(b)
-		}
+		g.deliverBatches(g.coal.Flush())
 	}
 	g.svc.Close()
 }
@@ -325,15 +339,19 @@ func (g *Gateway) targets(clientID string) []string {
 // reportToScheduler forwards a report and returns the directive, failing
 // over along the ring successors (or the static list).
 func (g *Gateway) reportToScheduler(r sched.Report) (sched.Directive, error) {
-	payload := sched.EncodeReport(r)
 	var lastErr error
 	for _, addr := range g.targets(r.ClientID) {
-		resp, err := g.wc.Call(addr, &wire.Packet{Type: sched.MsgReport, Payload: payload}, g.cfg.CallTimeout)
+		// Call takes ownership of the request, so each fail-over attempt
+		// encodes afresh into a pooled buffer.
+		resp, err := g.wc.Call(addr, wire.NewRequest(sched.MsgReport, r), g.cfg.CallTimeout)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		return sched.DecodeDirective(resp.Payload)
+		var dr sched.Directive
+		derr := resp.Decode(&dr)
+		resp.Release()
+		return dr, derr
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("no scheduler configured")
@@ -379,25 +397,77 @@ func (g *Gateway) deliverBatch(b *scale.Batch[sched.Report]) {
 	if len(b.Items) == 0 {
 		return
 	}
-	targets := append([]string{b.Dest}, g.targets(b.Items[0].ClientID)[1:]...)
+	g.deliverTo(b, append([]string{b.Dest}, g.targets(b.Items[0].ClientID)[1:]...))
+}
+
+// deliverBatches ships one flush's batches concurrently: every shard's
+// call is issued first (pipelined on the shared connections), then the
+// replies are collected in order. A failed first-choice call falls back
+// to the synchronous ring-successor ladder for that batch alone.
+func (g *Gateway) deliverBatches(batches []*scale.Batch[sched.Report]) {
+	if len(batches) == 1 {
+		g.deliverBatch(batches[0])
+		return
+	}
+	calls := make([]*wire.PendingCall, len(batches))
+	for i, b := range batches {
+		if len(b.Items) == 0 {
+			continue
+		}
+		calls[i] = g.wc.Go(b.Dest, wire.NewRequest(sched.MsgReportBatch, sched.ReportBatch(b.Items)), g.cfg.CallTimeout)
+	}
+	for i, b := range batches {
+		if calls[i] == nil {
+			continue
+		}
+		resp, err := calls[i].Wait()
+		if err != nil {
+			// First-choice shard failed: try its ring successors.
+			g.deliverTo(b, g.targets(b.Items[0].ClientID)[1:])
+			continue
+		}
+		var entries sched.BatchReply
+		derr := resp.Decode(&entries)
+		resp.Release()
+		if derr != nil {
+			g.requeueBatch(b)
+			continue
+		}
+		g.processEntries(b.Dest, b, entries)
+	}
+}
+
+// deliverTo walks the fail-over ladder for one batch, requeueing it when
+// no shard answers.
+func (g *Gateway) deliverTo(b *scale.Batch[sched.Report], targets []string) {
 	for _, addr := range targets {
 		entries, err := sched.SendReportBatch(g.wc, addr, b.Items, g.cfg.CallTimeout)
 		if err != nil {
 			continue
 		}
-		g.metrics.Counter("applet.gw.batch.delivered").Add(int64(len(entries)))
-		for i, en := range entries {
-			if en.Shed && i < len(b.Items) {
-				g.mu.Lock()
-				g.shed++
-				g.mu.Unlock()
-				g.metrics.Counter("applet.gw.batch.shed").Inc()
-				g.coal.Requeue(addr, b.Items[i].ClientID, b.Items[i])
-			}
-		}
+		g.processEntries(addr, b, entries)
 		return
 	}
-	// No shard reachable: requeue everything for the next flush.
+	g.requeueBatch(b)
+}
+
+// processEntries applies one delivered batch's per-report answers:
+// shed reports re-enter the buffer for a later flush.
+func (g *Gateway) processEntries(addr string, b *scale.Batch[sched.Report], entries []sched.BatchEntry) {
+	g.metrics.Counter("applet.gw.batch.delivered").Add(int64(len(entries)))
+	for i, en := range entries {
+		if en.Shed && i < len(b.Items) {
+			g.mu.Lock()
+			g.shed++
+			g.mu.Unlock()
+			g.metrics.Counter("applet.gw.batch.shed").Inc()
+			g.coal.Requeue(addr, b.Items[i].ClientID, b.Items[i])
+		}
+	}
+}
+
+// requeueBatch re-enters a whole undeliverable batch for the next flush.
+func (g *Gateway) requeueBatch(b *scale.Batch[sched.Report]) {
 	g.metrics.Counter("applet.gw.batch.requeued").Add(int64(len(b.Items)))
 	for _, r := range b.Items {
 		g.coal.Requeue(b.Dest, r.ClientID, r)
@@ -433,7 +503,7 @@ func (g *Gateway) handleFetch(_ string, req *wire.Packet) (*wire.Packet, error) 
 		Steps: dr.Work.Steps,
 		State: dr.Work.State,
 	}
-	return &wire.Packet{Type: MsgFetchParcel, Payload: EncodeParcel(p)}, nil
+	return wire.Reply(MsgFetchParcel, p), nil
 }
 
 func (g *Gateway) handleReturn(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -468,21 +538,21 @@ func (g *Gateway) handleReturn(_ string, req *wire.Packet) (*wire.Packet, error)
 		// Aggregated path: buffer for the shard batch and acknowledge the
 		// applet now (deferred delivery).
 		g.enqueueReturn(rep)
-		return &wire.Packet{Type: MsgReturnParcel}, nil
+		return wire.Reply(MsgReturnParcel, nil), nil
 	}
 	if _, err = g.reportToScheduler(rep); err != nil {
 		return nil, err
 	}
-	return &wire.Packet{Type: MsgReturnParcel}, nil
+	return wire.Reply(MsgReturnParcel, nil), nil
 }
 
 func (g *Gateway) handleStats(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	parcels, returns, founds := g.Stats()
-	var e wire.Encoder
-	e.PutInt64(parcels)
-	e.PutInt64(returns)
-	e.PutInt64(founds)
-	return &wire.Packet{Type: MsgGatewayStats, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgGatewayStats, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutInt64(parcels)
+		e.PutInt64(returns)
+		e.PutInt64(founds)
+	})), nil
 }
 
 // Applet is one browser session: it fetches parcels from a gateway,
@@ -514,13 +584,15 @@ func (a *Applet) Ops() int64 { return a.ops.Total() }
 // number of counter-examples found.
 func (a *Applet) RunParcels(n int) (found int, err error) {
 	for i := 0; i < n; i++ {
-		var e wire.Encoder
-		e.PutString(a.ID)
-		resp, err := a.wc.Call(a.Gateway, &wire.Packet{Type: MsgFetchParcel, Payload: e.Bytes()}, a.Timeout)
+		req := wire.NewRequest(MsgFetchParcel, wire.MessageFunc(func(e *wire.Encoder) {
+			e.PutString(a.ID)
+		}))
+		resp, err := a.wc.Call(a.Gateway, req, a.Timeout)
 		if err != nil {
 			return found, err
 		}
 		p, err := DecodeParcel(resp.Payload)
+		resp.Release()
 		if err != nil {
 			return found, err
 		}
@@ -555,8 +627,7 @@ func (a *Applet) RunParcels(n int) (found int, err error) {
 			Found:      ok,
 			State:      state,
 		}
-		if _, err := a.wc.Call(a.Gateway,
-			&wire.Packet{Type: MsgReturnParcel, Payload: EncodeParcelResult(res)}, a.Timeout); err != nil {
+		if err := a.wc.CallMsg(a.Gateway, MsgReturnParcel, res, nil, a.Timeout); err != nil {
 			return found, err
 		}
 	}

@@ -63,23 +63,30 @@ func decodeView(d *wire.Decoder) (View, error) {
 	return v, err
 }
 
-// EncodeMessage serializes a clique Message into lingua franca payload
-// bytes.
-func EncodeMessage(m *Message) []byte {
-	var e wire.Encoder
+// EncodeWire implements wire.Message, so a protocol message encodes in
+// place into a pooled request buffer. Trace rides the wire layer's
+// envelope, never the payload.
+func (m *Message) EncodeWire(e *wire.Encoder) {
 	e.PutUint8(uint8(m.Kind))
 	e.PutString(m.From)
-	encodeView(&e, m.View)
+	encodeView(e, m.View)
 	if m.Token != nil {
 		e.PutBool(true)
 		e.PutString(m.Token.Origin)
 		e.PutUint64(m.Token.Seq)
-		encodeStrings(&e, m.Token.Members)
-		encodeStrings(&e, m.Token.Visited)
-		encodeStrings(&e, m.Token.Failed)
+		encodeStrings(e, m.Token.Members)
+		encodeStrings(e, m.Token.Visited)
+		encodeStrings(e, m.Token.Failed)
 	} else {
 		e.PutBool(false)
 	}
+}
+
+// EncodeMessage serializes a clique Message into lingua franca payload
+// bytes.
+func EncodeMessage(m *Message) []byte {
+	var e wire.Encoder
+	m.EncodeWire(&e)
 	return e.Bytes()
 }
 
@@ -183,7 +190,7 @@ func NewEndpoint(srv *wire.Server, selfAddr string, client *wire.Client, sendTim
 		case t.inbox <- m:
 		default: // backlogged: shed load, the protocol recovers
 		}
-		return &wire.Packet{Type: MsgClique}, nil // bare ack
+		return wire.Reply(MsgClique, nil), nil // bare ack
 	}))
 	t.wg.Add(1)
 	go t.deliver()
@@ -219,8 +226,7 @@ func (t *Endpoint) Send(to string, msg *Message) error {
 	filter := t.filter
 	t.hmu.RUnlock()
 	send := func() error {
-		req := &wire.Packet{Type: MsgClique, Payload: EncodeMessage(msg), Trace: msg.Trace}
-		if _, err := t.client.Call(to, req, t.timeout); err != nil {
+		if err := t.client.CallMsgTraced(to, MsgClique, msg.Trace, msg, nil, t.timeout); err != nil {
 			return fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
 		}
 		return nil

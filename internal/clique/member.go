@@ -413,19 +413,19 @@ func (m *Member) onToken(msg *Message) {
 		}
 		return
 	}
-	// A token for a configuration newer than our view whose origin we do
-	// not even have as a member means we missed the view-update broadcast
-	// (it was dropped or its send failed). Relaying alone would leave us
-	// stranded forever: the origin's view contains us, so its merge
-	// probes skip us, and with an empty home list we probe nobody. Nudge
-	// the origin with our view so it re-announces the configuration.
-	stranded := t.Seq > m.view.Seq && !m.view.Contains(t.Origin) && t.Origin != self
-	mine := m.view.Clone()
+	// A token for a configuration newer than our view means we missed the
+	// view-update broadcast (it was dropped or its send failed). The token
+	// itself announces the configuration it circulates for — the origin
+	// committed {Seq, Origin, Members} before originating it — so adopt it
+	// directly. Relaying alone would leave us stranded forever: the
+	// origin's view contains us, so its merge probes skip us, tokens keep
+	// refreshing lastHeard so we never declare a partition, and the
+	// one-shot broadcast is never repeated.
+	if t.Seq > m.view.Seq && t.Origin != self {
+		m.commitLocked(View{Seq: t.Seq, Leader: t.Origin, Members: t.Members})
+	}
 	m.lastHeard = time.Now()
 	m.mu.Unlock()
-	if stranded {
-		_ = m.tr.Send(t.Origin, &Message{Kind: KindProbeAck, From: self, View: mine})
-	}
 	if t.Origin == self {
 		m.commitToken(t)
 		return

@@ -116,9 +116,11 @@ func (b *Beater) Start() {
 // whole controller group is down.
 func (b *Beater) BeatOnce() error {
 	if b.probe {
-		if _, err := b.client.Call(b.cfg.Member.Addr, &wire.Packet{Type: wire.MsgPing}, b.cfg.Timeout); err != nil {
+		resp, err := b.client.Call(b.cfg.Member.Addr, wire.NewRequest(wire.MsgPing, nil), b.cfg.Timeout)
+		if err != nil {
 			return err // member not answering: stay silent
 		}
+		resp.Release()
 	}
 	hb := Heartbeat{
 		Member: b.cfg.Member,

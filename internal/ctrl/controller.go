@@ -259,7 +259,8 @@ func (s *Server) restartDead() {
 			continue
 		}
 		if m.Addr != "" {
-			if _, err := s.client.Call(m.Addr, &wire.Packet{Type: wire.MsgPing}, s.cfg.CallTimeout); err == nil {
+			if resp, err := s.client.Call(m.Addr, wire.NewRequest(wire.MsgPing, nil), s.cfg.CallTimeout); err == nil {
+				resp.Release()
 				continue // answering: let the next heartbeat revive it
 			}
 		}
@@ -397,9 +398,11 @@ func (s *Server) healthGate(m Member) bool {
 	if m.Addr == "" {
 		return true
 	}
-	if _, err := s.client.Call(m.Addr, &wire.Packet{Type: wire.MsgPing}, s.cfg.CallTimeout); err != nil {
+	resp, err := s.client.Call(m.Addr, wire.NewRequest(wire.MsgPing, nil), s.cfg.CallTimeout)
+	if err != nil {
 		return false
 	}
+	resp.Release()
 	snap, err := wire.FetchSnapshot(s.client, m.Addr, "wire.server.handle.", s.cfg.CallTimeout)
 	if err != nil {
 		return true

@@ -157,12 +157,18 @@ func getMember(d *wire.Decoder) (Member, error) {
 	return m, err
 }
 
+// EncodeWire implements wire.Message: the heartbeat encodes in place
+// into a pooled request buffer.
+func (hb Heartbeat) EncodeWire(e *wire.Encoder) {
+	putMember(e, hb.Member)
+	e.PutUint64(hb.Seq)
+	e.PutInt64(hb.Unix)
+}
+
 // EncodeHeartbeat lays out a heartbeat payload.
 func EncodeHeartbeat(hb Heartbeat) []byte {
 	var e wire.Encoder
-	putMember(&e, hb.Member)
-	e.PutUint64(hb.Seq)
-	e.PutInt64(hb.Unix)
+	hb.EncodeWire(&e)
 	return e.Bytes()
 }
 
@@ -181,18 +187,26 @@ func DecodeHeartbeat(p []byte) (Heartbeat, error) {
 	return hb, err
 }
 
-// EncodeMembership lays out a membership table — the MsgMembers response
-// and the gossip-published MembershipKey value.
-func EncodeMembership(ms []MemberStatus) []byte {
-	var e wire.Encoder
+// Membership is a membership table as a wire message (the MsgMembers
+// response and the gossip-published MembershipKey value).
+type Membership []MemberStatus
+
+// EncodeWire implements wire.Message.
+func (ms Membership) EncodeWire(e *wire.Encoder) {
 	e.PutUint32(uint32(len(ms)))
 	for _, m := range ms {
-		putMember(&e, m.Member)
+		putMember(e, m.Member)
 		e.PutBool(m.Alive)
 		e.PutFloat64(m.Phi)
 		e.PutInt64(m.LastSeenUnixNanos)
 		e.PutUint64(m.Beats)
 	}
+}
+
+// EncodeMembership lays out a membership table.
+func EncodeMembership(ms []MemberStatus) []byte {
+	var e wire.Encoder
+	Membership(ms).EncodeWire(&e)
 	return e.Bytes()
 }
 
@@ -284,9 +298,8 @@ type Status struct {
 	SpecEpoch uint64
 }
 
-// EncodeStatus lays out a controller status report.
-func EncodeStatus(st Status) []byte {
-	var e wire.Encoder
+// EncodeWire implements wire.Message.
+func (st Status) EncodeWire(e *wire.Encoder) {
 	e.PutUint64(st.SpecVersion)
 	e.PutUint32(uint32(len(st.Roster)))
 	for _, a := range st.Roster {
@@ -309,6 +322,12 @@ func EncodeStatus(st Status) []byte {
 	e.PutString(st.LeaderID)
 	e.PutUint64(st.Epoch)
 	e.PutUint64(st.SpecEpoch)
+}
+
+// EncodeStatus lays out a controller status report.
+func EncodeStatus(st Status) []byte {
+	var e wire.Encoder
+	st.EncodeWire(&e)
 	return e.Bytes()
 }
 
@@ -369,26 +388,27 @@ func DecodeStatus(p []byte) (Status, error) {
 
 // FetchMembers polls a controller's membership table.
 func FetchMembers(wc *wire.Client, addr string, timeout time.Duration) ([]MemberStatus, error) {
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgMembers}, timeout)
+	resp, err := wc.Call(addr, wire.NewRequest(MsgMembers, nil), timeout)
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	return DecodeMembership(resp.Payload)
 }
 
 // FetchStatus polls a controller's status report.
 func FetchStatus(wc *wire.Client, addr string, timeout time.Duration) (Status, error) {
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgStatus}, timeout)
+	resp, err := wc.Call(addr, wire.NewRequest(MsgStatus, nil), timeout)
 	if err != nil {
 		return Status{}, err
 	}
+	defer resp.Release()
 	return DecodeStatus(resp.Payload)
 }
 
 // SendHeartbeat delivers one heartbeat to a controller.
 func SendHeartbeat(wc *wire.Client, addr string, hb Heartbeat, timeout time.Duration) error {
-	_, err := wc.Call(addr, &wire.Packet{Type: MsgHeartbeat, Payload: EncodeHeartbeat(hb)}, timeout)
-	if err != nil {
+	if err := wc.CallMsg(addr, MsgHeartbeat, hb, nil, timeout); err != nil {
 		return fmt.Errorf("ctrl: heartbeat to %s: %w", addr, err)
 	}
 	return nil

@@ -421,7 +421,7 @@ func (s *Server) handleHeartbeat(from string, req *wire.Packet) (*wire.Packet, e
 	s.members[hb.ID] = hb.Member
 	s.mu.Unlock()
 	s.det.Observe(hb.ID)
-	return &wire.Packet{Type: MsgHeartbeat}, nil
+	return wire.Reply(MsgHeartbeat, nil), nil
 }
 
 // membershipTable snapshots the controller's verdict on every member.
@@ -447,7 +447,7 @@ func (s *Server) membershipTable() []MemberStatus {
 }
 
 func (s *Server) handleMembers(string, *wire.Packet) (*wire.Packet, error) {
-	return &wire.Packet{Type: MsgMembers, Payload: EncodeMembership(s.membershipTable())}, nil
+	return wire.Reply(MsgMembers, Membership(s.membershipTable())), nil
 }
 
 func (s *Server) handleStatus(string, *wire.Packet) (*wire.Packet, error) {
@@ -490,5 +490,5 @@ func (s *Server) handleStatus(string, *wire.Packet) (*wire.Packet, error) {
 	st.Promotions = s.metrics.Counter("ctrl.promotions").Value()
 	st.Rollouts = s.metrics.Counter("ctrl.rollouts").Value()
 	st.Backoffs = s.metrics.Counter("ctrl.backoffs").Value()
-	return &wire.Packet{Type: MsgStatus, Payload: EncodeStatus(st)}, nil
+	return wire.Reply(MsgStatus, st), nil
 }

@@ -157,14 +157,23 @@ func decodeSpanFrom(d *wire.Decoder) (Span, error) {
 	return s, nil
 }
 
-// EncodeSpans serializes a batch of spans (the MsgTraceExport payload and
-// MsgTraceFetch reply format).
-func EncodeSpans(spans []Span) []byte {
-	var e wire.Encoder
+// SpanList is a span batch as a wire message (the MsgTraceExport payload
+// and MsgTraceFetch reply format): it encodes in place into a pooled
+// request/reply buffer.
+type SpanList []Span
+
+// EncodeWire implements wire.Message.
+func (spans SpanList) EncodeWire(e *wire.Encoder) {
 	e.PutUint32(uint32(len(spans)))
 	for _, s := range spans {
-		encodeSpanInto(&e, s)
+		encodeSpanInto(e, s)
 	}
+}
+
+// EncodeSpans serializes a batch of spans into a fresh buffer.
+func EncodeSpans(spans []Span) []byte {
+	var e wire.Encoder
+	SpanList(spans).EncodeWire(&e)
 	return e.Bytes()
 }
 

@@ -120,10 +120,10 @@ func (ex *Exporter) loop() {
 	}
 }
 
-// ship sends one batch to the collector.
+// ship sends one batch to the collector. The batch encodes into a pooled
+// request buffer; the bare-ack reply is released immediately.
 func (ex *Exporter) ship(batch []Span) {
-	req := &wire.Packet{Type: MsgTraceExport, Payload: EncodeSpans(batch)}
-	if _, err := ex.cfg.Client.Call(ex.cfg.Addr, req, ex.cfg.Timeout); err != nil {
+	if err := ex.cfg.Client.CallMsg(ex.cfg.Addr, MsgTraceExport, SpanList(batch), nil, ex.cfg.Timeout); err != nil {
 		ex.cfg.Metrics.Counter("dtrace.export.errors").Inc()
 		ex.cfg.Metrics.Counter("dtrace.export.dropped").Add(int64(len(batch)))
 		return
@@ -142,12 +142,14 @@ func (ex *Exporter) Close() {
 // client half of MsgTraceFetch, shared by ew-trace, tests, and the chaos
 // scenario.
 func Fetch(wc *wire.Client, addr string, max int, traceID uint64, timeout time.Duration) ([]Span, error) {
-	var e wire.Encoder
-	e.PutUint32(uint32(max))
-	e.PutUint64(traceID)
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgTraceFetch, Payload: e.Bytes()}, timeout)
+	req := wire.NewRequest(MsgTraceFetch, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(max))
+		e.PutUint64(traceID)
+	}))
+	resp, err := wc.Call(addr, req, timeout)
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	return DecodeSpans(resp.Payload)
 }

@@ -101,7 +101,7 @@ func (g *GASS) handlePut(_ string, req *wire.Packet) (*wire.Packet, error) {
 	if err := g.Put(path, data); err != nil {
 		return nil, err
 	}
-	return &wire.Packet{Type: MsgGASSPut}, nil
+	return wire.Reply(MsgGASSPut, nil), nil
 }
 
 func (g *GASS) handleGet(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -111,20 +111,21 @@ func (g *GASS) handleGet(_ string, req *wire.Packet) (*wire.Packet, error) {
 		return nil, err
 	}
 	data, ok := g.Get(path)
-	var e wire.Encoder
-	e.PutBool(ok)
-	e.PutBytes(data)
-	return &wire.Packet{Type: MsgGASSGet, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgGASSGet, wire.MessageFunc(func(e *wire.Encoder) {
+		e.Grow(5 + len(data))
+		e.PutBool(ok)
+		e.PutBytes(data)
+	})), nil
 }
 
 func (g *GASS) handleList(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	paths := g.Paths()
-	var e wire.Encoder
-	e.PutUint32(uint32(len(paths)))
-	for _, p := range paths {
-		e.PutString(p)
-	}
-	return &wire.Packet{Type: MsgGASSList, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgGASSList, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(paths)))
+		for _, p := range paths {
+			e.PutString(p)
+		}
+	})), nil
 }
 
 // GASSClient provides typed access to a remote GASS server.
@@ -141,21 +142,24 @@ func NewGASSClient(wc *wire.Client, addr string, timeout time.Duration) *GASSCli
 
 // Put stores data under path.
 func (c *GASSClient) Put(path string, data []byte) error {
-	var e wire.Encoder
-	e.PutString(path)
-	e.PutBytes(data)
-	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgGASSPut, Payload: e.Bytes()}, c.timeout)
-	return err
+	msg := wire.MessageFunc(func(e *wire.Encoder) {
+		e.Grow(8 + len(path) + len(data))
+		e.PutString(path)
+		e.PutBytes(data)
+	})
+	return c.wc.CallMsg(c.addr, MsgGASSPut, msg, nil, c.timeout)
 }
 
 // Get fetches the file at path; found is false if absent.
 func (c *GASSClient) Get(path string) (data []byte, found bool, err error) {
-	var e wire.Encoder
-	e.PutString(path)
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgGASSGet, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgGASSGet, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutString(path)
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return nil, false, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	found, err = d.Bool()
 	if err != nil {

@@ -279,11 +279,11 @@ func (g *Gatekeeper) handleAuth(_ string, req *wire.Packet) (*wire.Packet, error
 		return nil, err
 	}
 	rec := g.Record()
-	var e wire.Encoder
-	e.PutBool(g.authenticate(cred))
-	e.PutString(g.cfg.Arch)
-	e.PutUint32(uint32(rec.FreeNodes))
-	return &wire.Packet{Type: MsgGRAMAuth, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgGRAMAuth, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutBool(g.authenticate(cred))
+		e.PutString(g.cfg.Arch)
+		e.PutUint32(uint32(rec.FreeNodes))
+	})), nil
 }
 
 func (g *Gatekeeper) handleSubmit(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -317,10 +317,10 @@ func (g *Gatekeeper) handleSubmit(_ string, req *wire.Packet) (*wire.Packet, err
 	if err != nil {
 		return nil, err
 	}
-	var e wire.Encoder
-	e.PutUint64(job.ID)
-	e.PutUint8(uint8(job.Status))
-	return &wire.Packet{Type: MsgGRAMSubmit, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgGRAMSubmit, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint64(job.ID)
+		e.PutUint8(uint8(job.Status))
+	})), nil
 }
 
 func (g *Gatekeeper) handleStatus(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -330,11 +330,11 @@ func (g *Gatekeeper) handleStatus(_ string, req *wire.Packet) (*wire.Packet, err
 		return nil, err
 	}
 	job, ok := g.Job(id)
-	var e wire.Encoder
-	e.PutBool(ok)
-	e.PutUint8(uint8(job.Status))
-	e.PutString(job.Err)
-	return &wire.Packet{Type: MsgGRAMStatus, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgGRAMStatus, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutBool(ok)
+		e.PutUint8(uint8(job.Status))
+		e.PutString(job.Err)
+	})), nil
 }
 
 func (g *Gatekeeper) handleCancel(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -346,19 +346,19 @@ func (g *Gatekeeper) handleCancel(_ string, req *wire.Packet) (*wire.Packet, err
 	if err := g.Cancel(id); err != nil {
 		return nil, err
 	}
-	return &wire.Packet{Type: MsgGRAMCancel}, nil
+	return wire.Reply(MsgGRAMCancel, nil), nil
 }
 
 func (g *Gatekeeper) handleList(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	jobs := g.Jobs()
-	var e wire.Encoder
-	e.PutUint32(uint32(len(jobs)))
-	for _, j := range jobs {
-		e.PutUint64(j.ID)
-		e.PutUint8(uint8(j.Status))
-		e.PutString(j.Req.User)
-	}
-	return &wire.Packet{Type: MsgGRAMList, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgGRAMList, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(jobs)))
+		for _, j := range jobs {
+			e.PutUint64(j.ID)
+			e.PutUint8(uint8(j.Status))
+			e.PutString(j.Req.User)
+		}
+	})), nil
 }
 
 // GRAMClient provides typed access to a remote gatekeeper.
@@ -377,12 +377,14 @@ func NewGRAMClient(wc *wire.Client, addr string, timeout time.Duration) *GRAMCli
 // the user authorized, and what platform / capacity does the resource
 // offer?
 func (c *GRAMClient) Authenticate(cred string) (ok bool, arch string, freeNodes int, err error) {
-	var e wire.Encoder
-	e.PutString(cred)
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgGRAMAuth, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgGRAMAuth, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutString(cred)
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return false, "", 0, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	if ok, err = d.Bool(); err != nil {
 		return false, "", 0, err
@@ -405,10 +407,11 @@ func (c *GRAMClient) Submit(jr JobRequest) (uint64, JobStatus, error) {
 	for _, a := range jr.Args {
 		e.PutString(a)
 	}
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgGRAMSubmit, Payload: e.Bytes()}, c.timeout)
+	resp, err := c.wc.Call(c.addr, wire.NewRequest(MsgGRAMSubmit, wire.RawMessage(e.Bytes())), c.timeout)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	id, err := d.Uint64()
 	if err != nil {
@@ -420,12 +423,14 @@ func (c *GRAMClient) Submit(jr JobRequest) (uint64, JobStatus, error) {
 
 // Status reports a job's state.
 func (c *GRAMClient) Status(id uint64) (JobStatus, string, error) {
-	var e wire.Encoder
-	e.PutUint64(id)
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgGRAMStatus, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgGRAMStatus, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint64(id)
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return 0, "", err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	ok, err := d.Bool()
 	if err != nil {
@@ -444,8 +449,6 @@ func (c *GRAMClient) Status(id uint64) (JobStatus, string, error) {
 
 // Cancel kills a job.
 func (c *GRAMClient) Cancel(id uint64) error {
-	var e wire.Encoder
-	e.PutUint64(id)
-	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgGRAMCancel, Payload: e.Bytes()}, c.timeout)
-	return err
+	msg := wire.MessageFunc(func(e *wire.Encoder) { e.PutUint64(id) })
+	return c.wc.CallMsg(c.addr, MsgGRAMCancel, msg, nil, c.timeout)
 }

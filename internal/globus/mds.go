@@ -167,7 +167,7 @@ func (m *MDS) handleRegister(_ string, req *wire.Packet) (*wire.Packet, error) {
 		return nil, err
 	}
 	m.Register(r)
-	return &wire.Packet{Type: MsgMDSRegister}, nil
+	return wire.Reply(MsgMDSRegister, nil), nil
 }
 
 func (m *MDS) handleQuery(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -177,12 +177,12 @@ func (m *MDS) handleQuery(_ string, req *wire.Packet) (*wire.Packet, error) {
 		return nil, err
 	}
 	recs := m.Query(arch)
-	var e wire.Encoder
-	e.PutUint32(uint32(len(recs)))
-	for _, r := range recs {
-		encodeRecord(&e, r)
-	}
-	return &wire.Packet{Type: MsgMDSQuery, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgMDSQuery, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(recs)))
+		for _, r := range recs {
+			encodeRecord(e, r)
+		}
+	})), nil
 }
 
 // MDSClient provides typed access to a remote MDS.
@@ -199,20 +199,20 @@ func NewMDSClient(wc *wire.Client, addr string, timeout time.Duration) *MDSClien
 
 // Register upserts a record.
 func (c *MDSClient) Register(r Record) error {
-	var e wire.Encoder
-	encodeRecord(&e, r)
-	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgMDSRegister, Payload: e.Bytes()}, c.timeout)
-	return err
+	msg := wire.MessageFunc(func(e *wire.Encoder) { encodeRecord(e, r) })
+	return c.wc.CallMsg(c.addr, MsgMDSRegister, msg, nil, c.timeout)
 }
 
 // Query returns live records matching arch ("" = all).
 func (c *MDSClient) Query(arch string) ([]Record, error) {
-	var e wire.Encoder
-	e.PutString(arch)
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgMDSQuery, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgMDSQuery, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutString(arch)
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	n, err := d.Count(16)
 	if err != nil {

@@ -150,7 +150,7 @@ func (a *Agent) handleGet(_ string, req *wire.Packet) (*wire.Packet, error) {
 		// Empty state: zero counter so anything beats it.
 		s = Stamped{Key: key, Origin: a.addr}
 	}
-	return &wire.Packet{Type: MsgGetState, Payload: EncodeStamped(s)}, nil
+	return wire.Reply(MsgGetState, s), nil
 }
 
 func (a *Agent) handlePut(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -165,9 +165,9 @@ func (a *Agent) handlePut(_ string, req *wire.Packet) (*wire.Packet, error) {
 	if installed && cb != nil {
 		cb(s)
 	}
-	var e wire.Encoder
-	e.PutBool(installed)
-	return &wire.Packet{Type: MsgPutState, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgPutState, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutBool(installed)
+	})), nil
 }
 
 // Register announces this component to a Gossip at gossipAddr for the
@@ -177,9 +177,7 @@ func (a *Agent) Register(client *wire.Client, gossipAddr, key, comparator string
 		return fmt.Errorf("gossip: unknown comparator %q", comparator)
 	}
 	reg := Registration{Addr: a.addr, Key: key, Comparator: comparator}
-	req := &wire.Packet{Type: MsgRegister, Payload: EncodeRegistration(reg)}
-	_, err := client.Call(gossipAddr, req, timeout)
-	return err
+	return client.CallMsg(gossipAddr, MsgRegister, reg, nil, timeout)
 }
 
 // Deregister withdraws this component's registration for key at a single
@@ -188,7 +186,5 @@ func (a *Agent) Register(client *wire.Client, gossipAddr, key, comparator string
 // exit avoids the needless retries in the meantime.
 func (a *Agent) Deregister(client *wire.Client, gossipAddr, key string, timeout time.Duration) error {
 	reg := Registration{Addr: a.addr, Key: key}
-	req := &wire.Packet{Type: MsgDeregister, Payload: EncodeRegistration(reg)}
-	_, err := client.Call(gossipAddr, req, timeout)
-	return err
+	return client.CallMsg(gossipAddr, MsgDeregister, reg, nil, timeout)
 }

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"everyware/internal/clique"
 	"everyware/internal/wire"
 )
 
@@ -396,5 +397,46 @@ func TestDeregisterRemovesRegistration(t *testing.T) {
 	// Deregistering again is a harmless no-op.
 	if err := c.agent.Deregister(client, g.Addr(), "app/leave", time.Second); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShareCoalescerMergesPerPeer drives the registration-share
+// coalescer directly (no network): shares buffer per destination peer,
+// merge last-write-wins per (addr, key) preserving arrival order, drain
+// in sorted peer order, and drain exactly once.
+func TestShareCoalescerMergesPerPeer(t *testing.T) {
+	s := NewServer(ServerConfig{})
+	view := clique.View{Members: []string{"peer-b:1", "peer-a:1", "self"}}
+	s.addr = "self"
+
+	regA := Registration{Addr: "comp1:1", Key: "app/a", Comparator: CmpCounter}
+	regB := Registration{Addr: "comp2:1", Key: "app/b", Comparator: CmpCounter}
+	regA2 := Registration{Addr: "comp1:1", Key: "app/a", Comparator: CmpBytes}
+
+	s.enqueueShare(view, regA)
+	s.enqueueShare(view, regB)
+	s.enqueueShare(view, regA2) // same (addr, key) as regA: supersedes it
+
+	ships := s.takeShares()
+	if len(ships) != 2 {
+		t.Fatalf("shipments = %d, want 2 (one per non-self peer)", len(ships))
+	}
+	if ships[0].peer != "peer-a:1" || ships[1].peer != "peer-b:1" {
+		t.Fatalf("peers = %q, %q; want sorted peer-a:1, peer-b:1", ships[0].peer, ships[1].peer)
+	}
+	for _, sh := range ships {
+		if len(sh.table) != 2 {
+			t.Fatalf("table for %s has %d entries, want 2 (coalesced)", sh.peer, len(sh.table))
+		}
+		// Last write wins in the original slot: regA2 replaced regA.
+		if sh.table[0] != regA2 || sh.table[1] != regB {
+			t.Fatalf("table for %s = %+v, want [regA2 regB]", sh.peer, sh.table)
+		}
+	}
+	if got := s.metrics.Counter("gossip.share.coalesced").Value(); got != 2 {
+		t.Fatalf("coalesced counter = %d, want 2 (one per peer)", got)
+	}
+	if again := s.takeShares(); len(again) != 0 {
+		t.Fatalf("second take returned %d shipments, want 0", len(again))
 	}
 }

@@ -87,6 +87,31 @@ type regKey struct {
 	key  string
 }
 
+// Share-coalescing tuning: registration shares bound for the same peer
+// merge into a single MsgShareReg table per flush window instead of one
+// call per registration. The idiom mirrors the scale-layer report
+// coalescer; it is reimplemented locally because scale imports gossip.
+const (
+	// shareMaxBatch flushes a peer's buffer immediately once it holds
+	// this many distinct registrations.
+	shareMaxBatch = 64
+	// shareMaxDelay bounds how long a buffered share waits for company.
+	shareMaxDelay = 25 * time.Millisecond
+)
+
+// shareBuf is one peer's pending registration shares, last-write-wins
+// per (addr, key) with insertion order preserved.
+type shareBuf struct {
+	order []regKey
+	byKey map[regKey]Registration
+}
+
+// shipment is one drained buffer: the merged table bound for one peer.
+type shipment struct {
+	peer  string
+	table RegTable
+}
+
 // Server is one Gossip process: a member of the distributed state exchange
 // pool. It polls its responsible components for fresh state, pushes
 // updates to stale ones, evicts dead components, and uses
@@ -109,6 +134,9 @@ type Server struct {
 	failures map[regKey]int
 	rounds   uint64
 
+	shareMu      sync.Mutex
+	sharePending map[string]*shareBuf
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -127,15 +155,16 @@ func NewServer(cfg ServerConfig) *Server {
 		Tracer:      cfg.Tracer,
 	})
 	s := &Server{
-		cfg:      cfg,
-		svc:      svc,
-		srv:      svc.Server(),
-		client:   svc.Client(),
-		metrics:  svc.Metrics(),
-		regs:     make(map[regKey]Registration),
-		failures: make(map[regKey]int),
-		timeout:  forecast.NewTimeoutPolicy(forecast.NewRegistry()),
-		done:     make(chan struct{}),
+		cfg:          cfg,
+		svc:          svc,
+		srv:          svc.Server(),
+		client:       svc.Client(),
+		metrics:      svc.Metrics(),
+		regs:         make(map[regKey]Registration),
+		failures:     make(map[regKey]int),
+		sharePending: make(map[string]*shareBuf),
+		timeout:      forecast.NewTimeoutPolicy(forecast.NewRegistry()),
+		done:         make(chan struct{}),
 	}
 	svc.Handle(MsgRegister, wire.HandlerFunc(s.handleRegister))
 	svc.Handle(MsgDeregister, wire.HandlerFunc(s.handleDeregister))
@@ -167,8 +196,9 @@ func (s *Server) Start() (string, error) {
 		Tracer:            s.cfg.Tracer,
 	}, s.tr)
 	s.member.Start()
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.syncLoop()
+	go s.shareLoop()
 	return s.addr, nil
 }
 
@@ -223,18 +253,11 @@ func (s *Server) handleRegister(_ string, req *wire.Packet) (*wire.Packet, error
 	}
 	s.addRegistration(r)
 	// Replicate the registration across the pool (volatile-but-replicated
-	// state): forward to every other pool member, best effort.
-	view := s.member.View()
-	payload := EncodeRegistrations([]Registration{r})
-	for _, peer := range view.Members {
-		if peer == s.addr {
-			continue
-		}
-		go func(peer string) {
-			_, _ = s.client.Call(peer, &wire.Packet{Type: MsgShareReg, Payload: payload}, s.cfg.CallTimeout)
-		}(peer)
-	}
-	return &wire.Packet{Type: MsgRegister}, nil
+	// state), coalesced per destination: a registration burst becomes one
+	// merged MsgShareReg table per peer per flush window instead of one
+	// call each. The handler only buffers; the share loop ships.
+	s.enqueueShare(s.member.View(), r)
+	return wire.Reply(MsgRegister, nil), nil
 }
 
 func (s *Server) handleDeregister(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -248,7 +271,7 @@ func (s *Server) handleDeregister(_ string, req *wire.Packet) (*wire.Packet, err
 	delete(s.failures, k)
 	s.metrics.Gauge("gossip.registrations").Set(int64(len(s.regs)))
 	s.mu.Unlock()
-	return &wire.Packet{Type: MsgDeregister}, nil
+	return wire.Reply(MsgDeregister, nil), nil
 }
 
 func (s *Server) handleShareReg(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -259,7 +282,7 @@ func (s *Server) handleShareReg(_ string, req *wire.Packet) (*wire.Packet, error
 	for _, r := range rs {
 		s.addRegistration(r)
 	}
-	return &wire.Packet{Type: MsgShareReg}, nil
+	return wire.Reply(MsgShareReg, nil), nil
 }
 
 func (s *Server) handlePoolInfo(_ string, _ *wire.Packet) (*wire.Packet, error) {
@@ -268,16 +291,16 @@ func (s *Server) handlePoolInfo(_ string, _ *wire.Packet) (*wire.Packet, error) 
 	n := len(s.regs)
 	rounds := s.rounds
 	s.mu.Unlock()
-	var e wire.Encoder
-	e.PutUint64(view.Seq)
-	e.PutString(view.Leader)
-	e.PutUint32(uint32(len(view.Members)))
-	for _, m := range view.Members {
-		e.PutString(m)
-	}
-	e.PutUint32(uint32(n))
-	e.PutUint64(rounds)
-	return &wire.Packet{Type: MsgPoolInfo, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgPoolInfo, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint64(view.Seq)
+		e.PutString(view.Leader)
+		e.PutUint32(uint32(len(view.Members)))
+		for _, m := range view.Members {
+			e.PutString(m)
+		}
+		e.PutUint32(uint32(n))
+		e.PutUint64(rounds)
+	})), nil
 }
 
 func (s *Server) addRegistration(r Registration) {
@@ -316,21 +339,118 @@ func (s *Server) syncLoop() {
 const antiEntropyEvery = 5
 
 // ShareRegistrations pushes the full registration table to every pool
-// peer (best effort). Exposed for tests.
+// peer (best effort). The table rides the share coalescer — it merges
+// with any buffered single-registration shares, and the flush ships one
+// pipelined MsgShareReg per peer. Exposed for tests.
 func (s *Server) ShareRegistrations() {
 	regs := s.Registrations()
 	if len(regs) == 0 {
 		return
 	}
-	payload := EncodeRegistrations(regs)
 	view := s.member.View()
+	for _, r := range regs {
+		s.enqueueShare(view, r)
+	}
+	s.flushShares()
+}
+
+// enqueueShare buffers r for every pool peer, coalescing
+// last-write-wins per (addr, key). A peer whose buffer reaches
+// shareMaxBatch flushes immediately in the background; the rest drain on
+// the share loop's ticker within shareMaxDelay.
+func (s *Server) enqueueShare(view clique.View, r Registration) {
+	k := regKey{addr: r.Addr, key: r.Key}
+	var full []string
+	s.shareMu.Lock()
 	for _, peer := range view.Members {
 		if peer == s.addr {
 			continue
 		}
-		go func(peer string) {
-			_, _ = s.client.Call(peer, &wire.Packet{Type: MsgShareReg, Payload: payload}, s.cfg.CallTimeout)
-		}(peer)
+		b := s.sharePending[peer]
+		if b == nil {
+			b = &shareBuf{byKey: make(map[regKey]Registration)}
+			s.sharePending[peer] = b
+		}
+		if _, dup := b.byKey[k]; dup {
+			s.metrics.Counter("gossip.share.coalesced").Inc()
+		} else {
+			b.order = append(b.order, k)
+		}
+		b.byKey[k] = r
+		if len(b.order) >= shareMaxBatch {
+			full = append(full, peer)
+		}
+	}
+	s.shareMu.Unlock()
+	if len(full) > 0 {
+		go s.flushShares(full...)
+	}
+}
+
+// takeShares drains the named peers' buffers (every peer when none are
+// named) and returns the merged table bound for each, in sorted peer
+// order so delivery is deterministic.
+func (s *Server) takeShares(peers ...string) []shipment {
+	s.shareMu.Lock()
+	defer s.shareMu.Unlock()
+	if len(peers) == 0 {
+		peers = make([]string, 0, len(s.sharePending))
+		for p := range s.sharePending {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+	}
+	out := make([]shipment, 0, len(peers))
+	for _, p := range peers {
+		b := s.sharePending[p]
+		if b == nil || len(b.order) == 0 {
+			continue
+		}
+		table := make(RegTable, 0, len(b.order))
+		for _, k := range b.order {
+			table = append(table, b.byKey[k])
+		}
+		delete(s.sharePending, p)
+		out = append(out, shipment{peer: p, table: table})
+	}
+	return out
+}
+
+// flushShares ships each drained buffer as one MsgShareReg, pipelined:
+// every request is issued before any reply is awaited, so a slow peer
+// does not serialize the fan-out. Best effort — a failed share is
+// dropped and the next anti-entropy round re-replicates the full table.
+func (s *Server) flushShares(peers ...string) {
+	ships := s.takeShares(peers...)
+	if len(ships) == 0 {
+		return
+	}
+	s.metrics.Counter("gossip.share.flushes").Add(int64(len(ships)))
+	calls := make([]*wire.PendingCall, len(ships))
+	for i, sh := range ships {
+		calls[i] = s.client.Go(sh.peer, wire.NewRequest(MsgShareReg, sh.table), s.cfg.CallTimeout)
+	}
+	for _, call := range calls {
+		if resp, err := call.Wait(); err == nil {
+			resp.Release()
+		}
+	}
+}
+
+// shareLoop drains buffered registration shares every shareMaxDelay and
+// performs a final best-effort drain on shutdown.
+func (s *Server) shareLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(shareMaxDelay)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			s.flushShares()
+			return
+		case <-tick.C:
+			s.flushShares()
+		}
 	}
 }
 
@@ -399,14 +519,14 @@ func (s *Server) syncKey(tc wire.TraceContext, key string, regs []Registration) 
 		stamp Stamped
 	}
 	var copies []copyOf
-	var e wire.Encoder
-	e.PutString(key)
-	getPayload := e.Bytes()
+	getMsg := wire.MessageFunc(func(e *wire.Encoder) { e.PutString(key) })
 	for _, r := range regs {
 		fkey := forecast.Key{Resource: r.Addr, Event: "get_state"}
 		to := s.timeout.Timeout(fkey)
 		start := time.Now()
-		resp, err := s.client.Call(r.Addr, &wire.Packet{Type: MsgGetState, Payload: getPayload, Trace: tc}, to)
+		req := wire.NewRequest(MsgGetState, getMsg)
+		req.Trace = tc
+		resp, err := s.client.Call(r.Addr, req, to)
 		if err != nil {
 			s.timeout.Observe(fkey, to) // a timeout took at least this long
 			s.recordFailure(r)
@@ -414,7 +534,9 @@ func (s *Server) syncKey(tc wire.TraceContext, key string, regs []Registration) 
 		}
 		s.timeout.Observe(fkey, time.Since(start))
 		s.clearFailure(r)
-		st, derr := DecodeStamped(resp.Payload)
+		var st Stamped
+		derr := resp.Decode(&st)
+		resp.Release()
 		if derr != nil {
 			s.cfg.Logf("gossip: bad state from %s: %v", r.Addr, derr)
 			continue
@@ -444,7 +566,6 @@ func (s *Server) syncKey(tc wire.TraceContext, key string, regs []Registration) 
 	if win.Counter == 0 && len(win.Data) == 0 {
 		return // nobody has real state yet
 	}
-	putPayload := EncodeStamped(win)
 	for i, c := range copies {
 		if i == freshest || cmp(win, c.stamp) <= 0 {
 			continue
@@ -452,7 +573,7 @@ func (s *Server) syncKey(tc wire.TraceContext, key string, regs []Registration) 
 		fkey := forecast.Key{Resource: c.reg.Addr, Event: "put_state"}
 		to := s.timeout.Timeout(fkey)
 		start := time.Now()
-		_, err := s.client.Call(c.reg.Addr, &wire.Packet{Type: MsgPutState, Payload: putPayload, Trace: tc}, to)
+		err := s.client.CallMsgTraced(c.reg.Addr, MsgPutState, tc, win, nil, to)
 		if err != nil {
 			s.timeout.Observe(fkey, to)
 			s.recordFailure(c.reg)

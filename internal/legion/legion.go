@@ -193,35 +193,36 @@ func (t *Translator) handleInvoke(_ string, req *wire.Packet) (*wire.Packet, err
 	}
 	args := make([][]byte, 0, n)
 	for i := 0; i < n; i++ {
+		// Bytes copies out of the pooled request, so args outlive it.
 		a, err := d.Bytes()
 		if err != nil {
 			return nil, err
 		}
-		args = append(args, append([]byte(nil), a...))
+		args = append(args, a)
 	}
 	results, err := t.Invoke(object, method, args)
 	if err != nil {
 		return nil, err
 	}
-	var e wire.Encoder
-	e.PutUint32(uint32(len(results)))
-	for _, r := range results {
-		e.PutBytes(r)
-	}
-	return &wire.Packet{Type: MsgInvoke, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgInvoke, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(results)))
+		for _, r := range results {
+			e.PutBytes(r)
+		}
+	})), nil
 }
 
 func (t *Translator) handleStats(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	stats := t.Stats()
-	var e wire.Encoder
-	e.PutUint32(uint32(len(stats)))
-	for _, st := range stats {
-		e.PutString(st.Object)
-		e.PutString(st.Method)
-		e.PutInt64(st.Calls)
-		e.PutInt64(st.Errors)
-	}
-	return &wire.Packet{Type: MsgStats, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgStats, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(stats)))
+		for _, st := range stats {
+			e.PutString(st.Object)
+			e.PutString(st.Method)
+			e.PutInt64(st.Calls)
+			e.PutInt64(st.Errors)
+		}
+	})), nil
 }
 
 // Client invokes methods through a remote translator.
@@ -238,17 +239,19 @@ func NewClient(wc *wire.Client, addr string, timeout time.Duration) *Client {
 
 // Invoke calls object.method(args) remotely.
 func (c *Client) Invoke(object, method string, args ...[]byte) ([][]byte, error) {
-	var e wire.Encoder
-	e.PutString(object)
-	e.PutString(method)
-	e.PutUint32(uint32(len(args)))
-	for _, a := range args {
-		e.PutBytes(a)
-	}
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgInvoke, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgInvoke, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutString(object)
+		e.PutString(method)
+		e.PutUint32(uint32(len(args)))
+		for _, a := range args {
+			e.PutBytes(a)
+		}
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	n, err := d.Count(4)
 	if err != nil {
@@ -256,11 +259,12 @@ func (c *Client) Invoke(object, method string, args ...[]byte) ([][]byte, error)
 	}
 	out := make([][]byte, 0, n)
 	for i := 0; i < n; i++ {
+		// Bytes copies out of the pooled reply, so results outlive it.
 		r, err := d.Bytes()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, append([]byte(nil), r...))
+		out = append(out, r)
 	}
 	return out, nil
 }

@@ -55,18 +55,21 @@ type Entry struct {
 	Line string
 }
 
-// EncodeEntry serializes one entry.
-func EncodeEntry(en Entry) []byte {
-	var e wire.Encoder
-	encodeEntryInto(&e, en)
-	return e.Bytes()
-}
-
-func encodeEntryInto(e *wire.Encoder, en Entry) {
+// EncodeWire implements wire.Message: the entry encodes in place into a
+// pooled request buffer, reserving its full size once.
+func (en Entry) EncodeWire(e *wire.Encoder) {
+	e.Grow(8 + 4 + len(en.Source) + 4 + len(en.Level) + 4 + len(en.Line))
 	e.PutInt64(en.Unix)
 	e.PutString(en.Source)
 	e.PutString(en.Level)
 	e.PutString(en.Line)
+}
+
+// EncodeEntry serializes one entry into a fresh buffer.
+func EncodeEntry(en Entry) []byte {
+	var e wire.Encoder
+	en.EncodeWire(&e)
+	return e.Bytes()
 }
 
 // DecodeEntry parses one entry.
@@ -344,7 +347,7 @@ func (s *Server) handleAppend(_ string, req *wire.Packet) (*wire.Packet, error) 
 		return nil, err
 	}
 	s.Append(en)
-	return &wire.Packet{Type: MsgAppend}, nil
+	return wire.Reply(MsgAppend, nil), nil
 }
 
 func (s *Server) handleTail(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -354,25 +357,25 @@ func (s *Server) handleTail(_ string, req *wire.Packet) (*wire.Packet, error) {
 		return nil, err
 	}
 	entries := s.Tail(int(n))
-	var e wire.Encoder
-	e.PutUint32(uint32(len(entries)))
-	for _, en := range entries {
-		encodeEntryInto(&e, en)
-	}
-	return &wire.Packet{Type: MsgTail, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgTail, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(entries)))
+		for _, en := range entries {
+			en.EncodeWire(e)
+		}
+	})), nil
 }
 
 func (s *Server) handleStats(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	st := s.StatsDetail()
 	// Field order extends the original two-value reply; old clients read
 	// the first two Int64s and ignore the rest.
-	var e wire.Encoder
-	e.PutInt64(st.Appended)
-	e.PutInt64(st.FileDropped)
-	e.PutInt64(st.RingDropped)
-	e.PutInt64(st.Spans)
-	e.PutInt64(st.SpanDropped)
-	return &wire.Packet{Type: MsgStats, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgStats, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutInt64(st.Appended)
+		e.PutInt64(st.FileDropped)
+		e.PutInt64(st.RingDropped)
+		e.PutInt64(st.Spans)
+		e.PutInt64(st.SpanDropped)
+	})), nil
 }
 
 func (s *Server) handleTraceExport(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -381,7 +384,7 @@ func (s *Server) handleTraceExport(_ string, req *wire.Packet) (*wire.Packet, er
 		return nil, err
 	}
 	s.CollectSpans(spans)
-	return &wire.Packet{Type: dtrace.MsgTraceExport}, nil
+	return wire.Reply(dtrace.MsgTraceExport, nil), nil
 }
 
 func (s *Server) handleTraceFetch(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -395,7 +398,7 @@ func (s *Server) handleTraceFetch(_ string, req *wire.Packet) (*wire.Packet, err
 		return nil, err
 	}
 	spans := s.Spans(int(max), traceID)
-	return &wire.Packet{Type: dtrace.MsgTraceFetch, Payload: dtrace.EncodeSpans(spans)}, nil
+	return wire.Reply(dtrace.MsgTraceFetch, dtrace.SpanList(spans)), nil
 }
 
 // Client reports log entries to a logging server.
@@ -421,18 +424,18 @@ func (c *Client) Log(level, format string, args ...any) error {
 		Level:  level,
 		Line:   fmt.Sprintf(format, args...),
 	}
-	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgAppend, Payload: EncodeEntry(en)}, c.timeout)
-	return err
+	return c.wc.CallMsg(c.addr, MsgAppend, en, nil, c.timeout)
 }
 
 // Stats fetches the server's full accounting. Works against old servers
 // too: missing trailing fields decode as zero.
 func (c *Client) Stats() (StatsDetail, error) {
 	var st StatsDetail
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgStats}, c.timeout)
+	resp, err := c.wc.Call(c.addr, wire.NewRequest(MsgStats, nil), c.timeout)
 	if err != nil {
 		return st, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	if st.Appended, err = d.Int64(); err != nil {
 		return st, err
@@ -456,12 +459,14 @@ func (c *Client) Stats() (StatsDetail, error) {
 
 // Tail fetches the most recent n entries from the server.
 func (c *Client) Tail(n int) ([]Entry, error) {
-	var e wire.Encoder
-	e.PutUint32(uint32(n))
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgTail, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgTail, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(n))
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	cnt, err := d.Count(20)
 	if err != nil {

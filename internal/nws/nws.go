@@ -164,7 +164,7 @@ func (m *Memory) handleReport(_ string, req *wire.Packet) (*wire.Packet, error) 
 		return nil, err
 	}
 	m.Report(key, v)
-	return &wire.Packet{Type: MsgReport}, nil
+	return wire.Reply(MsgReport, nil), nil
 }
 
 func (m *Memory) handleForecast(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -174,14 +174,14 @@ func (m *Memory) handleForecast(_ string, req *wire.Packet) (*wire.Packet, error
 		return nil, err
 	}
 	f, ok := m.Forecast(key)
-	var e wire.Encoder
-	e.PutBool(ok)
-	e.PutFloat64(f.Value)
-	e.PutString(f.Method)
-	e.PutFloat64(f.MSE)
-	e.PutFloat64(f.MAE)
-	e.PutUint32(uint32(f.Samples))
-	return &wire.Packet{Type: MsgForecast, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgForecast, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutBool(ok)
+		e.PutFloat64(f.Value)
+		e.PutString(f.Method)
+		e.PutFloat64(f.MSE)
+		e.PutFloat64(f.MAE)
+		e.PutUint32(uint32(f.Samples))
+	})), nil
 }
 
 func (m *Memory) handleSeries(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -195,23 +195,24 @@ func (m *Memory) handleSeries(_ string, req *wire.Packet) (*wire.Packet, error) 
 		return nil, err
 	}
 	vs := m.Series(key, int(n))
-	var e wire.Encoder
-	e.PutUint32(uint32(len(vs)))
-	for _, v := range vs {
-		e.PutFloat64(v)
-	}
-	return &wire.Packet{Type: MsgSeries, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgSeries, wire.MessageFunc(func(e *wire.Encoder) {
+		e.Grow(4 + 8*len(vs))
+		e.PutUint32(uint32(len(vs)))
+		for _, v := range vs {
+			e.PutFloat64(v)
+		}
+	})), nil
 }
 
 func (m *Memory) handleKeys(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	keys := m.Keys()
-	var e wire.Encoder
-	e.PutUint32(uint32(len(keys)))
-	for _, k := range keys {
-		e.PutString(k.Resource)
-		e.PutString(k.Event)
-	}
-	return &wire.Packet{Type: MsgKeys, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgKeys, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(keys)))
+		for _, k := range keys {
+			e.PutString(k.Resource)
+			e.PutString(k.Event)
+		}
+	})), nil
 }
 
 // Client provides typed access to a remote Memory.
@@ -239,21 +240,23 @@ func (c *Client) Report(key forecast.Key, v float64) error {
 // ReportCtx stores one measurement under an existing trace context (the
 // sensor passes its sweep's root span so every report lands in one tree).
 func (c *Client) ReportCtx(tc wire.TraceContext, key forecast.Key, v float64) error {
-	var e wire.Encoder
-	encodeKey(&e, key)
-	e.PutFloat64(v)
-	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgReport, Payload: e.Bytes(), Trace: tc}, c.timeout)
-	return err
+	msg := wire.MessageFunc(func(e *wire.Encoder) {
+		encodeKey(e, key)
+		e.PutFloat64(v)
+	})
+	return c.wc.CallMsgTraced(c.addr, MsgReport, tc, msg, nil, c.timeout)
 }
 
 // Forecast fetches the best current prediction for key.
 func (c *Client) Forecast(key forecast.Key) (forecast.Forecast, bool, error) {
-	var e wire.Encoder
-	encodeKey(&e, key)
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgForecast, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgForecast, wire.MessageFunc(func(e *wire.Encoder) {
+		encodeKey(e, key)
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return forecast.Forecast{}, false, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	ok, err := d.Bool()
 	if err != nil {
@@ -282,13 +285,15 @@ func (c *Client) Forecast(key forecast.Key) (forecast.Forecast, bool, error) {
 
 // Series fetches up to n recent raw measurements for key.
 func (c *Client) Series(key forecast.Key, n int) ([]float64, error) {
-	var e wire.Encoder
-	encodeKey(&e, key)
-	e.PutUint32(uint32(n))
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgSeries, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgSeries, wire.MessageFunc(func(e *wire.Encoder) {
+		encodeKey(e, key)
+		e.PutUint32(uint32(n))
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	cnt, err := d.Count(8)
 	if err != nil {

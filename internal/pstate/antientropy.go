@@ -73,7 +73,11 @@ func (s *Server) SyncNow() (int, error) {
 		for _, ent := range s.Digest() {
 			local[ent.Name] = ent
 		}
-		// Pull records the peer holds newer (or that we lack entirely).
+		// Pull records the peer holds newer (or that we lack entirely). All
+		// pulls for this peer are issued as one pipelined batch on its
+		// connection, then collected — divergence repair is bounded by one
+		// round trip plus transfer time, not a round trip per record.
+		var pulls []*wire.PendingCall
 		for _, rent := range remote {
 			lent, have := local[rent.Name]
 			if have && !rent.supersedes(lent) {
@@ -88,12 +92,23 @@ func (s *Server) SyncNow() (int, error) {
 					maxLag = int64(rent.Version)
 				}
 			}
-			o, found, err := pullObject(s.peerWC, peer, rent.Name, tc, timeout)
-			if err != nil || !found {
-				if err != nil {
-					s.metrics.Counter("pstate.antientropy.errors").Inc()
-					lastErr = err
-				}
+			pulls = append(pulls, goPull(s.peerWC, peer, rent.Name, tc, timeout))
+		}
+		for _, pc := range pulls {
+			resp, err := pc.Wait()
+			if err != nil {
+				s.metrics.Counter("pstate.antientropy.errors").Inc()
+				lastErr = err
+				continue
+			}
+			o, found, derr := decodePull(resp)
+			resp.Release()
+			if derr != nil {
+				s.metrics.Counter("pstate.antientropy.errors").Inc()
+				lastErr = derr
+				continue
+			}
+			if !found {
 				continue
 			}
 			if applied, _, err := s.StoreAt(o); err != nil {
@@ -105,7 +120,13 @@ func (s *Server) SyncNow() (int, error) {
 				s.cfg.Logf("pstate: anti-entropy pulled %q v%d from %s", o.Name, o.Version, peer)
 			}
 		}
-		// Push records we hold newer (or the peer lacks entirely).
+		// Push records we hold newer (or the peer lacks entirely), likewise
+		// one pipelined batch per peer.
+		type push struct {
+			o  *Object
+			pc *wire.PendingCall
+		}
+		var pushes []push
 		for lname, lent := range local {
 			rent, have := findDigest(remote, lname)
 			if have && !lent.supersedes(rent) {
@@ -115,16 +136,26 @@ func (s *Server) SyncNow() (int, error) {
 			if o == nil {
 				continue
 			}
-			applied, _, err := storeAt(s.peerWC, peer, o, tc, timeout)
+			pushes = append(pushes, push{o, goStoreAt(s.peerWC, peer, o, tc, timeout)})
+		}
+		for _, ps := range pushes {
+			resp, err := ps.pc.Wait()
 			if err != nil {
 				s.metrics.Counter("pstate.antientropy.errors").Inc()
 				lastErr = err
 				continue
 			}
+			applied, _, derr := decodeStoreAt(resp)
+			resp.Release()
+			if derr != nil {
+				s.metrics.Counter("pstate.antientropy.errors").Inc()
+				lastErr = derr
+				continue
+			}
 			if applied {
 				repairs++
 				s.metrics.Counter("pstate.antientropy.pushed").Inc()
-				s.cfg.Logf("pstate: anti-entropy pushed %q v%d to %s", o.Name, o.Version, peer)
+				s.cfg.Logf("pstate: anti-entropy pushed %q v%d to %s", ps.o.Name, ps.o.Version, peer)
 			}
 		}
 	}

@@ -23,25 +23,30 @@ func NewClient(wc *wire.Client, addr string, timeout time.Duration) *Client {
 // Store validates and stores data under name/class, returning the new
 // version assigned by the manager.
 func (c *Client) Store(name, class string, data []byte) (uint64, error) {
-	var e wire.Encoder
-	e.PutString(name)
-	e.PutString(class)
-	e.PutBytes(data)
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgStore, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgStore, wire.MessageFunc(func(e *wire.Encoder) {
+		e.Grow(12 + len(name) + len(class) + len(data))
+		e.PutString(name)
+		e.PutString(class)
+		e.PutBytes(data)
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return 0, err
 	}
+	defer resp.Release()
 	return wire.NewDecoder(resp.Payload).Uint64()
 }
 
 // Fetch retrieves an object; found is false if the name is absent.
 func (c *Client) Fetch(name string) (o *Object, found bool, err error) {
-	var e wire.Encoder
-	e.PutString(name)
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgFetch, Payload: e.Bytes()}, c.timeout)
+	req := wire.NewRequest(MsgFetch, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutString(name)
+	}))
+	resp, err := c.wc.Call(c.addr, req, c.timeout)
 	if err != nil {
 		return nil, false, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	found, err = d.Bool()
 	if err != nil || !found {
@@ -57,20 +62,19 @@ func (c *Client) Fetch(name string) (o *Object, found bool, err error) {
 	if obj.Version, err = d.Uint64(); err != nil {
 		return nil, false, err
 	}
-	data, err := d.Bytes()
-	if err != nil {
+	if obj.Data, err = d.Bytes(); err != nil {
 		return nil, false, err
 	}
-	obj.Data = append([]byte(nil), data...)
 	return &obj, true, nil
 }
 
 // List enumerates stored object names.
 func (c *Client) List() ([]string, error) {
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgList}, c.timeout)
+	resp, err := c.wc.Call(c.addr, wire.NewRequest(MsgList, nil), c.timeout)
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	n, err := d.Count(4)
 	if err != nil {
@@ -89,18 +93,18 @@ func (c *Client) List() ([]string, error) {
 
 // Delete removes an object.
 func (c *Client) Delete(name string) error {
-	var e wire.Encoder
-	e.PutString(name)
-	_, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgDelete, Payload: e.Bytes()}, c.timeout)
-	return err
+	return c.wc.CallMsg(c.addr, MsgDelete, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutString(name)
+	}), nil, c.timeout)
 }
 
 // Usage reports (bytes stored, quota) at the manager.
 func (c *Client) Usage() (used, quota int64, err error) {
-	resp, err := c.wc.Call(c.addr, &wire.Packet{Type: MsgUsage}, c.timeout)
+	resp, err := c.wc.Call(c.addr, wire.NewRequest(MsgUsage, nil), c.timeout)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	if used, err = d.Int64(); err != nil {
 		return 0, 0, err

@@ -98,11 +98,11 @@ func (s *Server) handleEpochAdvance(_ string, req *wire.Packet) (*wire.Packet, e
 	if err != nil {
 		return nil, err
 	}
-	var e wire.Encoder
-	e.PutBool(applied)
-	e.PutUint64(cur.Epoch)
-	e.PutString(cur.Holder)
-	return &wire.Packet{Type: MsgEpochAdvance, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgEpochAdvance, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutBool(applied)
+		e.PutUint64(cur.Epoch)
+		e.PutString(cur.Holder)
+	})), nil
 }
 
 func (s *Server) handleEpochGet(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -111,22 +111,51 @@ func (s *Server) handleEpochGet(_ string, req *wire.Packet) (*wire.Packet, error
 		return nil, err
 	}
 	cur := s.EpochGet(name)
-	var e wire.Encoder
-	e.PutUint64(cur.Epoch)
-	e.PutString(cur.Holder)
-	return &wire.Packet{Type: MsgEpochGet, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgEpochGet, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint64(cur.Epoch)
+		e.PutString(cur.Holder)
+	})), nil
 }
 
 // EpochAdvanceAt proposes holder owning epoch on one remote replica.
 func EpochAdvanceAt(wc *wire.Client, addr, name string, epoch uint64, holder string, timeout time.Duration) (bool, EpochState, error) {
-	var e wire.Encoder
-	e.PutString(name)
-	e.PutUint64(epoch)
-	e.PutString(holder)
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgEpochAdvance, Payload: e.Bytes()}, timeout)
+	resp, err := wc.Call(addr, newEpochAdvanceReq(name, epoch, holder), timeout)
 	if err != nil {
 		return false, EpochState{}, err
 	}
+	defer resp.Release()
+	return decodeEpochAdvance(resp)
+}
+
+// EpochGetAt reads one remote replica's register.
+func EpochGetAt(wc *wire.Client, addr, name string, timeout time.Duration) (EpochState, error) {
+	resp, err := wc.Call(addr, newEpochGetReq(name), timeout)
+	if err != nil {
+		return EpochState{}, err
+	}
+	defer resp.Release()
+	return decodeEpochState(wire.NewDecoder(resp.Payload))
+}
+
+// newEpochAdvanceReq builds a pooled MsgEpochAdvance request.
+func newEpochAdvanceReq(name string, epoch uint64, holder string) *wire.Packet {
+	return wire.NewRequest(MsgEpochAdvance, wire.MessageFunc(func(e *wire.Encoder) {
+		e.Grow(16 + len(name) + len(holder))
+		e.PutString(name)
+		e.PutUint64(epoch)
+		e.PutString(holder)
+	}))
+}
+
+// newEpochGetReq builds a pooled MsgEpochGet request.
+func newEpochGetReq(name string) *wire.Packet {
+	return wire.NewRequest(MsgEpochGet, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutString(name)
+	}))
+}
+
+// decodeEpochAdvance decodes a MsgEpochAdvance reply.
+func decodeEpochAdvance(resp *wire.Packet) (bool, EpochState, error) {
 	d := wire.NewDecoder(resp.Payload)
 	applied, err := d.Bool()
 	if err != nil {
@@ -134,17 +163,6 @@ func EpochAdvanceAt(wc *wire.Client, addr, name string, epoch uint64, holder str
 	}
 	cur, err := decodeEpochState(d)
 	return applied, cur, err
-}
-
-// EpochGetAt reads one remote replica's register.
-func EpochGetAt(wc *wire.Client, addr, name string, timeout time.Duration) (EpochState, error) {
-	var e wire.Encoder
-	e.PutString(name)
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgEpochGet, Payload: e.Bytes()}, timeout)
-	if err != nil {
-		return EpochState{}, err
-	}
-	return decodeEpochState(wire.NewDecoder(resp.Payload))
 }
 
 func decodeEpochState(d *wire.Decoder) (EpochState, error) {
@@ -166,9 +184,18 @@ func quorum(n int) int { return n/2 + 1 }
 func ReadEpochQuorum(wc *wire.Client, addrs []string, name string, timeout time.Duration) (EpochState, int) {
 	var best EpochState
 	answered := 0
-	for _, a := range addrs {
-		st, err := EpochGetAt(wc, a, name, timeout)
+	calls := make([]*wire.PendingCall, len(addrs))
+	for i, a := range addrs {
+		calls[i] = wc.Go(a, newEpochGetReq(name), timeout)
+	}
+	for _, pc := range calls {
+		resp, err := pc.Wait()
 		if err != nil {
+			continue
+		}
+		st, derr := decodeEpochState(wire.NewDecoder(resp.Payload))
+		resp.Release()
+		if derr != nil {
 			continue
 		}
 		answered++
@@ -190,9 +217,18 @@ func AdvanceEpochQuorum(wc *wire.Client, addrs []string, name string, epoch uint
 	}
 	var best EpochState
 	match := 0
-	for _, a := range addrs {
-		_, cur, err := EpochAdvanceAt(wc, a, name, epoch, holder, timeout)
+	calls := make([]*wire.PendingCall, len(addrs))
+	for i, a := range addrs {
+		calls[i] = wc.Go(a, newEpochAdvanceReq(name, epoch, holder), timeout)
+	}
+	for _, pc := range calls {
+		resp, err := pc.Wait()
 		if err != nil {
+			continue
+		}
+		_, cur, derr := decodeEpochAdvance(resp)
+		resp.Release()
+		if derr != nil {
 			continue
 		}
 		if cur.Epoch == epoch && cur.Holder == holder {
@@ -215,9 +251,18 @@ func ValidateEpochQuorum(wc *wire.Client, addrs []string, name string, epoch uin
 		return false
 	}
 	match := 0
-	for _, a := range addrs {
-		st, err := EpochGetAt(wc, a, name, timeout)
+	calls := make([]*wire.PendingCall, len(addrs))
+	for i, a := range addrs {
+		calls[i] = wc.Go(a, newEpochGetReq(name), timeout)
+	}
+	for _, pc := range calls {
+		resp, err := pc.Wait()
 		if err != nil {
+			continue
+		}
+		st, derr := decodeEpochState(wire.NewDecoder(resp.Payload))
+		resp.Release()
+		if derr != nil {
 			continue
 		}
 		if st.Epoch == epoch && st.Holder == holder {

@@ -162,29 +162,42 @@ type replicaResult struct {
 	err  error
 }
 
-// fanOut runs op against every replica in parallel and collects results.
+// fanOut runs one call against every replica concurrently: issue starts a
+// pipelined call per address (it must not block), then the results are
+// collected and decoded in order. Replicas sharing a connection ride the
+// same pipeline instead of paying one goroutine plus one in-flight slot
+// per call. decode sees only successful replies (the response packet is
+// released after it returns); transport errors land in replicaResult.err.
 // Per-replica health is recorded; a *wire.RemoteError counts as a response
 // (the replica is alive and answered definitively).
-func (r *ReplicaSet) fanOut(addrs []string, op func(addr string) replicaResult) []replicaResult {
-	results := make([]replicaResult, len(addrs))
-	var wg sync.WaitGroup
+func (r *ReplicaSet) fanOut(addrs []string,
+	issue func(addr string) *wire.PendingCall,
+	decode func(addr string, resp *wire.Packet) replicaResult) []replicaResult {
+	calls := make([]*wire.PendingCall, len(addrs))
 	for i, addr := range addrs {
-		wg.Add(1)
-		go func(i int, addr string) {
-			defer wg.Done()
-			res := op(addr)
-			if h := r.cfg.Health; h != nil {
-				var remote *wire.RemoteError
-				if res.err == nil || errors.As(res.err, &remote) {
-					h.Success(addr)
-				} else {
-					h.Failure(addr)
-				}
-			}
-			results[i] = res
-		}(i, addr)
+		calls[i] = issue(addr)
 	}
-	wg.Wait()
+	results := make([]replicaResult, len(addrs))
+	for i, addr := range addrs {
+		resp, err := calls[i].Wait()
+		var res replicaResult
+		if err != nil {
+			res = replicaResult{addr: addr, err: err}
+		} else {
+			res = decode(addr, resp)
+			res.addr = addr
+			resp.Release()
+		}
+		if h := r.cfg.Health; h != nil {
+			var remote *wire.RemoteError
+			if res.err == nil || errors.As(res.err, &remote) {
+				h.Success(addr)
+			} else {
+				h.Failure(addr)
+			}
+		}
+		results[i] = res
+	}
 	return results
 }
 
@@ -257,10 +270,12 @@ func (r *ReplicaSet) Delete(name string) error {
 func (r *ReplicaSet) nextVersion(tc wire.TraceContext, name string) uint64 {
 	addrs, _, _ := r.quorums()
 	var high uint64
-	for _, res := range r.fanOut(addrs, func(addr string) replicaResult {
-		o, _, err := pullObject(r.wc, addr, name, tc, r.cfg.Timeout)
-		return replicaResult{addr: addr, obj: o, err: err}
-	}) {
+	for _, res := range r.fanOut(addrs,
+		func(addr string) *wire.PendingCall { return goPull(r.wc, addr, name, tc, r.cfg.Timeout) },
+		func(addr string, resp *wire.Packet) replicaResult {
+			o, _, err := decodePull(resp)
+			return replicaResult{obj: o, err: err}
+		}) {
 		if res.err == nil && res.obj != nil && res.obj.Version > high {
 			high = res.obj.Version
 		}
@@ -282,10 +297,12 @@ func (r *ReplicaSet) nextVersion(tc wire.TraceContext, name string) uint64 {
 func (r *ReplicaSet) quorumWrite(tc wire.TraceContext, o *Object) (acks, n, w int, err error) {
 	addrs, w, _ := r.quorums()
 	var rejection error
-	for _, res := range r.fanOut(addrs, func(addr string) replicaResult {
-		_, cur, err := storeAt(r.wc, addr, o, tc, r.cfg.Timeout)
-		return replicaResult{addr: addr, ver: cur, err: err}
-	}) {
+	for _, res := range r.fanOut(addrs,
+		func(addr string) *wire.PendingCall { return goStoreAt(r.wc, addr, o, tc, r.cfg.Timeout) },
+		func(addr string, resp *wire.Packet) replicaResult {
+			_, cur, err := decodeStoreAt(resp)
+			return replicaResult{ver: cur, err: err}
+		}) {
 		if res.err == nil {
 			acks++
 			continue
@@ -331,10 +348,12 @@ func (r *ReplicaSet) FetchCtx(tc wire.TraceContext, name string) (*Object, bool,
 func (r *ReplicaSet) fetch(tc wire.TraceContext, name string) (*Object, bool, error) {
 	r.FlushSpool()
 	addrs, _, readQuorum := r.quorums()
-	results := r.fanOut(addrs, func(addr string) replicaResult {
-		o, _, err := pullObject(r.wc, addr, name, tc, r.cfg.Timeout)
-		return replicaResult{addr: addr, obj: o, err: err}
-	})
+	results := r.fanOut(addrs,
+		func(addr string) *wire.PendingCall { return goPull(r.wc, addr, name, tc, r.cfg.Timeout) },
+		func(addr string, resp *wire.Packet) replicaResult {
+			o, _, err := decodePull(resp)
+			return replicaResult{obj: o, err: err}
+		})
 	responders := 0
 	var freshest *Object
 	for _, res := range results {
@@ -391,22 +410,22 @@ func (r *ReplicaSet) List() ([]string, error) {
 	addrs, _, _ := r.quorums()
 	seen := make(map[string]DigestEntry)
 	responders := 0
-	for _, res := range r.fanOut(addrs, func(addr string) replicaResult {
-		dig, err := fetchDigest(r.wc, addr, wire.TraceContext{}, r.cfg.Timeout)
-		if err != nil {
-			return replicaResult{addr: addr, err: err}
-		}
-		// Smuggle the digest through obj-less results by merging here:
-		// fanOut runs ops concurrently, so guard the shared map.
-		r.mu.Lock()
-		for _, ent := range dig {
-			if cur, ok := seen[ent.Name]; !ok || ent.supersedes(cur) {
-				seen[ent.Name] = ent
+	for _, res := range r.fanOut(addrs,
+		func(addr string) *wire.PendingCall { return goDigest(r.wc, addr, wire.TraceContext{}, r.cfg.Timeout) },
+		func(addr string, resp *wire.Packet) replicaResult {
+			dig, err := decodeDigest(resp)
+			if err != nil {
+				return replicaResult{err: err}
 			}
-		}
-		r.mu.Unlock()
-		return replicaResult{addr: addr}
-	}) {
+			// decode callbacks run sequentially in the collect loop, so the
+			// shared map needs no lock.
+			for _, ent := range dig {
+				if cur, ok := seen[ent.Name]; !ok || ent.supersedes(cur) {
+					seen[ent.Name] = ent
+				}
+			}
+			return replicaResult{}
+		}) {
 		if res.err == nil {
 			responders++
 		}
@@ -496,16 +515,39 @@ func PullObject(wc *wire.Client, addr, name string, timeout time.Duration) (*Obj
 
 // --- replication-plane client calls (shared with anti-entropy) ---
 
-// storeAt sends a versioned replica write and decodes (applied, current
-// version). tc, when valid, rides the packet so the per-replica write
-// appears in the caller's trace tree.
-func storeAt(wc *wire.Client, addr string, o *Object, tc wire.TraceContext, timeout time.Duration) (bool, uint64, error) {
-	var e wire.Encoder
-	putObject(&e, o)
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgStoreAt, Payload: e.Bytes(), Trace: tc}, timeout)
-	if err != nil {
-		return false, 0, err
-	}
+// objMessage adapts a replication-plane Object to wire.Message, reserving
+// its full encoded size in one grow.
+type objMessage struct{ o *Object }
+
+func (m objMessage) EncodeWire(e *wire.Encoder) {
+	o := m.o
+	e.Grow(21 + len(o.Name) + len(o.Class) + len(o.Data))
+	putObject(e, o)
+}
+
+// goStoreAt issues a pipelined versioned replica write.
+func goStoreAt(wc *wire.Client, addr string, o *Object, tc wire.TraceContext, timeout time.Duration) *wire.PendingCall {
+	req := wire.NewRequest(MsgStoreAt, objMessage{o})
+	req.Trace = tc
+	return wc.Go(addr, req, timeout)
+}
+
+// goPull issues a pipelined replication-plane read.
+func goPull(wc *wire.Client, addr, name string, tc wire.TraceContext, timeout time.Duration) *wire.PendingCall {
+	req := wire.NewRequest(MsgPull, wire.MessageFunc(func(e *wire.Encoder) { e.PutString(name) }))
+	req.Trace = tc
+	return wc.Go(addr, req, timeout)
+}
+
+// goDigest issues a pipelined digest fetch.
+func goDigest(wc *wire.Client, addr string, tc wire.TraceContext, timeout time.Duration) *wire.PendingCall {
+	req := wire.NewRequest(MsgDigest, nil)
+	req.Trace = tc
+	return wc.Go(addr, req, timeout)
+}
+
+// decodeStoreAt decodes a MsgStoreAt reply: (applied, current version).
+func decodeStoreAt(resp *wire.Packet) (bool, uint64, error) {
 	d := wire.NewDecoder(resp.Payload)
 	applied, err := d.Bool()
 	if err != nil {
@@ -515,14 +557,9 @@ func storeAt(wc *wire.Client, addr string, o *Object, tc wire.TraceContext, time
 	return applied, cur, err
 }
 
-// pullObject fetches a replication-plane record (tombstones included).
-func pullObject(wc *wire.Client, addr, name string, tc wire.TraceContext, timeout time.Duration) (*Object, bool, error) {
-	var e wire.Encoder
-	e.PutString(name)
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgPull, Payload: e.Bytes(), Trace: tc}, timeout)
-	if err != nil {
-		return nil, false, err
-	}
+// decodePull decodes a MsgPull reply. The object's data is copied out of
+// the packet buffer, so it outlives the packet's release.
+func decodePull(resp *wire.Packet) (*Object, bool, error) {
 	d := wire.NewDecoder(resp.Payload)
 	found, err := d.Bool()
 	if err != nil || !found {
@@ -535,12 +572,8 @@ func pullObject(wc *wire.Client, addr, name string, tc wire.TraceContext, timeou
 	return o, true, nil
 }
 
-// fetchDigest retrieves a replica's full digest.
-func fetchDigest(wc *wire.Client, addr string, tc wire.TraceContext, timeout time.Duration) ([]DigestEntry, error) {
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgDigest, Trace: tc}, timeout)
-	if err != nil {
-		return nil, err
-	}
+// decodeDigest decodes a MsgDigest reply.
+func decodeDigest(resp *wire.Packet) ([]DigestEntry, error) {
 	d := wire.NewDecoder(resp.Payload)
 	n, err := d.Count(14) // name len(4) + version(8) + crc(4) is >14; floor is fine
 	if err != nil {
@@ -564,4 +597,43 @@ func fetchDigest(wc *wire.Client, addr string, tc wire.TraceContext, timeout tim
 		out = append(out, ent)
 	}
 	return out, nil
+}
+
+// storeAt sends a versioned replica write and decodes (applied, current
+// version) — the synchronous form, retrying under the client's policy.
+// tc, when valid, rides the packet so the per-replica write appears in
+// the caller's trace tree.
+func storeAt(wc *wire.Client, addr string, o *Object, tc wire.TraceContext, timeout time.Duration) (bool, uint64, error) {
+	req := wire.NewRequest(MsgStoreAt, objMessage{o})
+	req.Trace = tc
+	resp, err := wc.Call(addr, req, timeout)
+	if err != nil {
+		return false, 0, err
+	}
+	defer resp.Release()
+	return decodeStoreAt(resp)
+}
+
+// pullObject fetches a replication-plane record (tombstones included).
+func pullObject(wc *wire.Client, addr, name string, tc wire.TraceContext, timeout time.Duration) (*Object, bool, error) {
+	req := wire.NewRequest(MsgPull, wire.MessageFunc(func(e *wire.Encoder) { e.PutString(name) }))
+	req.Trace = tc
+	resp, err := wc.Call(addr, req, timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Release()
+	return decodePull(resp)
+}
+
+// fetchDigest retrieves a replica's full digest.
+func fetchDigest(wc *wire.Client, addr string, tc wire.TraceContext, timeout time.Duration) ([]DigestEntry, error) {
+	req := wire.NewRequest(MsgDigest, nil)
+	req.Trace = tc
+	resp, err := wc.Call(addr, req, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Release()
+	return decodeDigest(resp)
 }

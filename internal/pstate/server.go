@@ -697,9 +697,9 @@ func (s *Server) handleStore(_ string, req *wire.Packet) (*wire.Packet, error) {
 	if err != nil {
 		return nil, err
 	}
-	var e wire.Encoder
-	e.PutUint64(ver)
-	return &wire.Packet{Type: MsgStore, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgStore, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint64(ver)
+	})), nil
 }
 
 func (s *Server) handleFetch(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -709,27 +709,27 @@ func (s *Server) handleFetch(_ string, req *wire.Packet) (*wire.Packet, error) {
 		return nil, err
 	}
 	o := s.Fetch(name)
-	var e wire.Encoder
-	if o == nil {
-		e.PutBool(false)
-	} else {
+	return wire.Reply(MsgFetch, wire.MessageFunc(func(e *wire.Encoder) {
+		if o == nil {
+			e.PutBool(false)
+			return
+		}
 		e.PutBool(true)
 		e.PutString(o.Name)
 		e.PutString(o.Class)
 		e.PutUint64(o.Version)
 		e.PutBytes(o.Data)
-	}
-	return &wire.Packet{Type: MsgFetch, Payload: e.Bytes()}, nil
+	})), nil
 }
 
 func (s *Server) handleList(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	names := s.Names()
-	var e wire.Encoder
-	e.PutUint32(uint32(len(names)))
-	for _, n := range names {
-		e.PutString(n)
-	}
-	return &wire.Packet{Type: MsgList, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgList, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(names)))
+		for _, n := range names {
+			e.PutString(n)
+		}
+	})), nil
 }
 
 func (s *Server) handleDelete(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -741,15 +741,15 @@ func (s *Server) handleDelete(_ string, req *wire.Packet) (*wire.Packet, error) 
 	if err := s.Delete(name); err != nil {
 		return nil, err
 	}
-	return &wire.Packet{Type: MsgDelete}, nil
+	return wire.Reply(MsgDelete, nil), nil
 }
 
 func (s *Server) handleUsage(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	used, quota := s.Usage()
-	var e wire.Encoder
-	e.PutInt64(used)
-	e.PutInt64(quota)
-	return &wire.Packet{Type: MsgUsage, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgUsage, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutInt64(used)
+		e.PutInt64(quota)
+	})), nil
 }
 
 // putObject encodes an object for the replication plane: name, class,
@@ -795,23 +795,23 @@ func (s *Server) handleStoreAt(_ string, req *wire.Packet) (*wire.Packet, error)
 	if err != nil {
 		return nil, err
 	}
-	var e wire.Encoder
-	e.PutBool(applied)
-	e.PutUint64(cur)
-	return &wire.Packet{Type: MsgStoreAt, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgStoreAt, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutBool(applied)
+		e.PutUint64(cur)
+	})), nil
 }
 
 func (s *Server) handleDigest(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	dig := s.Digest()
-	var e wire.Encoder
-	e.PutUint32(uint32(len(dig)))
-	for _, ent := range dig {
-		e.PutString(ent.Name)
-		e.PutUint64(ent.Version)
-		e.PutUint32(ent.CRC)
-		e.PutBool(ent.Tombstone)
-	}
-	return &wire.Packet{Type: MsgDigest, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgDigest, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(dig)))
+		for _, ent := range dig {
+			e.PutString(ent.Name)
+			e.PutUint64(ent.Version)
+			e.PutUint32(ent.CRC)
+			e.PutBool(ent.Tombstone)
+		}
+	})), nil
 }
 
 func (s *Server) handlePull(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -820,22 +820,22 @@ func (s *Server) handlePull(_ string, req *wire.Packet) (*wire.Packet, error) {
 		return nil, err
 	}
 	o := s.Pull(pname)
-	var e wire.Encoder
-	if o == nil {
-		e.PutBool(false)
-	} else {
+	return wire.Reply(MsgPull, wire.MessageFunc(func(e *wire.Encoder) {
+		if o == nil {
+			e.PutBool(false)
+			return
+		}
 		e.PutBool(true)
-		putObject(&e, o)
-	}
-	return &wire.Packet{Type: MsgPull, Payload: e.Bytes()}, nil
+		putObject(e, o)
+	})), nil
 }
 
 func (s *Server) handleSyncNow(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	n, err := s.SyncNow()
-	var e wire.Encoder
-	e.PutUint32(uint32(n))
-	e.PutBool(err == nil)
-	return &wire.Packet{Type: MsgSyncNow, Payload: e.Bytes()}, nil
+	return wire.Reply(MsgSyncNow, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(n))
+		e.PutBool(err == nil)
+	})), nil
 }
 
 func (s *Server) handleSetPeers(_ string, req *wire.Packet) (*wire.Packet, error) {
@@ -854,7 +854,7 @@ func (s *Server) handleSetPeers(_ string, req *wire.Packet) (*wire.Packet, error
 	}
 	s.SetPeers(peers)
 	s.metrics.Gauge("pstate.peers").Set(int64(len(peers)))
-	return &wire.Packet{Type: MsgSetPeers}, nil
+	return wire.Reply(MsgSetPeers, nil), nil
 }
 
 // SyncNowAt forces one anti-entropy round on a remote replica — the
@@ -862,10 +862,11 @@ func (s *Server) handleSetPeers(_ string, req *wire.Packet) (*wire.Packet, error
 // the records transferred and whether the round completed without peer
 // errors.
 func SyncNowAt(wc *wire.Client, addr string, timeout time.Duration) (int, error) {
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgSyncNow}, timeout)
+	resp, err := wc.Call(addr, wire.NewRequest(MsgSyncNow, nil), timeout)
 	if err != nil {
 		return 0, err
 	}
+	defer resp.Release()
 	d := wire.NewDecoder(resp.Payload)
 	n, err := d.Uint32()
 	if err != nil {
@@ -885,11 +886,10 @@ func SyncNowAt(wc *wire.Client, addr string, timeout time.Duration) (int, error)
 // the control plane installs a post-promotion roster without restarting
 // the replica.
 func SetPeersAt(wc *wire.Client, addr string, peers []string, timeout time.Duration) error {
-	var e wire.Encoder
-	e.PutUint32(uint32(len(peers)))
-	for _, p := range peers {
-		e.PutString(p)
-	}
-	_, err := wc.Call(addr, &wire.Packet{Type: MsgSetPeers, Payload: e.Bytes()}, timeout)
-	return err
+	return wc.CallMsg(addr, MsgSetPeers, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutUint32(uint32(len(peers)))
+		for _, p := range peers {
+			e.PutString(p)
+		}
+	}), nil, timeout)
 }

@@ -30,81 +30,131 @@ type BatchEntry struct {
 	Dir Directive
 }
 
+// ReportBatch is a coalesced report batch as a wire message. Each report
+// rides as a length-prefixed nested frame (the prefix is computed from
+// the report's exact size, so the batch encodes in place with no scratch
+// buffers).
+type ReportBatch []Report
+
+// EncodeWire implements wire.Message.
+func (rs ReportBatch) EncodeWire(e *wire.Encoder) {
+	n := 4
+	for _, r := range rs {
+		n += 4 + reportSize(r)
+	}
+	e.Grow(n)
+	e.PutUint32(uint32(len(rs)))
+	for _, r := range rs {
+		e.PutUint32(uint32(reportSize(r)))
+		r.EncodeWire(e)
+	}
+}
+
+// DecodeWire implements wire.Decodable. Each nested frame is viewed in
+// place and parsed by DecodeReport, which copies the byte fields it keeps.
+func (rs *ReportBatch) DecodeWire(d *wire.Decoder) error {
+	n, err := d.Count(4)
+	if err != nil {
+		return err
+	}
+	out := make([]Report, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := d.BytesView()
+		if err != nil {
+			return err
+		}
+		r, err := DecodeReport(b)
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+	}
+	*rs = out
+	return nil
+}
+
 // EncodeReportBatch serializes a report batch.
 func EncodeReportBatch(reports []Report) []byte {
 	var e wire.Encoder
-	e.PutUint32(uint32(len(reports)))
-	for _, r := range reports {
-		e.PutBytes(EncodeReport(r))
-	}
+	ReportBatch(reports).EncodeWire(&e)
 	return e.Bytes()
 }
 
 // DecodeReportBatch parses a report batch.
 func DecodeReportBatch(p []byte) ([]Report, error) {
-	d := wire.NewDecoder(p)
-	n, err := d.Count(4)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Report, 0, n)
-	for i := 0; i < n; i++ {
-		b, err := d.Bytes()
-		if err != nil {
-			return nil, err
-		}
-		r, err := DecodeReport(b)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	var rs ReportBatch
+	err := rs.DecodeWire(wire.NewDecoder(p))
+	return rs, err
 }
 
-// EncodeBatchReply serializes the per-report answers.
-func EncodeBatchReply(entries []BatchEntry) []byte {
-	var e wire.Encoder
-	e.PutUint32(uint32(len(entries)))
-	for _, en := range entries {
+// BatchReply is the per-report answer list as a wire message.
+type BatchReply []BatchEntry
+
+// EncodeWire implements wire.Message.
+func (es BatchReply) EncodeWire(e *wire.Encoder) {
+	n := 4
+	for _, en := range es {
+		n += 1 + 4 + directiveSize(en.Dir)
+	}
+	e.Grow(n)
+	e.PutUint32(uint32(len(es)))
+	for _, en := range es {
 		e.PutBool(en.Shed)
-		e.PutBytes(EncodeDirective(en.Dir))
+		e.PutUint32(uint32(directiveSize(en.Dir)))
+		en.Dir.EncodeWire(e)
 	}
-	return e.Bytes()
 }
 
-// DecodeBatchReply parses the per-report answers.
-func DecodeBatchReply(p []byte) ([]BatchEntry, error) {
-	d := wire.NewDecoder(p)
+// DecodeWire implements wire.Decodable.
+func (es *BatchReply) DecodeWire(d *wire.Decoder) error {
 	n, err := d.Count(5)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	out := make([]BatchEntry, 0, n)
 	for i := 0; i < n; i++ {
 		var en BatchEntry
 		if en.Shed, err = d.Bool(); err != nil {
-			return nil, err
+			return err
 		}
-		b, err := d.Bytes()
+		b, err := d.BytesView()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if en.Dir, err = DecodeDirective(b); err != nil {
-			return nil, err
+			return err
 		}
 		out = append(out, en)
 	}
-	return out, nil
+	*es = out
+	return nil
+}
+
+// EncodeBatchReply serializes the per-report answers.
+func EncodeBatchReply(entries []BatchEntry) []byte {
+	var e wire.Encoder
+	BatchReply(entries).EncodeWire(&e)
+	return e.Bytes()
+}
+
+// DecodeBatchReply parses the per-report answers.
+func DecodeBatchReply(p []byte) ([]BatchEntry, error) {
+	var es BatchReply
+	err := es.DecodeWire(wire.NewDecoder(p))
+	return es, err
 }
 
 // SendReportBatch delivers a coalesced report batch to one scheduler
 // shard and returns the per-report answers — the gateway half of the
-// aggregation layer.
+// aggregation layer. The batch encodes into a pooled request buffer and
+// the reply buffer is released after decoding.
 func SendReportBatch(wc *wire.Client, addr string, reports []Report, timeout time.Duration) ([]BatchEntry, error) {
-	resp, err := wc.Call(addr, &wire.Packet{Type: MsgReportBatch, Payload: EncodeReportBatch(reports)}, timeout)
+	resp, err := wc.Call(addr, wire.NewRequest(MsgReportBatch, ReportBatch(reports)), timeout)
 	if err != nil {
 		return nil, err
 	}
-	return DecodeBatchReply(resp.Payload)
+	var entries BatchReply
+	derr := resp.Decode(&entries)
+	resp.Release()
+	return entries, derr
 }

@@ -177,7 +177,6 @@ func (r *Runner) Stopped() bool { return r.stopped }
 // any alternative is alive (they are re-probed after the cooldown, and
 // rejoin instantly on a roster update).
 func (r *Runner) report(rep Report) (Directive, error) {
-	payload := EncodeReport(rep)
 	// Each report roots a new trace: the call below propagates the root's
 	// context, so retries, fail-over hops, the scheduler's decision, and
 	// the forecast read underneath all land in one tree.
@@ -189,7 +188,11 @@ func (r *Runner) report(rep Report) (Directive, error) {
 		key := forecast.Key{Resource: addr, Event: "report"}
 		to := r.cfg.ReportTimeoutPolicy.Timeout(key)
 		start := time.Now()
-		resp, err := r.wc.Call(addr, &wire.Packet{Type: MsgReport, Payload: payload, Trace: root.Context()}, to)
+		// Call takes ownership of the request packet (it returns the
+		// buffer to the pool), so every fail-over attempt encodes afresh.
+		req := wire.NewRequest(MsgReport, rep)
+		req.Trace = root.Context()
+		resp, err := r.wc.Call(addr, req, to)
 		if err != nil {
 			// A timed-out attempt took at least the full interval: record
 			// it at the timeout value so the next interval adapts upward.
@@ -212,7 +215,10 @@ func (r *Runner) report(rep Report) (Directive, error) {
 		}
 		root.Annotate("sched", addr)
 		root.End("ok")
-		return DecodeDirective(resp.Payload)
+		var dr Directive
+		derr := resp.Decode(&dr)
+		resp.Release()
+		return dr, derr
 	}
 	r.cfg.Metrics.Counter("sched.client.report.fail").Inc()
 	root.End("error")

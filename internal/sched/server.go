@@ -480,8 +480,11 @@ func (s *Server) forwardPerf(tc wire.TraceContext, r Report, rate float64) {
 		Line:   perfLine(r, rate),
 	}
 	go func() {
-		_, _ = s.wc.Call(s.cfg.LogAddr,
-			&wire.Packet{Type: logsvc.MsgAppend, Payload: logsvc.EncodeEntry(en), Trace: tc}, 2*time.Second)
+		req := wire.NewRequest(logsvc.MsgAppend, en)
+		req.Trace = tc
+		if resp, err := s.wc.Call(s.cfg.LogAddr, req, 2*time.Second); err == nil {
+			resp.Release()
+		}
 	}()
 }
 
@@ -495,7 +498,7 @@ func (s *Server) handleReport(_ string, req *wire.Packet) (*wire.Packet, error) 
 		return nil, err
 	}
 	dr, _ := s.TryHandle(req.Trace, r)
-	return &wire.Packet{Type: MsgReport, Payload: EncodeDirective(dr)}, nil
+	return wire.Reply(MsgReport, dr), nil
 }
 
 // handleReportBatch answers a gateway's coalesced report batch: every
@@ -514,15 +517,16 @@ func (s *Server) handleReportBatch(_ string, req *wire.Packet) (*wire.Packet, er
 		dr, shed := s.TryHandle(req.Trace, r)
 		entries = append(entries, BatchEntry{Shed: shed, Dir: dr})
 	}
-	return &wire.Packet{Type: MsgReportBatch, Payload: EncodeBatchReply(entries)}, nil
+	return wire.Reply(MsgReportBatch, BatchReply(entries)), nil
 }
 
 func (s *Server) handleStats(_ string, _ *wire.Packet) (*wire.Packet, error) {
 	reports, migrations, clients := s.Stats()
-	var e wire.Encoder
-	e.PutInt64(reports)
-	e.PutInt64(migrations)
-	e.PutUint32(uint32(clients))
-	e.PutUint32(uint32(len(s.Found())))
-	return &wire.Packet{Type: MsgStats, Payload: e.Bytes()}, nil
+	found := len(s.Found())
+	return wire.Reply(MsgStats, wire.MessageFunc(func(e *wire.Encoder) {
+		e.PutInt64(reports)
+		e.PutInt64(migrations)
+		e.PutUint32(uint32(clients))
+		e.PutUint32(uint32(found))
+	})), nil
 }

@@ -62,6 +62,13 @@ func EncodeWorkUnit(w WorkUnit) []byte {
 	return e.Bytes()
 }
 
+// workUnitSize is the exact encoded size of w — the batch framing
+// length-prefixes nested records, so sizes must be computable without a
+// scratch encoding.
+func workUnitSize(w WorkUnit) int {
+	return 8 + 4 + 4 + 4 + len(w.Heuristic) + 8 + 8 + 4 + len(w.State)
+}
+
 func encodeWorkUnitInto(e *wire.Encoder, w WorkUnit) {
 	e.PutUint64(w.ID)
 	e.PutUint32(uint32(w.N))
@@ -102,12 +109,13 @@ func decodeWorkUnitFrom(d *wire.Decoder) (WorkUnit, error) {
 	if w.Steps, err = d.Int64(); err != nil {
 		return w, err
 	}
+	// Bytes copies out of the packet buffer already; keep nil for empty.
 	st, err := d.Bytes()
 	if err != nil {
 		return w, err
 	}
 	if len(st) > 0 {
-		w.State = append([]byte(nil), st...)
+		w.State = st
 	}
 	return w, nil
 }
@@ -137,9 +145,15 @@ type Report struct {
 	State []byte
 }
 
-// EncodeReport serializes a report.
-func EncodeReport(r Report) []byte {
-	var e wire.Encoder
+// reportSize is the exact encoded size of r.
+func reportSize(r Report) int {
+	return 4 + len(r.ClientID) + 4 + len(r.Infra) + 8 + 8 + 8 + 4 + 8 + 1 + 4 + len(r.State)
+}
+
+// EncodeWire implements wire.Message: the report encodes in place into a
+// pooled request buffer, reserving its full size once.
+func (r Report) EncodeWire(e *wire.Encoder) {
+	e.Grow(reportSize(r))
 	e.PutString(r.ClientID)
 	e.PutString(r.Infra)
 	e.PutUint64(r.WorkID)
@@ -149,6 +163,13 @@ func EncodeReport(r Report) []byte {
 	e.PutInt64(r.Iterations)
 	e.PutBool(r.Found)
 	e.PutBytes(r.State)
+}
+
+// EncodeReport serializes a report into a fresh buffer (non-pooled callers
+// and tests; the hot path encodes via EncodeWire).
+func EncodeReport(r Report) []byte {
+	var e wire.Encoder
+	r.EncodeWire(&e)
 	return e.Bytes()
 }
 
@@ -183,12 +204,13 @@ func DecodeReport(p []byte) (Report, error) {
 	if r.Found, err = d.Bool(); err != nil {
 		return r, err
 	}
+	// Bytes copies out of the packet buffer already; keep nil for empty.
 	st, err := d.Bytes()
 	if err != nil {
 		return r, err
 	}
 	if len(st) > 0 {
-		r.State = append([]byte(nil), st...)
+		r.State = st
 	}
 	return r, nil
 }
@@ -220,27 +242,45 @@ type Directive struct {
 	Work WorkUnit
 }
 
+// directiveSize is the exact encoded size of dr.
+func directiveSize(dr Directive) int {
+	return 1 + 8 + workUnitSize(dr.Work)
+}
+
+// EncodeWire implements wire.Message: the directive encodes in place into
+// a pooled reply buffer, reserving its full size once.
+func (dr Directive) EncodeWire(e *wire.Encoder) {
+	e.Grow(directiveSize(dr))
+	e.PutUint8(uint8(dr.Kind))
+	e.PutInt64(dr.Steps)
+	encodeWorkUnitInto(e, dr.Work)
+}
+
+// DecodeWire implements wire.Decodable. Nested byte fields are copied out
+// of the packet buffer, so the directive outlives the packet.
+func (dr *Directive) DecodeWire(d *wire.Decoder) error {
+	k, err := d.Uint8()
+	if err != nil {
+		return err
+	}
+	dr.Kind = DirectiveKind(k)
+	if dr.Steps, err = d.Int64(); err != nil {
+		return err
+	}
+	dr.Work, err = decodeWorkUnitFrom(d)
+	return err
+}
+
 // EncodeDirective serializes a directive.
 func EncodeDirective(dr Directive) []byte {
 	var e wire.Encoder
-	e.PutUint8(uint8(dr.Kind))
-	e.PutInt64(dr.Steps)
-	encodeWorkUnitInto(&e, dr.Work)
+	dr.EncodeWire(&e)
 	return e.Bytes()
 }
 
 // DecodeDirective parses a directive.
 func DecodeDirective(p []byte) (Directive, error) {
-	d := wire.NewDecoder(p)
 	var dr Directive
-	k, err := d.Uint8()
-	if err != nil {
-		return dr, err
-	}
-	dr.Kind = DirectiveKind(k)
-	if dr.Steps, err = d.Int64(); err != nil {
-		return dr, err
-	}
-	dr.Work, err = decodeWorkUnitFrom(d)
+	err := dr.DecodeWire(wire.NewDecoder(p))
 	return dr, err
 }

@@ -271,6 +271,23 @@ var standardColumns = []tableColumn{
 		}
 		return sm.Hist.Quantile(0.95).Round(time.Millisecond / 10).String()
 	}},
+	// Pooled wire hot path health: cumulative buffer-pool gets, buffers
+	// currently checked out (get − put; a steadily climbing value means
+	// packets are never released), the miss rate (a Get that found its
+	// pool empty and allocated), and the pipelined calls currently holding
+	// an in-flight window slot.
+	{"pool", func(s Snapshot) string { return count(s.Value("wire.pool.get")) }},
+	{"held", func(s Snapshot) string {
+		return count(s.Value("wire.pool.get") - s.Value("wire.pool.put"))
+	}},
+	{"miss%", func(s Snapshot) string {
+		gets := s.Value("wire.pool.get")
+		if gets == 0 {
+			return ""
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(s.Value("wire.pool.miss"))/float64(gets))
+	}},
+	{"inflight", func(s Snapshot) string { return count(s.Value("wire.pipeline.inflight")) }},
 }
 
 // RenderTable renders one row per polled daemon with the curated column

@@ -59,31 +59,41 @@ func BenchmarkPacketWriteRead(b *testing.B) {
 	}
 }
 
-// benchEchoService stands up an echo Service on the given transport and
-// returns its address plus a connected client.
-func benchEchoService(b *testing.B, tr Transport) (string, *Client) {
-	b.Helper()
-	const msgEcho MsgType = 200
+// benchEchoMsg is the message type of the benchmark echo service.
+const benchEchoMsg MsgType = 200
+
+// newEchoService stands up an echo Service on the given transport and
+// returns its address plus a connected client. The handler echoes on the
+// pooled path: the reply encodes the request payload straight into a
+// pooled buffer, so a steady-state round trip allocates nothing
+// server-side.
+func newEchoService(tb testing.TB, tr Transport) (string, *Client) {
+	tb.Helper()
 	svc := NewService(ServiceConfig{ListenAddr: "127.0.0.1:0", Transport: tr, Silent: true})
-	svc.Handle(msgEcho, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
-		return &Packet{Type: msgEcho, Payload: req.Payload}, nil
+	svc.Handle(benchEchoMsg, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
+		return NewRawRequest(benchEchoMsg, req.Payload), nil
 	}))
 	addr, err := svc.Start()
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	b.Cleanup(func() { svc.Close() })
+	tb.Cleanup(func() { svc.Close() })
 	return addr, svc.Client()
 }
 
 func benchRoundTrip(b *testing.B, tr Transport) {
-	addr, c := benchEchoService(b, tr)
+	addr, c := newEchoService(b, tr)
 	payload := make([]byte, 128)
+	// Hoisted as a Message so the interface box is paid once, not per call.
+	var msg Message = RawMessage(payload)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Call(addr, &Packet{Type: 200, Payload: payload}, time.Second); err != nil {
+		resp, err := c.Call(addr, NewRequest(benchEchoMsg, msg), time.Second)
+		if err != nil {
 			b.Fatal(err)
 		}
+		resp.Release()
 	}
 }
 
@@ -102,14 +112,18 @@ func BenchmarkRoundTripMem(b *testing.B) { benchRoundTrip(b, NewMemTransport()) 
 func BenchmarkLoopbackRoundTrip(b *testing.B) { benchRoundTrip(b, TCP) }
 
 func benchConcurrentCalls(b *testing.B, tr Transport) {
-	addr, c := benchEchoService(b, tr)
+	addr, c := newEchoService(b, tr)
 	payload := make([]byte, 128)
+	var msg Message = RawMessage(payload)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := c.Call(addr, &Packet{Type: 200, Payload: payload}, time.Second); err != nil {
+			resp, err := c.Call(addr, NewRequest(benchEchoMsg, msg), time.Second)
+			if err != nil {
 				b.Fatal(err)
 			}
+			resp.Release()
 		}
 	})
 }
@@ -122,3 +136,41 @@ func BenchmarkConcurrentCallsTCP(b *testing.B) { benchConcurrentCalls(b, TCP) }
 // BenchmarkConcurrentCallsMem is the same demux throughput measurement
 // over the in-memory transport.
 func BenchmarkConcurrentCallsMem(b *testing.B) { benchConcurrentCalls(b, NewMemTransport()) }
+
+// benchPipelined drives windows of Client.Go calls from a single
+// goroutine: all requests in a window hit the stream before the first
+// reply is awaited, so the cost per call approaches one packet
+// serialization instead of one full round trip.
+func benchPipelined(b *testing.B, tr Transport) {
+	addr, c := newEchoService(b, tr)
+	payload := make([]byte, 128)
+	var msg Message = RawMessage(payload)
+	const depth = 16
+	calls := make([]*PendingCall, depth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += depth {
+		n := depth
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			calls[j] = c.Go(addr, NewRequest(benchEchoMsg, msg), time.Second)
+		}
+		for j := 0; j < n; j++ {
+			resp, err := calls[j].Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Release()
+		}
+	}
+}
+
+// BenchmarkPipelinedCallsTCP measures the per-call cost with 16 calls in
+// flight on one TCP connection.
+func BenchmarkPipelinedCallsTCP(b *testing.B) { benchPipelined(b, TCP) }
+
+// BenchmarkPipelinedCallsMem is the same measurement over the in-memory
+// transport.
+func BenchmarkPipelinedCallsMem(b *testing.B) { benchPipelined(b, NewMemTransport()) }

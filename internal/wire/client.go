@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"everyware/internal/telemetry"
@@ -46,6 +47,13 @@ type Client struct {
 	// never starts a trace itself — roots belong to domain operations.
 	// Nil propagates req.Trace unchanged and records nothing.
 	Tracer Tracer
+	// Window bounds pipelined in-flight calls per connection (0 means
+	// DefaultWindow). Applied to connections as they are dialed.
+	Window int
+
+	// callFam caches the "wire.client.call" span family so the hot path
+	// records latency without per-call name concatenation.
+	callFam atomic.Pointer[telemetry.SpanFamily]
 }
 
 // NewClient returns a Client with the given connect timeout.
@@ -73,8 +81,23 @@ func (c *Client) conn(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	cc.Window = c.Window
 	c.conns[addr] = cc
 	return cc, nil
+}
+
+// callSpan starts a span from the cached "wire.client.call" family,
+// creating the family on first use once Metrics is set.
+func (c *Client) callSpan() telemetry.FamilySpan {
+	f := c.callFam.Load()
+	if f == nil {
+		if c.Metrics == nil {
+			return telemetry.FamilySpan{}
+		}
+		f = c.Metrics.SpanFamily("wire.client.call")
+		c.callFam.Store(f)
+	}
+	return f.Start()
 }
 
 func (c *Client) drop(addr string) {
@@ -100,8 +123,14 @@ func (c *Client) drop(addr string) {
 //     idempotent types (without one, the caller's forecaster owns the
 //     timeout ladder, as in the original design);
 //   - a *RemoteError is a definitive answer and never retries.
+//
+// Call takes ownership of a pooled req (one built with NewRequest): the
+// packet is released once the retry ladder is done with it, whatever the
+// outcome. Plain &Packet{} literals are untouched. The returned response
+// is pooled; the caller releases it after decoding (callers that never
+// release are correct but bypass the pools).
 func (c *Client) Call(addr string, req *Packet, timeout time.Duration) (*Packet, error) {
-	sp := c.Metrics.StartSpan("wire.client.call")
+	sp := c.callSpan()
 	var call ActiveSpan
 	// Only sampled contexts get call/attempt spans: an unsampled trace
 	// records nothing anywhere by design, so the fast path pays for the
@@ -111,6 +140,7 @@ func (c *Client) Call(addr string, req *Packet, timeout time.Duration) (*Packet,
 		call.Annotate("addr", addr)
 	}
 	resp, outcome, retries, err := c.call(addr, req, timeout, call)
+	req.Release() // ladder done: retransmissions, if any, are over
 	if retries > 0 {
 		c.Metrics.Counter("wire.client.retries").Add(int64(retries))
 	}
@@ -122,6 +152,58 @@ func (c *Client) Call(addr string, req *Packet, timeout time.Duration) (*Packet,
 		call.End(string(outcome))
 	}
 	return resp, err
+}
+
+// CallMsg is the pooled-contract convenience around Call: req is encoded
+// in place into a pooled buffer, the reply payload is decoded into resp
+// (skipped when resp is nil), and both packets are returned to the pools
+// before CallMsg returns. Values resp decodes must not alias the reply
+// payload — Decoder.Bytes copies for exactly this reason.
+func (c *Client) CallMsg(addr string, t MsgType, req Message, resp Decodable, timeout time.Duration) error {
+	rp, err := c.Call(addr, NewRequest(t, req), timeout)
+	if err != nil {
+		return err
+	}
+	if resp != nil {
+		err = rp.Decode(resp)
+	}
+	rp.Release()
+	return err
+}
+
+// CallMsgTraced is CallMsg for call sites that propagate a causal trace
+// context with the request.
+func (c *Client) CallMsgTraced(addr string, t MsgType, tc TraceContext, req Message, resp Decodable, timeout time.Duration) error {
+	p := NewRequest(t, req)
+	p.Trace = tc
+	rp, err := c.Call(addr, p, timeout)
+	if err != nil {
+		return err
+	}
+	if resp != nil {
+		err = rp.Decode(resp)
+	}
+	rp.Release()
+	return err
+}
+
+// Go issues req to addr asynchronously on the cached (pipelined)
+// connection and returns a PendingCall completed when the reply arrives,
+// the timeout fires, or the connection fails. Go takes ownership of req.
+// There is no retry ladder on the async path: quorum fan-out and
+// anti-entropy layers — the Go callers — own their own redundancy. A
+// connection already marked broken is redialed once before dispatch.
+func (c *Client) Go(addr string, req *Packet, timeout time.Duration) *PendingCall {
+	cc, err := c.conn(addr)
+	if err == nil && cc.Broken() != nil {
+		c.drop(addr)
+		cc, err = c.conn(addr)
+	}
+	if err != nil {
+		req.Release()
+		return failedCall(err)
+	}
+	return cc.CallAsync(req, timeout)
 }
 
 // call is the uninstrumented retry ladder. It reports the telemetry

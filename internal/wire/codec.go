@@ -51,6 +51,35 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // Reset discards all encoded data, retaining the underlying storage.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// Grow ensures capacity for at least n more encoded bytes, so a
+// Message.EncodeWire implementation that knows its encoded size reserves
+// once instead of growing append-by-append.
+func (e *Encoder) Grow(n int) {
+	if n <= 0 || cap(e.buf)-len(e.buf) >= n {
+		return
+	}
+	next := make([]byte, len(e.buf), growCap(len(e.buf), n))
+	copy(next, e.buf)
+	e.buf = next
+}
+
+// growCap doubles like append does, bounded below by the requested room.
+func growCap(used, n int) int {
+	c := 2 * used
+	if c < used+n {
+		c = used + n
+	}
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// Append appends raw pre-encoded bytes with no length prefix. It is the
+// escape hatch for payloads already in wire form (RawMessage, spooled
+// frames); everything structured should use the typed Puts.
+func (e *Encoder) Append(b []byte) { e.buf = append(e.buf, b...) }
+
 // PutUint8 appends a single byte.
 func (e *Encoder) PutUint8(v uint8) { e.buf = append(e.buf, v) }
 
@@ -80,13 +109,17 @@ func (e *Encoder) PutBool(v bool) {
 }
 
 // PutString appends a uint32 length prefix followed by the string bytes.
+// The prefix and body are reserved in one grow, not two appends.
 func (e *Encoder) PutString(s string) {
+	e.Grow(4 + len(s))
 	e.PutUint32(uint32(len(s)))
 	e.buf = append(e.buf, s...)
 }
 
 // PutBytes appends a uint32 length prefix followed by the raw bytes.
+// The prefix and body are reserved in one grow, not two appends.
 func (e *Encoder) PutBytes(b []byte) {
+	e.Grow(4 + len(b))
 	e.PutUint32(uint32(len(b)))
 	e.buf = append(e.buf, b...)
 }
@@ -100,6 +133,13 @@ type Decoder struct {
 // NewDecoder returns a Decoder reading from buf. The Decoder does not copy
 // buf; the caller must not mutate it while decoding.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset points the Decoder at buf and rewinds it, so a pooled Decoder is
+// reusable without reallocation.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+}
 
 // Remaining reports the number of undecoded bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
@@ -159,9 +199,10 @@ func (d *Decoder) Bool() (bool, error) {
 	return v != 0, err
 }
 
-// String decodes a length-prefixed string.
+// String decodes a length-prefixed string. The string conversion is
+// itself a copy, so the view never escapes.
 func (d *Decoder) String() (string, error) {
-	b, err := d.Bytes()
+	b, err := d.BytesView()
 	return string(b), err
 }
 
@@ -184,9 +225,24 @@ func (d *Decoder) Count(minBytesPerItem int) (int, error) {
 	return int(n), nil
 }
 
-// Bytes decodes a length-prefixed byte slice. The returned slice aliases
-// the Decoder's buffer.
+// Bytes decodes a length-prefixed byte slice. The returned slice is a
+// copy: since packet payloads now live in pooled buffers that are
+// released (and reused) once a handler or caller finishes, decoded data
+// must not alias them. Decoders on an audited non-escaping path use
+// BytesView instead.
 func (d *Decoder) Bytes() ([]byte, error) {
+	b, err := d.BytesView()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// BytesView decodes a length-prefixed byte slice without copying. The
+// returned slice aliases the Decoder's buffer, which for packet payloads
+// is a pooled buffer that is invalid after the packet is released — the
+// caller must fully consume (or copy) the bytes before then.
+func (d *Decoder) BytesView() ([]byte, error) {
 	n, err := d.Uint32()
 	if err != nil {
 		return nil, err

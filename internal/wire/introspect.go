@@ -129,11 +129,13 @@ func DecodeSnapshot(buf []byte) (telemetry.Snapshot, error) {
 // FetchSnapshot polls addr's metrics over the wire protocol, filtered to
 // names starting with prefix ("" for everything).
 func FetchSnapshot(c *Client, addr, prefix string, timeout time.Duration) (telemetry.Snapshot, error) {
-	e := NewEncoder(4 + len(prefix))
-	e.PutString(prefix)
-	resp, err := c.Call(addr, &Packet{Type: MsgTelemetry, Payload: e.Bytes()}, timeout)
+	req := NewRequest(MsgTelemetry, MessageFunc(func(e *Encoder) {
+		e.PutString(prefix)
+	}))
+	resp, err := c.Call(addr, req, timeout)
 	if err != nil {
 		return telemetry.Snapshot{}, err
 	}
+	defer resp.Release()
 	return DecodeSnapshot(resp.Payload)
 }

@@ -66,13 +66,52 @@ type Packet struct {
 	Tag     uint64
 	Payload []byte
 	Trace   TraceContext
+
+	// Pooled-buffer bookkeeping (see message.go). enc is the pooled
+	// Encoder whose buffer Payload aliases (requests built by
+	// NewRequest/Reply); pbuf is the pooled read buffer Payload aliases
+	// (packets returned by ReadPacket); pooled marks the struct itself
+	// as pool-owned. All zero for plain literals, whose Release is a
+	// no-op.
+	enc      *Encoder
+	pbuf     *[]byte
+	pooled   bool
+	released bool
+}
+
+// Release returns the packet's pooled resources — its payload buffer and,
+// when pool-owned, the struct itself. The packet and its payload are
+// invalid afterwards. Release must be called exactly once by whoever
+// finishes with a pooled packet; on a plain &Packet{} literal it is a
+// no-op, so legacy callers and tests that never pool remain correct.
+func (p *Packet) Release() {
+	if p == nil || p.released {
+		return
+	}
+	if p.enc == nil && p.pbuf == nil && !p.pooled {
+		return // plain literal: nothing pooled, don't touch it
+	}
+	p.released = true
+	if p.enc != nil {
+		putEncoder(p.enc)
+		p.enc = nil
+	}
+	if p.pbuf != nil {
+		putReadBuf(p.pbuf)
+		p.pbuf = nil
+	}
+	p.Payload = nil
+	if p.pooled {
+		putPacket(p)
+	}
 }
 
 // ErrorPacket constructs a MsgError reply carrying msg, correlated to tag.
+// The packet is pooled; the server releases it after writing.
 func ErrorPacket(tag uint64, msg string) *Packet {
-	var e Encoder
-	e.PutString(msg)
-	return &Packet{Type: MsgError, Tag: tag, Payload: e.Bytes()}
+	p := NewRequest(MsgError, MessageFunc(func(e *Encoder) { e.PutString(msg) }))
+	p.Tag = tag
+	return p
 }
 
 // DecodeError extracts the error string from a MsgError packet.
@@ -113,7 +152,7 @@ func WritePacket(w io.Writer, p *Packet) error {
 		tag |= traceTagBit
 		body += traceTrailerLen
 	}
-	bp := writeBufs.Get().(*[]byte)
+	bp := getWriteBuf()
 	buf := (*bp)[:HeaderSize]
 	binary.BigEndian.PutUint32(buf[0:], Magic)
 	buf[4] = Version
@@ -130,7 +169,7 @@ func WritePacket(w io.Writer, p *Packet) error {
 	// contract).
 	if cap(buf) <= maxPooledWriteBuf {
 		*bp = buf[:0]
-		writeBufs.Put(bp)
+		putWriteBuf(bp)
 	}
 	return err
 }
@@ -139,40 +178,79 @@ func WritePacket(w io.Writer, p *Packet) error {
 // multi-megabyte state transfer should not pin its buffer forever.
 const maxPooledWriteBuf = 64 << 10
 
+// maxPooledReadBuf likewise caps the payload buffers ReadPacket retains.
+const maxPooledReadBuf = 64 << 10
+
+// hdrBufs pools ReadPacket's fixed-size header scratch: io.ReadFull takes
+// an interface, so a stack array would escape — one heap allocation per
+// packet read. Header scratch is bookkeeping, not a payload buffer, so it
+// stays out of the wire.pool.* counters.
+var hdrBufs sync.Pool
+
 // writeBufs pools WritePacket encode buffers. The request/response hot
-// path otherwise allocates one header+payload buffer per packet.
-var writeBufs = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, 4096)
-		return &b
-	},
+// path otherwise allocates one header+payload buffer per packet. No New
+// func: a nil Get is how pool misses are counted.
+var writeBufs sync.Pool
+
+func getWriteBuf() *[]byte {
+	poolGets.Add(1)
+	if bp, ok := writeBufs.Get().(*[]byte); ok {
+		return bp
+	}
+	poolMisses.Add(1)
+	b := make([]byte, 0, 4096)
+	return &b
+}
+
+func putWriteBuf(bp *[]byte) {
+	poolPuts.Add(1)
+	writeBufs.Put(bp)
 }
 
 // ReadPacket reads one packet from r, validating the header. It blocks
 // until a full packet arrives, the reader errors, or a deadline set on the
 // underlying connection expires.
+//
+// The returned packet and its payload come from pools: whoever finishes
+// with the packet calls Release exactly once (the Server does this for
+// requests; Call sites do it for responses). A caller that never
+// releases is correct but bypasses the pools.
 func ReadPacket(r io.Reader) (*Packet, error) {
-	var hdr [HeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	hp, _ := hdrBufs.Get().(*[HeaderSize]byte)
+	if hp == nil {
+		hp = new([HeaderSize]byte)
+	}
+	if _, err := io.ReadFull(r, hp[:]); err != nil {
+		hdrBufs.Put(hp)
 		return nil, err
 	}
-	if binary.BigEndian.Uint32(hdr[0:]) != Magic {
+	magic := binary.BigEndian.Uint32(hp[0:])
+	version := hp[4]
+	typ := MsgType(binary.BigEndian.Uint32(hp[5:]))
+	tag := binary.BigEndian.Uint64(hp[9:])
+	n := binary.BigEndian.Uint32(hp[17:])
+	hdrBufs.Put(hp)
+	if magic != Magic {
 		return nil, ErrBadMagic
 	}
-	if hdr[4] != Version {
-		return nil, fmt.Errorf("%w: got %d want %d", ErrBadVersion, hdr[4], Version)
+	if version != Version {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrBadVersion, version, Version)
 	}
-	p := &Packet{
-		Type: MsgType(binary.BigEndian.Uint32(hdr[5:])),
-		Tag:  binary.BigEndian.Uint64(hdr[9:]),
-	}
-	n := binary.BigEndian.Uint32(hdr[17:])
 	if n > MaxPayload {
 		return nil, ErrPayloadTooLarge
 	}
+	p := getPacket()
+	p.Type = typ
+	p.Tag = tag
 	if n > 0 {
-		p.Payload = make([]byte, n)
+		if n <= maxPooledReadBuf {
+			p.pbuf = getReadBuf(int(n))
+			p.Payload = *p.pbuf
+		} else {
+			p.Payload = make([]byte, n)
+		}
 		if _, err := io.ReadFull(r, p.Payload); err != nil {
+			p.Release()
 			return nil, err
 		}
 	}

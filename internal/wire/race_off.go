@@ -1,0 +1,6 @@
+//go:build !race
+
+package wire
+
+// raceEnabled is false in uninstrumented builds; see race_on.go.
+const raceEnabled = false

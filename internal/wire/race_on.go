@@ -1,0 +1,9 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether this build is instrumented by the race
+// detector. The allocation gate skips itself under it: instrumentation
+// allocates per synchronization event, so AllocsPerRun measures the
+// detector, not the wire path.
+const raceEnabled = true

@@ -85,6 +85,10 @@ type Server struct {
 	// metrics records per-type service times and answers MsgTelemetry.
 	// NewServer installs a fresh registry; SetMetrics swaps in a shared one.
 	metrics *telemetry.Registry
+	// fams caches the per-message-type "wire.server.handle.t<N>" span
+	// family so the hot path records service time without a per-request
+	// name concatenation. Invalidated by SetMetrics.
+	fams map[MsgType]*telemetry.SpanFamily
 }
 
 // NewServer returns a Server with no handlers registered. MsgPing is
@@ -95,9 +99,13 @@ func NewServer() *Server {
 		conns:    make(map[net.Conn]struct{}),
 		Logf:     defaultLogf,
 		metrics:  telemetry.NewRegistry(),
+		fams:     make(map[MsgType]*telemetry.SpanFamily),
 	}
 	s.Register(MsgPing, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
-		return &Packet{Type: MsgPong, Payload: req.Payload}, nil
+		// In-place echo: the reply reuses the request packet and its
+		// pooled payload buffer, so a ping round trip allocates nothing.
+		req.Type = MsgPong
+		return req, nil
 	}))
 	s.Register(MsgTelemetry, HandlerFunc(func(_ string, req *Packet) (*Packet, error) {
 		prefix := ""
@@ -108,7 +116,16 @@ func NewServer() *Server {
 			}
 			prefix = p
 		}
-		return &Packet{Type: MsgTelemetry, Payload: EncodeSnapshot(s.Metrics().Snapshot(prefix))}, nil
+		// Refresh the pool/pipeline gauges at snapshot time so every
+		// MsgTelemetry poll (and thus ew-top) sees current values. The
+		// stats are process-wide; each daemon reports the same totals.
+		reg := s.Metrics()
+		gets, puts, misses := PoolStats()
+		reg.Gauge("wire.pool.get").Set(gets)
+		reg.Gauge("wire.pool.put").Set(puts)
+		reg.Gauge("wire.pool.miss").Set(misses)
+		reg.Gauge("wire.pipeline.inflight").Set(PipelineInflight())
+		return &Packet{Type: MsgTelemetry, Payload: EncodeSnapshot(reg.Snapshot(prefix))}, nil
 	}))
 	return s
 }
@@ -119,7 +136,27 @@ func NewServer() *Server {
 func (s *Server) SetMetrics(reg *telemetry.Registry) {
 	s.mu.Lock()
 	s.metrics = reg
+	s.fams = make(map[MsgType]*telemetry.SpanFamily)
 	s.mu.Unlock()
+}
+
+// fam returns the cached handle-span family for message type t, creating
+// it against the current registry on first use.
+func (s *Server) fam(t MsgType) *telemetry.SpanFamily {
+	s.mu.RLock()
+	f := s.fams[t]
+	s.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f = s.fams[t]; f != nil {
+		return f
+	}
+	f = s.metrics.SpanFamily("wire.server.handle.t" + strconv.Itoa(int(t)))
+	s.fams[t] = f
+	return f
 }
 
 // Metrics returns the server's metrics registry.
@@ -223,7 +260,6 @@ func (s *Server) serveConn(nc net.Conn) {
 		req.ExtractTrace()
 		s.mu.RLock()
 		h, ok := s.handlers[req.Type]
-		reg := s.metrics
 		s.mu.RUnlock()
 		var resp *Packet
 		if !ok {
@@ -244,7 +280,10 @@ func (s *Server) serveConn(nc net.Conn) {
 			if s.Observe != nil {
 				handleStart = time.Now()
 			}
-			sp := reg.StartSpan("wire.server.handle.t" + strconv.Itoa(int(req.Type)))
+			// In-place echo handlers mutate req.Type; observe the type the
+			// request arrived with.
+			reqType := req.Type
+			sp := s.fam(reqType).Start()
 			r, herr := h.Handle(remote, req)
 			if herr != nil {
 				sp.End("err")
@@ -259,13 +298,16 @@ func (s *Server) serveConn(nc net.Conn) {
 				}
 			}
 			if s.Observe != nil {
-				s.Observe(req.Type, time.Since(handleStart))
+				s.Observe(reqType, time.Since(handleStart))
 			}
 			switch {
 			case herr != nil:
 				resp = ErrorPacket(req.Tag, herr.Error())
 			case r == nil:
-				continue // one-way message; no reply
+				// One-way message; no reply. The handler is done with the
+				// request, so its pooled buffers go back now.
+				req.Release()
+				continue
 			default:
 				resp = r
 				resp.Tag = req.Tag
@@ -274,8 +316,18 @@ func (s *Server) serveConn(nc net.Conn) {
 		// Responses never carry a trace envelope: causality flows in the
 		// request direction only (see trace.go).
 		resp.Trace = TraceContext{}
-		if err := WritePacket(nc, resp); err != nil {
-			s.Logf("wire: write to %s: %v", remote, err)
+		werr := WritePacket(nc, resp)
+		// The reply is on the wire: both packets' pooled buffers go back.
+		// A handler may answer with the request packet itself (in-place
+		// echo) or with a fresh packet whose payload aliases the request's
+		// — releasing after the write and releasing req exactly once keeps
+		// both patterns safe.
+		if resp != req {
+			req.Release()
+		}
+		resp.Release()
+		if werr != nil {
+			s.Logf("wire: write to %s: %v", remote, werr)
 			return
 		}
 	}

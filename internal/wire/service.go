@@ -52,6 +52,9 @@ type ServiceConfig struct {
 	// traces it roots. Nil disables tracing (contexts from peers are still
 	// stripped from payloads, just not recorded).
 	Tracer Tracer
+	// Window bounds pipelined in-flight calls per outbound connection
+	// (0 means DefaultWindow).
+	Window int
 }
 
 // Service is the unified daemon runtime: one constructor bundling the
@@ -99,6 +102,7 @@ func NewService(cfg ServiceConfig) *Service {
 	client.Retry = cfg.Retry
 	client.Metrics = reg
 	client.Tracer = cfg.Tracer
+	client.Window = cfg.Window
 	return &Service{
 		name:       cfg.Name,
 		listenAddr: cfg.ListenAddr,

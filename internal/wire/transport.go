@@ -2,7 +2,9 @@ package wire
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -18,9 +20,9 @@ import (
 // retry, telemetry, daemons) is transport-agnostic.
 //
 // Two implementations ship with the toolkit: TCP (the default, real
-// sockets) and MemTransport (in-process synchronous pipes with an
-// address registry — whole fleets in one process, no ports). The faults
-// package wraps conns and listeners from either one identically.
+// sockets) and MemTransport (in-process buffered pipes with an address
+// registry — whole fleets in one process, no ports). The faults package
+// wraps conns and listeners from either one identically.
 type Transport interface {
 	// Dial opens a stream to addr, bounded by timeout (0 = no bound).
 	Dial(addr string, timeout time.Duration) (net.Conn, error)
@@ -43,18 +45,21 @@ func (tcpTransport) Listen(addr string) (net.Listener, error) {
 }
 
 // MemTransport is an in-process transport: listeners register in a
-// shared address table and dials connect synchronous net.Pipe pairs.
-// One MemTransport is one network — fleets sharing it can reach each
-// other, nothing else. Addresses are plain strings: a daemon may bind a
+// shared address table and dials connect buffered duplex pipes. One
+// MemTransport is one network — fleets sharing it can reach each other,
+// nothing else. Addresses are plain strings: a daemon may bind a
 // meaningful name ("g1") or ask for an ephemeral one (any address
 // ending in ":0", or ""), which allocates "mem:N".
 //
-// Semantics match TCP where the stack depends on it: dialing an
-// unbound or closed address is refused immediately, closing a listener
-// wakes blocked Accepts with net.ErrClosed, double-close errors, and
-// conns honor deadlines (net.Pipe supports them). There is no kernel
-// buffering — a Write blocks until the peer reads — which the packet
-// layer tolerates because every Conn's reads are owned by a demux loop.
+// Semantics match TCP where the stack depends on it: dialing an unbound
+// or closed address is refused immediately, closing a listener wakes
+// blocked Accepts with net.ErrClosed, double-close errors, and conns
+// honor deadlines. Writes land in a bounded in-memory buffer (like the
+// kernel socket buffer) and block only when it is full; a closed peer
+// drains buffered data and then reads EOF. The conns allocate nothing
+// per operation in steady state — buffers and deadline timers are
+// per-connection and reused — which is what lets the mem round trip hit
+// the ≤2 allocs/op wire budget.
 type MemTransport struct {
 	mu        sync.Mutex
 	listeners map[string]*memListener
@@ -99,9 +104,7 @@ func (m *MemTransport) Dial(addr string, timeout time.Duration) (net.Conn, error
 	if l == nil {
 		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: memAddr(addr), Err: errRefused}
 	}
-	p1, p2 := net.Pipe()
-	local := &memConn{Conn: p1, local: peer, remote: l.addr}
-	remote := &memConn{Conn: p2, local: l.addr, remote: peer}
+	local, remote := newMemPair(peer, l.addr)
 	var timer <-chan time.Time
 	if timeout > 0 {
 		t := time.NewTimer(timeout)
@@ -112,12 +115,12 @@ func (m *MemTransport) Dial(addr string, timeout time.Duration) (net.Conn, error
 	case l.queue <- remote:
 		return local, nil
 	case <-l.done:
-		p1.Close()
-		p2.Close()
+		local.Close()
+		remote.Close()
 		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: memAddr(addr), Err: errRefused}
 	case <-timer:
-		p1.Close()
-		p2.Close()
+		local.Close()
+		remote.Close()
 		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: memAddr(addr), Err: &TimeoutError{Op: "dial", Addr: addr}}
 	}
 }
@@ -130,15 +133,195 @@ type memAddr string
 func (a memAddr) Network() string { return "mem" }
 func (a memAddr) String() string  { return string(a) }
 
-// memConn gives a pipe end real local/remote addresses so server-side
-// logging and peer identification behave as they do over sockets.
+// memBufMax bounds one direction's in-flight bytes, playing the role of
+// the kernel socket buffer: a writer ahead of its reader by more than
+// this blocks until the reader drains.
+const memBufMax = 256 << 10
+
+// memBuf is one direction of a mem connection: a mutex-guarded byte
+// queue with a condition variable for blocking reads/writes and reusable
+// deadline timers, so the steady-state data path allocates nothing.
+type memBuf struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	data   []byte
+	off    int
+	closed bool
+	rdl    memDeadline
+	wdl    memDeadline
+}
+
+func newMemBuf() *memBuf {
+	b := &memBuf{}
+	b.cond.L = &b.mu
+	return b
+}
+
+// memDeadline is a reusable deadline: when is the armed instant (zero =
+// no deadline); the AfterFunc timer only broadcasts the buffer's cond so
+// blocked readers/writers re-check. Stale wakeups are harmless — expiry
+// is judged against when, not against timer state.
+type memDeadline struct {
+	when     time.Time
+	armedFor time.Time
+	timer    *time.Timer
+}
+
+func (d *memDeadline) reached() bool {
+	return !d.when.IsZero() && !time.Now().Before(d.when)
+}
+
+// set records (or clears, for a zero t) the deadline and wakes any
+// blocked waiter to re-check against it. The wake-up timer is armed
+// lazily by the waiter itself, just before it blocks — the wire hot path
+// sets and clears a deadline around every packet write, and paying a
+// runtime timer Reset/Stop pair per packet for a timer that never fires
+// dominated the mem round trip. Caller holds b.mu.
+func (b *memBuf) set(d *memDeadline, t time.Time) {
+	d.when = t
+	b.cond.Broadcast()
+}
+
+// arm schedules the deadline wake-up before a waiter blocks. Spurious or
+// stale fires (a cleared or re-set deadline) just broadcast and are
+// re-checked against when. Caller holds b.mu.
+func (b *memBuf) arm(d *memDeadline) {
+	if d.when.IsZero() || d.when.Equal(d.armedFor) {
+		return
+	}
+	dur := time.Until(d.when)
+	if dur <= 0 {
+		return // reached() reports expiry on the next loop pass
+	}
+	if d.timer == nil {
+		d.timer = time.AfterFunc(dur, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+	} else {
+		d.timer.Reset(dur)
+	}
+	d.armedFor = d.when
+}
+
+func (b *memBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// read copies buffered bytes out, blocking until data, EOF, or deadline.
+func (b *memBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if len(b.data) > b.off {
+			n := copy(p, b.data[b.off:])
+			b.off += n
+			if b.off == len(b.data) {
+				b.data = b.data[:0]
+				b.off = 0
+			}
+			b.cond.Broadcast()
+			return n, nil
+		}
+		if b.closed {
+			return 0, io.EOF
+		}
+		if b.rdl.reached() {
+			return 0, &net.OpError{Op: "read", Net: "mem", Err: os.ErrDeadlineExceeded}
+		}
+		b.cond.Wait()
+	}
+}
+
+// write appends to the buffer, blocking while it is full.
+func (b *memBuf) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for len(p) > 0 {
+		if b.closed {
+			return n, io.ErrClosedPipe
+		}
+		if b.wdl.reached() {
+			return n, &net.OpError{Op: "write", Net: "mem", Err: os.ErrDeadlineExceeded}
+		}
+		if avail := memBufMax - (len(b.data) - b.off); avail > 0 {
+			k := len(p)
+			if k > avail {
+				k = avail
+			}
+			// Compact consumed front space before the append would grow
+			// the buffer, so steady-state traffic reuses one allocation.
+			if b.off > 0 && len(b.data)+k > cap(b.data) {
+				b.data = b.data[:copy(b.data, b.data[b.off:])]
+				b.off = 0
+			}
+			b.data = append(b.data, p[:k]...)
+			p = p[k:]
+			n += k
+			b.cond.Broadcast()
+			continue
+		}
+		b.cond.Wait()
+	}
+	return n, nil
+}
+
+// memConn is one end of a buffered in-process duplex stream.
 type memConn struct {
-	net.Conn
 	local, remote net.Addr
+	rb, wb        *memBuf // read from rb, write into wb
+	closeOnce     sync.Once
+}
+
+// newMemPair builds both ends of a mem connection.
+func newMemPair(dialer, listener net.Addr) (*memConn, *memConn) {
+	d2l, l2d := newMemBuf(), newMemBuf()
+	local := &memConn{local: dialer, remote: listener, rb: l2d, wb: d2l}
+	remote := &memConn{local: listener, remote: dialer, rb: d2l, wb: l2d}
+	return local, remote
+}
+
+func (c *memConn) Read(p []byte) (int, error)  { return c.rb.read(p) }
+func (c *memConn) Write(p []byte) (int, error) { return c.wb.write(p) }
+
+// Close closes both directions: the peer's pending writes fail, its
+// reads drain buffered data and then see EOF — like a TCP close.
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wb.close()
+		c.rb.close()
+	})
+	return nil
 }
 
 func (c *memConn) LocalAddr() net.Addr  { return c.local }
 func (c *memConn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *memConn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
+}
+
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	c.rb.mu.Lock()
+	c.rb.set(&c.rb.rdl, t)
+	c.rb.mu.Unlock()
+	return nil
+}
+
+func (c *memConn) SetWriteDeadline(t time.Time) error {
+	c.wb.mu.Lock()
+	c.wb.set(&c.wb.wdl, t)
+	c.wb.mu.Unlock()
+	return nil
+}
 
 // memListener is one bound address on a MemTransport.
 type memListener struct {
