@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-wire trace figures examples chaos crash heal scale clean
+.PHONY: all build vet test test-race bench bench-wire trace figures examples chaos crash heal scale obs clean
 
 all: build vet test
 
@@ -97,6 +97,22 @@ scale:
 	EW_SWEEP_MAX_CLIENTS=$${EW_SWEEP_MAX_CLIENTS:-100000} \
 		$(GO) test -bench=Sweep -benchmem -benchtime=1x -run='^$$' -timeout 30m ./internal/scale/sweep/ \
 		| $(GO) run ./cmd/ew-benchjson -o BENCH_scale.json
+
+# Grid Observatory suite: the series store, rule engine, alert codec,
+# scrape daemon, and snapshot-codec version-skew tests under the race
+# detector; the observatory-vs-autoscaler hook; the end-to-end
+# slowdown proof (anomaly alert + exemplar + tail-promoted trace) and
+# the chaos partition alert, also raced; then the observatory
+# benchmarks — ingest, rule eval, scrape rounds, and the scraped vs
+# unscraped wire round trip (the scrape-overhead budget is <3%) —
+# recorded as JSON for commit-over-commit comparison.
+obs:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestAutoscalerObsAlertBoost' ./internal/ctrl/
+	$(GO) test -race -count=1 -run 'TestObservatorySlowdownE2E|TestChaosSoak' -v ./internal/faults/
+	$(GO) test -race -count=1 -run 'TestDeploymentObservatory' ./internal/core/
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/obs/ \
+		| $(GO) run ./cmd/ew-benchjson -o BENCH_obs.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,262 @@
+// Command ew-obs is the operator console for a Grid Observatory daemon:
+// it renders the observatory's fleet time-series store as a live
+// sparkline table, prints the alert table, and dumps raw series points —
+// all over the lingua franca introspection messages (MsgObsQuery,
+// MsgObsAlerts), so it works against any running observatory.
+//
+// Usage:
+//
+//	ew-obs serve -listen :9401 -scrape host:9001,host:9101   # run an observatory
+//	ew-obs host:9401                         # live sparkline dashboard
+//	ew-obs -metric p99 host:9401             # only latency series
+//	ew-obs -once host:9401                   # one frame, then exit
+//	ew-obs alerts host:9401                  # alert table (firing first)
+//	ew-obs query -metric clique host:9401    # raw series points
+//
+// serve runs a standalone observatory daemon over a static scrape list
+// with the stock rule set (clique-membership anomaly, scheduler queue
+// anomaly, lost-work burn rate); deployments embedding internal/core get
+// the same daemon with a live roster by setting DeploymentConfig.Observatory.
+//
+// Sparkline rows show the newest points left-to-right scaled to the
+// series' own min..max; a trailing "⇒ 4f1c…" is the exemplar trace ID of
+// the slowest observation in a latency series — paste it into
+// ew-trace -trace to jump from the spike to the tail-sampled request
+// behind it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"everyware/internal/core"
+	"everyware/internal/obs"
+	"everyware/internal/wire"
+)
+
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+func main() {
+	args := os.Args[1:]
+	mode := "watch"
+	if len(args) > 0 && (args[0] == "alerts" || args[0] == "query" || args[0] == "serve") {
+		mode, args = args[0], args[1:]
+	}
+	if mode == "serve" {
+		serve(args)
+		return
+	}
+
+	fs := flag.NewFlagSet("ew-obs", flag.ExitOnError)
+	daemon := fs.String("daemon", "", "only series whose daemon ID contains this substring")
+	metric := fs.String("metric", "", "only series whose metric name contains this substring")
+	points := fs.Int("points", 32, "points per series to fetch")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval (watch mode)")
+	once := fs.Bool("once", false, "render one frame and exit (watch mode)")
+	timeout := fs.Duration("timeout", 2*time.Second, "query timeout")
+	fs.Parse(args)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ew-obs [alerts|query] [flags] observatory-addr")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	addr := fs.Arg(0)
+	wc := wire.NewClient(*timeout)
+	defer wc.Close()
+
+	switch mode {
+	case "alerts":
+		alerts, err := obs.FetchAlerts(wc, addr, *timeout)
+		if err != nil {
+			fatal("fetch alerts from %s: %v", addr, err)
+		}
+		renderAlerts(alerts)
+	case "query":
+		series := fetch(wc, addr, *daemon, *metric, *points, *timeout)
+		for _, s := range series {
+			fmt.Printf("%s %s\n", s.Daemon, s.Metric)
+			for _, p := range s.Points {
+				fmt.Printf("  %s  %g\n", time.Unix(0, p.UnixNanos).Format("15:04:05.000"), p.Value)
+			}
+			if s.ExemplarTrace != 0 {
+				fmt.Printf("  exemplar trace %x (%s)\n", s.ExemplarTrace,
+					time.Unix(0, s.ExemplarNanos).Format("15:04:05.000"))
+			}
+		}
+	default:
+		for {
+			series := fetch(wc, addr, *daemon, *metric, *points, *timeout)
+			alerts, _ := obs.FetchAlerts(wc, addr, *timeout)
+			if !*once {
+				fmt.Print("\033[2J\033[H")
+			}
+			renderWatch(addr, series, alerts)
+			if *once {
+				return
+			}
+			time.Sleep(*interval)
+		}
+	}
+}
+
+// serve runs a standalone observatory daemon until interrupted.
+func serve(args []string) {
+	fs := flag.NewFlagSet("ew-obs serve", flag.ExitOnError)
+	listen := fs.String("listen", ":9401", "introspection listen address")
+	scrape := fs.String("scrape", "", "comma-separated daemon telemetry addresses to scrape")
+	interval := fs.Duration("interval", 5*time.Second, "scrape period")
+	points := fs.Int("points", 128, "ring capacity per series")
+	pstates := fs.String("pstate", "", "comma-separated pstate replica addresses for alert-table persistence")
+	fs.Parse(args)
+
+	var targets []string
+	for _, a := range strings.Split(*scrape, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, a)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ew-obs serve -listen :9401 -scrape daemon-addr[,daemon-addr...]")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	var rs []string
+	for _, a := range strings.Split(*pstates, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			rs = append(rs, a)
+		}
+	}
+	srv := obs.New(obs.Config{
+		ListenAddr: *listen,
+		Targets:    targets,
+		Interval:   *interval,
+		Points:     *points,
+		Rules:      core.DefaultObsRules(),
+		PStates:    rs,
+	})
+	addr, err := srv.Start()
+	if err != nil {
+		fatal("start: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("ew-obs: observatory on %s scraping %d target(s) every %s\n",
+		addr, len(targets), *interval)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
+func fetch(wc *wire.Client, addr, daemon, metric string, points int, timeout time.Duration) []obs.QuerySeries {
+	series, err := obs.Query(wc, addr, obs.QueryRequest{
+		Daemon: daemon, Metric: metric, MaxPoints: uint32(points),
+	}, timeout)
+	if err != nil {
+		fatal("query %s: %v", addr, err)
+	}
+	sort.Slice(series, func(i, j int) bool {
+		if series[i].Daemon != series[j].Daemon {
+			return series[i].Daemon < series[j].Daemon
+		}
+		return series[i].Metric < series[j].Metric
+	})
+	return series
+}
+
+// renderWatch draws the dashboard frame: firing alerts on top, then one
+// sparkline row per series.
+func renderWatch(addr string, series []obs.QuerySeries, alerts []obs.Alert) {
+	firing := 0
+	for _, al := range alerts {
+		if al.Firing {
+			firing++
+		}
+	}
+	fmt.Printf("ew-obs  %s  %s  (%d series, %d alert(s) firing)\n\n",
+		time.Now().Format("15:04:05"), addr, len(series), firing)
+	if firing > 0 {
+		for _, al := range alerts {
+			if al.Firing {
+				fmt.Printf("  FIRING %-20s %-28s %s=%.4g (threshold %.4g)\n",
+					al.Rule, al.Daemon, al.Kind, al.Value, al.Threshold)
+			}
+		}
+		fmt.Println()
+	}
+	wd, wm := 6, 6
+	for _, s := range series {
+		if len(s.Daemon) > wd {
+			wd = len(s.Daemon)
+		}
+		if len(s.Metric) > wm {
+			wm = len(s.Metric)
+		}
+	}
+	for _, s := range series {
+		last := 0.0
+		if n := len(s.Points); n > 0 {
+			last = s.Points[n-1].Value
+		}
+		row := fmt.Sprintf("%-*s  %-*s  %s  %.4g", wd, s.Daemon, wm, s.Metric, sparkline(s.Points), last)
+		if s.ExemplarTrace != 0 {
+			row += fmt.Sprintf("  ⇒ %x", s.ExemplarTrace)
+		}
+		fmt.Println(row)
+	}
+}
+
+// sparkline scales the series to its own min..max over eight levels.
+func sparkline(pts []obs.Point) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	lo, hi := pts[0].Value, pts[0].Value
+	for _, p := range pts {
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		i := 0
+		if hi > lo {
+			i = int((p.Value - lo) / (hi - lo) * float64(len(sparks)-1))
+		}
+		b.WriteRune(sparks[i])
+	}
+	return b.String()
+}
+
+func renderAlerts(alerts []obs.Alert) {
+	if len(alerts) == 0 {
+		fmt.Println("ew-obs: no alert state (no rules, or nothing scraped yet)")
+		return
+	}
+	fmt.Printf("%-8s %-20s %-28s %-8s %-10s %10s %10s %6s  %s\n",
+		"state", "rule", "daemon", "role", "kind", "value", "threshold", "fires", "since")
+	for _, al := range alerts {
+		state, since := "ok", ""
+		if al.Firing {
+			state = "FIRING"
+			since = time.Unix(0, al.FiredUnixNanos).Format("15:04:05")
+		} else if al.ClearedUnixNanos != 0 {
+			since = "cleared " + time.Unix(0, al.ClearedUnixNanos).Format("15:04:05")
+		}
+		fmt.Printf("%-8s %-20s %-28s %-8s %-10s %10.4g %10.4g %6d  %s\n",
+			state, al.Rule, al.Daemon, al.Role, al.Kind, al.Value, al.Threshold, al.Fires, since)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ew-obs: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -144,6 +144,7 @@ func chaosRun(seed int64, fc faults.Config, tr wire.Transport) {
 		PStateCrash:   true,
 		Trace:         true,
 		SchedOutage:   true,
+		Obs:           true,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ew-sc98: chaos: "+format+"\n", args...)
 		},
@@ -160,6 +161,8 @@ func chaosRun(seed int64, fc faults.Config, tr wire.Transport) {
 		"injector", st.Messages, st.Delivered, st.Dropped, st.Delayed, st.Duplicated, st.Resets, st.Torn, st.Refused)
 	fmt.Printf("%-24s converged=%v acked=%d lost=%d crashes=%d\n",
 		"pstate durability", res.PStateConverged, res.AckedWrites, res.LostWrites, res.PStateCrashes)
+	fmt.Printf("%-24s partition-alert-fired=%v quiet-after-heal=%v alerts=%d\n",
+		"observatory", res.ObsAlertFired, res.ObsAlertQuiet, len(res.ObsAlerts))
 	if res.Ops == 0 {
 		log.Fatal("ew-sc98: chaos: no useful work delivered")
 	}

@@ -10,6 +10,12 @@
 //
 //	ew-top host:9001,host:9101,host:9201
 //	ew-top -once -prefix sched. host:9101
+//	ew-top -obs host:9401 host:9001,host:9101   # light the alerts column
+//
+// With -obs pointed at a Grid Observatory daemon, every poll also
+// fetches the observatory's alert table and folds each daemon's firing
+// alert count into its row (the "alerts" column), so a daemon under an
+// anomaly alert is visible next to its own metrics.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"everyware/internal/obs"
 	"everyware/internal/telemetry"
 	"everyware/internal/wire"
 )
@@ -28,6 +35,7 @@ func main() {
 	once := flag.Bool("once", false, "poll once, print the table, and exit")
 	prefix := flag.String("prefix", "", "only fetch metrics with this name prefix")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-daemon poll timeout")
+	obsAddr := flag.String("obs", "", "observatory address: fold its per-daemon firing alert counts into the table")
 	flag.Parse()
 
 	var addrs []string
@@ -60,6 +68,9 @@ func main() {
 		for range addrs {
 			<-done
 		}
+		if *obsAddr != "" {
+			annotate(wc, *obsAddr, *timeout, snaps)
+		}
 		return snaps
 	}
 
@@ -75,5 +86,36 @@ func main() {
 			time.Now().Format("15:04:05"), len(addrs), *interval)
 		telemetry.RenderTable(os.Stdout, snaps)
 		time.Sleep(*interval)
+	}
+}
+
+// annotate folds the observatory's firing alert counts into the polled
+// snapshots as a synthetic obs.alerts.firing gauge per daemon, keyed by
+// the daemon's telemetry ID. Fetch failures leave the table untouched —
+// the observatory is an enrichment, not a dependency.
+func annotate(wc *wire.Client, obsAddr string, timeout time.Duration, snaps []telemetry.NamedSnapshot) {
+	alerts, err := obs.FetchAlerts(wc, obsAddr, timeout)
+	if err != nil {
+		return
+	}
+	firing := make(map[string]int64)
+	for _, al := range alerts {
+		if al.Firing {
+			firing[al.Daemon]++
+		}
+	}
+	for i := range snaps {
+		if snaps[i].Err != nil {
+			continue
+		}
+		id := snaps[i].Snap.ID
+		if id == "" {
+			id = snaps[i].Addr
+		}
+		if n := firing[id]; n > 0 {
+			snaps[i].Snap.Samples = append(snaps[i].Snap.Samples, telemetry.Sample{
+				Name: "obs.alerts.firing", Kind: telemetry.KindGauge, Value: n,
+			})
+		}
 	}
 }

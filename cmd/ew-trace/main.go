@@ -9,6 +9,11 @@
 //	ew-trace -last 5 host:9301          # only the five most recent traces
 //	ew-trace -trace 4f1c... host:9301   # one trace by (hex) ID
 //	ew-trace -min-daemons 3 host:9301   # only traces crossing 3+ daemons
+//
+// -trace accepts the exemplar trace IDs that ew-obs and the observatory
+// query endpoint print next to slow histogram buckets (hex, with or
+// without 0x) — the jump-off from "this daemon's p99 spiked" to the
+// exact tail-sampled request that spiked it.
 package main
 
 import (
@@ -43,6 +48,11 @@ func main() {
 	var id uint64
 	if *traceID != "" {
 		v, err := strconv.ParseUint(strings.TrimPrefix(*traceID, "0x"), 16, 64)
+		if err != nil {
+			// Not hex: accept a decimal ID (exemplars from raw query
+			// output are uint64s).
+			v, err = strconv.ParseUint(*traceID, 10, 64)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ew-trace: bad trace ID %q: %v\n", *traceID, err)
 			os.Exit(2)

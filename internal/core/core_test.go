@@ -1,12 +1,15 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"everyware/internal/gossip"
+	"everyware/internal/obs"
 	"everyware/internal/pstate"
 	"everyware/internal/ramsey"
+	"everyware/internal/wire"
 )
 
 func startDeployment(t *testing.T, cfg DeploymentConfig) *Deployment {
@@ -465,4 +468,52 @@ func TestEliteAdoptionSolvesSearch(t *testing.T) {
 		}
 	}
 	t.Fatal("adopted elite never produced a verified counter-example")
+}
+
+func TestDeploymentObservatory(t *testing.T) {
+	d := startDeployment(t, DeploymentConfig{
+		Gossips: 2, Schedulers: 2, PStateDir: t.TempDir(),
+		Observatory: true, ObsInterval: 50 * time.Millisecond,
+	})
+	if d.ObsAddr == "" || d.Observatory() == nil {
+		t.Fatal("observatory did not start")
+	}
+	// The scrape set must cover the whole constellation: both gossips'
+	// clique gauges become series, and both schedulers (roster hook)
+	// show up as scraped daemons.
+	eventually(t, 5*time.Second, func() bool {
+		gossips := 0
+		scheds := map[string]bool{}
+		for _, k := range d.Observatory().Series().Keys() {
+			if k.Metric == "clique.members" {
+				gossips++
+			}
+			if strings.HasPrefix(k.Daemon, "sched@") {
+				scheds[k.Daemon] = true
+			}
+		}
+		return gossips == 2 && len(scheds) == 2
+	}, "observatory should scrape gossips and schedulers")
+	// The introspection endpoint answers with the stock rule table.
+	c := wire.NewClient(2 * time.Second)
+	defer c.Close()
+	alerts, err := obs.FetchAlerts(c, d.ObsAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only rules with matching series appear: with no components
+	// reporting, the queue gauge never registers, so the clique watch is
+	// the live one — one entry per gossip daemon, none firing.
+	clique := 0
+	for _, al := range alerts {
+		if al.Rule == "clique-anomaly" {
+			clique++
+		}
+		if al.Firing {
+			t.Fatalf("alert firing on a healthy constellation: %+v", al)
+		}
+	}
+	if clique != 2 {
+		t.Fatalf("clique-anomaly entries = %d, want 2: %+v", clique, alerts)
+	}
 }

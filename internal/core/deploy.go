@@ -8,6 +8,7 @@ import (
 	"everyware/internal/ctrl"
 	"everyware/internal/gossip"
 	"everyware/internal/logsvc"
+	"everyware/internal/obs"
 	"everyware/internal/pstate"
 	"everyware/internal/ramsey"
 	"everyware/internal/scale"
@@ -74,6 +75,18 @@ type DeploymentConfig struct {
 	// HeartbeatInterval is the beater cadence and the controller's
 	// reconcile period (default 200ms for local runs).
 	HeartbeatInterval time.Duration
+	// Observatory starts a Grid Observatory daemon scraping every
+	// service in the constellation into per-metric time series, with
+	// forecast-anomaly alert rules over the fleet's health gauges. The
+	// scrape set follows the scheduler roster as the fleet scales. With
+	// Controller, firing alerts feed the autoscaler's load forecast
+	// (ctrl.ServerConfig.AlertFiring); with a persistent state quorum,
+	// the alert table survives observatory restarts.
+	Observatory bool
+	// ObsInterval is the observatory scrape period (default 1s).
+	ObsInterval time.Duration
+	// ObsRules replaces the observatory's default alert rule set.
+	ObsRules []obs.Rule
 }
 
 // Deployment is a running local constellation.
@@ -90,6 +103,9 @@ type Deployment struct {
 	// Controller); CtrlAddrs lists the whole replicated group.
 	CtrlAddr  string
 	CtrlAddrs []string
+	// ObsAddr is the observatory's introspection address ("" without
+	// Observatory) — point ew-obs and ew-top -obs here.
+	ObsAddr string
 
 	cfg DeploymentConfig
 
@@ -108,6 +124,7 @@ type Deployment struct {
 	ctrlSrvs   []*ctrl.Server
 	beaters    map[string]*ctrl.Beater // member ID -> sidecar
 	nextSchedN int
+	obsSrv     *obs.Server
 
 	rosterSvc   *wire.Service
 	rosterAgent *gossip.Agent
@@ -282,8 +299,80 @@ func StartDeployment(cfg DeploymentConfig) (*Deployment, error) {
 			return nil, err
 		}
 	}
+	if cfg.Observatory {
+		if err := d.startObservatory(); err != nil {
+			return nil, err
+		}
+	}
 	ok = true
 	return d, nil
+}
+
+// DefaultObsRules is the constellation's stock alert rule set: a
+// forecast-anomaly watch on every Gossip's clique size (partitions and
+// member loss), one on every scheduler's queue depth (load bursts feed
+// the autoscaler through the controller's AlertFiring hook), and a
+// burn-rate watch on scheduler report dispatch errors.
+func DefaultObsRules() []obs.Rule {
+	return []obs.Rule{
+		{
+			Name: "clique-anomaly", Kind: obs.RuleAnomaly,
+			Metric: "clique.members", Daemon: "gossip", Role: ctrl.RoleGossip,
+			Tolerance: 0.5,
+		},
+		{
+			Name: "sched-queue-anomaly", Kind: obs.RuleAnomaly,
+			Metric: "sched.queue.depth", Daemon: "sched", Role: ctrl.RoleSched,
+			Tolerance: 3,
+		},
+		{
+			Name: "sched-lost-burn", Kind: obs.RuleBurnRate,
+			Metric: "sched.reports.rate", ErrMetric: "sched.migrations.rate",
+			Daemon: "sched", Role: ctrl.RoleSched, Limit: 0.5,
+		},
+	}
+}
+
+// startObservatory launches the Grid Observatory over every service
+// address. Static targets cover the fixed-address daemons; the roster
+// hook follows the scheduler fleet through autoscaling.
+func (d *Deployment) startObservatory() error {
+	interval := d.cfg.ObsInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	rules := d.cfg.ObsRules
+	if rules == nil {
+		rules = DefaultObsRules()
+	}
+	targets := append([]string(nil), d.GossipAddrs...)
+	targets = append(targets, d.PStateAddrs...)
+	targets = append(targets, d.StandbyPStateAddrs...)
+	targets = append(targets, d.CtrlAddrs...)
+	targets = append(targets, d.LogAddr)
+	s := obs.New(obs.Config{
+		Name:      "obs",
+		Transport: d.transport,
+		Silent:    true,
+		Interval:  interval,
+		Targets:   targets,
+		Roster: func() []string {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return append([]string(nil), d.SchedAddrs...)
+		},
+		Rules:   rules,
+		PStates: append([]string(nil), d.PStateAddrs...),
+	})
+	addr, err := s.Start()
+	if err != nil {
+		return fmt.Errorf("core: observatory: %w", err)
+	}
+	d.mu.Lock()
+	d.obsSrv = s
+	d.mu.Unlock()
+	d.ObsAddr = addr
+	return nil
 }
 
 // startControllers launches the control-plane group plus one heartbeat
@@ -313,6 +402,11 @@ func (d *Deployment) startControllers() error {
 			Restart:     d.restartMember,
 			ApplyConfig: d.applyMemberSpec,
 			TargetLoad:  d.cfg.SchedulerTargetLoad,
+		}
+		if d.cfg.Observatory {
+			// The observatory starts after the controllers (it scrapes
+			// their addresses), so the hook resolves it lazily.
+			cfg.AlertFiring = d.obsFiring
 		}
 		if spec != nil {
 			cfg.Spec = spec
@@ -669,6 +763,23 @@ func (d *Deployment) PublishRoster() {
 // Ring returns the most recently published scheduler ring.
 func (d *Deployment) Ring() *scale.Ring { return d.ring }
 
+// Observatory returns the running Grid Observatory (nil without
+// Observatory).
+func (d *Deployment) Observatory() *obs.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.obsSrv
+}
+
+// obsFiring is the controllers' AlertFiring hook: currently-firing
+// observatory alerts for a role, zero before the observatory is up.
+func (d *Deployment) obsFiring(role string) int {
+	if s := d.Observatory(); s != nil {
+		return s.Firing(role)
+	}
+	return 0
+}
+
 // RemoveScheduler stops the scheduling server at addr, drops it from the
 // roster, and republishes both the roster and a re-sharded ring through
 // the Gossip service. Components re-route their reports to the surviving
@@ -720,6 +831,9 @@ func (d *Deployment) Close() {
 	}
 	for _, cs := range d.ctrlSrvs {
 		cs.Close()
+	}
+	if s := d.Observatory(); s != nil {
+		s.Close()
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -59,6 +59,16 @@ func (s *Server) decideCounts(spec *FleetSpec) {
 		if f, ok := s.fc.Forecast(key); ok {
 			pred = f.Value
 		}
+		if s.cfg.AlertFiring != nil {
+			// Observatory boost: every firing alert on this role claims
+			// one replica's worth of headroom on top of the forecast.
+			if n := s.cfg.AlertFiring(svc.Role); n > 0 {
+				pred += float64(n) * s.cfg.TargetLoad
+				s.metrics.Gauge("ctrl.scale.alertboost." + svc.Role).Set(int64(n))
+			} else {
+				s.metrics.Gauge("ctrl.scale.alertboost." + svc.Role).Set(0)
+			}
+		}
 		desired := int(math.Ceil(pred / s.cfg.TargetLoad))
 		if desired < svc.Min {
 			desired = svc.Min

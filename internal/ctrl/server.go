@@ -84,6 +84,14 @@ type ServerConfig struct {
 	// role (default 5s) — long enough for a started daemon to begin
 	// heartbeating before the live count is re-judged.
 	ScaleCooldown time.Duration
+	// AlertFiring, when set, feeds the Grid Observatory into autoscale
+	// decisions: it returns how many obs alerts tagged with the role are
+	// currently firing, and each one adds a replica's worth (TargetLoad)
+	// of predicted demand — so a forecast-anomaly or SLO-burn alert
+	// leans the fleet toward growing before raw load alone would. Wire
+	// it to (*obs.Server).Firing in-process, or to a FetchAlerts-based
+	// closure for a remote observatory.
+	AlertFiring func(role string) int
 
 	// Gossips lists Gossip hosts; the controller registers there and
 	// publishes the membership table and the pstate roster. Empty

@@ -19,12 +19,25 @@ import (
 // closes the exporter (a no-op when disabled); defer it next to the
 // server's own Close.
 func ForDaemon(service, collector string, sampleEvery int, metrics *telemetry.Registry) (*Tracer, func()) {
+	return ForDaemonTail(service, collector, sampleEvery, 0, metrics)
+}
+
+// ForDaemonTail is ForDaemon with tail-based sampling: when slow is
+// non-zero, head-unsampled spans are buffered and whole traces promoted
+// to the collector on an error outcome or a span at least slow long —
+// the traces a 1-in-N head policy would have dropped. A zero slow keeps
+// plain head sampling.
+func ForDaemonTail(service, collector string, sampleEvery int, slow time.Duration, metrics *telemetry.Registry) (*Tracer, func()) {
 	if collector == "" {
 		return nil, func() {}
 	}
 	wc := wire.NewClient(2 * time.Second)
 	ex := NewExporter(ExporterConfig{Client: wc, Addr: collector, Metrics: metrics})
-	tr := New(Config{Service: service, SampleEvery: sampleEvery, Sink: ex})
+	cfg := Config{Service: service, SampleEvery: sampleEvery, Sink: ex}
+	if slow > 0 {
+		cfg.Tail = &TailConfig{SlowThreshold: slow, Metrics: metrics}
+	}
+	tr := New(cfg)
 	return tr, func() {
 		ex.Close()
 		wc.Close()

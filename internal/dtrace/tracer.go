@@ -42,6 +42,12 @@ type Config struct {
 	// then only propagates context, which is still useful to daemons
 	// downstream).
 	Sink Sink
+	// Tail, when set, enables tail-based sampling: spans of
+	// head-unsampled traces are buffered briefly and the whole local
+	// trace fragment is promoted to the sink when one of its spans ends
+	// slow or in error — so the traces worth reading exist even at
+	// aggressive 1-in-N head sampling. See TailConfig.
+	Tail *TailConfig
 }
 
 // Tracer records causal spans and implements wire.Tracer. A nil *Tracer
@@ -51,6 +57,7 @@ type Config struct {
 type Tracer struct {
 	cfg   Config
 	roots atomic.Uint64 // root counter driving 1-in-N sampling
+	tail  *tailBuffer   // nil unless cfg.Tail is set
 }
 
 // idState is the process-wide splitmix64 state behind the default Rand.
@@ -84,7 +91,27 @@ func New(cfg Config) *Tracer {
 	if cfg.Rand == nil {
 		cfg.Rand = nextID
 	}
-	return &Tracer{cfg: cfg}
+	t := &Tracer{cfg: cfg}
+	if cfg.Tail != nil {
+		t.tail = newTailBuffer(*cfg.Tail)
+	}
+	return t
+}
+
+// WantUnsampled implements wire.UnsampledRecorder: with tail-based
+// sampling on (and somewhere to send promoted spans), the wire layer
+// must hand this tracer the spans head sampling would skip.
+func (t *Tracer) WantUnsampled() bool {
+	return t != nil && t.tail != nil && t.cfg.Sink != nil
+}
+
+// TailBuffered reports the spans currently parked in the tail buffer (0
+// without tail sampling) — a test and introspection hook.
+func (t *Tracer) TailBuffered() int {
+	if t == nil || t.tail == nil {
+		return 0
+	}
+	return t.tail.Buffered()
 }
 
 // Service returns the tracer's span identity ("" for a nil tracer).
@@ -123,6 +150,11 @@ func (t *Tracer) StartSpan(name string, parent wire.TraceContext) wire.ActiveSpa
 		tc.Sampled = t.sampleRoot()
 	}
 	if !tc.Sampled {
+		if t.WantUnsampled() {
+			// Tail-based sampling: record the span anyway, routed into
+			// the tail buffer at End instead of straight to the sink.
+			return &span{t: t, name: name, tc: tc, start: t.cfg.Now(), tail: true}
+		}
 		return wire.StartSpan(nil, name, tc) // propagate-only
 	}
 	sp := &span{t: t, name: name, tc: tc, start: t.cfg.Now()}
@@ -149,12 +181,14 @@ func (t *Tracer) sampleRoot() bool {
 	}
 }
 
-// span is one recording (sampled) span.
+// span is one recording span — head-sampled, or head-unsampled but
+// recorded for tail-based promotion (tail set).
 type span struct {
 	t     *Tracer
 	name  string
 	tc    wire.TraceContext
 	start time.Time
+	tail  bool
 
 	mu    sync.Mutex
 	notes []Annotation
@@ -191,7 +225,7 @@ func (s *span) End(outcome string) {
 	if outcome == "" {
 		outcome = "ok"
 	}
-	s.t.cfg.Sink.Emit(Span{
+	rec := Span{
 		TraceID:     s.tc.TraceID,
 		SpanID:      s.tc.SpanID,
 		ParentID:    s.tc.ParentID,
@@ -201,7 +235,16 @@ func (s *span) End(outcome string) {
 		Duration:    now.Sub(s.start).Nanoseconds(),
 		Outcome:     outcome,
 		Annotations: notes,
-	})
+	}
+	if s.tail {
+		// Head-unsampled: park in the tail buffer; emit whatever the
+		// promotion verdict releases (outside the buffer's lock).
+		for _, out := range s.t.tail.record(rec, now) {
+			s.t.cfg.Sink.Emit(out)
+		}
+		return
+	}
+	s.t.cfg.Sink.Emit(rec)
 }
 
 // Capture is an in-memory Sink for tests and the simulation.

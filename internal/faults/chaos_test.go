@@ -32,6 +32,7 @@ func chaosConfig(t *testing.T, seed int64) ScenarioConfig {
 		Dir:           t.TempDir(),
 		PartitionHeal: true,
 		PStateCrash:   true,
+		Obs:           true,
 		Logf:          t.Logf,
 	}
 }
@@ -61,6 +62,24 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if res.Stats.Dropped == 0 || res.Stats.Delivered == 0 {
 		t.Errorf("injector counters implausible: %+v", res.Stats)
+	}
+
+	// The observatory watched the same incident: the forecast-anomaly
+	// rule on clique membership fired while the partition was open and
+	// the alert table was quiet again after the heal settled.
+	if !res.ObsAlertFired {
+		t.Error("observatory anomaly alert never fired during the partition")
+	}
+	if !res.ObsAlertQuiet {
+		t.Errorf("observatory alerts still firing after the heal: %+v", res.ObsAlerts)
+	}
+	if len(res.ObsAlerts) == 0 {
+		t.Error("observatory alert table empty despite the partition incident")
+	}
+	if s, ok := res.Snapshots["obs"]; !ok {
+		t.Error("observatory's own telemetry missing from the sweep")
+	} else if s.Value("obs.scrape.ok") == 0 {
+		t.Error("observatory scraped nothing")
 	}
 
 	// The daemons' own telemetry must corroborate the injector's story:

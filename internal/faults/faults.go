@@ -109,6 +109,8 @@ type Injector struct {
 	blocked  map[string]map[string]bool // label -> labels it cannot reach
 	disabled bool
 
+	slow slowState // handler-level slowdowns (see slow.go)
+
 	messages, delivered, dropped, delayed atomic.Int64
 	duplicated, resets, torn, refused     atomic.Int64
 }

@@ -13,6 +13,7 @@ import (
 	"everyware/internal/dtrace"
 	"everyware/internal/gossip"
 	"everyware/internal/logsvc"
+	"everyware/internal/obs"
 	"everyware/internal/pstate"
 	"everyware/internal/sched"
 	"everyware/internal/telemetry"
@@ -64,6 +65,14 @@ type ScenarioConfig struct {
 	// TraceSampleEvery is the head-based sampling rate for scenario
 	// tracers (default 1 = record every trace).
 	TraceSampleEvery int
+	// Obs, when true, starts a Grid Observatory daemon scraping every
+	// scenario daemon with a forecast-anomaly rule on the clique
+	// membership gauge. The partition experiment then additionally
+	// records whether the anomaly alert fired while the cut was open and
+	// whether the alert table went quiet again after the heal — the
+	// observability plane watching the same incident the clique
+	// machinery is riding out.
+	Obs bool
 	// SchedOutage, when true, black-holes the first scheduler briefly
 	// while the workload runs. Reports in flight exhaust their retry
 	// ladder against it and fail over to the alternate, so a Trace run
@@ -137,6 +146,15 @@ type ScenarioResult struct {
 	// isolated Gossip left the pool view, then rejoined after the heal.
 	PoolSplit  bool
 	PoolMerged bool
+	// ObsAddr is the observatory's introspection address (Obs runs only)
+	// and ObsAlerts its final alert table. ObsAlertFired reports that
+	// the clique-membership anomaly alert was firing while the partition
+	// was open; ObsAlertQuiet that no alert was still firing once the
+	// pool re-merged and the forecaster settled.
+	ObsAddr       string
+	ObsAlerts     []obs.Alert
+	ObsAlertFired bool
+	ObsAlertQuiet bool
 	// Stats snapshots the injector counters at the end of the run.
 	Stats Stats
 	// Snapshots holds every daemon's final telemetry, fetched over the
@@ -717,6 +735,59 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		comps = append(comps, comp)
 	}
 
+	// Grid Observatory: scrape every daemon in the scenario on a fast
+	// cadence and watch the clique membership gauge with the
+	// forecast-anomaly rule. Scraping is an observer like the probe — it
+	// rides the clean transport so chaos perturbs the fleet, not the
+	// instruments watching it.
+	var obsSrv *obs.Server
+	var obsAddr string
+	if cfg.Obs {
+		targets := append([]string(nil), psAddrs...)
+		targets = append(targets, schedAddrs...)
+		targets = append(targets, gossipAddrs...)
+		for _, comp := range comps {
+			targets = append(targets, comp.Addr())
+		}
+		obsSrv = obs.New(obs.Config{
+			Name:       "obs",
+			ListenAddr: "127.0.0.1:0",
+			Transport:  cfg.Transport,
+			Silent:     true,
+			Interval:   40 * time.Millisecond,
+			Targets:    targets,
+			Rules: []obs.Rule{{
+				Name: "clique-anomaly", Kind: obs.RuleAnomaly,
+				Metric: "clique.members", Daemon: "g", Role: "gossip",
+				Tolerance: 0.5, MinSamples: 5, For: 2, ClearAfter: 2,
+			}},
+		})
+		var err error
+		if obsAddr, err = obsSrv.Start(); err != nil {
+			return nil, fmt.Errorf("faults: observatory: %w", err)
+		}
+		defer obsSrv.Close()
+		in.RegisterName(obsAddr, "obs")
+		cfg.Logf("observatory scraping %d targets at %s", len(targets), obsAddr)
+		// Train the anomaly detector on the healthy pool before the chaos
+		// starts: the first scrape round pays 1 dial per target on a busy
+		// box, and the partition experiment opens almost immediately after
+		// chaos-on. Without this gate the observatory's first gossip
+		// samples can postdate the clique collapse, leaving the forecaster
+		// warmed up on the degraded view — no anomaly left to detect. A
+		// real observatory has scrape history long before the incident.
+		warmed := waitFor(10*time.Second, func() bool {
+			for _, addr := range gossipAddrs {
+				k := obs.SeriesKey{Daemon: "gossip@" + addr, Metric: "clique.members"}
+				if len(obsSrv.Series().Get(k)) < 8 {
+					return false
+				}
+			}
+			return true
+		})
+		cfg.Logf("observatory warmed on healthy pool=%v", warmed)
+	}
+
 	// Telemetry baseline: pool bootstrap already produced clique merges, so
 	// the partition experiment must count merge growth, not the absolute
 	// counter.
@@ -908,12 +979,41 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		for i := 1; i < cfg.Gossips; i++ {
 			rest = append(rest, fmt.Sprintf("g%d", i))
 		}
+		if obsSrv != nil {
+			for _, k := range obsSrv.Series().Keys() {
+				if k.Metric == "clique.members" {
+					pts := obsSrv.Series().Get(k)
+					if len(pts) > 8 {
+						pts = pts[len(pts)-8:]
+					}
+					cfg.Logf("  pre-partition series %s tail = %v", k.Daemon, pts)
+				}
+			}
+		}
 		in.Partition([]string{last}, rest)
 		cfg.Logf("partitioned %s from %v", last, rest)
 		res.PoolSplit = waitFor(10*time.Second, func() bool {
 			return len(gossips[cfg.Gossips-1].PoolView().Members) == 1 &&
 				len(gossips[0].PoolView().Members) == cfg.Gossips-1
 		})
+		// The observatory must see the incident: the isolated Gossip's
+		// clique.members collapsed, a prediction-error burst against a
+		// forecaster trained on the stable pool, so the anomaly alert
+		// fires while the cut is open. The check reads the lifetime fire
+		// counter, not the live firing bit — the winsorized forecaster
+		// adapts to a sustained shift, so a fast detector may have fired
+		// and self-cleared before the clique even confirms the split.
+		if obsSrv != nil {
+			res.ObsAlertFired = waitFor(10*time.Second, func() bool {
+				for _, al := range obsSrv.Alerts() {
+					if al.Role == "gossip" && al.Fires > 0 {
+						return true
+					}
+				}
+				return false
+			})
+			cfg.Logf("observatory anomaly alert fired=%v", res.ObsAlertFired)
+		}
 		in.Heal()
 		cfg.Logf("healed partition")
 		res.PoolMerged = waitFor(15*time.Second, func() bool {
@@ -924,6 +1024,15 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			}
 			return true
 		})
+		// After the heal the membership gauge is back at pool size; the
+		// forecaster re-adapts (the heal jump itself may fire briefly)
+		// and the alert table must end quiet.
+		if obsSrv != nil {
+			res.ObsAlertQuiet = waitFor(15*time.Second, func() bool {
+				return obsSrv.Firing("") == 0
+			})
+			cfg.Logf("observatory quiet after heal=%v", res.ObsAlertQuiet)
+		}
 		// Rejoin path: components re-register their tracked keys now that
 		// the pool is whole again.
 		for _, comp := range comps {
@@ -1163,6 +1272,11 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 				res.FinalRoster = cs.Roster()
 			}
 		}
+	}
+	if obsSrv != nil {
+		res.ObsAddr = obsAddr
+		res.ObsAlerts = obsSrv.Alerts()
+		collect("obs", obsAddr)
 	}
 	res.Retries = telemetry.SumCounter(res.Snapshots, "wire.client.retries")
 	for i, addr := range gossipAddrs {

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+
+	"everyware/internal/forecast"
+)
+
+// RuleKind selects a rule's evaluation strategy.
+type RuleKind uint8
+
+const (
+	// RuleThreshold fires when the series crosses a fixed limit.
+	RuleThreshold RuleKind = iota + 1
+	// RuleBurnRate fires when the ratio of an error-rate series to a
+	// total-rate series exceeds the budgeted fraction — the SLO
+	// burn-rate alert.
+	RuleBurnRate
+	// RuleAnomaly fires on a sustained burst of prediction error: the
+	// NWS forecasting battery predicts each matched series one step
+	// ahead, and observations that land far outside the winner's own
+	// tracked error band count as anomalous.
+	RuleAnomaly
+)
+
+func (k RuleKind) String() string {
+	switch k {
+	case RuleThreshold:
+		return "threshold"
+	case RuleBurnRate:
+		return "burn-rate"
+	case RuleAnomaly:
+		return "anomaly"
+	default:
+		return "unknown"
+	}
+}
+
+// Rule is one watch the engine evaluates every scrape round against
+// every matching (daemon, metric) series.
+type Rule struct {
+	// Name labels the rule in alerts ("sched-queue-anomaly").
+	Name string
+	// Kind selects the strategy (default RuleThreshold).
+	Kind RuleKind
+	// Metric is the derived series name to watch, exact match.
+	Metric string
+	// Daemon filters matched daemons by substring ("" matches all).
+	Daemon string
+	// Role tags the alert for downstream consumers — the autoscaler
+	// boosts the role named here when the alert fires.
+	Role string
+
+	// Limit is the threshold value (RuleThreshold) or the budgeted
+	// error fraction (RuleBurnRate).
+	Limit float64
+	// Below inverts a threshold: fire when the value drops under Limit.
+	Below bool
+	// ErrMetric is the burn-rate numerator series; Metric is the total.
+	ErrMetric string
+
+	// Factor scales the forecaster's own mean absolute error into the
+	// anomaly tolerance band (default 4).
+	Factor float64
+	// Tolerance is an absolute floor under the anomaly band, guarding
+	// against hair-trigger firing on near-constant series whose MAE is
+	// ~0.
+	Tolerance float64
+	// MinSamples is the anomaly warmup: no verdicts before the
+	// forecaster has seen this many points (default 8).
+	MinSamples int
+
+	// For is how many consecutive breaching evaluations fire the alert
+	// (default 2) — the "sustained" in sustained prediction error.
+	For int
+	// ClearAfter is how many consecutive calm evaluations clear a
+	// firing alert (default 2).
+	ClearAfter int
+}
+
+func (r Rule) withDefaults() Rule {
+	if r.Kind == 0 {
+		r.Kind = RuleThreshold
+	}
+	if r.Factor <= 0 {
+		r.Factor = 4
+	}
+	if r.MinSamples <= 0 {
+		r.MinSamples = 8
+	}
+	if r.For <= 0 {
+		r.For = 2
+	}
+	if r.ClearAfter <= 0 {
+		r.ClearAfter = 2
+	}
+	return r
+}
+
+// Alert is one rule's state against one daemon — the unit exported over
+// MsgObsAlerts and persisted to pstate. Cleared alerts are retained (and
+// shipped) so operators see recent history, not just the current fire.
+type Alert struct {
+	Rule   string
+	Daemon string
+	Role   string
+	Kind   RuleKind
+	Firing bool
+	// Value is the observation at the latest evaluation; Threshold is
+	// the limit (or anomaly tolerance band) it was judged against.
+	Value     float64
+	Threshold float64
+	// Fires counts lifetime firing transitions for this (rule, daemon).
+	Fires            int64
+	FiredUnixNanos   int64
+	ClearedUnixNanos int64
+}
+
+type stateKey struct{ rule, daemon string }
+
+// ruleState is the engine's per-(rule, daemon) evaluation state.
+type ruleState struct {
+	sel       *forecast.Selector // anomaly predictor (lazily built)
+	breach    int                // consecutive breaching evals
+	calm      int                // consecutive calm evals
+	seen      bool               // any point evaluated yet
+	lastNanos int64              // newest point already evaluated
+}
+
+// Engine evaluates a rule set against a SeriesSet and maintains alert
+// state. Safe for concurrent use.
+type Engine struct {
+	rules []Rule
+
+	mu     sync.Mutex
+	states map[stateKey]*ruleState
+	alerts map[stateKey]*Alert
+}
+
+// NewEngine returns an engine over rules (defaults applied).
+func NewEngine(rules []Rule) *Engine {
+	e := &Engine{
+		states: make(map[stateKey]*ruleState),
+		alerts: make(map[stateKey]*Alert),
+	}
+	for _, r := range rules {
+		e.rules = append(e.rules, r.withDefaults())
+	}
+	return e
+}
+
+// Eval runs every rule against every matching series and returns how
+// many alerts transitioned to firing and to cleared this round. Rules
+// only advance on fresh points: a series that produced nothing since the
+// last round leaves its streaks untouched.
+func (e *Engine) Eval(set *SeriesSet, nowNanos int64) (fired, cleared int) {
+	keys := set.Keys()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.rules {
+		for _, k := range keys {
+			if k.Metric != r.Metric {
+				continue
+			}
+			if r.Daemon != "" && !strings.Contains(k.Daemon, r.Daemon) {
+				continue
+			}
+			p, ok := set.Latest(k)
+			if !ok {
+				continue
+			}
+			f, c := e.evalOne(set, r, k, p, nowNanos)
+			fired += f
+			cleared += c
+		}
+	}
+	return fired, cleared
+}
+
+// evalOne advances one (rule, series) state machine by one observation.
+// Called with the engine lock held; the SeriesSet has its own lock and
+// never calls back into the engine, so reading it here is safe.
+func (e *Engine) evalOne(set *SeriesSet, r Rule, k SeriesKey, p Point, nowNanos int64) (fired, cleared int) {
+	sk := stateKey{r.Name, k.Daemon}
+	st, ok := e.states[sk]
+	if !ok {
+		st = &ruleState{}
+		e.states[sk] = st
+	}
+	if st.seen && p.UnixNanos <= st.lastNanos {
+		return 0, 0 // no fresh data since the last round
+	}
+	st.seen, st.lastNanos = true, p.UnixNanos
+
+	breaching := false
+	threshold := r.Limit
+	switch r.Kind {
+	case RuleThreshold:
+		if r.Below {
+			breaching = p.Value < r.Limit
+		} else {
+			breaching = p.Value >= r.Limit
+		}
+	case RuleBurnRate:
+		errV := 0.0
+		if ep, ok := set.Latest(SeriesKey{k.Daemon, r.ErrMetric}); ok {
+			errV = ep.Value
+		}
+		if p.Value > 0 {
+			burn := errV / p.Value
+			breaching = burn > r.Limit
+			// Report the burn fraction, not the raw rate.
+			p.Value = burn
+		}
+	case RuleAnomaly:
+		if st.sel == nil {
+			st.sel = forecast.NewSelector()
+		}
+		upd := p.Value
+		pred, havePred := st.sel.Forecast()
+		if havePred && pred.Samples >= r.MinSamples {
+			err := p.Value - pred.Value
+			if err < 0 {
+				err = -err
+			}
+			tol := r.Factor * pred.MAE
+			if tol < r.Tolerance {
+				tol = r.Tolerance
+			}
+			threshold = tol
+			breaching = err > tol
+			if breaching {
+				// Winsorize: feed the forecaster the observation clamped
+				// to the tolerance band. An adaptive predictor that
+				// swallowed the raw spike would predict it perfectly one
+				// round later and no burst could ever sustain For rounds;
+				// clamped, the band creeps toward a genuine level shift
+				// (so the alert eventually clears) without the anomaly
+				// poisoning the error history in one step.
+				if upd > pred.Value+tol {
+					upd = pred.Value + tol
+				} else if upd < pred.Value-tol {
+					upd = pred.Value - tol
+				}
+			}
+		}
+		st.sel.Update(upd)
+	}
+
+	if breaching {
+		st.breach++
+		st.calm = 0
+	} else {
+		st.calm++
+		st.breach = 0
+	}
+
+	al, ok := e.alerts[sk]
+	if !ok {
+		al = &Alert{Rule: r.Name, Daemon: k.Daemon, Role: r.Role, Kind: r.Kind}
+		e.alerts[sk] = al
+	}
+	al.Value, al.Threshold = p.Value, threshold
+	if !al.Firing && st.breach >= r.For {
+		al.Firing = true
+		al.Fires++
+		al.FiredUnixNanos = nowNanos
+		al.ClearedUnixNanos = 0
+		fired++
+	} else if al.Firing && st.calm >= r.ClearAfter {
+		al.Firing = false
+		al.ClearedUnixNanos = nowNanos
+		cleared++
+	}
+	return fired, cleared
+}
+
+// Alerts returns a snapshot of every alert, firing first, then by rule
+// and daemon.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	out := make([]Alert, 0, len(e.alerts))
+	for _, al := range e.alerts {
+		out = append(out, *al)
+	}
+	e.mu.Unlock()
+	sortAlerts(out)
+	return out
+}
+
+// Firing counts currently-firing alerts, optionally restricted to a
+// role ("" counts all).
+func (e *Engine) Firing(role string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, al := range e.alerts {
+		if al.Firing && (role == "" || al.Role == role) {
+			n++
+		}
+	}
+	return n
+}
+
+// Restore seeds the engine's alert table from persisted alerts (a
+// restarted observatory resumes with the fleet's last known state;
+// streak counters restart cold, so a stale Firing entry clears after
+// ClearAfter calm rounds).
+func (e *Engine) Restore(alerts []Alert) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, al := range alerts {
+		sk := stateKey{al.Rule, al.Daemon}
+		if _, ok := e.alerts[sk]; ok {
+			continue
+		}
+		cp := al
+		e.alerts[sk] = &cp
+		if _, ok := e.states[sk]; !ok {
+			e.states[sk] = &ruleState{}
+		}
+	}
+}

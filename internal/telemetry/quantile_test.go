@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestQuantileInterpolatesWithinBucket pins the interpolated estimator on
+// a hand-computable distribution. Regression for the pre-interpolation
+// estimator, which returned the winning bucket's upper bound and was off
+// by up to 2x on the exponential layout.
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	// 100 observations of exactly 100us. bucketFor(100us) = 4, bounds
+	// (80us, 160us]. Every rank interpolates within that one bucket:
+	// p50 -> 80us + 0.50*80us = 120us, p99 -> 80us + 0.99*80us = 159.2us.
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	data := snapHist(h)
+	if got, want := data.Quantile(0.50), 120*time.Microsecond; got != want {
+		t.Fatalf("p50 = %v, want %v", got, want)
+	}
+	if got, want := data.Quantile(0.99), 159200*time.Nanosecond; got != want {
+		t.Fatalf("p99 = %v, want %v", got, want)
+	}
+	// The old estimator returned BucketBound(4) = 160us for every
+	// quantile of this distribution.
+	if data.Quantile(0.50) >= BucketBound(4) {
+		t.Fatalf("p50 = %v did not interpolate below the bucket bound %v", data.Quantile(0.50), BucketBound(4))
+	}
+}
+
+// TestQuantileSpansBuckets exercises a rank whose bucket is found after
+// accumulating earlier buckets: 10 observations at 15us (bucket 1,
+// (10us,20us]) and 10 at 100us (bucket 4). p25 (target rank 5) lands
+// mid-bucket-1: 10us + 0.5*10us = 15us. p75 (target rank 15) lands
+// mid-bucket-4: 80us + 0.5*80us = 120us.
+func TestQuantileSpansBuckets(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(15 * time.Microsecond)
+		h.Observe(100 * time.Microsecond)
+	}
+	data := snapHist(h)
+	if got, want := data.Quantile(0.25), 15*time.Microsecond; got != want {
+		t.Fatalf("p25 = %v, want %v", got, want)
+	}
+	if got, want := data.Quantile(0.75), 120*time.Microsecond; got != want {
+		t.Fatalf("p75 = %v, want %v", got, want)
+	}
+}
+
+// TestQuantileUniformAccuracy checks the estimator against the true
+// quantiles of a uniform distribution over (0, 10.24ms]: the
+// interpolated estimate must land within one bucket width of truth and
+// strictly improve on the old upper-bound answer.
+func TestQuantileUniformAccuracy(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1024; i++ {
+		h.Observe(time.Duration(i) * 10 * time.Microsecond)
+	}
+	data := snapHist(h)
+	for _, tc := range []struct {
+		q    float64
+		true time.Duration
+	}{
+		{0.50, 5120 * time.Microsecond},
+		{0.99, 10137 * time.Microsecond},
+	} {
+		got := data.Quantile(tc.q)
+		relErr := math.Abs(float64(got-tc.true)) / float64(tc.true)
+		if relErr > 0.35 {
+			t.Errorf("q=%.2f: got %v, true %v (rel err %.2f)", tc.q, got, tc.true, relErr)
+		}
+		// The old estimator returned the winning bucket's upper bound;
+		// the interpolated one must not regress to it for mid-bucket
+		// ranks like these.
+		if got >= 2*tc.true {
+			t.Errorf("q=%.2f: got %v, at least 2x over true %v — upper-bound regression", tc.q, got, tc.true)
+		}
+	}
+}
+
+// TestQuantileOverflowBucket: ranks landing in the unbounded overflow
+// bucket report its lower bound instead of interpolating toward MaxInt64.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(time.Hour) // >> bucket range: lands in the overflow bucket
+	data := snapHist(h)
+	if got, want := data.Quantile(0.99), BucketBound(histBuckets-2); got != want {
+		t.Fatalf("overflow p99 = %v, want lower bound %v", got, want)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var data *HistogramData
+	if got := data.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+	if got := (&HistogramData{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestHistogramExemplars: traced observations retain the trace ID and
+// duration per bucket; untraced observations never allocate the exemplar
+// table; snapshots carry them out.
+func TestHistogramExemplars(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(50 * time.Microsecond)
+	if h.ex.Load() != nil {
+		t.Fatal("untraced observations must not allocate exemplar slots")
+	}
+	h.ObserveTraced(50*time.Microsecond, 0xabc)
+	h.ObserveTraced(100*time.Millisecond, 0xdef)
+	data := snapHist(h)
+	if len(data.Exemplars) != 2 {
+		t.Fatalf("exemplars = %+v, want 2", data.Exemplars)
+	}
+	slow, ok := data.SlowestExemplar()
+	if !ok || slow.TraceID != 0xdef {
+		t.Fatalf("slowest exemplar = %+v ok=%v, want trace 0xdef", slow, ok)
+	}
+	if slow.Nanos != int64(100*time.Millisecond) {
+		t.Fatalf("slowest exemplar nanos = %d, want %d", slow.Nanos, int64(100*time.Millisecond))
+	}
+	// A later traced observation in the same bucket replaces the exemplar.
+	h.ObserveTraced(51*time.Microsecond, 0x123)
+	data = snapHist(h)
+	fast := data.Exemplars[0]
+	if fast.TraceID != 0x123 {
+		t.Fatalf("fast-bucket exemplar = %+v, want replaced trace 0x123", fast)
+	}
+}
+
+// snapHist freezes one histogram through the registry snapshot path.
+func snapHist(h *Histogram) *HistogramData {
+	r := NewRegistry()
+	r.mu.Lock()
+	r.metrics["test.hist"] = &metric{histogram: h}
+	r.mu.Unlock()
+	snap := r.Snapshot("")
+	sm, ok := snap.Find("test.hist")
+	if !ok || sm.Hist == nil {
+		panic("histogram missing from snapshot")
+	}
+	return sm.Hist
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -19,12 +20,40 @@ const (
 	KindHistogram
 )
 
+// Exemplar links one histogram bucket to a recent traced observation
+// that landed there: the trace ID to hand to ew-trace, and the observed
+// duration. Exemplars ride the snapshot codec as a backwards-compatible
+// extension, so old pollers simply never see them.
+type Exemplar struct {
+	Bucket  int
+	TraceID uint64
+	Nanos   int64 // the exemplar observation's duration
+}
+
 // HistogramData is the frozen state of one histogram: total count, total
-// time, and the per-bucket counts (see BucketBound for the bucket layout).
+// time, the per-bucket counts (see BucketBound for the bucket layout),
+// and any per-bucket trace exemplars.
 type HistogramData struct {
-	Count    int64
-	SumNanos int64
-	Buckets  []int64
+	Count     int64
+	SumNanos  int64
+	Buckets   []int64
+	Exemplars []Exemplar
+}
+
+// SlowestExemplar returns the exemplar from the highest populated bucket
+// — the trace behind the tail of the distribution — or false when the
+// histogram carries none.
+func (h *HistogramData) SlowestExemplar() (Exemplar, bool) {
+	if h == nil || len(h.Exemplars) == 0 {
+		return Exemplar{}, false
+	}
+	best := h.Exemplars[0]
+	for _, ex := range h.Exemplars[1:] {
+		if ex.Bucket > best.Bucket {
+			best = ex
+		}
+	}
+	return best, true
 }
 
 // Mean returns the mean observed duration.
@@ -35,9 +64,12 @@ func (h *HistogramData) Mean() time.Duration {
 	return time.Duration(h.SumNanos / h.Count)
 }
 
-// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
-// distribution: the bound of the bucket containing the target rank. The
-// exponential layout makes the estimate accurate to within a factor of 2.
+// Quantile estimates the q-quantile (0 < q <= 1) of the distribution by
+// locating the bucket containing the target rank and interpolating
+// linearly within it — assuming observations spread uniformly across the
+// bucket, the standard estimator for bucketed histograms. The overflow
+// bucket has no upper bound, so a rank landing there reports the
+// bucket's lower bound.
 func (h *HistogramData) Quantile(q float64) time.Duration {
 	if h == nil || h.Count == 0 {
 		return 0
@@ -46,12 +78,28 @@ func (h *HistogramData) Quantile(q float64) time.Duration {
 	if target < 1 {
 		target = 1
 	}
+	if target > h.Count {
+		target = h.Count
+	}
 	var seen int64
 	for i, c := range h.Buckets {
-		seen += c
-		if seen >= target {
-			return BucketBound(i)
+		if seen+c < target {
+			seen += c
+			continue
 		}
+		if c == 0 {
+			continue
+		}
+		var lo time.Duration
+		if i > 0 {
+			lo = BucketBound(i - 1)
+		}
+		hi := BucketBound(i)
+		if i >= len(h.Buckets)-1 || hi == time.Duration(math.MaxInt64) {
+			return lo
+		}
+		frac := float64(target-seen) / float64(c)
+		return lo + time.Duration(frac*float64(hi-lo))
 	}
 	return BucketBound(len(h.Buckets) - 1)
 }
@@ -259,6 +307,11 @@ var standardColumns = []tableColumn{
 	// trace spans exported by a daemon, and spans lost anywhere on the
 	// trace path (exporter queue/batch drops plus collector ring
 	// evictions).
+	// Observatory health: alerts currently firing. The obs daemon reports
+	// its fleet-wide total; other rows populate when ew-top is pointed at
+	// an observatory (-obs), which folds per-daemon firing counts into the
+	// polled snapshots.
+	{"alerts", func(s Snapshot) string { return count(s.Value("obs.alerts.firing")) }},
 	{"log-drop", func(s Snapshot) string { return count(s.Value("logsvc.dropped")) }},
 	{"spans", func(s Snapshot) string { return count(s.Value("dtrace.export.spans")) }},
 	{"span-drop", func(s Snapshot) string {

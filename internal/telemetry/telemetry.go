@@ -89,16 +89,52 @@ type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
 	buckets [histBuckets]atomic.Int64
+	// ex holds per-bucket exemplars — the trace ID and duration of a
+	// recent traced observation landing in each bucket — allocated on the
+	// first traced observation so untraced histograms stay small.
+	ex atomic.Pointer[[histBuckets]exemplarSlot]
+}
+
+// exemplarSlot is one bucket's exemplar. The two fields are written with
+// independent atomics: a torn pair (trace from one observation, duration
+// from another in the same bucket) is acceptable for a diagnostic jump-off
+// point, and atomics keep concurrent observation race-free.
+type exemplarSlot struct {
+	trace atomic.Uint64
+	nanos atomic.Int64
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveTraced(d, 0)
+}
+
+// ObserveTraced records one duration and, when traceID is non-zero,
+// retains it as the exemplar for the bucket the observation lands in —
+// the link that lets a p99 spike in ew-obs jump straight to the trace
+// that caused it. A zero traceID is exactly Observe.
+func (h *Histogram) ObserveTraced(d time.Duration, traceID uint64) {
 	if d < 0 {
 		d = 0
 	}
 	h.count.Add(1)
 	h.sum.Add(int64(d))
-	h.buckets[bucketFor(d)].Add(1)
+	b := bucketFor(d)
+	h.buckets[b].Add(1)
+	if traceID == 0 {
+		return
+	}
+	ex := h.ex.Load()
+	if ex == nil {
+		fresh := new([histBuckets]exemplarSlot)
+		if h.ex.CompareAndSwap(nil, fresh) {
+			ex = fresh
+		} else {
+			ex = h.ex.Load()
+		}
+	}
+	ex[b].trace.Store(traceID)
+	ex[b].nanos.Store(int64(d))
 }
 
 // bucketFor maps a duration to its bucket index in constant time.
@@ -356,10 +392,18 @@ type FamilySpan struct {
 
 // End finishes the span under the given outcome.
 func (s FamilySpan) End(o Outcome) {
+	s.EndTraced(o, 0)
+}
+
+// EndTraced finishes the span under the given outcome, retaining a
+// non-zero traceID as the exemplar for the histogram bucket the
+// observation lands in. The wire server and client use this so hot-path
+// histograms carry trace jump-off points.
+func (s FamilySpan) EndTraced(o Outcome, traceID uint64) {
 	if s.f == nil {
 		return
 	}
-	s.f.hist(o).Observe(s.f.r.Now().Sub(s.start))
+	s.f.hist(o).ObserveTraced(s.f.r.Now().Sub(s.start), traceID)
 }
 
 func (f *SpanFamily) hist(o Outcome) *Histogram {
@@ -433,6 +477,17 @@ func (r *Registry) Snapshot(prefix string) Snapshot {
 			}
 			for b := range m.histogram.buckets {
 				h.Buckets[b] = m.histogram.buckets[b].Load()
+			}
+			if ex := m.histogram.ex.Load(); ex != nil {
+				for b := range ex {
+					if t := ex[b].trace.Load(); t != 0 {
+						h.Exemplars = append(h.Exemplars, Exemplar{
+							Bucket:  b,
+							TraceID: t,
+							Nanos:   ex[b].nanos.Load(),
+						})
+					}
+				}
 			}
 			sample.Hist = h
 		}

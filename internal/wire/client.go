@@ -131,11 +131,17 @@ func (c *Client) drop(addr string) {
 // release are correct but bypass the pools).
 func (c *Client) Call(addr string, req *Packet, timeout time.Duration) (*Packet, error) {
 	sp := c.callSpan()
+	// The request's trace ID (captured before the ladder rewrites
+	// req.Trace with attempt contexts and releases the packet) becomes
+	// the call histogram's exemplar: a slow call's bucket remembers which
+	// trace to pull up.
+	tid := req.Trace.TraceID
 	var call ActiveSpan
 	// Only sampled contexts get call/attempt spans: an unsampled trace
 	// records nothing anywhere by design, so the fast path pays for the
-	// trailer bytes only (the <5% propagation-overhead budget).
-	if c.Tracer != nil && req.Trace.Valid() && req.Trace.Sampled {
+	// trailer bytes only (the <5% propagation-overhead budget) — unless
+	// the tracer buffers unsampled spans for tail-based promotion.
+	if c.Tracer != nil && req.Trace.Valid() && (req.Trace.Sampled || wantUnsampled(c.Tracer)) {
 		call = c.Tracer.StartSpan("wire.call."+MsgName(req.Type), req.Trace)
 		call.Annotate("addr", addr)
 	}
@@ -144,7 +150,7 @@ func (c *Client) Call(addr string, req *Packet, timeout time.Duration) (*Packet,
 	if retries > 0 {
 		c.Metrics.Counter("wire.client.retries").Add(int64(retries))
 	}
-	sp.End(outcome)
+	sp.EndTraced(outcome, tid)
 	if call != nil {
 		if retries > 0 {
 			call.Annotate("retries", itoa(uint64(retries)))

@@ -25,6 +25,21 @@ func init() {
 // changes.
 const snapshotVersion = 1
 
+// Histogram exemplars ride the snapshot as a trailing extension section
+// appended after the samples, the same interop discipline as the trace
+// trailer on packets: a pre-exemplar decoder reads exactly the declared
+// sample count and ignores trailing bytes, so old pollers skip the
+// extension; a current decoder parses it only behind the magic guard, so
+// pre-exemplar snapshots (no trailing bytes) decode unchanged. The
+// snapshot version byte therefore stays at 1.
+var snapExtMagic = [4]byte{'E', 'W', 'X', 'S'}
+
+const (
+	snapExtVersion = 1
+	// name index (4) + bucket (1) + trace ID (8) + nanos (8)
+	snapExemplarBytes = 21
+)
+
 // EncodeSnapshot serializes a metrics snapshot in the lingua franca
 // encoding.
 func EncodeSnapshot(s telemetry.Snapshot) []byte {
@@ -34,6 +49,7 @@ func EncodeSnapshot(s telemetry.Snapshot) []byte {
 	e.PutInt64(s.TakenUnixNanos)
 	e.PutInt64(s.UptimeNanos)
 	e.PutUint32(uint32(len(s.Samples)))
+	nex := 0
 	for _, sm := range s.Samples {
 		e.PutString(sm.Name)
 		e.PutUint8(uint8(sm.Kind))
@@ -49,9 +65,111 @@ func EncodeSnapshot(s telemetry.Snapshot) []byte {
 			for _, b := range sm.Hist.Buckets {
 				e.PutInt64(b)
 			}
+			nex += len(sm.Hist.Exemplars)
 		}
 	}
+	if nex > 0 {
+		encodeSnapshotExt(e, s)
+	}
 	return e.Bytes()
+}
+
+// encodeSnapshotExt appends the exemplar extension. Exemplars whose
+// bucket index does not fit the wire layout (one byte, within the
+// histogram's bucket array) are dropped rather than corrupting the
+// section.
+func encodeSnapshotExt(e *Encoder, s telemetry.Snapshot) {
+	type rec struct {
+		idx int
+		ex  telemetry.Exemplar
+	}
+	recs := make([]rec, 0, 8)
+	for i, sm := range s.Samples {
+		if sm.Kind != telemetry.KindHistogram || sm.Hist == nil {
+			continue
+		}
+		for _, ex := range sm.Hist.Exemplars {
+			if ex.Bucket < 0 || ex.Bucket > 255 || ex.Bucket >= len(sm.Hist.Buckets) || ex.TraceID == 0 {
+				continue
+			}
+			recs = append(recs, rec{idx: i, ex: ex})
+		}
+	}
+	if len(recs) == 0 {
+		return
+	}
+	e.Append(snapExtMagic[:])
+	e.PutUint8(snapExtVersion)
+	e.PutUint32(uint32(len(recs)))
+	for _, r := range recs {
+		e.PutUint32(uint32(r.idx))
+		e.PutUint8(uint8(r.ex.Bucket))
+		e.PutUint64(r.ex.TraceID)
+		e.PutInt64(r.ex.Nanos)
+	}
+}
+
+// decodeSnapshotExt parses a trailing exemplar extension into s, if the
+// remaining bytes carry one. Trailing bytes without the magic are
+// ignored (an unknown future extension); a malformed section behind a
+// valid magic is an error. Records referencing out-of-range samples or
+// buckets are skipped — a newer encoder may know layouts we do not.
+func decodeSnapshotExt(d *Decoder, s *telemetry.Snapshot) error {
+	if d.Remaining() < len(snapExtMagic)+1 {
+		return nil
+	}
+	rest := d.buf[d.off:]
+	for i := range snapExtMagic {
+		if rest[i] != snapExtMagic[i] {
+			return nil
+		}
+	}
+	d.off += len(snapExtMagic)
+	ver, err := d.Uint8()
+	if err != nil {
+		return err
+	}
+	if ver != snapExtVersion {
+		// A future extension version: ignore the rest of the payload
+		// rather than guessing at its layout.
+		d.off = len(d.buf)
+		return nil
+	}
+	n, err := d.Count(snapExemplarBytes)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		idx, err := d.Uint32()
+		if err != nil {
+			return err
+		}
+		bucket, err := d.Uint8()
+		if err != nil {
+			return err
+		}
+		tid, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		nanos, err := d.Int64()
+		if err != nil {
+			return err
+		}
+		if int(idx) >= len(s.Samples) || tid == 0 {
+			continue
+		}
+		sm := &s.Samples[idx]
+		if sm.Kind != telemetry.KindHistogram || sm.Hist == nil || int(bucket) >= len(sm.Hist.Buckets) {
+			continue
+		}
+		sm.Hist.Exemplars = append(sm.Hist.Exemplars, telemetry.Exemplar{
+			Bucket:  int(bucket),
+			TraceID: tid,
+			Nanos:   nanos,
+		})
+	}
+	return nil
 }
 
 // DecodeSnapshot parses a snapshot encoded by EncodeSnapshot.
@@ -122,6 +240,9 @@ func DecodeSnapshot(buf []byte) (telemetry.Snapshot, error) {
 			return s, fmt.Errorf("wire: unknown sample kind %d", kind)
 		}
 		s.Samples = append(s.Samples, sm)
+	}
+	if err := decodeSnapshotExt(d, &s); err != nil {
+		return s, err
 	}
 	return s, nil
 }

@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"everyware/internal/telemetry"
+)
+
+// encodeSnapshotPreExemplar reproduces the pre-exemplar encoder byte for
+// byte: samples only, no trailing extension. Kept in the test as the
+// frozen old-writer behaviour for version-skew coverage.
+func encodeSnapshotPreExemplar(s telemetry.Snapshot) []byte {
+	e := NewEncoder(64 + 48*len(s.Samples))
+	e.PutUint8(snapshotVersion)
+	e.PutString(s.ID)
+	e.PutInt64(s.TakenUnixNanos)
+	e.PutInt64(s.UptimeNanos)
+	e.PutUint32(uint32(len(s.Samples)))
+	for _, sm := range s.Samples {
+		e.PutString(sm.Name)
+		e.PutUint8(uint8(sm.Kind))
+		switch sm.Kind {
+		case telemetry.KindCounter, telemetry.KindGauge:
+			e.PutInt64(sm.Value)
+		case telemetry.KindFloatGauge:
+			e.PutFloat64(sm.Float)
+		case telemetry.KindHistogram:
+			e.PutInt64(sm.Hist.Count)
+			e.PutInt64(sm.Hist.SumNanos)
+			e.PutUint32(uint32(len(sm.Hist.Buckets)))
+			for _, b := range sm.Hist.Buckets {
+				e.PutInt64(b)
+			}
+		}
+	}
+	return e.Bytes()
+}
+
+// decodeSnapshotPreExemplar reproduces the pre-exemplar decoder: it
+// reads exactly the declared sample count and ignores anything after —
+// the property the exemplar extension's interop story rests on.
+func decodeSnapshotPreExemplar(buf []byte) (telemetry.Snapshot, error) {
+	var s telemetry.Snapshot
+	d := NewDecoder(buf)
+	ver, err := d.Uint8()
+	if err != nil {
+		return s, err
+	}
+	if ver != snapshotVersion {
+		return s, fmt.Errorf("unsupported snapshot version %d", ver)
+	}
+	if s.ID, err = d.String(); err != nil {
+		return s, err
+	}
+	if s.TakenUnixNanos, err = d.Int64(); err != nil {
+		return s, err
+	}
+	if s.UptimeNanos, err = d.Int64(); err != nil {
+		return s, err
+	}
+	n, err := d.Count(13)
+	if err != nil {
+		return s, err
+	}
+	s.Samples = make([]telemetry.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		var sm telemetry.Sample
+		if sm.Name, err = d.String(); err != nil {
+			return s, err
+		}
+		kind, err := d.Uint8()
+		if err != nil {
+			return s, err
+		}
+		sm.Kind = telemetry.Kind(kind)
+		switch sm.Kind {
+		case telemetry.KindCounter, telemetry.KindGauge:
+			if sm.Value, err = d.Int64(); err != nil {
+				return s, err
+			}
+		case telemetry.KindFloatGauge:
+			if sm.Float, err = d.Float64(); err != nil {
+				return s, err
+			}
+		case telemetry.KindHistogram:
+			h := &telemetry.HistogramData{}
+			if h.Count, err = d.Int64(); err != nil {
+				return s, err
+			}
+			if h.SumNanos, err = d.Int64(); err != nil {
+				return s, err
+			}
+			nb, err := d.Count(8)
+			if err != nil {
+				return s, err
+			}
+			h.Buckets = make([]int64, nb)
+			for b := 0; b < nb; b++ {
+				if h.Buckets[b], err = d.Int64(); err != nil {
+					return s, err
+				}
+			}
+			sm.Hist = h
+		default:
+			return s, fmt.Errorf("unknown sample kind %d", kind)
+		}
+		s.Samples = append(s.Samples, sm)
+	}
+	return s, nil
+}
+
+// exemplarSnapshot builds a snapshot whose histogram carries exemplars.
+func exemplarSnapshot() telemetry.Snapshot {
+	reg := telemetry.NewRegistry()
+	reg.SetID("skewed")
+	reg.Counter("wire.client.retries").Add(2)
+	h := reg.Histogram("wire.server.handle.t50.ok")
+	h.ObserveTraced(200*time.Microsecond, 0xdeadbeef)
+	h.ObserveTraced(40*time.Millisecond, 0xfeedf00d)
+	return reg.Snapshot("")
+}
+
+// TestSnapshotExemplarRoundTrip: the current encoder/decoder pair
+// carries exemplars through the extension section.
+func TestSnapshotExemplarRoundTrip(t *testing.T) {
+	snap := exemplarSnapshot()
+	got, err := DecodeSnapshot(EncodeSnapshot(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, ok := got.Find("wire.server.handle.t50.ok")
+	if !ok || sm.Hist == nil {
+		t.Fatalf("histogram missing: %+v", got.Samples)
+	}
+	if len(sm.Hist.Exemplars) != 2 {
+		t.Fatalf("exemplars = %+v, want 2", sm.Hist.Exemplars)
+	}
+	slow, ok := sm.Hist.SlowestExemplar()
+	if !ok || slow.TraceID != 0xfeedf00d || slow.Nanos != int64(40*time.Millisecond) {
+		t.Fatalf("slowest exemplar = %+v", slow)
+	}
+}
+
+// TestSnapshotVersionSkew is the codec's interop contract, both
+// directions:
+//
+//   - a CURRENT decoder must accept a PRE-EXEMPLAR snapshot (no trailing
+//     extension) unchanged, and
+//   - an OLD decoder must skip the exemplar extension a CURRENT encoder
+//     appends, seeing exactly the samples it always saw.
+func TestSnapshotVersionSkew(t *testing.T) {
+	snap := exemplarSnapshot()
+
+	// Old writer -> new reader.
+	oldBytes := encodeSnapshotPreExemplar(snap)
+	got, err := DecodeSnapshot(oldBytes)
+	if err != nil {
+		t.Fatalf("current decoder rejected pre-exemplar snapshot: %v", err)
+	}
+	if got.ID != snap.ID || len(got.Samples) != len(snap.Samples) {
+		t.Fatalf("pre-exemplar decode mangled: %+v", got)
+	}
+	for _, sm := range got.Samples {
+		if sm.Hist != nil && len(sm.Hist.Exemplars) != 0 {
+			t.Fatalf("exemplars invented from a pre-exemplar snapshot: %+v", sm.Hist.Exemplars)
+		}
+	}
+
+	// New writer -> old reader.
+	newBytes := EncodeSnapshot(snap)
+	if bytes.Equal(newBytes, oldBytes) {
+		t.Fatal("current encoding carries no extension section — exemplars lost")
+	}
+	old, err := decodeSnapshotPreExemplar(newBytes)
+	if err != nil {
+		t.Fatalf("old decoder choked on the exemplar extension: %v", err)
+	}
+	if old.ID != snap.ID || len(old.Samples) != len(snap.Samples) {
+		t.Fatalf("old decode of extended snapshot mangled: %+v", old)
+	}
+	if old.Value("wire.client.retries") != 2 {
+		t.Fatal("old decoder lost sample values")
+	}
+
+	// Unknown trailing bytes without the magic are tolerated (a future
+	// extension this decoder does not know).
+	withJunk := append(append([]byte(nil), oldBytes...), 0x01, 0x02, 0x03, 0x04, 0x05)
+	if _, err := DecodeSnapshot(withJunk); err != nil {
+		t.Fatalf("unknown trailing bytes rejected: %v", err)
+	}
+
+	// A future extension version behind the magic is skipped, not parsed.
+	e := NewEncoder(len(oldBytes) + 16)
+	e.Append(oldBytes)
+	e.Append(snapExtMagic[:])
+	e.PutUint8(snapExtVersion + 1)
+	e.Append([]byte{0xff, 0xff, 0xff})
+	fut, err := DecodeSnapshot(e.Bytes())
+	if err != nil {
+		t.Fatalf("future extension version rejected: %v", err)
+	}
+	if len(fut.Samples) != len(snap.Samples) {
+		t.Fatalf("future-extension decode mangled samples: %+v", fut)
+	}
+}
+
+// FuzzSnapshotCodec: for arbitrary bytes the decoder must never panic,
+// and any snapshot it accepts must re-encode into a form that decodes to
+// the same canonical value (byte-stable after one canonicalization).
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add(EncodeSnapshot(telemetry.Snapshot{}))
+	f.Add(encodeSnapshotPreExemplar(exemplarSnapshot()))
+	f.Add(EncodeSnapshot(exemplarSnapshot()))
+	trunc := EncodeSnapshot(exemplarSnapshot())
+	f.Add(trunc[:len(trunc)-5])
+	f.Add(append(append([]byte(nil), encodeSnapshotPreExemplar(exemplarSnapshot())...), snapExtMagic[:]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s1, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		// Canonicalize once, then the codec must be a fixpoint.
+		enc1 := EncodeSnapshot(s1)
+		s2, err := DecodeSnapshot(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		enc2 := EncodeSnapshot(s2)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("codec not a fixpoint:\n first: %x\nsecond: %x", enc1, enc2)
+		}
+		// The old decoder must accept every current encoding.
+		if _, err := decodeSnapshotPreExemplar(enc1); err != nil {
+			t.Fatalf("old decoder rejected current encoding: %v", err)
+		}
+	})
+}

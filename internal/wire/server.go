@@ -268,8 +268,9 @@ func (s *Server) serveConn(nc net.Conn) {
 			var serve ActiveSpan
 			// Unsampled contexts skip the continuation span: the inbound
 			// context already reaches the handler on req.Trace, and an
-			// unsampled trace records nothing anywhere by design.
-			if s.Tracer != nil && req.Trace.Valid() && req.Trace.Sampled {
+			// unsampled trace records nothing anywhere by design — unless
+			// the tracer buffers unsampled spans for tail-based promotion.
+			if s.Tracer != nil && req.Trace.Valid() && (req.Trace.Sampled || wantUnsampled(s.Tracer)) {
 				serve = s.Tracer.StartSpan("wire.serve."+MsgName(req.Type), req.Trace)
 				serve.Annotate("peer", remote)
 				// Handlers see the serve span as their parent so the RPCs
@@ -280,15 +281,19 @@ func (s *Server) serveConn(nc net.Conn) {
 			if s.Observe != nil {
 				handleStart = time.Now()
 			}
-			// In-place echo handlers mutate req.Type; observe the type the
-			// request arrived with.
+			// In-place echo handlers mutate req.Type (and may release or
+			// reuse the packet); capture the arrival type and trace ID
+			// first. The trace ID becomes the handle histogram's exemplar,
+			// linking a latency spike to a trace — present whether or not
+			// the trace is head-sampled, since contexts always propagate.
 			reqType := req.Type
+			tid := req.Trace.TraceID
 			sp := s.fam(reqType).Start()
 			r, herr := h.Handle(remote, req)
 			if herr != nil {
-				sp.End("err")
+				sp.EndTraced("err", tid)
 			} else {
-				sp.End(telemetry.OutcomeOK)
+				sp.EndTraced(telemetry.OutcomeOK, tid)
 			}
 			if serve != nil {
 				if herr != nil {

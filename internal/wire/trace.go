@@ -95,6 +95,23 @@ type Tracer interface {
 	StartSpan(name string, parent TraceContext) ActiveSpan
 }
 
+// UnsampledRecorder is an optional Tracer capability: a tracer that
+// wants StartSpan even for contexts whose head-sampling decision was
+// "no". Tail-based sampling implements it — unsampled spans are buffered
+// briefly and the whole trace promoted when one ends slow or in error —
+// so the wire layer must hand such tracers the spans head sampling would
+// otherwise skip.
+type UnsampledRecorder interface {
+	WantUnsampled() bool
+}
+
+// wantUnsampled reports whether tr wants spans for head-unsampled
+// contexts.
+func wantUnsampled(tr Tracer) bool {
+	u, ok := tr.(UnsampledRecorder)
+	return ok && u.WantUnsampled()
+}
+
 // nopSpan is the span returned when no tracer is configured: it records
 // nothing but preserves the parent context, so an untraced daemon in the
 // middle of a traced request path still propagates causality downstream.
